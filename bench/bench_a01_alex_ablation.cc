@@ -1,0 +1,105 @@
+// A1 (ablation) — ALEX design knobs: gap headroom and node size.
+//
+// Why these knobs: the gapped array's whole point is that most inserts hit
+// an empty slot (O(1)) instead of shifting; `initial_density` controls the
+// headroom a rebuild leaves, and `max_node_slots` controls how much data a
+// single model must fit before splitting. Expected shape: denser layouts
+// save memory but shift more per insert; huge nodes stress the linear
+// model (longer last-mile searches), tiny nodes pay tree-descent and
+// rebuild overheads.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "one_d/alex.h"
+
+namespace lidx {
+namespace {
+
+constexpr size_t kInitialKeys = 500'000;
+constexpr size_t kNumOps = 300'000;
+
+void Run(TablePrinter* table, const std::string& label,
+         const AlexIndex<uint64_t, uint64_t>::Options& options,
+         const std::vector<uint64_t>& initial,
+         const std::vector<uint64_t>& values,
+         const std::vector<uint64_t>& inserts,
+         const std::vector<uint64_t>& lookups) {
+  AlexIndex<uint64_t, uint64_t> index(options);
+  index.BulkLoad(initial, values);
+  Timer t1;
+  for (size_t i = 0; i < inserts.size(); ++i) {
+    index.Insert(inserts[i], i);
+  }
+  const double insert_kops =
+      static_cast<double>(inserts.size()) / t1.ElapsedSeconds() / 1e3;
+  uint64_t sink = 0;
+  const double ns = bench::MeasureNsPerOp(lookups.size(), [&](size_t i) {
+    sink += index.Find(lookups[i]).value_or(0);
+  });
+  DoNotOptimize(sink);
+  table->AddRow({label, TablePrinter::FormatDouble(insert_kops, 0),
+                 TablePrinter::FormatDouble(ns, 0),
+                 TablePrinter::FormatCount(index.NumDataNodes()),
+                 TablePrinter::FormatBytes(index.SizeBytes())});
+}
+
+}  // namespace
+}  // namespace lidx
+
+int main() {
+  using namespace lidx;
+  bench::PrintHeader(
+      "A1 (ablation): ALEX gap headroom and node size (500K preload, 300K "
+      "inserts)",
+      "gapped-array headroom buys insert speed with memory; node size "
+      "trades model quality against tree overhead");
+
+  const auto initial =
+      GenerateKeys(KeyDistribution::kLognormal, kInitialKeys, 4141);
+  std::vector<uint64_t> values(initial.size());
+  for (size_t i = 0; i < initial.size(); ++i) values[i] = i;
+  const auto inserts =
+      GenerateKeys(KeyDistribution::kLognormal, kNumOps, 4242);
+  const auto lookups = GenerateLookupKeys(initial, kNumOps, 0.0, 0.0, 37);
+
+  TablePrinter table({"config", "insert Kops/s", "ns/lookup", "data_nodes",
+                      "size"});
+  {
+    AlexIndex<uint64_t, uint64_t>::Options opts;
+    opts.initial_density = 0.9;
+    opts.max_density = 0.95;
+    Run(&table, "dense (d0=0.9)", opts, initial, values, inserts, lookups);
+  }
+  {
+    AlexIndex<uint64_t, uint64_t>::Options opts;  // Defaults: 0.6 / 0.8.
+    Run(&table, "default (d0=0.6)", opts, initial, values, inserts, lookups);
+  }
+  {
+    AlexIndex<uint64_t, uint64_t>::Options opts;
+    opts.initial_density = 0.3;
+    Run(&table, "sparse (d0=0.3)", opts, initial, values, inserts, lookups);
+  }
+  {
+    AlexIndex<uint64_t, uint64_t>::Options opts;
+    opts.max_node_slots = 512;
+    opts.bulk_leaf_entries = 256;
+    Run(&table, "small nodes (512)", opts, initial, values, inserts,
+        lookups);
+  }
+  {
+    AlexIndex<uint64_t, uint64_t>::Options opts;
+    opts.max_node_slots = 65536;
+    opts.bulk_leaf_entries = 16384;
+    Run(&table, "large nodes (64K)", opts, initial, values, inserts,
+        lookups);
+  }
+  table.Print();
+  return 0;
+}

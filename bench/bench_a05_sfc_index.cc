@@ -1,0 +1,88 @@
+// A5 (ablation/extension) — the SFC choice inside an actual index:
+// Z-order ZM-index (BIGMIN leapfrogging) vs Hilbert HM-index (up-front
+// interval decomposition) on identical data and queries.
+//
+// E12 measured the curves in isolation (Hilbert ~2x fewer intervals per
+// rectangle, ~18x costlier encode); this ablation shows how those
+// primitives compose: interval count drives the number of learned-index
+// re-entries per range query, encode cost drives point queries and build.
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "multi_d/hm_index.h"
+#include "multi_d/zm_index.h"
+
+namespace lidx {
+namespace {
+
+constexpr size_t kNumPoints = 1'000'000;
+constexpr size_t kNumRangeQueries = 300;
+constexpr size_t kNumPointQueries = 100'000;
+
+}  // namespace
+}  // namespace lidx
+
+int main() {
+  using namespace lidx;
+  bench::PrintHeader(
+      "A5: SFC choice inside the index — ZM (Z-order + BIGMIN) vs HM "
+      "(Hilbert + decomposition), 1M clustered points",
+      "Hilbert's fewer curve intervals vs Z-order's cheaper transform");
+
+  const auto points =
+      GeneratePoints(PointDistribution::kGaussianClusters, kNumPoints, 8181);
+
+  ZmIndex zm;
+  const double zm_build_ms = bench::MeasureMs([&] { zm.Build(points); });
+  HmIndex hm;
+  HmIndex::Options hm_opts;
+  hm_opts.bits_per_dim = 16;
+  const double hm_build_ms =
+      bench::MeasureMs([&] { hm.Build(points, hm_opts); });
+
+  // Point queries.
+  Rng rng(8282);
+  std::vector<Point2D> probes;
+  probes.reserve(kNumPointQueries);
+  for (size_t i = 0; i < kNumPointQueries; ++i) {
+    probes.push_back(points[rng.NextBounded(points.size())]);
+  }
+  uint64_t sink = 0;
+  const double zm_point_ns = bench::MeasureNsPerOp(
+      kNumPointQueries, [&](size_t i) { sink += zm.FindExact(probes[i]).size(); });
+  const double hm_point_ns = bench::MeasureNsPerOp(
+      kNumPointQueries, [&](size_t i) { sink += hm.FindExact(probes[i]).size(); });
+  DoNotOptimize(sink);
+
+  TablePrinter table({"metric", "zm (z-order)", "hm (hilbert)"});
+  table.AddRow({"build ms", TablePrinter::FormatDouble(zm_build_ms, 0),
+                TablePrinter::FormatDouble(hm_build_ms, 0)});
+  table.AddRow({"point query ns", TablePrinter::FormatDouble(zm_point_ns, 0),
+                TablePrinter::FormatDouble(hm_point_ns, 0)});
+  table.Print();
+
+  TablePrinter ranges({"selectivity", "zm us/query", "hm us/query"});
+  for (double selectivity : {0.0001, 0.001, 0.01}) {
+    const auto queries =
+        GenerateRangeQueries(points, kNumRangeQueries, selectivity, 8383);
+    Timer t1;
+    for (const RangeQuery2D& q : queries) sink += zm.RangeQuery(q).size();
+    const double zm_us = t1.ElapsedSeconds() * 1e6 / kNumRangeQueries;
+    Timer t2;
+    for (const RangeQuery2D& q : queries) sink += hm.RangeQuery(q).size();
+    const double hm_us = t2.ElapsedSeconds() * 1e6 / kNumRangeQueries;
+    DoNotOptimize(sink);
+    ranges.AddRow({TablePrinter::FormatDouble(selectivity * 100, 3) + "%",
+                   TablePrinter::FormatDouble(zm_us, 1),
+                   TablePrinter::FormatDouble(hm_us, 1)});
+  }
+  ranges.Print();
+  return 0;
+}

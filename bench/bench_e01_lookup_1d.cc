@@ -1,0 +1,175 @@
+// E1 — One-dimensional point lookups: learned indexes vs. the B+-tree.
+//
+// Tutorial claim (§1, §4): learned one-dimensional indexes improve both
+// query time and index size over the B-tree. Expected shape: RMI / PGM /
+// RadixSpline beat the B+-tree on lookup latency on smooth and moderately
+// skewed data, with model sizes orders of magnitude below the B+-tree's
+// inner-node footprint; mutable learned indexes (ALEX, LIPP) remain
+// competitive on reads.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/btree.h"
+#include "bench_util.h"
+#include "common/search.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "one_d/alex.h"
+#include "one_d/hybrid_rmi.h"
+#include "one_d/lipp.h"
+#include "one_d/pgm.h"
+#include "one_d/radix_spline.h"
+#include "one_d/rmi.h"
+
+namespace lidx {
+namespace {
+
+constexpr size_t kNumKeys = 1'000'000;
+constexpr size_t kNumLookups = 200'000;
+
+struct Row {
+  std::string dist;
+  std::string index;
+  double build_ms;
+  double ns_hit;
+  double ns_mixed;  // 50% misses.
+  size_t model_bytes;
+  size_t total_bytes;
+};
+
+template <typename BuildFn, typename LookupFn, typename ModelBytesFn,
+          typename TotalBytesFn>
+Row RunOne(const std::string& dist, const std::string& name,
+           const std::vector<uint64_t>& hits,
+           const std::vector<uint64_t>& mixed, BuildFn build, LookupFn lookup,
+           ModelBytesFn model_bytes, TotalBytesFn total_bytes) {
+  Row row;
+  row.dist = dist;
+  row.index = name;
+  row.build_ms = bench::MeasureMs(build);
+  uint64_t sink = 0;
+  row.ns_hit = bench::MeasureNsPerOp(kNumLookups, [&](size_t i) {
+    sink += lookup(hits[i]);
+  });
+  row.ns_mixed = bench::MeasureNsPerOp(kNumLookups, [&](size_t i) {
+    sink += lookup(mixed[i]);
+  });
+  DoNotOptimize(sink);
+  row.model_bytes = model_bytes();
+  row.total_bytes = total_bytes();
+  return row;
+}
+
+void RunDistribution(KeyDistribution dist, std::vector<Row>* rows) {
+  const auto keys = GenerateKeys(dist, kNumKeys, 4242);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+  const auto hits = GenerateLookupKeys(keys, kNumLookups, 0.0, 0.0, 7);
+  const auto mixed = GenerateLookupKeys(keys, kNumLookups, 0.0, 0.5, 11);
+  const std::string dname = KeyDistributionName(dist);
+
+  {
+    // Baseline 0: plain binary search over the sorted array.
+    std::vector<uint64_t> ks, vs;
+    rows->push_back(RunOne(
+        dname, "binary-search", hits, mixed,
+        [&] {
+          ks = keys;
+          vs = values;
+        },
+        [&](uint64_t k) -> uint64_t {
+          const size_t pos = BinarySearchLowerBound(ks, k, 0, ks.size());
+          return (pos < ks.size() && ks[pos] == k) ? vs[pos] : 0;
+        },
+        [] { return size_t{0}; },
+        [&] { return ks.capacity() * 8 + vs.capacity() * 8; }));
+  }
+  {
+    BPlusTree<uint64_t, uint64_t> tree;
+    std::vector<std::pair<uint64_t, uint64_t>> pairs;
+    for (size_t i = 0; i < keys.size(); ++i) pairs.emplace_back(keys[i], i);
+    rows->push_back(RunOne(
+        dname, "b+tree", hits, mixed, [&] { tree.BulkLoad(pairs); },
+        [&](uint64_t k) -> uint64_t { return tree.Find(k).value_or(0); },
+        [&] { return tree.SizeBytes() - 16 * keys.size(); },
+        [&] { return tree.SizeBytes(); }));
+  }
+  {
+    Rmi<uint64_t, uint64_t> index;
+    rows->push_back(RunOne(
+        dname, "rmi", hits, mixed, [&] { index.Build(keys, values); },
+        [&](uint64_t k) -> uint64_t { return index.Find(k).value_or(0); },
+        [&] { return index.ModelSizeBytes(); },
+        [&] { return index.SizeBytes(); }));
+  }
+  {
+    HybridRmi<uint64_t, uint64_t> index;
+    rows->push_back(RunOne(
+        dname, "hybrid-rmi", hits, mixed, [&] { index.Build(keys, values); },
+        [&](uint64_t k) -> uint64_t { return index.Find(k).value_or(0); },
+        [&] { return index.ModelSizeBytes(); },
+        [&] { return index.SizeBytes(); }));
+  }
+  {
+    PgmIndex<uint64_t, uint64_t> index;
+    rows->push_back(RunOne(
+        dname, "pgm", hits, mixed, [&] { index.Build(keys, values); },
+        [&](uint64_t k) -> uint64_t { return index.Find(k).value_or(0); },
+        [&] { return index.ModelSizeBytes(); },
+        [&] { return index.SizeBytes(); }));
+  }
+  {
+    RadixSpline<uint64_t, uint64_t> index;
+    rows->push_back(RunOne(
+        dname, "radix-spline", hits, mixed,
+        [&] { index.Build(keys, values); },
+        [&](uint64_t k) -> uint64_t { return index.Find(k).value_or(0); },
+        [&] { return index.ModelSizeBytes(); },
+        [&] { return index.SizeBytes(); }));
+  }
+  {
+    AlexIndex<uint64_t, uint64_t> index;
+    rows->push_back(RunOne(
+        dname, "alex", hits, mixed, [&] { index.BulkLoad(keys, values); },
+        [&](uint64_t k) -> uint64_t { return index.Find(k).value_or(0); },
+        [&] { return size_t{0}; }, [&] { return index.SizeBytes(); }));
+  }
+  {
+    LippIndex<uint64_t, uint64_t> index;
+    rows->push_back(RunOne(
+        dname, "lipp", hits, mixed, [&] { index.BulkLoad(keys, values); },
+        [&](uint64_t k) -> uint64_t { return index.Find(k).value_or(0); },
+        [&] { return size_t{0}; }, [&] { return index.SizeBytes(); }));
+  }
+}
+
+}  // namespace
+}  // namespace lidx
+
+int main() {
+  using namespace lidx;
+  bench::PrintHeader(
+      "E1: 1-D point lookups (1M keys, 200K lookups per series)",
+      "learned 1-D indexes beat the B+-tree on lookup time and index size");
+  std::vector<Row> rows;
+  for (KeyDistribution dist :
+       {KeyDistribution::kUniform, KeyDistribution::kLognormal,
+        KeyDistribution::kClustered, KeyDistribution::kStep}) {
+    RunDistribution(dist, &rows);
+  }
+  TablePrinter table({"dist", "index", "build_ms", "ns/hit", "ns/mixed",
+                      "model_size", "total_size"});
+  for (const Row& r : rows) {
+    table.AddRow({r.dist, r.index, TablePrinter::FormatDouble(r.build_ms, 1),
+                  TablePrinter::FormatDouble(r.ns_hit, 0),
+                  TablePrinter::FormatDouble(r.ns_mixed, 0),
+                  TablePrinter::FormatBytes(r.model_bytes),
+                  TablePrinter::FormatBytes(r.total_bytes)});
+  }
+  table.Print();
+  return 0;
+}

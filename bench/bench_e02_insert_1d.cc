@@ -1,0 +1,151 @@
+// E2 — Insert strategies: in-place (ALEX, LIPP) vs delta-buffer
+// (DynamicPGM) vs traditional (B+-tree, skip list).
+//
+// Tutorial claim (§4.4): the two insertion strategies trade off — in-place
+// gapped structures pay per-insert shifting/rebuild costs but keep reads
+// one-structure fast; delta-buffer designs make inserts cheap appends but
+// reads must consult multiple components. Expected shape: DynamicPGM leads
+// on insert-heavy load, ALEX/LIPP lead once the mix becomes read-heavy,
+// and the B+-tree sits between but with a larger footprint.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/btree.h"
+#include "baselines/skiplist.h"
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "one_d/alex.h"
+#include "one_d/dynamic_pgm.h"
+#include "one_d/fiting_tree.h"
+#include "one_d/lipp.h"
+
+namespace lidx {
+namespace {
+
+constexpr size_t kInitialKeys = 500'000;
+constexpr size_t kNumOps = 500'000;
+
+struct Mix {
+  std::string name;
+  double read_fraction;
+};
+
+// Runs `ops` against an index adapter and returns Mops/s.
+template <typename InsertFn, typename ReadFn>
+double RunOps(const std::vector<Operation>& ops, InsertFn insert,
+              ReadFn read) {
+  uint64_t sink = 0;
+  Timer timer;
+  for (const Operation& op : ops) {
+    if (op.type == OpType::kInsert) {
+      insert(op.key, op.key);
+    } else {
+      sink += read(op.key);
+    }
+  }
+  const double seconds = timer.ElapsedSeconds();
+  DoNotOptimize(sink);
+  return static_cast<double>(ops.size()) / seconds / 1e6;
+}
+
+}  // namespace
+}  // namespace lidx
+
+int main() {
+  using namespace lidx;
+  bench::PrintHeader(
+      "E2: 1-D mixed insert/read throughput (500K preload, 500K ops)",
+      "in-place vs delta-buffer insertion strategies trade off with the "
+      "read fraction");
+
+  const auto initial = GenerateKeys(KeyDistribution::kUniform, kInitialKeys,
+                                    1001);
+  std::vector<uint64_t> values(initial.size());
+  for (size_t i = 0; i < initial.size(); ++i) values[i] = i;
+  // Fresh keys for inserts, disjoint-ish from the initial set.
+  const auto pool =
+      GenerateKeys(KeyDistribution::kUniform, kNumOps + 1000, 2002);
+
+  const std::vector<Mix> mixes = {{"insert-only", 0.0},
+                                  {"mixed-50/50", 0.5},
+                                  {"read-heavy-95/5", 0.95}};
+
+  TablePrinter table({"workload", "index", "Mops/s", "size_after"});
+  for (const Mix& mix : mixes) {
+    MixedWorkloadSpec spec;
+    spec.read_fraction = mix.read_fraction;
+    spec.insert_fraction = 1.0 - mix.read_fraction;
+    const auto ops =
+        GenerateMixedWorkload(spec, kNumOps, initial, pool, 3003);
+
+    {
+      BPlusTree<uint64_t, uint64_t> tree;
+      std::vector<std::pair<uint64_t, uint64_t>> pairs;
+      for (size_t i = 0; i < initial.size(); ++i) {
+        pairs.emplace_back(initial[i], i);
+      }
+      tree.BulkLoad(pairs);
+      const double mops = RunOps(
+          ops, [&](uint64_t k, uint64_t v) { tree.Insert(k, v); },
+          [&](uint64_t k) -> uint64_t { return tree.Find(k).value_or(0); });
+      table.AddRow({mix.name, "b+tree", TablePrinter::FormatDouble(mops, 2),
+                    TablePrinter::FormatBytes(tree.SizeBytes())});
+    }
+    {
+      SkipList<uint64_t, uint64_t> list;
+      for (size_t i = 0; i < initial.size(); ++i) list.Insert(initial[i], i);
+      const double mops = RunOps(
+          ops, [&](uint64_t k, uint64_t v) { list.Insert(k, v); },
+          [&](uint64_t k) -> uint64_t { return list.Find(k).value_or(0); });
+      table.AddRow({mix.name, "skiplist", TablePrinter::FormatDouble(mops, 2),
+                    TablePrinter::FormatBytes(list.SizeBytes())});
+    }
+    {
+      AlexIndex<uint64_t, uint64_t> index;
+      index.BulkLoad(initial, values);
+      const double mops = RunOps(
+          ops, [&](uint64_t k, uint64_t v) { index.Insert(k, v); },
+          [&](uint64_t k) -> uint64_t { return index.Find(k).value_or(0); });
+      table.AddRow({mix.name, "alex (in-place)",
+                    TablePrinter::FormatDouble(mops, 2),
+                    TablePrinter::FormatBytes(index.SizeBytes())});
+    }
+    {
+      LippIndex<uint64_t, uint64_t> index;
+      index.BulkLoad(initial, values);
+      const double mops = RunOps(
+          ops, [&](uint64_t k, uint64_t v) { index.Insert(k, v); },
+          [&](uint64_t k) -> uint64_t { return index.Find(k).value_or(0); });
+      table.AddRow({mix.name, "lipp (in-place)",
+                    TablePrinter::FormatDouble(mops, 2),
+                    TablePrinter::FormatBytes(index.SizeBytes())});
+    }
+    {
+      DynamicPgm<uint64_t, uint64_t> index;
+      index.BulkLoad(initial, values);
+      const double mops = RunOps(
+          ops, [&](uint64_t k, uint64_t v) { index.Insert(k, v); },
+          [&](uint64_t k) -> uint64_t { return index.Find(k).value_or(0); });
+      table.AddRow({mix.name, "dynamic-pgm (delta)",
+                    TablePrinter::FormatDouble(mops, 2),
+                    TablePrinter::FormatBytes(index.SizeBytes())});
+    }
+    {
+      FitingTree<uint64_t, uint64_t> index;
+      index.BulkLoad(initial, values);
+      const double mops = RunOps(
+          ops, [&](uint64_t k, uint64_t v) { index.Insert(k, v); },
+          [&](uint64_t k) -> uint64_t { return index.Find(k).value_or(0); });
+      table.AddRow({mix.name, "fiting-tree (seg-delta)",
+                    TablePrinter::FormatDouble(mops, 2),
+                    TablePrinter::FormatBytes(index.SizeBytes())});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E3 — PGM ε sweep: the size/latency trade-off behind worst-case bounds.
+//
+// Tutorial claim (§4.4, §6.7): ε-bounded designs expose an explicit knob —
+// smaller ε means more segments (larger model) but a tighter certified
+// search window (lower latency); the guarantee holds on every
+// distribution, including adversarial ones. Expected shape: segments fall
+// roughly as 1/ε while lookup cost grows with log(ε).
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "one_d/pgm.h"
+
+int main() {
+  using namespace lidx;
+  bench::PrintHeader(
+      "E3: PGM-index epsilon sweep (1M keys)",
+      "epsilon trades model size against certified lookup latency");
+
+  constexpr size_t kNumKeys = 1'000'000;
+  constexpr size_t kNumLookups = 200'000;
+
+  TablePrinter table({"dist", "epsilon", "segments", "levels", "model_size",
+                      "ns/lookup"});
+  for (KeyDistribution dist :
+       {KeyDistribution::kUniform, KeyDistribution::kLognormal,
+        KeyDistribution::kAdversarial}) {
+    const auto keys = GenerateKeys(dist, kNumKeys, 5005);
+    std::vector<uint64_t> values(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+    const auto lookups = GenerateLookupKeys(keys, kNumLookups, 0.0, 0.0, 13);
+
+    for (size_t eps : {4u, 16u, 64u, 256u, 1024u}) {
+      PgmIndex<uint64_t, uint64_t> index;
+      PgmIndex<uint64_t, uint64_t>::Options opts;
+      opts.epsilon = eps;
+      index.Build(keys, values, opts);
+      uint64_t sink = 0;
+      const double ns = bench::MeasureNsPerOp(kNumLookups, [&](size_t i) {
+        sink += index.Find(lookups[i]).value_or(0);
+      });
+      DoNotOptimize(sink);
+      table.AddRow({KeyDistributionName(dist), std::to_string(eps),
+                    TablePrinter::FormatCount(index.NumSegments()),
+                    std::to_string(index.NumLevels()),
+                    TablePrinter::FormatBytes(index.ModelSizeBytes()),
+                    TablePrinter::FormatDouble(ns, 0)});
+    }
+  }
+  table.Print();
+  return 0;
+}

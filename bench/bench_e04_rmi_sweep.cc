@@ -1,0 +1,62 @@
+// E4 — RMI model-budget sweep.
+//
+// Tutorial claim (§4.3, §6.2): the model budget is the RMI's only knob —
+// more stage-2 models shrink per-model error (faster last-mile search) at
+// the cost of a bigger model and longer training; unlike the PGM there is
+// no worst-case guarantee, so the max error can stay large on hard
+// distributions no matter the budget. Expected shape: latency falls with
+// model count until the model stops fitting in cache; on the adversarial
+// set the max error window barely improves.
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "one_d/rmi.h"
+
+int main() {
+  using namespace lidx;
+  bench::PrintHeader(
+      "E4: RMI stage-2 model count sweep (1M keys)",
+      "model budget trades build time and size against lookup latency; no "
+      "worst-case bound");
+
+  constexpr size_t kNumKeys = 1'000'000;
+  constexpr size_t kNumLookups = 200'000;
+
+  TablePrinter table({"dist", "models", "build_ms", "model_size", "mean_err",
+                      "max_err", "ns/lookup"});
+  for (KeyDistribution dist :
+       {KeyDistribution::kLognormal, KeyDistribution::kAdversarial}) {
+    const auto keys = GenerateKeys(dist, kNumKeys, 6006);
+    std::vector<uint64_t> values(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+    const auto lookups = GenerateLookupKeys(keys, kNumLookups, 0.0, 0.0, 17);
+
+    for (size_t models = 64; models <= (1u << 18); models *= 8) {
+      Rmi<uint64_t, uint64_t> index;
+      Rmi<uint64_t, uint64_t>::Options opts;
+      opts.num_models = models;
+      const double build_ms =
+          bench::MeasureMs([&] { index.Build(keys, values, opts); });
+      uint64_t sink = 0;
+      const double ns = bench::MeasureNsPerOp(kNumLookups, [&](size_t i) {
+        sink += index.Find(lookups[i]).value_or(0);
+      });
+      DoNotOptimize(sink);
+      table.AddRow({KeyDistributionName(dist),
+                    TablePrinter::FormatCount(models),
+                    TablePrinter::FormatDouble(build_ms, 1),
+                    TablePrinter::FormatBytes(index.ModelSizeBytes()),
+                    TablePrinter::FormatDouble(index.MeanErrorWindow(), 1),
+                    TablePrinter::FormatCount(index.MaxErrorWindow()),
+                    TablePrinter::FormatDouble(ns, 0)});
+    }
+  }
+  table.Print();
+  return 0;
+}

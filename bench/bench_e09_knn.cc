@@ -1,0 +1,71 @@
+// E9 — kNN queries across index classes.
+//
+// Tutorial claim (§5.6): query-type support differs across learned
+// multi-dimensional indexes — the ML-index is the class representative
+// with native kNN (iDistance annuli), LISA reaches kNN via expanding range
+// queries, while traditional kd-tree/R-tree support it directly. Expected
+// shape: kd-tree/R-tree win at small k; the ML-index stays within a small
+// factor and scales smoothly with k; expanding-range kNN pays a
+// re-scanning penalty at large k.
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "multi_d/lisa.h"
+#include "multi_d/ml_index.h"
+#include "spatial/kdtree.h"
+#include "spatial/rtree.h"
+
+int main() {
+  using namespace lidx;
+  bench::PrintHeader(
+      "E9: kNN queries (1M clustered points, 2K queries)",
+      "kNN support across classes: native (kd/R-tree), projected learned "
+      "(ML-index), expanding-range (LISA)");
+
+  constexpr size_t kNumPoints = 1'000'000;
+  constexpr size_t kNumQueries = 2'000;
+
+  const auto points = GeneratePoints(PointDistribution::kGaussianClusters,
+                                     kNumPoints, 8888);
+  const auto queries = GenerateKnnQueries(points, kNumQueries, 9999);
+
+  KdTree kdtree;
+  kdtree.Build(points);
+  RTree rtree;
+  rtree.BulkLoad(points);
+  MlIndex ml;
+  ml.Build(points);
+  LisaIndex lisa;
+  lisa.Build(points);
+
+  TablePrinter table({"k", "kd-tree us", "r-tree us", "ml-index us",
+                      "lisa us"});
+  for (size_t k : {1u, 10u, 100u}) {
+    uint64_t sink = 0;
+    Timer t1;
+    for (const Point2D& q : queries) sink += kdtree.Knn(q, k).size();
+    const double kd_us = t1.ElapsedSeconds() * 1e6 / kNumQueries;
+    Timer t2;
+    for (const Point2D& q : queries) sink += rtree.Knn(q, k).size();
+    const double rt_us = t2.ElapsedSeconds() * 1e6 / kNumQueries;
+    Timer t3;
+    for (const Point2D& q : queries) sink += ml.Knn(q, k).size();
+    const double ml_us = t3.ElapsedSeconds() * 1e6 / kNumQueries;
+    Timer t4;
+    for (const Point2D& q : queries) sink += lisa.Knn(q, k).size();
+    const double li_us = t4.ElapsedSeconds() * 1e6 / kNumQueries;
+    DoNotOptimize(sink);
+    table.AddRow({std::to_string(k), TablePrinter::FormatDouble(kd_us, 1),
+                  TablePrinter::FormatDouble(rt_us, 1),
+                  TablePrinter::FormatDouble(ml_us, 1),
+                  TablePrinter::FormatDouble(li_us, 1)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E10 — Mutable multi-dimensional indexes under inserts.
+//
+// Tutorial claim (§5.4, §5.5): mutable learned spatial indexes (LISA's
+// learned shards with in-place inserts) sustain insert throughput close to
+// traditional structures while keeping learned-query performance; the
+// R-tree pays split/rebalance costs per insert. Expected shape: grid wins
+// raw inserts (hashing), LISA lands between grid and R-tree, and mixed
+// workloads favor structures with cheap point queries.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "multi_d/lisa.h"
+#include "spatial/grid.h"
+#include "spatial/quadtree.h"
+#include "spatial/rtree.h"
+
+namespace lidx {
+namespace {
+
+constexpr size_t kInitialPoints = 200'000;
+constexpr size_t kNumInserts = 500'000;
+constexpr size_t kNumMixedOps = 400'000;
+
+template <typename InsertFn, typename QueryFn>
+void Run(TablePrinter* table, const std::string& name,
+         const std::vector<Point2D>& inserts,
+         const std::vector<Point2D>& existing, InsertFn insert,
+         QueryFn query) {
+  // Phase 1: insert-only throughput.
+  Timer t1;
+  for (uint32_t i = 0; i < inserts.size(); ++i) {
+    insert(inserts[i], kInitialPoints + i);
+  }
+  const double insert_kops =
+      static_cast<double>(inserts.size()) / t1.ElapsedSeconds() / 1e3;
+
+  // Phase 2: 50/50 insert + point query.
+  Rng rng(111);
+  uint64_t sink = 0;
+  Timer t2;
+  for (size_t i = 0; i < kNumMixedOps; ++i) {
+    if (i % 2 == 0) {
+      const Point2D p{rng.NextDouble(), rng.NextDouble()};
+      insert(p, kInitialPoints + kNumInserts + i);
+    } else {
+      sink += query(existing[rng.NextBounded(existing.size())]);
+    }
+  }
+  const double mixed_kops =
+      static_cast<double>(kNumMixedOps) / t2.ElapsedSeconds() / 1e3;
+  DoNotOptimize(sink);
+  table->AddRow({name, TablePrinter::FormatDouble(insert_kops, 0),
+                 TablePrinter::FormatDouble(mixed_kops, 0)});
+}
+
+}  // namespace
+}  // namespace lidx
+
+int main() {
+  using namespace lidx;
+  bench::PrintHeader(
+      "E10: mutable 2-D indexes (200K preload, 500K inserts, 400K mixed)",
+      "learned shards (LISA) sustain inserts near traditional structures");
+
+  const auto initial = GeneratePoints(PointDistribution::kGaussianClusters,
+                                      kInitialPoints, 1212);
+  const auto inserts =
+      GeneratePoints(PointDistribution::kGaussianClusters, kNumInserts, 1313);
+
+  TablePrinter table({"index", "insert Kops/s", "mixed Kops/s"});
+  {
+    RTree index;
+    index.BulkLoad(initial);
+    Run(&table, "r-tree", inserts, initial,
+        [&](const Point2D& p, uint32_t id) { index.Insert(p, id); },
+        [&](const Point2D& p) { return index.FindExact(p).size(); });
+  }
+  {
+    QuadTree index;
+    index.Build(initial);
+    Run(&table, "quadtree", inserts, initial,
+        [&](const Point2D& p, uint32_t id) { index.Insert(p, id); },
+        [&](const Point2D& p) { return index.FindExact(p).size(); });
+  }
+  {
+    UniformGrid index(256);
+    index.Build(initial);
+    Run(&table, "uniform-grid", inserts, initial,
+        [&](const Point2D& p, uint32_t id) { index.Insert(p, id); },
+        [&](const Point2D& p) { return index.FindExact(p).size(); });
+  }
+  {
+    LisaIndex index;
+    index.Build(initial);
+    Run(&table, "lisa (learned)", inserts, initial,
+        [&](const Point2D& p, uint32_t id) { index.Insert(p, id); },
+        [&](const Point2D& p) { return index.FindExact(p).size(); });
+  }
+  table.Print();
+  return 0;
+}

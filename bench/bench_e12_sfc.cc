@@ -1,0 +1,105 @@
+// E12 — Space-filling curve choice: Z-order vs Hilbert.
+//
+// Tutorial claim (§5.1): the SFC choice matters for projected-space
+// indexes — a range query maps to a set of curve intervals ("clusters"),
+// and Hilbert's unit-step locality yields fewer clusters than Z-order at
+// the cost of a pricier per-point transform. Expected shape: Hilbert
+// produces ~fewer clusters per rectangle (factor grows with rectangle
+// size) but encodes several times slower.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "sfc/hilbert.h"
+#include "sfc/morton.h"
+
+namespace lidx {
+namespace {
+
+constexpr int kBits = 10;  // 1024 x 1024 grid.
+
+// Number of contiguous curve-index runs covering the rectangle: the
+// "cluster count" metric from the SFC analysis literature (Mokbel et al.).
+template <typename EncodeFn>
+size_t CountClusters(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
+                     EncodeFn encode) {
+  std::vector<uint64_t> codes;
+  codes.reserve(static_cast<size_t>(x1 - x0 + 1) * (y1 - y0 + 1));
+  for (uint32_t x = x0; x <= x1; ++x) {
+    for (uint32_t y = y0; y <= y1; ++y) {
+      codes.push_back(encode(x, y));
+    }
+  }
+  std::sort(codes.begin(), codes.end());
+  size_t clusters = 1;
+  for (size_t i = 1; i < codes.size(); ++i) {
+    if (codes[i] != codes[i - 1] + 1) ++clusters;
+  }
+  return clusters;
+}
+
+}  // namespace
+}  // namespace lidx
+
+int main() {
+  using namespace lidx;
+  bench::PrintHeader(
+      "E12: space-filling curve comparison (1024x1024 grid)",
+      "Hilbert clusters range queries into fewer curve intervals than "
+      "Z-order, at higher per-point encode cost");
+
+  Rng rng(1818);
+  TablePrinter table({"rect_side", "z_clusters(avg)", "hilbert_clusters(avg)",
+                      "ratio z/h"});
+  for (uint32_t side : {4u, 16u, 64u, 256u}) {
+    double z_total = 0, h_total = 0;
+    const int trials = 50;
+    for (int t = 0; t < trials; ++t) {
+      const uint32_t x0 = static_cast<uint32_t>(
+          rng.NextBounded((1u << kBits) - side));
+      const uint32_t y0 = static_cast<uint32_t>(
+          rng.NextBounded((1u << kBits) - side));
+      z_total += static_cast<double>(
+          CountClusters(x0, y0, x0 + side - 1, y0 + side - 1,
+                        [](uint32_t x, uint32_t y) {
+                          return sfc::MortonEncode2D(x, y);
+                        }));
+      h_total += static_cast<double>(
+          CountClusters(x0, y0, x0 + side - 1, y0 + side - 1,
+                        [](uint32_t x, uint32_t y) {
+                          return sfc::HilbertEncode2D(x, y, kBits);
+                        }));
+    }
+    table.AddRow({std::to_string(side),
+                  TablePrinter::FormatDouble(z_total / trials, 1),
+                  TablePrinter::FormatDouble(h_total / trials, 1),
+                  TablePrinter::FormatDouble(z_total / h_total, 2)});
+  }
+  table.Print();
+
+  // Encode throughput.
+  constexpr size_t kOps = 2'000'000;
+  std::vector<uint32_t> xs(kOps), ys(kOps);
+  for (size_t i = 0; i < kOps; ++i) {
+    xs[i] = static_cast<uint32_t>(rng.NextBounded(1u << kBits));
+    ys[i] = static_cast<uint32_t>(rng.NextBounded(1u << kBits));
+  }
+  uint64_t sink = 0;
+  const double z_ns = bench::MeasureNsPerOp(kOps, [&](size_t i) {
+    sink += sfc::MortonEncode2D(xs[i], ys[i]);
+  });
+  const double h_ns = bench::MeasureNsPerOp(kOps, [&](size_t i) {
+    sink += sfc::HilbertEncode2D(xs[i], ys[i], kBits);
+  });
+  DoNotOptimize(sink);
+  TablePrinter enc({"curve", "encode ns/op"});
+  enc.AddRow({"z-order", TablePrinter::FormatDouble(z_ns, 1)});
+  enc.AddRow({"hilbert", TablePrinter::FormatDouble(h_ns, 1)});
+  enc.Print();
+  return 0;
+}

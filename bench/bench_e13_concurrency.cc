@@ -1,0 +1,111 @@
+// E13 — Concurrency: sharded learned index vs a mutex-wrapped B+-tree.
+//
+// Tutorial claim (§6.5): concurrency is an open challenge for learned
+// indexes; XIndex-style designs show that a static learned top layer plus
+// per-shard deltas gives lock-free routing and shard-local writer
+// contention, so read-mostly workloads scale with threads while a single
+// global lock does not. Note: on a single-core host the absolute scaling
+// is bounded by the hardware; the shape to check is the *relative* gap
+// between the sharded learned index and the globally locked baseline as
+// thread count grows.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "baselines/btree.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "one_d/concurrent_index.h"
+
+namespace lidx {
+namespace {
+
+constexpr size_t kNumKeys = 1'000'000;
+constexpr size_t kOpsPerThread = 200'000;
+
+// Runs `threads` workers doing `read_fraction` reads / rest inserts.
+// Returns total Mops/s.
+template <typename ReadFn, typename InsertFn>
+double RunThreads(int threads, double read_fraction, ReadFn read,
+                  InsertFn insert, const std::vector<uint64_t>& keys) {
+  std::atomic<uint64_t> sink{0};
+  Timer timer;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(1919 + t);
+      uint64_t local = 0;
+      for (size_t i = 0; i < kOpsPerThread; ++i) {
+        if (rng.NextDouble() < read_fraction) {
+          local += read(keys[rng.NextBounded(keys.size())]);
+        } else {
+          insert((static_cast<uint64_t>(t) << 48) + i, i);
+        }
+      }
+      sink.fetch_add(local);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double seconds = timer.ElapsedSeconds();
+  DoNotOptimize(sink.load());
+  return static_cast<double>(kOpsPerThread) * threads / seconds / 1e6;
+}
+
+}  // namespace
+}  // namespace lidx
+
+int main() {
+  using namespace lidx;
+  bench::PrintHeader(
+      "E13: concurrent access (1M keys; XIndex-style sharded learned index "
+      "vs globally locked B+-tree)",
+      "lock-free learned routing + shard-local locks beat a global lock as "
+      "threads grow (relative gap; absolute scaling is hardware-bound)");
+
+  const auto keys = GenerateKeys(KeyDistribution::kUniform, kNumKeys, 2020);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+
+  TablePrinter table({"threads", "mix", "learned-sharded Mops/s",
+                      "locked-b+tree Mops/s"});
+  for (int threads : {1, 2, 4}) {
+    for (double read_fraction : {1.0, 0.9}) {
+      ConcurrentLearnedIndex<uint64_t, uint64_t> learned;
+      learned.BulkLoad(keys, values);
+
+      BPlusTree<uint64_t, uint64_t> tree;
+      std::vector<std::pair<uint64_t, uint64_t>> pairs;
+      for (size_t i = 0; i < keys.size(); ++i) pairs.emplace_back(keys[i], i);
+      tree.BulkLoad(pairs);
+      std::mutex tree_mutex;
+
+      const double learned_mops = RunThreads(
+          threads, read_fraction,
+          [&](uint64_t k) -> uint64_t { return learned.Find(k).value_or(0); },
+          [&](uint64_t k, uint64_t v) { learned.Insert(k, v); }, keys);
+      const double locked_mops = RunThreads(
+          threads, read_fraction,
+          [&](uint64_t k) -> uint64_t {
+            std::lock_guard<std::mutex> lock(tree_mutex);
+            return tree.Find(k).value_or(0);
+          },
+          [&](uint64_t k, uint64_t v) {
+            std::lock_guard<std::mutex> lock(tree_mutex);
+            tree.Insert(k, v);
+          },
+          keys);
+      table.AddRow({std::to_string(threads),
+                    read_fraction == 1.0 ? "read-only" : "90/10",
+                    TablePrinter::FormatDouble(learned_mops, 2),
+                    TablePrinter::FormatDouble(locked_mops, 2)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E14 — Adversarial (poisoned) key sets: bounded vs unbounded error.
+//
+// Tutorial claim (§6.7): indexes designed with a worst-case guarantee
+// (PGM) hold their performance under poisoning-style key sets that blow up
+// model error, while unbounded designs (RMI) degrade; the hybrid fallback
+// (Hybrid-RMI) caps the damage by swapping poisoned partitions to B-trees.
+// Expected shape: RMI's max error window explodes on the adversarial set
+// and its latency climbs toward (or past) the B+-tree, while PGM's segment
+// count grows instead — it buys its bound with memory, not latency.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/btree.h"
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "one_d/alex.h"
+#include "one_d/hybrid_rmi.h"
+#include "one_d/pgm.h"
+#include "one_d/rmi.h"
+
+namespace lidx {
+namespace {
+
+constexpr size_t kNumKeys = 1'000'000;
+constexpr size_t kNumLookups = 200'000;
+
+}  // namespace
+}  // namespace lidx
+
+int main() {
+  using namespace lidx;
+  bench::PrintHeader(
+      "E14: adversarial keys (1M keys; poisoned CDF)",
+      "epsilon-bounded indexes (PGM) hold under poisoning; unbounded (RMI) "
+      "degrade; hybrid fallback caps the damage");
+
+  TablePrinter table(
+      {"dist", "index", "ns/lookup", "note"});
+  for (KeyDistribution dist :
+       {KeyDistribution::kUniform, KeyDistribution::kAdversarial}) {
+    const auto keys = GenerateKeys(dist, kNumKeys, 2121);
+    std::vector<uint64_t> values(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+    const auto lookups = GenerateLookupKeys(keys, kNumLookups, 0.0, 0.0, 29);
+    const std::string dname = KeyDistributionName(dist);
+    uint64_t sink = 0;
+
+    {
+      BPlusTree<uint64_t, uint64_t> tree;
+      std::vector<std::pair<uint64_t, uint64_t>> pairs;
+      for (size_t i = 0; i < keys.size(); ++i) pairs.emplace_back(keys[i], i);
+      tree.BulkLoad(pairs);
+      const double ns = bench::MeasureNsPerOp(kNumLookups, [&](size_t i) {
+        sink += tree.Find(lookups[i]).value_or(0);
+      });
+      table.AddRow({dname, "b+tree", TablePrinter::FormatDouble(ns, 0),
+                    "distribution-oblivious"});
+    }
+    {
+      Rmi<uint64_t, uint64_t> index;
+      index.Build(keys, values);
+      const double ns = bench::MeasureNsPerOp(kNumLookups, [&](size_t i) {
+        sink += index.Find(lookups[i]).value_or(0);
+      });
+      table.AddRow({dname, "rmi", TablePrinter::FormatDouble(ns, 0),
+                    "max_err_window=" +
+                        TablePrinter::FormatCount(index.MaxErrorWindow())});
+    }
+    {
+      HybridRmi<uint64_t, uint64_t> index;
+      index.Build(keys, values);
+      const double ns = bench::MeasureNsPerOp(kNumLookups, [&](size_t i) {
+        sink += index.Find(lookups[i]).value_or(0);
+      });
+      table.AddRow(
+          {dname, "hybrid-rmi", TablePrinter::FormatDouble(ns, 0),
+           "btree_partitions=" +
+               TablePrinter::FormatCount(index.NumBtreePartitions())});
+    }
+    {
+      PgmIndex<uint64_t, uint64_t> index;
+      index.Build(keys, values);
+      const double ns = bench::MeasureNsPerOp(kNumLookups, [&](size_t i) {
+        sink += index.Find(lookups[i]).value_or(0);
+      });
+      table.AddRow({dname, "pgm (eps=64)", TablePrinter::FormatDouble(ns, 0),
+                    "segments=" +
+                        TablePrinter::FormatCount(index.NumSegments())});
+    }
+    {
+      AlexIndex<uint64_t, uint64_t> index;
+      index.BulkLoad(keys, values);
+      const double ns = bench::MeasureNsPerOp(kNumLookups, [&](size_t i) {
+        sink += index.Find(lookups[i]).value_or(0);
+      });
+      table.AddRow({dname, "alex", TablePrinter::FormatDouble(ns, 0),
+                    "adaptive layout"});
+    }
+    DoNotOptimize(sink);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E15 — Learned models as hash functions.
+//
+// Tutorial context (§6.8-adjacent line of work: Sabek et al., "Can Learned
+// Models Replace Hash Functions?"): a CDF model can serve as an
+// order-preserving hash. When the model fits, occupancy matches a random
+// hash (Poisson) with two multiply-adds instead of a mixing function, and
+// the layout is monotone (short range scans become bucket-local). The
+// known failure mode: the model is trained once, so post-build inserts
+// from a *different* distribution skew the occupancy — measured here as
+// the drifted-load column.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "one_d/learned_hash.h"
+
+namespace lidx {
+namespace {
+
+constexpr size_t kNumKeys = 1'000'000;
+constexpr size_t kNumLookups = 300'000;
+
+}  // namespace
+}  // namespace lidx
+
+int main() {
+  using namespace lidx;
+  bench::PrintHeader(
+      "E15: learned hashing vs std::unordered_map (1M keys)",
+      "a learned CDF spreads keys like a random hash (variance ~1) while "
+      "staying order-preserving; drifted inserts skew it");
+
+  TablePrinter table({"dist", "map", "ns/hit", "load_var", "max_chain",
+                      "load_var_after_drift"});
+  for (KeyDistribution dist :
+       {KeyDistribution::kUniform, KeyDistribution::kClustered,
+        KeyDistribution::kLognormal}) {
+    const auto keys = GenerateKeys(dist, kNumKeys, 5151);
+    std::vector<uint64_t> values(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+    const auto hits = GenerateLookupKeys(keys, kNumLookups, 0.0, 0.0, 43);
+    // Drift: keys from a different distribution, inserted after build.
+    const auto drift_keys =
+        GenerateKeys(dist == KeyDistribution::kUniform
+                         ? KeyDistribution::kClustered
+                         : KeyDistribution::kUniform,
+                     kNumKeys / 4, 5252);
+
+    {
+      LearnedHashMap<uint64_t, uint64_t> map;
+      map.BulkLoad(keys, values);
+      uint64_t sink = 0;
+      const double ns = bench::MeasureNsPerOp(kNumLookups, [&](size_t i) {
+        sink += map.Find(hits[i]).value_or(0);
+      });
+      DoNotOptimize(sink);
+      const double var_before = map.LoadVariance();
+      const size_t chain_before = map.MaxChainLength();
+      for (size_t i = 0; i < drift_keys.size(); ++i) {
+        map.Insert(drift_keys[i], i);
+      }
+      table.AddRow({KeyDistributionName(dist), "learned-hash",
+                    TablePrinter::FormatDouble(ns, 0),
+                    TablePrinter::FormatDouble(var_before, 2),
+                    std::to_string(chain_before),
+                    TablePrinter::FormatDouble(map.LoadVariance(), 2)});
+    }
+    {
+      std::unordered_map<uint64_t, uint64_t> map;
+      map.reserve(keys.size());
+      for (size_t i = 0; i < keys.size(); ++i) map[keys[i]] = i;
+      uint64_t sink = 0;
+      const double ns = bench::MeasureNsPerOp(kNumLookups, [&](size_t i) {
+        const auto it = map.find(hits[i]);
+        sink += (it != map.end()) ? it->second : 0;
+      });
+      DoNotOptimize(sink);
+      table.AddRow({KeyDistributionName(dist), "std::unordered_map",
+                    TablePrinter::FormatDouble(ns, 0), "-", "-", "-"});
+    }
+  }
+  table.Print();
+  return 0;
+}

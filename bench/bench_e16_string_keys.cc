@@ -1,0 +1,103 @@
+// E16 — Learned indexing over string keys.
+//
+// Tutorial context: string keys are called out as a frontier for learned
+// indexes (SIndex; Spector et al.'s "bounding the last mile") because
+// models need numbers and string corpora hide their entropy behind shared
+// prefixes. Expected shape: with the corpus prefix stripped, fingerprint
+// models beat binary search on URL/word corpora; on a deep-prefix corpus
+// whose keys diverge beyond the fingerprint the model degenerates to
+// (certified) binary search — the documented limitation full SIndex
+// addresses with per-group models.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/btree.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/search.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "one_d/string_index.h"
+
+namespace lidx {
+namespace {
+
+constexpr size_t kNumKeys = 500'000;
+constexpr size_t kNumLookups = 200'000;
+
+}  // namespace
+}  // namespace lidx
+
+int main() {
+  using namespace lidx;
+  bench::PrintHeader(
+      "E16: learned string indexing (500K keys)",
+      "fingerprint models accelerate string lookups once the corpus prefix "
+      "is stripped; deep shared prefixes defeat the fingerprint");
+
+  TablePrinter table({"corpus", "index", "ns/hit", "segments",
+                      "prefix_stripped"});
+  for (StringKeyStyle style :
+       {StringKeyStyle::kUrls, StringKeyStyle::kWords,
+        StringKeyStyle::kDeepPrefix}) {
+    const auto keys = GenerateStringKeys(style, kNumKeys, 6363);
+    std::vector<uint64_t> values(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+    // Lookup stream: existing keys, shuffled.
+    Rng rng(6464);
+    std::vector<const std::string*> probes;
+    probes.reserve(kNumLookups);
+    for (size_t i = 0; i < kNumLookups; ++i) {
+      probes.push_back(&keys[rng.NextBounded(keys.size())]);
+    }
+    const std::string corpus = StringKeyStyleName(style);
+
+    {
+      // Baseline: binary search over the sorted strings.
+      uint64_t sink = 0;
+      const double ns = bench::MeasureNsPerOp(kNumLookups, [&](size_t i) {
+        const size_t pos =
+            std::lower_bound(keys.begin(), keys.end(), *probes[i]) -
+            keys.begin();
+        sink += (pos < keys.size() && keys[pos] == *probes[i]) ? values[pos]
+                                                               : 0;
+      });
+      DoNotOptimize(sink);
+      table.AddRow({corpus, "binary-search",
+                    TablePrinter::FormatDouble(ns, 0), "-", "-"});
+    }
+    {
+      BPlusTree<std::string, uint64_t> tree;
+      std::vector<std::pair<std::string, uint64_t>> pairs;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        pairs.emplace_back(keys[i], i);
+      }
+      tree.BulkLoad(pairs);
+      uint64_t sink = 0;
+      const double ns = bench::MeasureNsPerOp(kNumLookups, [&](size_t i) {
+        sink += tree.Find(*probes[i]).value_or(0);
+      });
+      DoNotOptimize(sink);
+      table.AddRow({corpus, "b+tree", TablePrinter::FormatDouble(ns, 0), "-",
+                    "-"});
+    }
+    {
+      StringLearnedIndex<uint64_t> index;
+      index.Build(keys, values);
+      uint64_t sink = 0;
+      const double ns = bench::MeasureNsPerOp(kNumLookups, [&](size_t i) {
+        sink += index.Find(*probes[i]).value_or(0);
+      });
+      DoNotOptimize(sink);
+      table.AddRow({corpus, "learned (SIndex-lite)",
+                    TablePrinter::FormatDouble(ns, 0),
+                    TablePrinter::FormatCount(index.NumSegments()),
+                    std::to_string(index.common_prefix_len()) + " bytes"});
+    }
+  }
+  table.Print();
+  return 0;
+}

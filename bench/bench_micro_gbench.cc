@@ -1,0 +1,145 @@
+// Google-benchmark micro suite: per-operation lookup latencies with
+// statistically robust iteration control, complementing the table
+// harnesses (E1-E14) that reproduce the tutorial's comparative claims.
+
+#include <cstdint>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/btree.h"
+#include "datasets/generators.h"
+#include "datasets/workload.h"
+#include "one_d/alex.h"
+#include "one_d/lipp.h"
+#include "one_d/pgm.h"
+#include "one_d/radix_spline.h"
+#include "one_d/rmi.h"
+
+namespace lidx {
+namespace {
+
+constexpr size_t kNumKeys = 1'000'000;
+
+struct Shared {
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> values;
+  std::vector<uint64_t> lookups;
+
+  Shared() {
+    keys = GenerateKeys(KeyDistribution::kLognormal, kNumKeys, 3131);
+    values.resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+    lookups = GenerateLookupKeys(keys, 1 << 20, 0.0, 0.25, 31);
+  }
+};
+
+const Shared& GetShared() {
+  static const Shared* shared = new Shared();
+  return *shared;
+}
+
+void BM_BtreeLookup(benchmark::State& state) {
+  const Shared& s = GetShared();
+  BPlusTree<uint64_t, uint64_t> tree;
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  for (size_t i = 0; i < s.keys.size(); ++i) {
+    pairs.emplace_back(s.keys[i], i);
+  }
+  tree.BulkLoad(pairs);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Find(s.lookups[i++ & (s.lookups.size() - 1)]));
+  }
+}
+BENCHMARK(BM_BtreeLookup);
+
+void BM_RmiLookup(benchmark::State& state) {
+  const Shared& s = GetShared();
+  Rmi<uint64_t, uint64_t> index;
+  index.Build(s.keys, s.values);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Find(s.lookups[i++ & (s.lookups.size() - 1)]));
+  }
+}
+BENCHMARK(BM_RmiLookup);
+
+void BM_PgmLookup(benchmark::State& state) {
+  const Shared& s = GetShared();
+  PgmIndex<uint64_t, uint64_t> index;
+  index.Build(s.keys, s.values);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Find(s.lookups[i++ & (s.lookups.size() - 1)]));
+  }
+}
+BENCHMARK(BM_PgmLookup);
+
+void BM_RadixSplineLookup(benchmark::State& state) {
+  const Shared& s = GetShared();
+  RadixSpline<uint64_t, uint64_t> index;
+  index.Build(s.keys, s.values);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Find(s.lookups[i++ & (s.lookups.size() - 1)]));
+  }
+}
+BENCHMARK(BM_RadixSplineLookup);
+
+void BM_AlexLookup(benchmark::State& state) {
+  const Shared& s = GetShared();
+  AlexIndex<uint64_t, uint64_t> index;
+  index.BulkLoad(s.keys, s.values);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Find(s.lookups[i++ & (s.lookups.size() - 1)]));
+  }
+}
+BENCHMARK(BM_AlexLookup);
+
+void BM_LippLookup(benchmark::State& state) {
+  const Shared& s = GetShared();
+  LippIndex<uint64_t, uint64_t> index;
+  index.BulkLoad(s.keys, s.values);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Find(s.lookups[i++ & (s.lookups.size() - 1)]));
+  }
+}
+BENCHMARK(BM_LippLookup);
+
+void BM_AlexInsert(benchmark::State& state) {
+  const Shared& s = GetShared();
+  AlexIndex<uint64_t, uint64_t> index;
+  index.BulkLoad(s.keys, s.values);
+  uint64_t k = 1;
+  for (auto _ : state) {
+    index.Insert(k * 2654435761u, k);
+    ++k;
+  }
+}
+BENCHMARK(BM_AlexInsert);
+
+void BM_LippInsert(benchmark::State& state) {
+  const Shared& s = GetShared();
+  LippIndex<uint64_t, uint64_t> index;
+  index.BulkLoad(s.keys, s.values);
+  uint64_t k = 1;
+  for (auto _ : state) {
+    index.Insert(k * 2654435761u, k);
+    ++k;
+  }
+}
+BENCHMARK(BM_LippInsert);
+
+}  // namespace
+}  // namespace lidx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+#ifndef LIDX_BENCH_BENCH_UTIL_H_
+#define LIDX_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace lidx::bench {
+
+// Milliseconds consumed by `fn` (single shot; used for build times).
+inline double MeasureMs(const std::function<void()>& fn) {
+  Timer timer;
+  fn();
+  return timer.ElapsedSeconds() * 1e3;
+}
+
+// Average nanoseconds per iteration of `fn(i)` over `n` iterations.
+// One warmup pass over min(n, warmup) iterations.
+template <typename Fn>
+double MeasureNsPerOp(size_t n, Fn&& fn, size_t warmup = 1000) {
+  const size_t w = warmup < n ? warmup : n;
+  for (size_t i = 0; i < w; ++i) fn(i);
+  Timer timer;
+  for (size_t i = 0; i < n; ++i) fn(i);
+  return static_cast<double>(timer.ElapsedNanos()) / static_cast<double>(n);
+}
+
+// Standard header every bench binary prints, so outputs are self-describing
+// when concatenated into bench_output.txt.
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::printf("\n==============================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Claim under test: %s\n", claim.c_str());
+  std::printf("==============================================\n");
+}
+
+}  // namespace lidx::bench
+
+#endif  // LIDX_BENCH_BENCH_UTIL_H_

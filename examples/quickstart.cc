@@ -1,0 +1,61 @@
+// Quickstart: build a learned index over sorted keys, look up, scan, and
+// compare its footprint against a B+-tree.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/btree.h"
+#include "common/stats.h"
+#include "datasets/generators.h"
+#include "one_d/pgm.h"
+
+int main() {
+  using namespace lidx;
+
+  // 1. Some sorted, unique keys. Real deployments would use their own; the
+  //    library ships generators spanning the distributions from the
+  //    learned-index literature.
+  const std::vector<uint64_t> keys =
+      GenerateKeys(KeyDistribution::kLognormal, 1'000'000);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = i * 10;
+
+  // 2. Build a PGM-index: an error-bounded learned index. epsilon bounds
+  //    the last-mile search window — the worst-case guarantee the tutorial
+  //    highlights (§4.4).
+  PgmIndex<uint64_t, uint64_t> index;
+  PgmIndex<uint64_t, uint64_t>::Options options;
+  options.epsilon = 64;
+  index.Build(keys, values, options);
+
+  // 3. Point lookups.
+  const uint64_t probe = keys[123456];
+  if (const auto hit = index.Find(probe); hit.has_value()) {
+    std::printf("Find(%llu) -> %llu\n",
+                static_cast<unsigned long long>(probe),
+                static_cast<unsigned long long>(*hit));
+  }
+  std::printf("Contains(absent key): %s\n",
+              index.Contains(keys.back() + 1) ? "true" : "false");
+
+  // 4. Range scan.
+  std::vector<std::pair<uint64_t, uint64_t>> window;
+  index.RangeScan(keys[1000], keys[1010], &window);
+  std::printf("RangeScan over 11 keys returned %zu entries\n", window.size());
+
+  // 5. How big is the index itself (excluding the data)?
+  BPlusTree<uint64_t, uint64_t> btree;
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    pairs.emplace_back(keys[i], values[i]);
+  }
+  btree.BulkLoad(pairs);
+  std::printf("PGM model: %s over %zu segments (%zu levels)\n",
+              TablePrinter::FormatBytes(index.ModelSizeBytes()).c_str(),
+              index.NumSegments(), index.NumLevels());
+  std::printf("B+-tree (data + inner nodes): %s\n",
+              TablePrinter::FormatBytes(btree.SizeBytes()).c_str());
+  return 0;
+}

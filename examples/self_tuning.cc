@@ -1,0 +1,83 @@
+// Operating a learned index in production: the two lifecycle concerns the
+// tutorial's challenges section raises, demonstrated end to end.
+//
+//  1. Model re-training (§6.3): an under-provisioned model is detected by
+//     the Page-Hinkley drift monitor from its own lookup errors, and the
+//     index retrains itself with a larger budget — no operator involved.
+//  2. Build-offline / serve-online: the tuned index's immutable core is
+//     serialized, "shipped", and restored byte-exactly on the serving
+//     side.
+//
+//   $ ./build/examples/self_tuning
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "one_d/adaptive_rmi.h"
+#include "one_d/rmi.h"
+
+int main() {
+  using namespace lidx;
+
+  // A hard distribution with a deliberately tiny starting model: 4
+  // stage-2 models for 500K clustered keys.
+  const auto keys = GenerateKeys(KeyDistribution::kClustered, 500'000);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+
+  AdaptiveRmi<uint64_t, uint64_t>::Options options;
+  options.rmi.num_models = 4;
+  options.drift.threshold = 20000.0;
+  AdaptiveRmi<uint64_t, uint64_t> index(options);
+  index.BulkLoad(keys, values);
+  std::printf("initial: %zu models, mean error window %.1f slots\n",
+              index.current_model_budget(), index.MeanErrorWindow());
+
+  // Serve lookups; the drift monitor watches observed errors and retrains
+  // with a larger budget whenever they are systematically high.
+  Rng rng(2026);
+  uint64_t sink = 0;
+  for (int phase = 1; phase <= 4; ++phase) {
+    Timer timer;
+    constexpr int kPhaseOps = 300'000;
+    for (int i = 0; i < kPhaseOps; ++i) {
+      sink += index.Find(keys[rng.NextBounded(keys.size())]).value_or(0);
+    }
+    std::printf(
+        "phase %d: %.0f ns/lookup | %zu models, mean error %.1f, "
+        "%zu rebuild(s) so far\n",
+        phase, timer.ElapsedSeconds() * 1e9 / kPhaseOps,
+        index.current_model_budget(), index.MeanErrorWindow(),
+        index.rebuilds());
+  }
+  DoNotOptimize(sink);
+
+  // Ship the tuned model: serialize the immutable core, restore it, and
+  // verify the replica answers identically.
+  Rmi<uint64_t, uint64_t> tuned;
+  Rmi<uint64_t, uint64_t>::Options tuned_opts;
+  tuned_opts.num_models = index.current_model_budget();
+  tuned.Build(keys, values, tuned_opts);
+  std::stringstream shipped;
+  tuned.SaveTo(shipped);
+  std::printf("serialized tuned index: %s\n",
+              TablePrinter::FormatBytes(shipped.str().size()).c_str());
+
+  Rmi<uint64_t, uint64_t> replica;
+  if (!replica.LoadFrom(shipped)) {
+    std::printf("load failed!\n");
+    return 1;
+  }
+  size_t mismatches = 0;
+  for (size_t i = 0; i < keys.size(); i += 997) {
+    if (replica.Find(keys[i]) != tuned.Find(keys[i])) ++mismatches;
+  }
+  std::printf("replica verified: %zu mismatches across sampled lookups\n",
+              mismatches);
+  return mismatches == 0 ? 0 : 1;
+}

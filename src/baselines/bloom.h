@@ -1,0 +1,39 @@
+#ifndef LIDX_BASELINES_BLOOM_H_
+#define LIDX_BASELINES_BLOOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lidx {
+
+// Standard Bloom filter over 64-bit keys (double hashing, Kirsch &
+// Mitzenmacher). Baseline for the learned Bloom filter experiments (E5) and
+// the backup filter inside LearnedBloomFilter itself.
+class BloomFilter {
+ public:
+  // Sizes the filter for `expected_keys` at `bits_per_key` (k hash functions
+  // chosen as round(ln 2 * bits_per_key)).
+  BloomFilter(size_t expected_keys, double bits_per_key);
+
+  void Add(uint64_t key);
+
+  // True if the key may be a member; false means definitely not.
+  bool MayContain(uint64_t key) const;
+
+  size_t SizeBytes() const { return bits_.size() * sizeof(uint64_t) + 24; }
+  size_t num_bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+
+ private:
+  static uint64_t Hash1(uint64_t key);
+  static uint64_t Hash2(uint64_t key);
+
+  size_t num_bits_;
+  int num_hashes_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_BASELINES_BLOOM_H_

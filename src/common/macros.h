@@ -1,0 +1,31 @@
+#ifndef LIDX_COMMON_MACROS_H_
+#define LIDX_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Always-on invariant check. Used for conditions that indicate a programming
+// error inside the library (not user input validation); violating them leaves
+// the index in an undefined state, so we abort rather than limp on.
+#define LIDX_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (__builtin_expect(!(cond), 0)) {                                      \
+      ::std::fprintf(stderr, "LIDX_CHECK failed: %s at %s:%d\n", #cond,      \
+                     __FILE__, __LINE__);                                    \
+      ::std::abort();                                                        \
+    }                                                                        \
+  } while (0)
+
+// Debug-only check for hot paths; compiled out in release builds.
+#ifdef NDEBUG
+#define LIDX_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define LIDX_DCHECK(cond) LIDX_CHECK(cond)
+#endif
+
+#define LIDX_LIKELY(x) __builtin_expect(!!(x), 1)
+#define LIDX_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+#endif  // LIDX_COMMON_MACROS_H_

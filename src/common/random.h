@@ -1,0 +1,102 @@
+#ifndef LIDX_COMMON_RANDOM_H_
+#define LIDX_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace lidx {
+
+// Small, fast, reproducible PRNG (xorshift128+). Used throughout the library
+// instead of <random> engines so that datasets and workloads are identical
+// across platforms and standard library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding to avoid poor low-entropy states.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+  }
+
+  // Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+// Zipfian generator over [0, n) with parameter theta (0 < theta < 1 typical).
+// Uses the Gray et al. method (as popularized by YCSB) with precomputed
+// constants; O(1) per sample.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 7)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(n);
+    zeta2_ = Zeta(2);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  double Zeta(uint64_t n) const {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta_);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_COMMON_RANDOM_H_

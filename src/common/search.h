@@ -1,0 +1,115 @@
+#ifndef LIDX_COMMON_SEARCH_H_
+#define LIDX_COMMON_SEARCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace lidx {
+
+// Search kernels shared by every index in the library. All of them return the
+// index of the first element >= key (a lower bound) within [lo, hi) of a
+// sorted random-access range accessed through `data[i]`.
+
+// Branch-reduced binary search. The classic "shrink the window by half"
+// formulation compiles to conditional moves on x86, which is what the learned
+// indexes rely on for their last-mile search.
+template <typename Vec, typename Key>
+size_t BinarySearchLowerBound(const Vec& data, Key key, size_t lo, size_t hi) {
+  size_t n = hi - lo;
+  size_t base = lo;
+  while (n > 1) {
+    const size_t half = n / 2;
+    base = (data[base + half - 1] < key) ? base + half : base;
+    n -= half;
+  }
+  if (n == 1 && base < hi && data[base] < key) ++base;
+  return base;
+}
+
+// Exponential (galloping) search outward from a predicted position, then a
+// binary search on the located window. This is the standard last-mile search
+// for learned indexes whose prediction error is usually small but unbounded:
+// cost is O(log err) instead of O(log n).
+template <typename Vec, typename Key>
+size_t ExponentialSearchLowerBound(const Vec& data, Key key, size_t predicted,
+                                   size_t lo, size_t hi) {
+  if (lo >= hi) return lo;
+  size_t pos = predicted;
+  if (pos < lo) pos = lo;
+  if (pos >= hi) pos = hi - 1;
+
+  size_t bound = 1;
+  if (data[pos] < key) {
+    // Gallop right: window (pos, pos + bound].
+    size_t prev = pos;
+    while (pos + bound < hi && data[pos + bound] < key) {
+      prev = pos + bound;
+      bound <<= 1;
+    }
+    const size_t right = (pos + bound < hi) ? pos + bound + 1 : hi;
+    return BinarySearchLowerBound(data, key, prev + 1, right);
+  }
+  // Gallop left: widen [pos - bound, pos] until the left edge is < key.
+  while (bound <= pos - lo && !(data[pos - bound] < key)) {
+    bound <<= 1;
+  }
+  const size_t left = (bound <= pos - lo) ? pos - bound : lo;
+  return BinarySearchLowerBound(data, key, left, pos + 1);
+}
+
+// Interpolation search: effective on near-uniform data, used by the
+// interpolation-enhanced B+-tree leaves (hybrid learned index ancestry).
+// Falls back to binary search when the interpolation stops making progress.
+template <typename Vec, typename Key>
+size_t InterpolationSearchLowerBound(const Vec& data, Key key, size_t lo,
+                                     size_t hi) {
+  size_t left = lo;
+  size_t right = hi;
+  int budget = 3;  // Interpolation probes before falling back.
+  while (right - left > 16 && budget-- > 0) {
+    const auto lo_key = data[left];
+    const auto hi_key = data[right - 1];
+    if (!(lo_key < key)) return left;
+    if (hi_key < key) return right;
+    const double frac = static_cast<double>(key - lo_key) /
+                        static_cast<double>(hi_key - lo_key);
+    size_t mid = left + static_cast<size_t>(
+                            frac * static_cast<double>(right - left - 1));
+    if (mid <= left) mid = left + 1;
+    if (mid >= right) mid = right - 1;
+    if (data[mid] < key) {
+      left = mid + 1;
+    } else {
+      right = mid + 1;  // Keep mid as a candidate lower bound.
+      if (!(data[mid - 1] < key)) right = mid;
+    }
+  }
+  return BinarySearchLowerBound(data, key, left, right);
+}
+
+// Bounded binary search in [pred - err_lo - 1, pred + err_hi + 2) with a
+// correctness fix-up: learned indexes record per-model error bounds that
+// hold for *trained* keys, but a lookup key absent from the data can route
+// to a neighboring model whose bounds do not cover it. If the windowed
+// result cannot be certified as the global lower bound, fall back to
+// exponential search (rare, so the common path stays tight).
+template <typename Vec, typename Key>
+size_t WindowLowerBoundWithFixup(const Vec& data, Key key, size_t pred,
+                                 size_t err_lo, size_t err_hi, size_t n) {
+  if (n == 0) return 0;
+  if (pred >= n) pred = n - 1;
+  const size_t lo = (pred > err_lo + 1) ? pred - err_lo - 1 : 0;
+  size_t hi = pred + err_hi + 2;
+  if (hi > n) hi = n;
+  const size_t r = BinarySearchLowerBound(data, key, lo, hi);
+  const bool left_ok = (r > lo) || lo == 0 || data[lo - 1] < key;
+  const bool right_ok = (r < hi) || hi == n;
+  if (LIDX_LIKELY(left_ok && right_ok)) return r;
+  return ExponentialSearchLowerBound(data, key, r, 0, n);
+}
+
+}  // namespace lidx
+
+#endif  // LIDX_COMMON_SEARCH_H_

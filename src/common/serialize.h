@@ -1,0 +1,57 @@
+#ifndef LIDX_COMMON_SERIALIZE_H_
+#define LIDX_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+#include <vector>
+
+namespace lidx {
+
+// Minimal binary (de)serialization helpers for index persistence. The
+// format is flat little-endian host-order: suitable for save/load on the
+// same architecture (the common "build offline, serve online" deployment
+// for immutable learned indexes), not for cross-platform interchange.
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+void WriteVector(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WritePod<uint64_t>(out, v.size());
+  if (!v.empty()) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+bool ReadVector(std::istream& in, std::vector<T>* v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  uint64_t size = 0;
+  if (!ReadPod(in, &size)) return false;
+  // Guard against corrupted counts before allocating.
+  if (size > (1ull << 40) / sizeof(T)) return false;
+  v->resize(size);
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(v->data()),
+            static_cast<std::streamsize>(size * sizeof(T)));
+  }
+  return static_cast<bool>(in);
+}
+
+}  // namespace lidx
+
+#endif  // LIDX_COMMON_SERIALIZE_H_

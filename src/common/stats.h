@@ -1,0 +1,50 @@
+#ifndef LIDX_COMMON_STATS_H_
+#define LIDX_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lidx {
+
+// Order statistics and moments over a sample of measurements (latencies,
+// errors, cluster counts...). Percentile() sorts a copy; intended for
+// harness-side reporting, not hot paths.
+class Summary {
+ public:
+  void Add(double x);
+  size_t count() const { return values_.size(); }
+  double Mean() const;
+  double Stddev() const;
+  double Min() const;
+  double Max() const;
+  // p in [0, 100]; nearest-rank percentile.
+  double Percentile(double p) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+// Fixed-width table printer shared by all bench binaries so their outputs
+// line up and diff cleanly run-to-run.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders header + separator + rows to stdout.
+  void Print() const;
+
+  static std::string FormatDouble(double v, int precision = 2);
+  static std::string FormatBytes(size_t bytes);
+  static std::string FormatCount(uint64_t n);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_COMMON_STATS_H_

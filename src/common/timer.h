@@ -1,0 +1,42 @@
+#ifndef LIDX_COMMON_TIMER_H_
+#define LIDX_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace lidx {
+
+// Monotonic wall-clock timer used by the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Prevents the compiler from optimizing away a computed value in
+// micro-benchmarks and harness loops.
+template <typename T>
+inline void DoNotOptimize(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace lidx
+
+#endif  // LIDX_COMMON_TIMER_H_

@@ -1,0 +1,307 @@
+#include "datasets/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace lidx {
+
+namespace {
+
+// Sorts, deduplicates, and (if duplicates reduced the count) tops up with
+// fresh perturbed keys so the caller always gets exactly n distinct keys.
+std::vector<uint64_t> Finalize(std::vector<uint64_t> keys, size_t n,
+                               Rng* rng) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  while (keys.size() < n) {
+    const size_t missing = n - keys.size();
+    for (size_t i = 0; i < missing; ++i) {
+      // Perturb an existing key; collisions get removed on the next pass.
+      const uint64_t base = keys[rng->NextBounded(keys.size())];
+      keys.push_back(base + 1 + rng->NextBounded(1u << 16));
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  }
+  keys.resize(n);
+  return keys;
+}
+
+std::vector<uint64_t> UniformKeys(size_t n, Rng* rng) {
+  std::vector<uint64_t> keys;
+  keys.reserve(n + n / 8);
+  for (size_t i = 0; i < n + n / 8; ++i) {
+    // Keys stay below 2^53 so they are exactly representable as double —
+    // learned models train in double space, and two distinct keys mapping
+    // to one double would break the strict-ordering preconditions.
+    keys.push_back(rng->Next() >> 11);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> LognormalKeys(size_t n, Rng* rng) {
+  std::vector<uint64_t> keys;
+  keys.reserve(n + n / 8);
+  for (size_t i = 0; i < n + n / 8; ++i) {
+    const double v = std::exp(2.0 * rng->NextGaussian() + 20.0);
+    keys.push_back(static_cast<uint64_t>(v));
+  }
+  return keys;
+}
+
+std::vector<uint64_t> ClusteredKeys(size_t n, Rng* rng) {
+  // ~n/1000 clusters at random centers, tight lognormal spread within each,
+  // separated by gaps of ~2^40.
+  const size_t num_clusters = std::max<size_t>(8, n / 1000);
+  std::vector<uint64_t> centers;
+  centers.reserve(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    // < 2^50: keys remain exactly representable as double (see UniformKeys).
+    centers.push_back(rng->Next() >> 14);
+  }
+  std::vector<uint64_t> keys;
+  keys.reserve(n + n / 8);
+  for (size_t i = 0; i < n + n / 8; ++i) {
+    const uint64_t center = centers[rng->NextBounded(num_clusters)];
+    const uint64_t offset = rng->NextBounded(1u << 14);
+    keys.push_back(center + offset);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> StepKeys(size_t n, Rng* rng) {
+  // Long runs of densely packed keys followed by large jumps: a CDF made of
+  // near-vertical segments, like the "books" dataset's popularity plateaus.
+  std::vector<uint64_t> keys;
+  keys.reserve(n + n / 8);
+  uint64_t cur = 1u << 20;
+  while (keys.size() < n + n / 8) {
+    const size_t run = 64 + rng->NextBounded(4096);
+    for (size_t i = 0; i < run && keys.size() < n + n / 8; ++i) {
+      cur += 1 + rng->NextBounded(4);
+      keys.push_back(cur);
+    }
+    cur += (1ull << 33) + rng->NextBounded(1ull << 36);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> SequentialKeys(size_t n, Rng* rng) {
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  uint64_t cur = 1000;
+  for (size_t i = 0; i < n; ++i) {
+    cur += 1 + rng->NextBounded(3);
+    keys.push_back(cur);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> AdversarialKeys(size_t n, Rng* rng) {
+  // Poisoning-style construction (cf. Kornaropoulos et al., SIGMOD'22):
+  // exponentially growing gaps interleaved with dense bursts make every
+  // linear segment either over- or under-shoot, maximizing model error for
+  // indexes without an error bound.
+  std::vector<uint64_t> keys;
+  keys.reserve(n + n / 8);
+  uint64_t cur = 1u << 16;
+  uint64_t gap = 1;
+  while (keys.size() < n + n / 8) {
+    // Dense burst.
+    const size_t burst = 16 + rng->NextBounded(32);
+    for (size_t i = 0; i < burst && keys.size() < n + n / 8; ++i) {
+      cur += 1;
+      keys.push_back(cur);
+    }
+    // Exponential gap, cycled so keys do not overflow.
+    cur += gap;
+    gap <<= 1;
+    if (gap > (1ull << 34)) gap = 1;
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::string KeyDistributionName(KeyDistribution d) {
+  switch (d) {
+    case KeyDistribution::kUniform: return "uniform";
+    case KeyDistribution::kLognormal: return "lognormal";
+    case KeyDistribution::kClustered: return "clustered";
+    case KeyDistribution::kStep: return "step";
+    case KeyDistribution::kSequential: return "sequential";
+    case KeyDistribution::kAdversarial: return "adversarial";
+  }
+  return "unknown";
+}
+
+std::vector<uint64_t> GenerateKeys(KeyDistribution dist, size_t n,
+                                   uint64_t seed) {
+  LIDX_CHECK(n > 0);
+  Rng rng(seed);
+  std::vector<uint64_t> raw;
+  switch (dist) {
+    case KeyDistribution::kUniform: raw = UniformKeys(n, &rng); break;
+    case KeyDistribution::kLognormal: raw = LognormalKeys(n, &rng); break;
+    case KeyDistribution::kClustered: raw = ClusteredKeys(n, &rng); break;
+    case KeyDistribution::kStep: raw = StepKeys(n, &rng); break;
+    case KeyDistribution::kSequential: raw = SequentialKeys(n, &rng); break;
+    case KeyDistribution::kAdversarial: raw = AdversarialKeys(n, &rng); break;
+  }
+  return Finalize(std::move(raw), n, &rng);
+}
+
+std::vector<KeyDistribution> AllKeyDistributions() {
+  return {KeyDistribution::kUniform,   KeyDistribution::kLognormal,
+          KeyDistribution::kClustered, KeyDistribution::kStep,
+          KeyDistribution::kSequential, KeyDistribution::kAdversarial};
+}
+
+std::string StringKeyStyleName(StringKeyStyle s) {
+  switch (s) {
+    case StringKeyStyle::kUrls: return "urls";
+    case StringKeyStyle::kWords: return "words";
+    case StringKeyStyle::kDeepPrefix: return "deep-prefix";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string RandomWord(Rng* rng, size_t min_len, size_t max_len) {
+  const size_t len = min_len + rng->NextBounded(max_len - min_len + 1);
+  std::string w;
+  w.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    w.push_back(static_cast<char>('a' + rng->NextBounded(26)));
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<std::string> GenerateStringKeys(StringKeyStyle style, size_t n,
+                                            uint64_t seed) {
+  LIDX_CHECK(n > 0);
+  Rng rng(seed);
+  std::vector<std::string> keys;
+  keys.reserve(n + n / 4);
+  switch (style) {
+    case StringKeyStyle::kUrls: {
+      // A few hundred domains, many paths.
+      std::vector<std::string> domains;
+      const size_t num_domains = std::max<size_t>(4, n / 200);
+      for (size_t d = 0; d < num_domains; ++d) {
+        domains.push_back(RandomWord(&rng, 4, 12) + ".com");
+      }
+      while (keys.size() < n + n / 4) {
+        keys.push_back("https://" + domains[rng.NextBounded(domains.size())] +
+                       "/" + RandomWord(&rng, 2, 8) + "/" +
+                       RandomWord(&rng, 3, 12));
+      }
+      break;
+    }
+    case StringKeyStyle::kWords: {
+      while (keys.size() < n + n / 4) {
+        keys.push_back(RandomWord(&rng, 4, 16));
+      }
+      break;
+    }
+    case StringKeyStyle::kDeepPrefix: {
+      const std::string prefix =
+          "tenant/0000000042/region/eu-west-1/bucket/logs/partition/";
+      while (keys.size() < n + n / 4) {
+        keys.push_back(prefix + RandomWord(&rng, 6, 14));
+      }
+      break;
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  while (keys.size() < n) {
+    // Top up rare dedup shortfalls with suffix-perturbed copies.
+    std::string k = keys[rng.NextBounded(keys.size())];
+    k.push_back(static_cast<char>('a' + rng.NextBounded(26)));
+    keys.push_back(std::move(k));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  }
+  keys.resize(n);
+  return keys;
+}
+
+std::string PointDistributionName(PointDistribution d) {
+  switch (d) {
+    case PointDistribution::kUniform2D: return "uniform2d";
+    case PointDistribution::kGaussianClusters: return "gauss-clusters";
+    case PointDistribution::kCorrelated: return "correlated";
+    case PointDistribution::kSkewedGrid: return "skewed-grid";
+  }
+  return "unknown";
+}
+
+std::vector<Point2D> GeneratePoints(PointDistribution dist, size_t n,
+                                    uint64_t seed) {
+  LIDX_CHECK(n > 0);
+  Rng rng(seed);
+  std::vector<Point2D> pts;
+  pts.reserve(n);
+  auto clamp01 = [](double v) {
+    if (v < 0.0) return 0.0;
+    if (v >= 1.0) return std::nextafter(1.0, 0.0);
+    return v;
+  };
+  switch (dist) {
+    case PointDistribution::kUniform2D: {
+      for (size_t i = 0; i < n; ++i) {
+        pts.push_back({rng.NextDouble(), rng.NextDouble()});
+      }
+      break;
+    }
+    case PointDistribution::kGaussianClusters: {
+      const size_t k = 16;
+      std::vector<Point2D> centers;
+      for (size_t c = 0; c < k; ++c) {
+        centers.push_back({rng.NextDouble(), rng.NextDouble()});
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const Point2D& c = centers[rng.NextBounded(k)];
+        pts.push_back({clamp01(c.x + 0.03 * rng.NextGaussian()),
+                       clamp01(c.y + 0.03 * rng.NextGaussian())});
+      }
+      break;
+    }
+    case PointDistribution::kCorrelated: {
+      for (size_t i = 0; i < n; ++i) {
+        const double x = rng.NextDouble();
+        const double y = clamp01(x + 0.05 * rng.NextGaussian());
+        pts.push_back({x, y});
+      }
+      break;
+    }
+    case PointDistribution::kSkewedGrid: {
+      // 64x64 grid with Zipf-distributed cell popularity.
+      const uint64_t cells = 64;
+      ZipfGenerator zipf(cells * cells, 0.9, seed ^ 0x5bd1e995);
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t cell = zipf.Next();
+        const double cx = static_cast<double>(cell % cells);
+        const double cy = static_cast<double>(cell / cells);
+        pts.push_back({clamp01((cx + rng.NextDouble()) / cells),
+                       clamp01((cy + rng.NextDouble()) / cells)});
+      }
+      break;
+    }
+  }
+  return pts;
+}
+
+std::vector<PointDistribution> AllPointDistributions() {
+  return {PointDistribution::kUniform2D, PointDistribution::kGaussianClusters,
+          PointDistribution::kCorrelated, PointDistribution::kSkewedGrid};
+}
+
+}  // namespace lidx

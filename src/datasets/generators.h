@@ -1,0 +1,80 @@
+#ifndef LIDX_DATASETS_GENERATORS_H_
+#define LIDX_DATASETS_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lidx {
+
+// Synthetic key/point generators. They stand in for the public datasets used
+// by the learned-index literature (SOSD books/osm/fb, NYC taxi): each
+// distribution targets a CDF regime that stresses learned indexes
+// differently (see DESIGN.md, substitutions table).
+
+// ----- One-dimensional key sets (sorted, deduplicated) -----
+
+enum class KeyDistribution {
+  kUniform,    // Smooth CDF; easiest case for any learned model.
+  kLognormal,  // Heavy-tailed; curved CDF (osm-like).
+  kClustered,  // Dense clusters separated by wide gaps (fb-like).
+  kStep,       // Piecewise-flat CDF with abrupt jumps (books-like).
+  kSequential, // 0..n-1 with small random gaps (auto-increment IDs).
+  kAdversarial // Poisoned CDF: pathological for unbounded-error models.
+};
+
+// Human-readable name used in benchmark tables.
+std::string KeyDistributionName(KeyDistribution d);
+
+// Generates `n` distinct uint64 keys, sorted ascending.
+std::vector<uint64_t> GenerateKeys(KeyDistribution dist, size_t n,
+                                   uint64_t seed = 42);
+
+// All distributions, for parameterized sweeps.
+std::vector<KeyDistribution> AllKeyDistributions();
+
+// ----- String key sets (sorted, deduplicated) -----
+
+enum class StringKeyStyle {
+  kUrls,        // "https://<domain>/<path>" — shared scheme prefix,
+                // diversity right after it (learnable fingerprints).
+  kWords,       // Random lowercase words, uniform first bytes.
+  kDeepPrefix   // Keys diverge only after a long shared prefix — the
+                // fingerprint-collision worst case for string models.
+};
+
+std::string StringKeyStyleName(StringKeyStyle s);
+
+// Generates `n` distinct strings, sorted ascending (byte order).
+std::vector<std::string> GenerateStringKeys(StringKeyStyle style, size_t n,
+                                            uint64_t seed = 42);
+
+// ----- Two-dimensional point sets -----
+
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2D& a, const Point2D& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+enum class PointDistribution {
+  kUniform2D,     // Uniform in the unit square.
+  kGaussianClusters,  // Mixture of Gaussian blobs (urban hot spots).
+  kCorrelated,    // y strongly correlated with x (taxi pickup/dropoff-like).
+  kSkewedGrid     // Zipf-weighted grid cells (skewed spatial occupancy).
+};
+
+std::string PointDistributionName(PointDistribution d);
+
+// Generates `n` points in the unit square [0,1)^2.
+std::vector<Point2D> GeneratePoints(PointDistribution dist, size_t n,
+                                    uint64_t seed = 42);
+
+std::vector<PointDistribution> AllPointDistributions();
+
+}  // namespace lidx
+
+#endif  // LIDX_DATASETS_GENERATORS_H_

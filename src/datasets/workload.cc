@@ -1,0 +1,132 @@
+#include "datasets/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace lidx {
+
+std::vector<Operation> GenerateMixedWorkload(
+    const MixedWorkloadSpec& spec, size_t n_ops,
+    const std::vector<uint64_t>& existing,
+    const std::vector<uint64_t>& insert_pool, uint64_t seed) {
+  LIDX_CHECK(!existing.empty());
+  const double total = spec.read_fraction + spec.insert_fraction +
+                       spec.update_fraction + spec.scan_fraction +
+                       spec.erase_fraction;
+  LIDX_CHECK(total > 0.0);
+
+  Rng rng(seed);
+  ZipfGenerator zipf(existing.size(), spec.zipf_theta > 0 ? spec.zipf_theta
+                                                          : 0.5,
+                     seed ^ 0xabcdef);
+  auto pick_existing = [&]() -> uint64_t {
+    const size_t i = spec.zipf_theta > 0
+                         ? static_cast<size_t>(zipf.Next())
+                         : rng.NextBounded(existing.size());
+    return existing[std::min(i, existing.size() - 1)];
+  };
+
+  std::vector<Operation> ops;
+  ops.reserve(n_ops);
+  size_t insert_cursor = 0;
+  for (size_t i = 0; i < n_ops; ++i) {
+    double r = rng.NextDouble() * total;
+    Operation op{OpType::kRead, 0, 0};
+    if (r < spec.read_fraction) {
+      op.type = OpType::kRead;
+      op.key = pick_existing();
+    } else if (r < spec.read_fraction + spec.insert_fraction) {
+      LIDX_CHECK(insert_cursor < insert_pool.size());
+      op.type = OpType::kInsert;
+      op.key = insert_pool[insert_cursor++];
+    } else if (r < spec.read_fraction + spec.insert_fraction +
+                       spec.update_fraction) {
+      op.type = OpType::kUpdate;
+      op.key = pick_existing();
+    } else if (r < spec.read_fraction + spec.insert_fraction +
+                       spec.update_fraction + spec.scan_fraction) {
+      op.type = OpType::kScan;
+      op.key = pick_existing();
+      op.scan_length =
+          1 + static_cast<uint32_t>(rng.NextBounded(spec.max_scan_length));
+    } else {
+      op.type = OpType::kErase;
+      op.key = pick_existing();
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+std::vector<uint64_t> GenerateLookupKeys(const std::vector<uint64_t>& existing,
+                                         size_t n, double zipf_theta,
+                                         double miss_fraction,
+                                         uint64_t seed) {
+  LIDX_CHECK(!existing.empty());
+  Rng rng(seed);
+  ZipfGenerator zipf(existing.size(), zipf_theta > 0 ? zipf_theta : 0.5,
+                     seed ^ 0x1234);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < miss_fraction) {
+      // A key strictly between two neighbors (or past the end) is a
+      // guaranteed miss because key sets are deduplicated.
+      const size_t j = rng.NextBounded(existing.size());
+      uint64_t candidate = existing[j] + 1;
+      if (j + 1 < existing.size() && candidate >= existing[j + 1]) {
+        // Neighbors are adjacent integers; probe past the maximum instead.
+        candidate = existing.back() + 1 + rng.NextBounded(1u << 20);
+      }
+      keys.push_back(candidate);
+    } else {
+      const size_t i_zipf = zipf_theta > 0
+                                ? static_cast<size_t>(zipf.Next())
+                                : rng.NextBounded(existing.size());
+      keys.push_back(existing[std::min(i_zipf, existing.size() - 1)]);
+    }
+  }
+  return keys;
+}
+
+std::vector<RangeQuery2D> GenerateRangeQueries(
+    const std::vector<Point2D>& data, size_t n, double selectivity,
+    uint64_t seed) {
+  LIDX_CHECK(!data.empty());
+  LIDX_CHECK(selectivity > 0.0 && selectivity <= 1.0);
+  Rng rng(seed);
+  const double side = std::sqrt(selectivity);
+  std::vector<RangeQuery2D> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point2D& c = data[rng.NextBounded(data.size())];
+    RangeQuery2D q;
+    q.min_x = std::max(0.0, c.x - side / 2);
+    q.min_y = std::max(0.0, c.y - side / 2);
+    q.max_x = std::min(1.0, q.min_x + side);
+    q.max_y = std::min(1.0, q.min_y + side);
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+std::vector<Point2D> GenerateKnnQueries(const std::vector<Point2D>& data,
+                                        size_t n, uint64_t seed) {
+  LIDX_CHECK(!data.empty());
+  Rng rng(seed);
+  std::vector<Point2D> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point2D& c = data[rng.NextBounded(data.size())];
+    Point2D q{c.x + 0.01 * rng.NextGaussian(), c.y + 0.01 * rng.NextGaussian()};
+    q.x = std::clamp(q.x, 0.0, 1.0);
+    q.y = std::clamp(q.y, 0.0, 1.0);
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+}  // namespace lidx

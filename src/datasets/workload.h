@@ -1,0 +1,73 @@
+#ifndef LIDX_DATASETS_WORKLOAD_H_
+#define LIDX_DATASETS_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/generators.h"
+
+namespace lidx {
+
+// Query/operation workload generators used by tests, examples, and every
+// benchmark harness. YCSB-flavoured mixes for 1-D key/value workloads and
+// spatial query workloads (point / range / kNN) for the multi-dimensional
+// experiments.
+
+enum class OpType : uint8_t { kRead, kInsert, kUpdate, kScan, kErase };
+
+struct Operation {
+  OpType type;
+  uint64_t key;
+  uint32_t scan_length;  // For kScan: number of records to read.
+};
+
+struct MixedWorkloadSpec {
+  double read_fraction = 0.5;
+  double insert_fraction = 0.5;
+  double update_fraction = 0.0;
+  double scan_fraction = 0.0;
+  double erase_fraction = 0.0;
+  // Zipf skew for read keys; 0 = uniform over existing keys.
+  double zipf_theta = 0.0;
+  uint32_t max_scan_length = 100;
+};
+
+// Generates `n_ops` operations. Reads/updates/erases pick keys from
+// `existing` (Zipf-skewed if requested); inserts draw fresh keys from
+// `insert_pool`, consumed in order. `insert_pool` must contain at least the
+// number of inserts implied by the mix.
+std::vector<Operation> GenerateMixedWorkload(
+    const MixedWorkloadSpec& spec, size_t n_ops,
+    const std::vector<uint64_t>& existing,
+    const std::vector<uint64_t>& insert_pool, uint64_t seed = 99);
+
+// Point-lookup keys: `n` keys sampled (Zipf-skewed or uniform) from
+// `existing`, plus a `miss_fraction` of keys guaranteed absent.
+std::vector<uint64_t> GenerateLookupKeys(const std::vector<uint64_t>& existing,
+                                         size_t n, double zipf_theta,
+                                         double miss_fraction,
+                                         uint64_t seed = 17);
+
+// ----- Spatial query workloads -----
+
+struct RangeQuery2D {
+  double min_x, min_y, max_x, max_y;
+
+  bool Contains(const Point2D& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+};
+
+// Square range queries with an expected fractional area `selectivity`,
+// centered on sampled data points so they are non-empty on skewed data.
+std::vector<RangeQuery2D> GenerateRangeQueries(
+    const std::vector<Point2D>& data, size_t n, double selectivity,
+    uint64_t seed = 23);
+
+// kNN query points sampled from the data with jitter.
+std::vector<Point2D> GenerateKnnQueries(const std::vector<Point2D>& data,
+                                        size_t n, uint64_t seed = 29);
+
+}  // namespace lidx
+
+#endif  // LIDX_DATASETS_WORKLOAD_H_

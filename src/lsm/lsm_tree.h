@@ -1,0 +1,255 @@
+#ifndef LIDX_LSM_LSM_TREE_H_
+#define LIDX_LSM_LSM_TREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "baselines/bloom.h"
+#include "baselines/skiplist.h"
+#include "common/macros.h"
+#include "lsm/run.h"
+
+namespace lidx {
+
+// Mini log-structured merge tree: skip-list memtable, immutable sorted runs,
+// leveled compaction. This is the substrate for the BOURBON experiment
+// (Dai et al., OSDI 2020; tutorial §4.2, §5.6): each immutable run can be
+// searched either by binary search (WiscKey-style baseline) or through a
+// per-run learned index — runs are rebuilt wholesale by compaction, which
+// is exactly the regime where cheap-to-build learned models pay off.
+//
+// Keys are uint64-compatible integers; deletes are tombstones that are
+// dropped when a compaction reaches the bottom level.
+template <typename Key, typename Value>
+class LsmTree {
+ public:
+  struct Options {
+    size_t memtable_limit = 4096;   // Entries before flush.
+    size_t l0_run_limit = 4;        // L0 runs before compacting into L1.
+    size_t level_size_factor = 8;   // Level i holds factor^i * base entries.
+    RunSearchMode search_mode = RunSearchMode::kLearned;
+    size_t learned_epsilon = 16;
+    double bloom_bits_per_key = 10.0;
+  };
+
+  explicit LsmTree(const Options& options = Options()) : options_(options) {}
+
+  void Put(const Key& key, const Value& value) {
+    memtable_.Insert(key, RunEntry<Value>{value, false});
+    MaybeFlush();
+  }
+
+  void Delete(const Key& key) {
+    memtable_.Insert(key, RunEntry<Value>{Value{}, true});
+    MaybeFlush();
+  }
+
+  std::optional<Value> Get(const Key& key) const {
+    // Memtable is newest.
+    if (const auto hit = memtable_.Find(key); hit.has_value()) {
+      if (hit->deleted) return std::nullopt;
+      return hit->value;
+    }
+    // L0 runs newest-first, then deeper levels.
+    for (auto it = l0_.rbegin(); it != l0_.rend(); ++it) {
+      if (const auto found = (*it)->Get(key, &stats_); found.has_value()) {
+        if (found->deleted) return std::nullopt;
+        return found->value;
+      }
+    }
+    for (const auto& run : levels_) {
+      if (run == nullptr) continue;
+      if (const auto found = run->Get(key, &stats_); found.has_value()) {
+        if (found->deleted) return std::nullopt;
+        return found->value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Live entries with lo <= key <= hi, merged across all components.
+  void RangeScan(const Key& lo, const Key& hi,
+                 std::vector<std::pair<Key, Value>>* out) const {
+    // Gather per-component sorted streams; newest stream wins per key.
+    std::vector<std::vector<std::pair<Key, RunEntry<Value>>>> streams;
+    {
+      std::vector<std::pair<Key, RunEntry<Value>>> mem;
+      memtable_.RangeScan(lo, hi, &mem);
+      streams.push_back(std::move(mem));
+    }
+    for (auto it = l0_.rbegin(); it != l0_.rend(); ++it) {
+      streams.push_back((*it)->Scan(lo, hi));
+    }
+    for (const auto& run : levels_) {
+      if (run != nullptr) streams.push_back(run->Scan(lo, hi));
+    }
+    std::vector<size_t> pos(streams.size(), 0);
+    while (true) {
+      int best = -1;
+      for (size_t s = 0; s < streams.size(); ++s) {
+        if (pos[s] >= streams[s].size()) continue;
+        if (best < 0 ||
+            streams[s][pos[s]].first < streams[best][pos[best]].first) {
+          best = static_cast<int>(s);
+        }
+      }
+      if (best < 0) break;
+      const Key k = streams[best][pos[best]].first;
+      const RunEntry<Value>& e = streams[best][pos[best]].second;
+      if (!e.deleted) out->emplace_back(k, e.value);
+      for (size_t s = 0; s < streams.size(); ++s) {
+        while (pos[s] < streams[s].size() && streams[s][pos[s]].first == k) {
+          ++pos[s];
+        }
+      }
+    }
+  }
+
+  // Forces the memtable to disk-run form (tests / benchmarks).
+  void Flush() {
+    if (memtable_.empty()) return;
+    std::vector<std::pair<Key, RunEntry<Value>>> entries;
+    memtable_.DrainSorted(&entries);
+    l0_.push_back(MakeRun(std::move(entries)));
+    memtable_ = SkipList<Key, RunEntry<Value>>();
+    MaybeCompact();
+  }
+
+  size_t NumRuns() const {
+    size_t n = l0_.size();
+    for (const auto& run : levels_) {
+      if (run != nullptr) ++n;
+    }
+    return n;
+  }
+
+  size_t NumLevels() const { return levels_.size(); }
+
+  const LsmStats& stats() const { return stats_; }
+  void ResetStats() const { stats_ = LsmStats{}; }
+
+  size_t SizeBytes() const {
+    size_t total = sizeof(*this) + memtable_.SizeBytes();
+    for (const auto& run : l0_) total += run->SizeBytes();
+    for (const auto& run : levels_) {
+      if (run != nullptr) total += run->SizeBytes();
+    }
+    return total;
+  }
+
+  // Total learned-model bytes across runs (0 in binary-search mode).
+  size_t ModelSizeBytes() const {
+    size_t total = 0;
+    for (const auto& run : l0_) total += run->ModelSizeBytes();
+    for (const auto& run : levels_) {
+      if (run != nullptr) total += run->ModelSizeBytes();
+    }
+    return total;
+  }
+
+ private:
+  using RunPtr = std::unique_ptr<SortedRun<Key, Value>>;
+
+  RunPtr MakeRun(std::vector<std::pair<Key, RunEntry<Value>>> entries) {
+    typename SortedRun<Key, Value>::Options opts;
+    opts.search_mode = options_.search_mode;
+    opts.learned_epsilon = options_.learned_epsilon;
+    opts.bloom_bits_per_key = options_.bloom_bits_per_key;
+    return std::make_unique<SortedRun<Key, Value>>(std::move(entries), opts);
+  }
+
+  void MaybeFlush() {
+    if (memtable_.size() >= options_.memtable_limit) Flush();
+  }
+
+  size_t LevelCapacity(size_t level) const {
+    size_t cap = options_.memtable_limit * options_.l0_run_limit;
+    for (size_t i = 0; i <= level; ++i) cap *= options_.level_size_factor;
+    return cap;
+  }
+
+  void MaybeCompact() {
+    if (l0_.size() <= options_.l0_run_limit) return;
+    // Merge all L0 runs into level 0 of `levels_` (aka L1).
+    std::vector<std::vector<std::pair<Key, RunEntry<Value>>>> runs;
+    // Newest first so MergeStreams keeps the freshest version per key.
+    for (auto it = l0_.rbegin(); it != l0_.rend(); ++it) {
+      runs.push_back((*it)->Drain());
+    }
+    l0_.clear();
+    PushIntoLevel(0, MergeStreams(std::move(runs)));
+  }
+
+  void PushIntoLevel(size_t level,
+                     std::vector<std::pair<Key, RunEntry<Value>>> entries) {
+    while (levels_.size() <= level) levels_.push_back(nullptr);
+    if (levels_[level] != nullptr) {
+      std::vector<std::vector<std::pair<Key, RunEntry<Value>>>> runs;
+      runs.push_back(std::move(entries));        // Newer.
+      runs.push_back(levels_[level]->Drain());   // Older.
+      levels_[level] = nullptr;
+      entries = MergeStreams(std::move(runs));
+    }
+    const bool is_bottom = (level + 1 >= levels_.size()) &&
+                           entries.size() <= LevelCapacity(level);
+    if (entries.size() > LevelCapacity(level) &&
+        level + 1 < kMaxLevels) {
+      PushIntoLevel(level + 1, std::move(entries));
+      return;
+    }
+    if (is_bottom) {
+      // Tombstones can be dropped at the bottom of the tree.
+      entries.erase(
+          std::remove_if(entries.begin(), entries.end(),
+                         [](const std::pair<Key, RunEntry<Value>>& e) {
+                           return e.second.deleted;
+                         }),
+          entries.end());
+    }
+    if (!entries.empty()) {
+      levels_[level] = MakeRun(std::move(entries));
+    }
+  }
+
+  // Merges newest-first sorted streams keeping the newest entry per key.
+  static std::vector<std::pair<Key, RunEntry<Value>>> MergeStreams(
+      std::vector<std::vector<std::pair<Key, RunEntry<Value>>>> runs) {
+    std::vector<std::pair<Key, RunEntry<Value>>> merged;
+    std::vector<size_t> pos(runs.size(), 0);
+    while (true) {
+      int best = -1;
+      for (size_t r = 0; r < runs.size(); ++r) {
+        if (pos[r] >= runs[r].size()) continue;
+        if (best < 0 || runs[r][pos[r]].first < runs[best][pos[best]].first) {
+          best = static_cast<int>(r);
+        }
+      }
+      if (best < 0) break;
+      const Key k = runs[best][pos[best]].first;
+      merged.push_back(runs[best][pos[best]]);
+      for (size_t r = 0; r < runs.size(); ++r) {
+        while (pos[r] < runs[r].size() && runs[r][pos[r]].first == k) {
+          ++pos[r];
+        }
+      }
+    }
+    return merged;
+  }
+
+  static constexpr size_t kMaxLevels = 8;
+
+  Options options_;
+  SkipList<Key, RunEntry<Value>> memtable_;
+  std::vector<RunPtr> l0_;
+  std::vector<RunPtr> levels_;  // levels_[i] = L(i+1), single run each.
+  mutable LsmStats stats_;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_LSM_LSM_TREE_H_

@@ -1,0 +1,160 @@
+#ifndef LIDX_LSM_RUN_H_
+#define LIDX_LSM_RUN_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "baselines/bloom.h"
+#include "common/macros.h"
+#include "models/plr.h"
+
+namespace lidx {
+
+// Value wrapper inside LSM runs: tombstones travel with the data.
+template <typename Value>
+struct RunEntry {
+  Value value{};
+  bool deleted = false;
+};
+
+enum class RunSearchMode {
+  kBinarySearch,  // WiscKey-style baseline.
+  kLearned        // BOURBON-style per-run piecewise-linear model.
+};
+
+// Counters accumulated across run probes (per-LsmTree, reset by caller).
+struct LsmStats {
+  uint64_t run_probes = 0;       // Runs actually searched.
+  uint64_t bloom_rejects = 0;    // Probes short-circuited by the filter.
+  uint64_t search_steps = 0;     // Binary-search iterations in runs.
+};
+
+// An immutable sorted run: the LSM analogue of an SSTable kept in memory.
+// Each run owns a Bloom filter and, in learned mode, an ε-bounded PLA model
+// over its keys (BOURBON trains exactly such per-run models at compaction
+// time because runs are immutable until the next compaction).
+template <typename Key, typename Value>
+class SortedRun {
+ public:
+  struct Options {
+    RunSearchMode search_mode = RunSearchMode::kLearned;
+    size_t learned_epsilon = 16;
+    double bloom_bits_per_key = 10.0;
+  };
+
+  SortedRun(std::vector<std::pair<Key, RunEntry<Value>>> entries,
+            const Options& options)
+      : options_(options),
+        bloom_(std::max<size_t>(1, entries.size()),
+               options.bloom_bits_per_key) {
+    keys_.reserve(entries.size());
+    values_.reserve(entries.size());
+    for (auto& [key, entry] : entries) {
+      LIDX_DCHECK(keys_.empty() || keys_.back() < key);
+      keys_.push_back(key);
+      values_.push_back(entry);
+      bloom_.Add(static_cast<uint64_t>(key));
+    }
+    if (options_.search_mode == RunSearchMode::kLearned && !keys_.empty()) {
+      segments_ = BuildPla(keys_, static_cast<double>(options_.learned_epsilon));
+      segment_first_keys_.reserve(segments_.size());
+      for (const PlaSegment& s : segments_) {
+        segment_first_keys_.push_back(s.first_key);
+      }
+    }
+  }
+
+  std::optional<RunEntry<Value>> Get(const Key& key, LsmStats* stats) const {
+    if (keys_.empty()) return std::nullopt;
+    if (!bloom_.MayContain(static_cast<uint64_t>(key))) {
+      if (stats != nullptr) ++stats->bloom_rejects;
+      return std::nullopt;
+    }
+    if (stats != nullptr) ++stats->run_probes;
+    size_t lo = 0, hi = keys_.size();
+    if (options_.search_mode == RunSearchMode::kLearned) {
+      const double k = static_cast<double>(key);
+      // Locate the covering segment (few segments per run: binary search).
+      const size_t seg = SegmentFor(k);
+      const size_t pred =
+          segments_[seg].model.PredictClamped(k, keys_.size());
+      const size_t eps = options_.learned_epsilon;
+      lo = (pred > eps + 1) ? pred - eps - 1 : 0;
+      hi = std::min(keys_.size(), pred + eps + 2);
+    }
+    // Counted binary search (the metric E6 reports).
+    while (lo < hi) {
+      if (stats != nullptr) ++stats->search_steps;
+      const size_t mid = lo + (hi - lo) / 2;
+      if (keys_[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < keys_.size() && keys_[lo] == key) return values_[lo];
+    return std::nullopt;
+  }
+
+  // Sorted entries with lo <= key <= hi.
+  std::vector<std::pair<Key, RunEntry<Value>>> Scan(const Key& lo,
+                                                    const Key& hi) const {
+    std::vector<std::pair<Key, RunEntry<Value>>> out;
+    size_t i = std::lower_bound(keys_.begin(), keys_.end(), lo) -
+               keys_.begin();
+    for (; i < keys_.size() && keys_[i] <= hi; ++i) {
+      out.emplace_back(keys_[i], values_[i]);
+    }
+    return out;
+  }
+
+  // Extracts all entries (used by compaction).
+  std::vector<std::pair<Key, RunEntry<Value>>> Drain() const {
+    std::vector<std::pair<Key, RunEntry<Value>>> out;
+    out.reserve(keys_.size());
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      out.emplace_back(keys_[i], values_[i]);
+    }
+    return out;
+  }
+
+  size_t size() const { return keys_.size(); }
+
+  size_t SizeBytes() const {
+    return sizeof(*this) + keys_.capacity() * sizeof(Key) +
+           values_.capacity() * sizeof(RunEntry<Value>) + bloom_.SizeBytes() +
+           ModelSizeBytes();
+  }
+
+  size_t ModelSizeBytes() const {
+    return segments_.capacity() * sizeof(PlaSegment) +
+           segment_first_keys_.capacity() * sizeof(double);
+  }
+
+  size_t NumSegments() const { return segments_.size(); }
+
+ private:
+  // Last segment with first_key <= k.
+  size_t SegmentFor(double k) const {
+    const auto it = std::upper_bound(segment_first_keys_.begin(),
+                                     segment_first_keys_.end(), k);
+    if (it == segment_first_keys_.begin()) return 0;
+    return static_cast<size_t>(it - segment_first_keys_.begin()) - 1;
+  }
+
+  Options options_;
+  std::vector<Key> keys_;
+  std::vector<RunEntry<Value>> values_;
+  BloomFilter bloom_;
+  std::vector<PlaSegment> segments_;
+  std::vector<double> segment_first_keys_;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_LSM_RUN_H_

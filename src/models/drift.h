@@ -1,0 +1,71 @@
+#ifndef LIDX_MODELS_DRIFT_H_
+#define LIDX_MODELS_DRIFT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lidx {
+
+// Online drift detector for learned-index error streams (tutorial §6.3:
+// "changes in the underlying input data/query distribution should be
+// detected as soon as possible, and a model re-training process should be
+// triggered"). Implements the Page-Hinkley test over observed prediction
+// errors: it tracks the cumulative deviation of the error magnitude above
+// its running mean and signals when the deviation exceeds `threshold` —
+// i.e., when errors have *systematically* grown rather than merely
+// spiked.
+class ModelDriftDetector {
+ public:
+  struct Options {
+    // Tolerated slack per observation before deviation accumulates.
+    double delta = 0.5;
+    // Cumulative deviation that constitutes drift (in error units).
+    double threshold = 500.0;
+    // Observations required before drift can fire (warm-up).
+    size_t min_observations = 64;
+  };
+
+  ModelDriftDetector() : ModelDriftDetector(Options()) {}
+  explicit ModelDriftDetector(const Options& options) : options_(options) {}
+
+  // Feeds one observed |prediction - truth| error. Returns true when the
+  // cumulative evidence crosses the drift threshold (and latches until
+  // Reset()).
+  bool Observe(double error) {
+    ++count_;
+    // Running mean via Welford.
+    mean_ += (error - mean_) / static_cast<double>(count_);
+    cumulative_ += error - mean_ - options_.delta;
+    if (cumulative_ < min_cumulative_) min_cumulative_ = cumulative_;
+    if (count_ >= options_.min_observations &&
+        cumulative_ - min_cumulative_ > options_.threshold) {
+      drifted_ = true;
+    }
+    return drifted_;
+  }
+
+  bool drifted() const { return drifted_; }
+  size_t observations() const { return count_; }
+  double mean_error() const { return mean_; }
+
+  // Clears all state (call after retraining).
+  void Reset() {
+    count_ = 0;
+    mean_ = 0.0;
+    cumulative_ = 0.0;
+    min_cumulative_ = 0.0;
+    drifted_ = false;
+  }
+
+ private:
+  Options options_;
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double cumulative_ = 0.0;
+  double min_cumulative_ = 0.0;
+  bool drifted_ = false;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_MODELS_DRIFT_H_

@@ -1,0 +1,81 @@
+#ifndef LIDX_MODELS_LINEAR_MODEL_H_
+#define LIDX_MODELS_LINEAR_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lidx {
+
+// y = slope * x + intercept. The workhorse model of nearly every learned
+// index: cheap to train (closed form), two multiplies-adds to evaluate, and
+// trivially serializable.
+struct LinearModel {
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  double Predict(double x) const { return slope * x + intercept; }
+
+  // Predicts and clamps to [0, n); convenience for position prediction.
+  size_t PredictClamped(double x, size_t n) const {
+    const double p = Predict(x);
+    if (p <= 0.0) return 0;
+    if (p >= static_cast<double>(n - 1)) return n - 1;
+    return static_cast<size_t>(p);
+  }
+
+  // Least-squares fit over (keys[i] -> i) for i in [begin, end). Any
+  // random-access container of arithmetic keys works.
+  template <typename Vec>
+  static LinearModel FitToPositions(const Vec& keys, size_t begin,
+                                    size_t end) {
+    LinearModel m;
+    const size_t n = end - begin;
+    if (n == 0) return m;
+    if (n == 1) {
+      m.slope = 0.0;
+      m.intercept = static_cast<double>(begin);
+      return m;
+    }
+    // Accumulate in double; keys can be uint64 so center them first to
+    // limit catastrophic cancellation.
+    const double x0 = static_cast<double>(keys[begin]);
+    double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      const double x = static_cast<double>(keys[i]) - x0;
+      const double y = static_cast<double>(i);
+      sum_x += x;
+      sum_y += y;
+      sum_xx += x * x;
+      sum_xy += x * y;
+    }
+    const double dn = static_cast<double>(n);
+    const double denom = dn * sum_xx - sum_x * sum_x;
+    if (denom <= 0.0) {
+      // All keys equal (or numerically so): flat model at the mean position.
+      m.slope = 0.0;
+      m.intercept = sum_y / dn;
+      return m;
+    }
+    m.slope = (dn * sum_xy - sum_x * sum_y) / denom;
+    m.intercept = (sum_y - m.slope * sum_x) / dn - m.slope * x0;
+    return m;
+  }
+
+  // Exact line through two (x, y) points.
+  static LinearModel ThroughPoints(double x1, double y1, double x2,
+                                   double y2) {
+    LinearModel m;
+    if (x2 == x1) {
+      m.slope = 0.0;
+      m.intercept = y1;
+    } else {
+      m.slope = (y2 - y1) / (x2 - x1);
+      m.intercept = y1 - m.slope * x1;
+    }
+    return m;
+  }
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_MODELS_LINEAR_MODEL_H_

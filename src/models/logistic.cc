@@ -1,0 +1,99 @@
+#include "models/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace lidx {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+LogisticModel::LogisticModel(int num_harmonics)
+    : num_harmonics_(num_harmonics) {
+  LIDX_CHECK(num_harmonics >= 0);
+  weights_.assign(2 + 2 * static_cast<size_t>(num_harmonics), 0.0);
+}
+
+void LogisticModel::Featurize(uint64_t key, std::vector<double>* out) const {
+  const double x =
+      (static_cast<double>(key) - key_min_) * key_scale_;
+  out->clear();
+  out->push_back(1.0);
+  out->push_back(x);
+  for (int k = 1; k <= num_harmonics_; ++k) {
+    out->push_back(std::sin(kTwoPi * k * x));
+    out->push_back(std::cos(kTwoPi * k * x));
+  }
+}
+
+void LogisticModel::Train(const std::vector<uint64_t>& positives,
+                          const std::vector<uint64_t>& negatives, int epochs,
+                          double learning_rate, uint64_t seed) {
+  LIDX_CHECK(!positives.empty());
+  LIDX_CHECK(!negatives.empty());
+  uint64_t mn = UINT64_MAX, mx = 0;
+  for (uint64_t k : positives) {
+    mn = std::min(mn, k);
+    mx = std::max(mx, k);
+  }
+  for (uint64_t k : negatives) {
+    mn = std::min(mn, k);
+    mx = std::max(mx, k);
+  }
+  key_min_ = static_cast<double>(mn);
+  key_scale_ = (mx > mn) ? 1.0 / (static_cast<double>(mx) -
+                                  static_cast<double>(mn))
+                         : 1.0;
+
+  // Interleaved SGD over shuffled samples; labels 1 for members.
+  struct Sample {
+    uint64_t key;
+    double label;
+  };
+  std::vector<Sample> samples;
+  samples.reserve(positives.size() + negatives.size());
+  for (uint64_t k : positives) samples.push_back({k, 1.0});
+  for (uint64_t k : negatives) samples.push_back({k, 0.0});
+
+  Rng rng(seed);
+  std::vector<double> feat;
+  for (int e = 0; e < epochs; ++e) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (size_t i = samples.size(); i > 1; --i) {
+      std::swap(samples[i - 1], samples[rng.NextBounded(i)]);
+    }
+    const double lr = learning_rate / (1.0 + 0.5 * e);
+    for (const Sample& s : samples) {
+      Featurize(s.key, &feat);
+      double z = 0.0;
+      for (size_t j = 0; j < weights_.size(); ++j) z += weights_[j] * feat[j];
+      const double err = Sigmoid(z) - s.label;
+      for (size_t j = 0; j < weights_.size(); ++j) {
+        weights_[j] -= lr * err * feat[j];
+      }
+    }
+  }
+}
+
+double LogisticModel::Predict(uint64_t key) const {
+  std::vector<double> feat;
+  Featurize(key, &feat);
+  double z = 0.0;
+  for (size_t j = 0; j < weights_.size(); ++j) z += weights_[j] * feat[j];
+  return Sigmoid(z);
+}
+
+}  // namespace lidx

@@ -1,0 +1,47 @@
+#ifndef LIDX_MODELS_LOGISTIC_H_
+#define LIDX_MODELS_LOGISTIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lidx {
+
+// Small logistic-regression classifier over scalar keys. The learned Bloom
+// filter and the AI+R-tree router both need a cheap membership/selectivity
+// oracle; this model maps a key to Fourier features of its normalized value
+// so it can learn "the key space is occupied in these intervals" structure
+// without a neural network (the tutorial's guidance in §6.2: prefer simple
+// models so training and inference never dominate).
+class LogisticModel {
+ public:
+  // num_harmonics controls capacity: features are
+  // [1, x, sin(2*pi*k*x), cos(2*pi*k*x)] for k = 1..num_harmonics.
+  explicit LogisticModel(int num_harmonics = 8);
+
+  // Trains on positive (member) and negative (non-member) keys with mini
+  // batch SGD. Keys are normalized internally to [0,1] using the observed
+  // min/max over both sets.
+  void Train(const std::vector<uint64_t>& positives,
+             const std::vector<uint64_t>& negatives, int epochs = 20,
+             double learning_rate = 0.5, uint64_t seed = 13);
+
+  // Probability that `key` is a member, in [0,1].
+  double Predict(uint64_t key) const;
+
+  // Number of parameters (for size accounting).
+  size_t NumParameters() const { return weights_.size(); }
+  size_t SizeBytes() const { return weights_.size() * sizeof(double) + 16; }
+
+ private:
+  void Featurize(uint64_t key, std::vector<double>* out) const;
+
+  int num_harmonics_;
+  std::vector<double> weights_;
+  double key_min_ = 0.0;
+  double key_scale_ = 1.0;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_MODELS_LOGISTIC_H_

@@ -1,0 +1,207 @@
+#ifndef LIDX_MODELS_PLR_H_
+#define LIDX_MODELS_PLR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/macros.h"
+#include "models/linear_model.h"
+
+namespace lidx {
+
+// Piecewise-linear approximation (PLA) of a CDF with a hard error bound:
+// for every input key, |segment.Predict(key) - true_position| <= epsilon.
+// This is the core primitive behind the PGM-index family and
+// FITing-tree-style delta indexes.
+
+// One ε-bounded segment covering keys in [first_key, last_key].
+struct PlaSegment {
+  double first_key = 0.0;
+  double last_key = 0.0;
+  size_t first_pos = 0;   // Position of first covered key.
+  LinearModel model;
+
+  size_t PredictClamped(double key, size_t n) const {
+    return model.PredictClamped(key, n);
+  }
+};
+
+// Streaming "swing filter" segmentation. Maintains the interval of slopes
+// [slope_lo, slope_hi] through the segment's origin that keep every covered
+// point within ±epsilon; when the interval empties, the segment is emitted
+// and a new one starts at the current point.
+//
+// The swing filter is not the minimum-segment-count optimal PLA (that is the
+// O'Rourke/convex-hull construction used by the original PGM paper), but it
+// is O(n), single-pass, and carries the identical ε-guarantee; it produces
+// at most ~2x the optimal number of segments in practice, which only affects
+// constant factors, not the invariants any caller relies on.
+class SwingFilterBuilder {
+ public:
+  explicit SwingFilterBuilder(double epsilon) : epsilon_(epsilon) {
+    LIDX_CHECK(epsilon >= 0.0);
+  }
+
+  // Keys must be fed in strictly increasing order; pos is the key's rank.
+  void Add(double key, size_t pos) {
+    LIDX_DCHECK(!active_ || key > last_key_);
+    if (!active_) {
+      StartSegment(key, pos);
+      return;
+    }
+    const double dx = key - origin_key_;
+    const double dy = static_cast<double>(pos) -
+                      static_cast<double>(origin_pos_);
+    // Slope interval admissible for this point alone.
+    const double hi = (dy + epsilon_) / dx;
+    const double lo = (dy - epsilon_) / dx;
+    if (lo > slope_hi_ || hi < slope_lo_) {
+      // No single slope covers all points: close out and restart here.
+      EmitSegment();
+      StartSegment(key, pos);
+      return;
+    }
+    if (hi < slope_hi_) slope_hi_ = hi;
+    if (lo > slope_lo_) slope_lo_ = lo;
+    last_key_ = key;
+    last_pos_ = pos;
+  }
+
+  // Closes the final segment and returns all segments.
+  std::vector<PlaSegment> Finish() {
+    if (active_) EmitSegment();
+    active_ = false;
+    return std::move(segments_);
+  }
+
+ private:
+  void StartSegment(double key, size_t pos) {
+    origin_key_ = key;
+    origin_pos_ = pos;
+    last_key_ = key;
+    last_pos_ = pos;
+    slope_lo_ = -std::numeric_limits<double>::infinity();
+    slope_hi_ = std::numeric_limits<double>::infinity();
+    active_ = true;
+  }
+
+  void EmitSegment() {
+    PlaSegment seg;
+    seg.first_key = origin_key_;
+    seg.last_key = last_key_;
+    seg.first_pos = origin_pos_;
+    double slope;
+    if (slope_lo_ == -std::numeric_limits<double>::infinity()) {
+      slope = 0.0;  // Single-point segment.
+    } else {
+      slope = (slope_lo_ + slope_hi_) / 2.0;
+    }
+    seg.model.slope = slope;
+    seg.model.intercept =
+        static_cast<double>(origin_pos_) - slope * origin_key_;
+    segments_.push_back(seg);
+  }
+
+  double epsilon_;
+  bool active_ = false;
+  double origin_key_ = 0.0;
+  size_t origin_pos_ = 0;
+  double last_key_ = 0.0;
+  size_t last_pos_ = 0;
+  double slope_lo_ = 0.0;
+  double slope_hi_ = 0.0;
+  std::vector<PlaSegment> segments_;
+};
+
+// Convenience: segment an entire sorted key array.
+template <typename Vec>
+std::vector<PlaSegment> BuildPla(const Vec& keys, double epsilon) {
+  SwingFilterBuilder builder(epsilon);
+  double prev = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const double k = static_cast<double>(keys[i]);
+    LIDX_CHECK(k > prev);  // Keys must be strictly increasing.
+    builder.Add(k, i);
+    prev = k;
+  }
+  return builder.Finish();
+}
+
+// ----- Greedy spline corridor (RadixSpline's CDF model) -----
+
+// A spline knot: (key, position). Between consecutive knots, positions are
+// linearly interpolated; the greedy corridor construction guarantees the
+// interpolation error is <= epsilon at every input key.
+struct SplineKnot {
+  double key = 0.0;
+  double pos = 0.0;
+};
+
+class GreedySplineBuilder {
+ public:
+  explicit GreedySplineBuilder(double epsilon) : epsilon_(epsilon) {
+    LIDX_CHECK(epsilon >= 0.0);
+  }
+
+  void Add(double key, size_t pos) {
+    const double y = static_cast<double>(pos);
+    if (knots_.empty()) {
+      knots_.push_back({key, y});
+      have_prev_ = false;
+      return;
+    }
+    if (!have_prev_) {
+      // Second point of the current spline segment: initialize the corridor.
+      prev_key_ = key;
+      prev_pos_ = y;
+      const double dx = key - knots_.back().key;
+      upper_ = (y + epsilon_ - knots_.back().pos) / dx;
+      lower_ = (y - epsilon_ - knots_.back().pos) / dx;
+      have_prev_ = true;
+      return;
+    }
+    const double base_key = knots_.back().key;
+    const double base_pos = knots_.back().pos;
+    const double dx = key - base_key;
+    const double slope = (y - base_pos) / dx;
+    if (slope > upper_ || slope < lower_) {
+      // The line to this point leaves the corridor: the previous point
+      // becomes a knot, and the corridor restarts from it through this point.
+      knots_.push_back({prev_key_, prev_pos_});
+      const double ndx = key - prev_key_;
+      upper_ = (y + epsilon_ - prev_pos_) / ndx;
+      lower_ = (y - epsilon_ - prev_pos_) / ndx;
+      prev_key_ = key;
+      prev_pos_ = y;
+      return;
+    }
+    // Narrow the corridor with this point's admissible slopes.
+    const double hi = (y + epsilon_ - base_pos) / dx;
+    const double lo = (y - epsilon_ - base_pos) / dx;
+    if (hi < upper_) upper_ = hi;
+    if (lo > lower_) lower_ = lo;
+    prev_key_ = key;
+    prev_pos_ = y;
+  }
+
+  std::vector<SplineKnot> Finish() {
+    if (have_prev_) knots_.push_back({prev_key_, prev_pos_});
+    have_prev_ = false;
+    return std::move(knots_);
+  }
+
+ private:
+  double epsilon_;
+  std::vector<SplineKnot> knots_;
+  bool have_prev_ = false;
+  double prev_key_ = 0.0;
+  double prev_pos_ = 0.0;
+  double upper_ = 0.0;
+  double lower_ = 0.0;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_MODELS_PLR_H_

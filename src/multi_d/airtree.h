@@ -1,0 +1,165 @@
+#ifndef LIDX_MULTI_D_AIRTREE_H_
+#define LIDX_MULTI_D_AIRTREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "spatial/geometry.h"
+#include "spatial/rtree.h"
+
+namespace lidx {
+
+// "AI+R"-tree-style hybrid (Al-Mamun et al., MDM 2022; tutorial §5.4):
+// a classic R-tree remains the source of truth, but point queries are
+// routed by a learned component that predicts the candidate leaves
+// directly, skipping the internal-node descent. Following the paper's
+// instance-optimization recipe, the router is trained *from the tree
+// itself* after bulk loading: a grid over the space memorizes, per cell,
+// which leaves' MBRs intersect it (a piecewise-constant learned function
+// from query point to leaf set — the same role the paper's classifier
+// plays). Queries the router cannot certify fall back to the traditional
+// R-tree path, so answers are always exact.
+//
+// Taxonomy position: multi-dimensional / mutable / fixed layout /
+// hybrid (R-tree).
+class AiRTree {
+ public:
+  struct Options {
+    uint32_t router_cells_per_dim = 128;
+  };
+
+  AiRTree() = default;
+
+  void BulkLoad(const std::vector<Point2D>& points) {
+    BulkLoad(points, Options());
+  }
+
+  void BulkLoad(const std::vector<Point2D>& points, const Options& options) {
+    options_ = options;
+    rtree_.BulkLoad(points);
+    TrainRouter();
+  }
+
+  // Inserts go to the R-tree; the router is retrained lazily once enough
+  // inserts accumulate (the learned component ages, as in the paper).
+  void Insert(const Point2D& p, uint32_t id) {
+    rtree_.Insert(p, id);
+    ++inserts_since_train_;
+    if (inserts_since_train_ * 10 > rtree_.size()) {
+      TrainRouter();
+    }
+  }
+
+  // Point query through the learned router. The router is only consulted
+  // while it is *current* (no inserts since training); otherwise the
+  // traditional path answers, preserving exactness unconditionally.
+  std::vector<uint32_t> FindExact(const Point2D& p) {
+    ++queries_;
+    if (!router_ready_ || inserts_since_train_ > 0) {
+      ++fallbacks_;
+      return rtree_.FindExact(p);
+    }
+    const size_t cell = CellOf(p);
+    std::vector<uint32_t> out;
+    for (const uint32_t leaf : router_[cell]) {
+      if (!leaf_mbrs_[leaf].ContainsPoint(p)) continue;
+      leaves_probed_ += 1;
+      for (const RTree::LeafPayload& e : leaf_contents_[leaf]) {
+        if (e.point == p) out.push_back(e.id);
+      }
+    }
+    return out;
+  }
+
+  // Rebuilds the router immediately (e.g., after a batch of inserts and
+  // before a read-heavy phase).
+  void RetrainRouter() { TrainRouter(); }
+
+  // Range and kNN use the traditional component (the paper's hybrid scheme
+  // routes only high-selectivity queries through the model).
+  std::vector<uint32_t> RangeQuery(const RangeQuery2D& q,
+                                   RTreeQueryStats* stats = nullptr) const {
+    return rtree_.RangeQuery(q, stats);
+  }
+
+  std::vector<uint32_t> Knn(const Point2D& q, size_t k) const {
+    return rtree_.Knn(q, k);
+  }
+
+  size_t size() const { return rtree_.size(); }
+  const RTree& rtree() const { return rtree_; }
+
+  // Router effectiveness counters (E7 reporting).
+  uint64_t queries() const { return queries_; }
+  uint64_t fallbacks() const { return fallbacks_; }
+  uint64_t leaves_probed() const { return leaves_probed_; }
+  void ResetCounters() {
+    queries_ = 0;
+    fallbacks_ = 0;
+    leaves_probed_ = 0;
+  }
+
+  size_t SizeBytes() const {
+    size_t total = sizeof(*this) + rtree_.SizeBytes() +
+                   leaf_mbrs_.capacity() * sizeof(Rect);
+    for (const auto& cell : router_) {
+      total += cell.capacity() * sizeof(uint32_t);
+    }
+    for (const auto& leaf : leaf_contents_) {
+      total += leaf.capacity() * sizeof(RTree::LeafPayload);
+    }
+    return total;
+  }
+
+ private:
+  void TrainRouter() {
+    rtree_.CollectLeaves(&leaf_mbrs_, &leaf_contents_);
+    const uint32_t g = options_.router_cells_per_dim;
+    router_.assign(static_cast<size_t>(g) * g, {});
+    for (uint32_t leaf = 0; leaf < leaf_mbrs_.size(); ++leaf) {
+      const Rect& mbr = leaf_mbrs_[leaf];
+      const uint32_t x0 = ClampCell(mbr.min_x);
+      const uint32_t x1 = ClampCell(mbr.max_x);
+      const uint32_t y0 = ClampCell(mbr.min_y);
+      const uint32_t y1 = ClampCell(mbr.max_y);
+      for (uint32_t y = y0; y <= y1; ++y) {
+        for (uint32_t x = x0; x <= x1; ++x) {
+          router_[static_cast<size_t>(y) * g + x].push_back(leaf);
+        }
+      }
+    }
+    inserts_since_train_ = 0;
+    router_ready_ = !leaf_mbrs_.empty();
+  }
+
+  uint32_t ClampCell(double v) const {
+    const uint32_t g = options_.router_cells_per_dim;
+    if (v <= 0.0) return 0;
+    const auto c = static_cast<uint32_t>(v * g);
+    return c >= g ? g - 1 : c;
+  }
+
+  size_t CellOf(const Point2D& p) const {
+    return static_cast<size_t>(ClampCell(p.y)) * options_.router_cells_per_dim +
+           ClampCell(p.x);
+  }
+
+  Options options_;
+  RTree rtree_;
+  std::vector<Rect> leaf_mbrs_;
+  std::vector<std::vector<RTree::LeafPayload>> leaf_contents_;
+  std::vector<std::vector<uint32_t>> router_;
+  bool router_ready_ = false;
+  size_t inserts_since_train_ = 0;
+  uint64_t queries_ = 0;
+  uint64_t fallbacks_ = 0;
+  uint64_t leaves_probed_ = 0;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_MULTI_D_AIRTREE_H_

@@ -1,0 +1,248 @@
+#ifndef LIDX_MULTI_D_LEARNED_PACKING_H_
+#define LIDX_MULTI_D_LEARNED_PACKING_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "spatial/geometry.h"
+#include "spatial/rtree.h"
+
+namespace lidx {
+
+// Workload-aware R-tree packing (PLATON / RLR-tree lineage, tutorial
+// §5.5): instead of the workload-oblivious Sort-Tile-Recursive order, the
+// leaf layout is *learned* from a sample query workload. A top-down binary
+// partitioner recursively chooses, per node, the cut (x-median or
+// y-median) that minimizes the expected number of leaf pages the workload
+// must touch — the same objective PLATON's learned partition policy
+// optimizes, solved here greedily instead of with a learned policy
+// network (the policy class is identical; only the search is simpler).
+// The resulting groups feed RTree::BulkLoadWithLeaves, so query
+// processing, invariants, and the dynamic-update path are the standard
+// R-tree's.
+class LearnedRTreePacker {
+ public:
+  struct Options {
+    size_t leaf_capacity = RTree::kMaxEntries;
+  };
+
+  LearnedRTreePacker() : LearnedRTreePacker(Options()) {}
+  explicit LearnedRTreePacker(const Options& options) : options_(options) {
+    LIDX_CHECK(options_.leaf_capacity >= 1 &&
+               options_.leaf_capacity <= RTree::kMaxEntries);
+  }
+
+  // Computes the leaf grouping for `points` under `workload`.
+  std::vector<std::vector<RTree::LeafPayload>> Pack(
+      const std::vector<Point2D>& points,
+      const std::vector<RangeQuery2D>& workload) const {
+    std::vector<RTree::LeafPayload> entries;
+    entries.reserve(points.size());
+    for (uint32_t i = 0; i < points.size(); ++i) {
+      entries.push_back({points[i], i});
+    }
+    // Learned page shape: the workload's mean query aspect ratio. The
+    // expected pages touched by a w x h query over pages of dims
+    // (tx, ty) is (w/tx + 1)(h/ty + 1); at fixed page area it is
+    // minimized when tx/ty = w/h, i.e. pages shaped like the queries.
+    double aspect = 1.0;
+    if (!workload.empty()) {
+      double w_sum = 0.0, h_sum = 0.0;
+      for (const RangeQuery2D& q : workload) {
+        w_sum += q.max_x - q.min_x;
+        h_sum += q.max_y - q.min_y;
+      }
+      if (h_sum > 0.0) aspect = w_sum / h_sum;
+    }
+    std::vector<std::vector<RTree::LeafPayload>> groups;
+    if (!entries.empty()) {
+      PackRecursive(&entries, 0, entries.size(), workload, aspect, &groups);
+    }
+    return groups;
+  }
+
+  // Convenience: packs and bulk-loads in one call.
+  void BuildInto(RTree* tree, const std::vector<Point2D>& points,
+                 const std::vector<RangeQuery2D>& workload) const {
+    tree->BulkLoadWithLeaves(Pack(points, workload));
+  }
+
+ private:
+  static Rect BoundsOf(const std::vector<RTree::LeafPayload>& entries,
+                       size_t begin, size_t end) {
+    Rect r;
+    for (size_t i = begin; i < end; ++i) r.Expand(entries[i].point);
+    return r;
+  }
+
+  // Expected page touches if [begin, end) became ceil(n/capacity) pages
+  // inside `bounds`: every intersecting query pays the node's page count.
+  double Cost(const Rect& bounds, size_t count,
+              const std::vector<RangeQuery2D>& workload) const {
+    const double pages = static_cast<double>(
+        (count + options_.leaf_capacity - 1) / options_.leaf_capacity);
+    double cost = 0.0;
+    for (const RangeQuery2D& q : workload) {
+      if (bounds.Intersects(Rect::FromQuery(q))) cost += pages;
+    }
+    return cost;
+  }
+
+  struct Candidate {
+    int axis;      // 0 = x, 1 = y.
+    double value;  // Cut: left gets coord < value.
+  };
+
+  static double CoordOf(const RTree::LeafPayload& e, int axis) {
+    return axis == 0 ? e.point.x : e.point.y;
+  }
+
+  // Aspect-matched terminal tiling: slice [begin, end) into a c x r grid
+  // of full pages whose dims approximate the learned aspect ratio.
+  void MicroPack(std::vector<RTree::LeafPayload>* entries, size_t begin,
+                 size_t end, double aspect,
+                 std::vector<std::vector<RTree::LeafPayload>>* groups) const {
+    const size_t n = end - begin;
+    const size_t num_pages =
+        (n + options_.leaf_capacity - 1) / options_.leaf_capacity;
+    const Rect b = BoundsOf(*entries, begin, end);
+    const double node_w = std::max(1e-12, b.max_x - b.min_x);
+    const double node_h = std::max(1e-12, b.max_y - b.min_y);
+    // Choose columns c (pages side by side in x) so page aspect
+    // (node_w/c) / (node_h/r) ~ aspect, with c*r ~ num_pages.
+    size_t best_cols = 1;
+    double best_gap = -1.0;
+    for (size_t cols = 1; cols <= num_pages; ++cols) {
+      const size_t rows = (num_pages + cols - 1) / cols;
+      const double page_aspect =
+          (node_w / static_cast<double>(cols)) /
+          (node_h / static_cast<double>(rows));
+      const double gap = std::abs(std::log(page_aspect / aspect));
+      if (best_gap < 0.0 || gap < best_gap) {
+        best_gap = gap;
+        best_cols = cols;
+      }
+    }
+    // STR-style: sort by x, slice into columns, sort each column by y,
+    // chunk into pages.
+    std::sort(entries->begin() + begin, entries->begin() + end,
+              [](const RTree::LeafPayload& a, const RTree::LeafPayload& c) {
+                return a.point.x < c.point.x;
+              });
+    const size_t per_col = (n + best_cols - 1) / best_cols;
+    for (size_t cs = begin; cs < end; cs += per_col) {
+      const size_t ce = std::min(end, cs + per_col);
+      std::sort(entries->begin() + cs, entries->begin() + ce,
+                [](const RTree::LeafPayload& a,
+                   const RTree::LeafPayload& c) {
+                  return a.point.y < c.point.y;
+                });
+      for (size_t i = cs; i < ce; i += options_.leaf_capacity) {
+        const size_t stop = std::min(ce, i + options_.leaf_capacity);
+        groups->emplace_back(entries->begin() + i, entries->begin() + stop);
+      }
+    }
+  }
+
+  void PackRecursive(std::vector<RTree::LeafPayload>* entries, size_t begin,
+                     size_t end, const std::vector<RangeQuery2D>& workload,
+                     double aspect,
+                     std::vector<std::vector<RTree::LeafPayload>>* groups)
+      const {
+    const size_t n = end - begin;
+    if (n <= kMicroPackEntries * options_.leaf_capacity) {
+      MicroPack(entries, begin, end, aspect, groups);
+      return;
+    }
+    const Rect bounds = BoundsOf(*entries, begin, end);
+
+    // Candidate cuts: the medians plus the workload's own query
+    // boundaries inside this node (PLATON's partition policy searches
+    // exactly these cuts — they are the ones that let a child dodge a hot
+    // rectangle entirely).
+    std::vector<Candidate> candidates;
+    for (int axis = 0; axis < 2; ++axis) {
+      std::nth_element(entries->begin() + begin,
+                       entries->begin() + begin + n / 2,
+                       entries->begin() + end,
+                       [axis](const RTree::LeafPayload& a,
+                              const RTree::LeafPayload& b) {
+                         return CoordOf(a, axis) < CoordOf(b, axis);
+                       });
+      candidates.push_back(
+          {axis, CoordOf((*entries)[begin + n / 2], axis)});
+    }
+    for (const RangeQuery2D& q : workload) {
+      for (const double v : {q.min_x, q.max_x}) {
+        if (v > bounds.min_x && v < bounds.max_x) candidates.push_back({0, v});
+      }
+      for (const double v : {q.min_y, q.max_y}) {
+        if (v > bounds.min_y && v < bounds.max_y) candidates.push_back({1, v});
+      }
+      if (candidates.size() >= 2 + kMaxWorkloadCandidates) break;
+    }
+
+    int best_axis = 0;
+    double best_value = 0.0;
+    double best_cost = -1.0;
+    const size_t min_side = 2 * options_.leaf_capacity;
+    for (const Candidate& c : candidates) {
+      Rect left_bounds, right_bounds;
+      size_t left_count = 0;
+      for (size_t i = begin; i < end; ++i) {
+        if (CoordOf((*entries)[i], c.axis) < c.value) {
+          left_bounds.Expand((*entries)[i].point);
+          ++left_count;
+        } else {
+          right_bounds.Expand((*entries)[i].point);
+        }
+      }
+      const size_t right_count = n - left_count;
+      if (left_count < min_side || right_count < min_side) continue;
+      const double cost = Cost(left_bounds, left_count, workload) +
+                          Cost(right_bounds, right_count, workload);
+      if (best_cost < 0.0 || cost < best_cost) {
+        best_cost = cost;
+        best_axis = c.axis;
+        best_value = c.value;
+      }
+    }
+    size_t mid;
+    if (best_cost < 0.0) {
+      // No admissible cut (degenerate coordinates): fall back to an x
+      // median split by rank.
+      mid = begin + n / 2;
+      std::nth_element(entries->begin() + begin, entries->begin() + mid,
+                       entries->begin() + end,
+                       [](const RTree::LeafPayload& a,
+                          const RTree::LeafPayload& b) {
+                         return a.point.x < b.point.x;
+                       });
+    } else {
+      const auto it = std::partition(
+          entries->begin() + begin, entries->begin() + end,
+          [best_axis, best_value](const RTree::LeafPayload& e) {
+            return CoordOf(e, best_axis) < best_value;
+          });
+      mid = static_cast<size_t>(it - entries->begin());
+    }
+    PackRecursive(entries, begin, mid, workload, aspect, groups);
+    PackRecursive(entries, mid, end, workload, aspect, groups);
+  }
+
+  static constexpr size_t kMaxWorkloadCandidates = 24;
+  // Terminal tiling granularity (in pages): large enough that the c x r
+  // grid can realize the learned aspect, small enough that the upper
+  // cost-greedy cuts still shape the global layout.
+  static constexpr size_t kMicroPackEntries = 64;
+
+  Options options_;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_MULTI_D_LEARNED_PACKING_H_

@@ -1,0 +1,337 @@
+#ifndef LIDX_MULTI_D_LISA_H_
+#define LIDX_MULTI_D_LISA_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/search.h"
+#include "spatial/geometry.h"
+
+namespace lidx {
+
+// LISA-style learned spatial index (Li et al., SIGMOD 2020): the tutorial's
+// representative *mutable* pure learned multi-dimensional index with
+// in-place inserts (§5.5). The construction:
+//
+//  1. A *mapping function* M(p) projects points to scalars: a grid whose
+//     cell boundaries are learned from the per-dimension CDFs (equi-depth),
+//     cells numbered row-major, plus the point's x-fraction within its
+//     cell, making M injective-enough and monotone within a cell row.
+//  2. The mapped values are partitioned into equal-count *shards* (LISA's
+//     learned shard-prediction function, realized here as the equi-depth
+//     quantiles of M over the build data).
+//  3. Each shard stores its points sorted by mapped value; inserts place
+//     new points in-place into the owning shard, splitting oversized
+//     shards locally (the shard boundary list absorbs the new boundary).
+//
+// Taxonomy position: multi-dimensional / mutable / dynamic layout / pure /
+// in-place.
+class LisaIndex {
+ public:
+  struct Options {
+    size_t grid_cells_per_dim = 32;  // Learned (equi-depth) grid resolution.
+    size_t target_shard_size = 256;
+    size_t max_shard_size = 1024;    // Split threshold.
+  };
+
+  LisaIndex() = default;
+
+  void Build(const std::vector<Point2D>& points) {
+    Build(points, Options());
+  }
+
+  void Build(const std::vector<Point2D>& points, const Options& options) {
+    options_ = options;
+    shards_.clear();
+    shard_lower_bounds_.clear();
+    size_ = 0;
+    BuildGrid(points);
+    if (points.empty()) {
+      // Single catch-all shard.
+      shard_lower_bounds_.push_back(0.0);
+      shards_.emplace_back();
+      return;
+    }
+
+    std::vector<Entry> entries;
+    entries.reserve(points.size());
+    for (uint32_t i = 0; i < points.size(); ++i) {
+      entries.push_back({MapValue(points[i]), points[i], i});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.mapped != b.mapped) return a.mapped < b.mapped;
+                return a.id < b.id;
+              });
+
+    // Equal-count sharding of the mapped axis. Boundaries are nudged
+    // forward so entries with equal mapped values never straddle a shard
+    // (ShardOf must be able to locate every duplicate).
+    const size_t num_shards = std::max<size_t>(
+        1, entries.size() / options_.target_shard_size);
+    const size_t per_shard = (entries.size() + num_shards - 1) / num_shards;
+    size_t begin = 0;
+    while (begin < entries.size()) {
+      size_t end = std::min(entries.size(), begin + per_shard);
+      while (end < entries.size() &&
+             entries[end].mapped == entries[end - 1].mapped) {
+        ++end;
+      }
+      shard_lower_bounds_.push_back(begin == 0 ? 0.0 : entries[begin].mapped);
+      Shard shard;
+      shard.entries.assign(entries.begin() + begin, entries.begin() + end);
+      shards_.push_back(std::move(shard));
+      begin = end;
+    }
+    size_ = entries.size();
+  }
+
+  void Insert(const Point2D& p, uint32_t id) {
+    LIDX_CHECK(!shards_.empty());  // Build() must run first (can be empty).
+    const double m = MapValue(p);
+    const size_t s = ShardOf(m);
+    Shard& shard = shards_[s];
+    const Entry e{m, p, id};
+    const auto it = std::lower_bound(
+        shard.entries.begin(), shard.entries.end(), e,
+        [](const Entry& a, const Entry& b) {
+          if (a.mapped != b.mapped) return a.mapped < b.mapped;
+          return a.id < b.id;
+        });
+    shard.entries.insert(it, e);
+    ++size_;
+    if (shard.entries.size() > options_.max_shard_size) SplitShard(s);
+  }
+
+  bool Erase(const Point2D& p, uint32_t id) {
+    if (shards_.empty()) return false;
+    const double m = MapValue(p);
+    Shard& shard = shards_[ShardOf(m)];
+    for (size_t i = 0; i < shard.entries.size(); ++i) {
+      if (shard.entries[i].mapped == m && shard.entries[i].id == id &&
+          shard.entries[i].point == p) {
+        shard.entries.erase(shard.entries.begin() + i);
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<uint32_t> FindExact(const Point2D& p) const {
+    std::vector<uint32_t> out;
+    if (shards_.empty()) return out;
+    const double m = MapValue(p);
+    const Shard& shard = shards_[ShardOf(m)];
+    auto it = std::lower_bound(
+        shard.entries.begin(), shard.entries.end(), m,
+        [](const Entry& e, double v) { return e.mapped < v; });
+    for (; it != shard.entries.end() && it->mapped == m; ++it) {
+      if (it->point == p) out.push_back(it->id);
+    }
+    return out;
+  }
+
+  std::vector<uint32_t> RangeQuery(const RangeQuery2D& q) const {
+    std::vector<uint32_t> out;
+    CollectRange(q, [&](const Entry& e) { out.push_back(e.id); });
+    return out;
+  }
+
+  // kNN via expanding square range queries (LISA's augmentation strategy).
+  std::vector<uint32_t> Knn(const Point2D& q, size_t k) const {
+    std::vector<uint32_t> out;
+    if (size_ == 0 || k == 0) return out;
+    double r = 0.02;
+    while (true) {
+      RangeQuery2D box{std::max(0.0, q.x - r), std::max(0.0, q.y - r),
+                       std::min(1.0, q.x + r), std::min(1.0, q.y + r)};
+      std::vector<std::pair<double, uint32_t>> scored;
+      CollectRange(box, [&](const Entry& e) {
+        scored.emplace_back(Dist2(e.point, q), e.id);
+      });
+      const bool whole_space = r > 2.0;
+      if (scored.size() >= k) {
+        // Only certified if the kth distance fits inside the square.
+        std::nth_element(scored.begin(), scored.begin() + (k - 1),
+                         scored.end());
+        if (whole_space || std::sqrt(scored[k - 1].first) <= r) {
+          std::partial_sort(scored.begin(), scored.begin() + k, scored.end());
+          out.reserve(k);
+          for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+          return out;
+        }
+      } else if (whole_space) {
+        std::sort(scored.begin(), scored.end());
+        for (const auto& [d2, id] : scored) out.push_back(id);
+        return out;
+      }
+      r *= 2.0;
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t NumShards() const { return shards_.size(); }
+
+  size_t SizeBytes() const {
+    size_t total = sizeof(*this) +
+                   shard_lower_bounds_.capacity() * sizeof(double) +
+                   x_bounds_.capacity() * sizeof(double) +
+                   y_bounds_.capacity() * sizeof(double);
+    for (const Shard& s : shards_) {
+      total += sizeof(Shard) + s.entries.capacity() * sizeof(Entry);
+    }
+    return total;
+  }
+
+  // Test hook: every entry's mapped value must fall inside its shard's
+  // bounds and shards must be internally sorted.
+  void CheckInvariants() const {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const Shard& shard = shards_[s];
+      for (size_t i = 0; i < shard.entries.size(); ++i) {
+        if (i > 0) {
+          LIDX_CHECK(shard.entries[i - 1].mapped <= shard.entries[i].mapped);
+        }
+        LIDX_CHECK(ShardOf(shard.entries[i].mapped) == s);
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    double mapped;
+    Point2D point;
+    uint32_t id;
+  };
+
+  struct Shard {
+    std::vector<Entry> entries;  // Sorted by (mapped, id).
+  };
+
+  // Core range machinery: invokes `emit` for every entry inside `q`. Each
+  // grid row intersecting the query contributes one contiguous mapped
+  // interval [cell_id(row, c_lo), cell_id(row, c_hi) + 1).
+  template <typename Emit>
+  void CollectRange(const RangeQuery2D& q, Emit emit) const {
+    if (shards_.empty() || size_ == 0) return;
+    const size_t cx_lo = CellCoord(x_bounds_, q.min_x);
+    const size_t cx_hi = CellCoord(x_bounds_, q.max_x);
+    const size_t cy_lo = CellCoord(y_bounds_, q.min_y);
+    const size_t cy_hi = CellCoord(y_bounds_, q.max_y);
+    const size_t g = options_.grid_cells_per_dim;
+    for (size_t cy = cy_lo; cy <= cy_hi; ++cy) {
+      const double m_lo = static_cast<double>(cy * g + cx_lo);
+      const double m_hi = static_cast<double>(cy * g + cx_hi) + 1.0;
+      const size_t first_shard = ShardOf(m_lo);
+      for (size_t s = first_shard; s < shards_.size(); ++s) {
+        if (s > first_shard && shard_lower_bounds_[s] >= m_hi) break;
+        const Shard& shard = shards_[s];
+        auto it = std::lower_bound(
+            shard.entries.begin(), shard.entries.end(), m_lo,
+            [](const Entry& e, double v) { return e.mapped < v; });
+        for (; it != shard.entries.end() && it->mapped < m_hi; ++it) {
+          if (q.Contains(it->point)) emit(*it);
+        }
+      }
+    }
+  }
+
+  void BuildGrid(const std::vector<Point2D>& points) {
+    const size_t g = options_.grid_cells_per_dim;
+    x_bounds_.assign(g, 0.0);
+    y_bounds_.assign(g, 0.0);
+    if (points.empty()) {
+      for (size_t i = 0; i < g; ++i) {
+        x_bounds_[i] = static_cast<double>(i) / static_cast<double>(g);
+        y_bounds_[i] = static_cast<double>(i) / static_cast<double>(g);
+      }
+      return;
+    }
+    std::vector<double> xs, ys;
+    xs.reserve(points.size());
+    ys.reserve(points.size());
+    for (const Point2D& p : points) {
+      xs.push_back(p.x);
+      ys.push_back(p.y);
+    }
+    std::sort(xs.begin(), xs.end());
+    std::sort(ys.begin(), ys.end());
+    for (size_t c = 0; c < g; ++c) {
+      const size_t rank = c * xs.size() / g;
+      x_bounds_[c] = xs[rank];
+      y_bounds_[c] = ys[rank];
+    }
+    x_bounds_[0] = 0.0;
+    y_bounds_[0] = 0.0;
+  }
+
+  static size_t CellCoord(const std::vector<double>& bounds, double v) {
+    const size_t lb = BinarySearchLowerBound(bounds, v, 0, bounds.size());
+    if (lb < bounds.size() && bounds[lb] == v) return lb;
+    return lb == 0 ? 0 : lb - 1;
+  }
+
+  // Mapped value: row-major cell id + x-fraction within the cell.
+  double MapValue(const Point2D& p) const {
+    const size_t g = options_.grid_cells_per_dim;
+    const size_t cx = CellCoord(x_bounds_, p.x);
+    const size_t cy = CellCoord(y_bounds_, p.y);
+    const double cell_lo = x_bounds_[cx];
+    const double cell_hi = (cx + 1 < g) ? x_bounds_[cx + 1] : 1.0;
+    const double width = std::max(1e-12, cell_hi - cell_lo);
+    const double frac = std::clamp((p.x - cell_lo) / width, 0.0, 1.0);
+    const double cell = static_cast<double>(cy * g + cx);
+    double mapped = cell + frac;
+    // Clamp AFTER the addition: cell + frac can round up to the next cell
+    // when frac is within one ulp(cell) of 1.
+    if (mapped >= cell + 1.0) mapped = std::nextafter(cell + 1.0, cell);
+    return mapped;
+  }
+
+  // Shard of a mapped value: last lower bound <= m.
+  size_t ShardOf(double m) const {
+    const size_t lb = BinarySearchLowerBound(shard_lower_bounds_, m, 0,
+                                             shard_lower_bounds_.size());
+    if (lb < shard_lower_bounds_.size() && shard_lower_bounds_[lb] == m) {
+      return lb;
+    }
+    return lb == 0 ? 0 : lb - 1;
+  }
+
+  void SplitShard(size_t s) {
+    Shard& shard = shards_[s];
+    const size_t mid = shard.entries.size() / 2;
+    // The split boundary must separate distinct mapped values; scan for the
+    // first position after mid with a strictly larger mapped value.
+    size_t cut = mid;
+    while (cut < shard.entries.size() &&
+           shard.entries[cut].mapped == shard.entries[mid - 1].mapped) {
+      ++cut;
+    }
+    if (cut >= shard.entries.size()) return;  // All-equal shard: cannot split.
+    Shard right;
+    right.entries.assign(shard.entries.begin() + cut, shard.entries.end());
+    const double boundary = right.entries.front().mapped;
+    shard.entries.resize(cut);
+    shards_.insert(shards_.begin() + s + 1, std::move(right));
+    shard_lower_bounds_.insert(shard_lower_bounds_.begin() + s + 1, boundary);
+  }
+
+  Options options_;
+  std::vector<double> x_bounds_;  // Learned equi-depth cell boundaries.
+  std::vector<double> y_bounds_;
+  std::vector<double> shard_lower_bounds_;
+  std::vector<Shard> shards_;
+  size_t size_ = 0;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_MULTI_D_LISA_H_

@@ -1,0 +1,172 @@
+#ifndef LIDX_MULTI_D_ZM_INDEX_H_
+#define LIDX_MULTI_D_ZM_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/search.h"
+#include "models/plr.h"
+#include "sfc/morton.h"
+#include "sfc/zrange.h"
+#include "spatial/geometry.h"
+
+namespace lidx {
+
+// ZM-index (Wang et al., MDM 2019): the canonical *projected-space* learned
+// multi-dimensional index (tutorial §5.2, Approach 2). Points are mapped to
+// Z-order (Morton) codes, sorted by code, and a learned one-dimensional
+// model (ε-bounded PLA, as in the PGM data level) indexes the code array.
+// Range queries scan the code order and leapfrog dead stretches with
+// BIGMIN jumps (Tropf & Herzog), re-entering the learned index at each
+// jump instead of walking a B-tree.
+//
+// Taxonomy position: multi-dimensional / immutable / pure / projected.
+class ZmIndex {
+ public:
+  struct Options {
+    int bits_per_dim = 20;   // Grid resolution for quantization.
+    size_t epsilon = 64;     // PLA error bound on the code array.
+  };
+
+  ZmIndex() = default;
+
+  void Build(const std::vector<Point2D>& points) {
+    Build(points, Options());
+  }
+
+  void Build(const std::vector<Point2D>& points, const Options& options) {
+    options_ = options;
+    const size_t n = points.size();
+    entries_.clear();
+    entries_.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint32_t qx = sfc::Quantize(points[i].x, options_.bits_per_dim);
+      const uint32_t qy = sfc::Quantize(points[i].y, options_.bits_per_dim);
+      entries_.push_back({sfc::MortonEncode2D(qx, qy), points[i], i});
+    }
+    std::sort(entries_.begin(), entries_.end(),
+              [](const ZEntry& a, const ZEntry& b) {
+                if (a.code != b.code) return a.code < b.code;
+                return a.id < b.id;
+              });
+    codes_.clear();
+    codes_.reserve(n);
+    for (const ZEntry& e : entries_) codes_.push_back(e.code);
+
+    // ε-bounded PLA over the (deduplicated) codes; duplicates are rare but
+    // legal, so the model trains on first occurrences and lookups widen
+    // through the fix-up search.
+    segments_.clear();
+    segment_first_keys_.clear();
+    SwingFilterBuilder builder(static_cast<double>(options_.epsilon));
+    uint64_t prev_code = 0;
+    bool has_prev = false;
+    for (size_t i = 0; i < codes_.size(); ++i) {
+      if (has_prev && codes_[i] == prev_code) continue;
+      builder.Add(static_cast<double>(codes_[i]), i);
+      prev_code = codes_[i];
+      has_prev = true;
+    }
+    segments_ = builder.Finish();
+    segment_first_keys_.reserve(segments_.size());
+    for (const PlaSegment& s : segments_) {
+      segment_first_keys_.push_back(s.first_key);
+    }
+  }
+
+  // Ids of points exactly equal to `p`.
+  std::vector<uint32_t> FindExact(const Point2D& p) const {
+    std::vector<uint32_t> out;
+    if (entries_.empty()) return out;
+    const uint32_t qx = sfc::Quantize(p.x, options_.bits_per_dim);
+    const uint32_t qy = sfc::Quantize(p.y, options_.bits_per_dim);
+    const uint64_t code = sfc::MortonEncode2D(qx, qy);
+    for (size_t i = LowerBoundCode(code);
+         i < entries_.size() && entries_[i].code == code; ++i) {
+      if (entries_[i].point == p) out.push_back(entries_[i].id);
+    }
+    return out;
+  }
+
+  std::vector<uint32_t> RangeQuery(const RangeQuery2D& q) const {
+    std::vector<uint32_t> out;
+    if (entries_.empty()) return out;
+    sfc::ZRect rect;
+    rect.min_x = sfc::Quantize(q.min_x, options_.bits_per_dim);
+    rect.min_y = sfc::Quantize(q.min_y, options_.bits_per_dim);
+    rect.max_x = sfc::Quantize(q.max_x, options_.bits_per_dim);
+    rect.max_y = sfc::Quantize(q.max_y, options_.bits_per_dim);
+    const uint64_t zmin = sfc::MortonEncode2D(rect.min_x, rect.min_y);
+    const uint64_t zmax = sfc::MortonEncode2D(rect.max_x, rect.max_y);
+
+    size_t i = LowerBoundCode(zmin);
+    while (i < entries_.size() && entries_[i].code <= zmax) {
+      const uint64_t code = entries_[i].code;
+      if (sfc::ZCodeInRect(code, rect)) {
+        // Consume the whole duplicate-code run.
+        for (; i < entries_.size() && entries_[i].code == code; ++i) {
+          if (q.Contains(entries_[i].point)) out.push_back(entries_[i].id);
+        }
+        continue;
+      }
+      // Outside the rectangle: leapfrog with BIGMIN and re-enter via the
+      // learned index.
+      const uint64_t next = sfc::BigMin(code, rect);
+      if (next == UINT64_MAX || next > zmax) break;
+      LIDX_DCHECK(next > code);
+      i = LowerBoundCode(next);
+    }
+    return out;
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  size_t NumSegments() const { return segments_.size(); }
+
+  size_t ModelSizeBytes() const {
+    return sizeof(*this) + segments_.capacity() * sizeof(PlaSegment) +
+           segment_first_keys_.capacity() * sizeof(double);
+  }
+
+  size_t SizeBytes() const {
+    return ModelSizeBytes() + entries_.capacity() * sizeof(ZEntry) +
+           codes_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  struct ZEntry {
+    uint64_t code;
+    Point2D point;
+    uint32_t id;
+  };
+
+  // First index with codes_[i] >= code, via the learned model.
+  size_t LowerBoundCode(uint64_t code) const {
+    const double k = static_cast<double>(code);
+    const auto it = std::upper_bound(segment_first_keys_.begin(),
+                                     segment_first_keys_.end(), k);
+    const size_t seg =
+        (it == segment_first_keys_.begin())
+            ? 0
+            : static_cast<size_t>(it - segment_first_keys_.begin()) - 1;
+    const size_t pred =
+        segments_[seg].model.PredictClamped(k, codes_.size());
+    return WindowLowerBoundWithFixup(codes_, code, pred,
+                                     options_.epsilon + 1,
+                                     options_.epsilon + 1, codes_.size());
+  }
+
+  Options options_;
+  std::vector<ZEntry> entries_;  // Sorted by (code, id).
+  std::vector<uint64_t> codes_;  // Parallel code array for search.
+  std::vector<PlaSegment> segments_;
+  std::vector<double> segment_first_keys_;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_MULTI_D_ZM_INDEX_H_

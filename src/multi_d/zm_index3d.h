@@ -1,0 +1,190 @@
+#ifndef LIDX_MULTI_D_ZM_INDEX3D_H_
+#define LIDX_MULTI_D_ZM_INDEX3D_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/search.h"
+#include "models/plr.h"
+#include "sfc/morton.h"
+#include "sfc/zrange3d.h"
+
+namespace lidx {
+
+// A 3-D point in the unit cube.
+struct Point3D {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend bool operator==(const Point3D& a, const Point3D& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+// Axis-aligned 3-D box query (inclusive bounds).
+struct BoxQuery3D {
+  double min_x, min_y, min_z;
+  double max_x, max_y, max_z;
+
+  bool Contains(const Point3D& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y &&
+           p.z >= min_z && p.z <= max_z;
+  }
+};
+
+// 3-D ZM-index: demonstrates that the projected-space recipe (tutorial
+// Approach 2) is dimension-generic — quantize, interleave (3-D Morton),
+// sort, learn the code CDF, and answer box queries by scanning code order
+// with 3-D BIGMIN leapfrogging. The curve-locality tax grows with
+// dimension (a box shatters into more intervals), which is the scaling
+// caveat §6.1 raises.
+//
+// Taxonomy position: multi-dimensional (3-D) / immutable / pure /
+// projected.
+class ZmIndex3D {
+ public:
+  struct Options {
+    // <= 17 so the 3*bits-bit codes stay below 2^53 and remain exactly
+    // representable as double for the learned model (Morton3D itself
+    // supports up to 21 bits per dimension).
+    int bits_per_dim = 16;
+    size_t epsilon = 64;
+  };
+
+  ZmIndex3D() = default;
+
+  void Build(const std::vector<Point3D>& points) {
+    Build(points, Options());
+  }
+
+  void Build(const std::vector<Point3D>& points, const Options& options) {
+    LIDX_CHECK(options.bits_per_dim >= 1 && options.bits_per_dim <= 17);
+    options_ = options;
+    entries_.clear();
+    codes_.clear();
+    segments_.clear();
+    segment_first_keys_.clear();
+    entries_.reserve(points.size());
+    for (uint32_t i = 0; i < points.size(); ++i) {
+      entries_.push_back({EncodePoint(points[i]), points[i], i});
+    }
+    std::sort(entries_.begin(), entries_.end(),
+              [](const ZEntry& a, const ZEntry& b) {
+                if (a.code != b.code) return a.code < b.code;
+                return a.id < b.id;
+              });
+    codes_.reserve(entries_.size());
+    for (const ZEntry& e : entries_) codes_.push_back(e.code);
+
+    SwingFilterBuilder builder(static_cast<double>(options_.epsilon));
+    uint64_t prev = 0;
+    bool has_prev = false;
+    for (size_t i = 0; i < codes_.size(); ++i) {
+      if (has_prev && codes_[i] == prev) continue;
+      builder.Add(static_cast<double>(codes_[i]), i);
+      prev = codes_[i];
+      has_prev = true;
+    }
+    segments_ = builder.Finish();
+    segment_first_keys_.reserve(segments_.size());
+    for (const PlaSegment& s : segments_) {
+      segment_first_keys_.push_back(s.first_key);
+    }
+  }
+
+  std::vector<uint32_t> FindExact(const Point3D& p) const {
+    std::vector<uint32_t> out;
+    if (entries_.empty()) return out;
+    const uint64_t code = EncodePoint(p);
+    for (size_t i = LowerBoundCode(code);
+         i < entries_.size() && entries_[i].code == code; ++i) {
+      if (entries_[i].point == p) out.push_back(entries_[i].id);
+    }
+    return out;
+  }
+
+  std::vector<uint32_t> BoxQuery(const BoxQuery3D& q) const {
+    std::vector<uint32_t> out;
+    if (entries_.empty()) return out;
+    sfc::ZBox3D box;
+    box.min_x = sfc::Quantize(q.min_x, options_.bits_per_dim);
+    box.min_y = sfc::Quantize(q.min_y, options_.bits_per_dim);
+    box.min_z = sfc::Quantize(q.min_z, options_.bits_per_dim);
+    box.max_x = sfc::Quantize(q.max_x, options_.bits_per_dim);
+    box.max_y = sfc::Quantize(q.max_y, options_.bits_per_dim);
+    box.max_z = sfc::Quantize(q.max_z, options_.bits_per_dim);
+    const uint64_t zmin =
+        sfc::MortonEncode3D(box.min_x, box.min_y, box.min_z);
+    const uint64_t zmax =
+        sfc::MortonEncode3D(box.max_x, box.max_y, box.max_z);
+
+    size_t i = LowerBoundCode(zmin);
+    while (i < entries_.size() && entries_[i].code <= zmax) {
+      const uint64_t code = entries_[i].code;
+      if (sfc::ZCodeInBox3D(code, box)) {
+        for (; i < entries_.size() && entries_[i].code == code; ++i) {
+          if (q.Contains(entries_[i].point)) out.push_back(entries_[i].id);
+        }
+        continue;
+      }
+      const uint64_t next = sfc::BigMin3D(code, box);
+      if (next == UINT64_MAX || next > zmax) break;
+      LIDX_DCHECK(next > code);
+      i = LowerBoundCode(next);
+    }
+    return out;
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  size_t NumSegments() const { return segments_.size(); }
+
+  size_t SizeBytes() const {
+    return sizeof(*this) + entries_.capacity() * sizeof(ZEntry) +
+           codes_.capacity() * sizeof(uint64_t) +
+           segments_.capacity() * sizeof(PlaSegment) +
+           segment_first_keys_.capacity() * sizeof(double);
+  }
+
+ private:
+  struct ZEntry {
+    uint64_t code;
+    Point3D point;
+    uint32_t id;
+  };
+
+  uint64_t EncodePoint(const Point3D& p) const {
+    return sfc::MortonEncode3D(sfc::Quantize(p.x, options_.bits_per_dim),
+                               sfc::Quantize(p.y, options_.bits_per_dim),
+                               sfc::Quantize(p.z, options_.bits_per_dim));
+  }
+
+  size_t LowerBoundCode(uint64_t code) const {
+    const double k = static_cast<double>(code);
+    const auto it = std::upper_bound(segment_first_keys_.begin(),
+                                     segment_first_keys_.end(), k);
+    const size_t seg =
+        (it == segment_first_keys_.begin())
+            ? 0
+            : static_cast<size_t>(it - segment_first_keys_.begin()) - 1;
+    const size_t pred = segments_[seg].model.PredictClamped(k, codes_.size());
+    return WindowLowerBoundWithFixup(codes_, code, pred,
+                                     options_.epsilon + 1,
+                                     options_.epsilon + 1, codes_.size());
+  }
+
+  Options options_;
+  std::vector<ZEntry> entries_;
+  std::vector<uint64_t> codes_;
+  std::vector<PlaSegment> segments_;
+  std::vector<double> segment_first_keys_;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_MULTI_D_ZM_INDEX3D_H_

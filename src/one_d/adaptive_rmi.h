@@ -1,0 +1,161 @@
+#ifndef LIDX_ONE_D_ADAPTIVE_RMI_H_
+#define LIDX_ONE_D_ADAPTIVE_RMI_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "models/drift.h"
+#include "one_d/rmi.h"
+
+namespace lidx {
+
+// Self-retraining RMI: an immutable RMI plus a sorted delta buffer, with a
+// Page-Hinkley drift detector watching the *observed* prediction error of
+// every lookup (tutorial §6.3: detect distribution change, trigger
+// retraining). Two signals force a rebuild:
+//
+//  * drift: lookups systematically land far from the model's prediction —
+//    the model is under-provisioned for the observed key/query
+//    distribution. A drift rebuild *grows the model budget* (x4, capped),
+//    so the index self-tunes its capacity to the workload (§6.2's model
+//    choice problem, answered online).
+//  * buffer pressure: the delta exceeds its configured fraction of the
+//    indexed data (a plain merge-retrain at the current budget).
+//
+// Rebuilds merge the buffer into the array and retrain from scratch; the
+// detector resets. This is deliberately the simplest complete instance of
+// the monitor->retrain loop the tutorial calls for — the detector is
+// reusable by any other index in the library.
+template <typename Key, typename Value>
+class AdaptiveRmi {
+ public:
+  struct Options {
+    typename Rmi<Key, Value>::Options rmi;
+    ModelDriftDetector::Options drift;
+    // Rebuild when buffer exceeds this fraction of indexed keys.
+    double max_buffer_fraction = 0.25;
+    size_t min_buffer_before_rebuild = 1024;
+  };
+
+  explicit AdaptiveRmi(const Options& options = Options())
+      : options_(options), detector_(options.drift) {}
+
+  void BulkLoad(std::vector<Key> keys, std::vector<Value> values) {
+    rmi_.Build(std::move(keys), std::move(values), options_.rmi);
+    buffer_.clear();
+    detector_.Reset();
+    rebuilds_ = 0;
+  }
+
+  // Inserts go to the delta buffer; the frozen RMI is untouched until the
+  // next retraining.
+  bool Insert(const Key& key, const Value& value) {
+    const bool existed = Contains(key);
+    const auto it = std::lower_bound(
+        buffer_.begin(), buffer_.end(), key,
+        [](const std::pair<Key, Value>& e, const Key& k) {
+          return e.first < k;
+        });
+    if (it != buffer_.end() && it->first == key) {
+      it->second = value;
+    } else {
+      buffer_.insert(it, {key, value});
+    }
+    MaybeRebuild();
+    return !existed;
+  }
+
+  std::optional<Value> Find(const Key& key) {
+    // Buffer shadows the frozen index.
+    const auto it = std::lower_bound(
+        buffer_.begin(), buffer_.end(), key,
+        [](const std::pair<Key, Value>& e, const Key& k) {
+          return e.first < k;
+        });
+    if (it != buffer_.end() && it->first == key) return it->second;
+    // Observed error feeds the drift detector.
+    const size_t predicted = rmi_.PredictPosition(key);
+    const size_t actual = rmi_.LowerBound(key);
+    const double error = predicted > actual
+                             ? static_cast<double>(predicted - actual)
+                             : static_cast<double>(actual - predicted);
+    size_t pos = actual;
+    if (detector_.Observe(error) && MaybeRebuild()) {
+      // The rebuild invalidated `actual`: search the fresh index.
+      pos = rmi_.LowerBound(key);
+    }
+    if (pos < rmi_.size() && rmi_.keys()[pos] == key) {
+      return rmi_.values()[pos];
+    }
+    return std::nullopt;
+  }
+
+  bool Contains(const Key& key) { return Find(key).has_value(); }
+
+  size_t size() const { return rmi_.size() + buffer_.size(); }
+  size_t rebuilds() const { return rebuilds_; }
+  size_t buffered() const { return buffer_.size(); }
+  size_t current_model_budget() const { return options_.rmi.num_models; }
+  double MeanErrorWindow() const { return rmi_.MeanErrorWindow(); }
+  const ModelDriftDetector& detector() const { return detector_; }
+
+ private:
+  // Returns true if a rebuild actually happened.
+  bool MaybeRebuild() {
+    const bool buffer_pressure =
+        buffer_.size() >= options_.min_buffer_before_rebuild &&
+        static_cast<double>(buffer_.size()) >
+            options_.max_buffer_fraction *
+                static_cast<double>(std::max<size_t>(1, rmi_.size()));
+    if (!detector_.drifted() && !buffer_pressure) return false;
+    if (detector_.drifted()) {
+      // Self-tuning: the observed errors say the model budget is too
+      // small for this workload.
+      options_.rmi.num_models =
+          std::min<size_t>(options_.rmi.num_models * 4, 1u << 20);
+    }
+
+    // Merge frozen + buffer, retrain.
+    std::vector<Key> keys;
+    std::vector<Value> values;
+    keys.reserve(rmi_.size() + buffer_.size());
+    values.reserve(rmi_.size() + buffer_.size());
+    const auto& fkeys = rmi_.keys();
+    size_t fi = 0, bi = 0;
+    while (fi < fkeys.size() || bi < buffer_.size()) {
+      const bool take_buffer =
+          bi < buffer_.size() &&
+          (fi >= fkeys.size() || buffer_[bi].first <= fkeys[fi]);
+      if (take_buffer) {
+        if (fi < fkeys.size() && fkeys[fi] == buffer_[bi].first) ++fi;
+        keys.push_back(buffer_[bi].first);
+        values.push_back(buffer_[bi].second);
+        ++bi;
+      } else {
+        values.push_back(*rmi_.Find(fkeys[fi]));
+        keys.push_back(fkeys[fi]);
+        ++fi;
+      }
+    }
+    rmi_.Build(std::move(keys), std::move(values), options_.rmi);
+    buffer_.clear();
+    detector_.Reset();
+    ++rebuilds_;
+    return true;
+  }
+
+  Options options_;
+  Rmi<Key, Value> rmi_;
+  std::vector<std::pair<Key, Value>> buffer_;  // Sorted by key.
+  ModelDriftDetector detector_;
+  size_t rebuilds_ = 0;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_ONE_D_ADAPTIVE_RMI_H_

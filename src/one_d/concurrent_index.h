@@ -1,0 +1,267 @@
+#ifndef LIDX_ONE_D_CONCURRENT_INDEX_H_
+#define LIDX_ONE_D_CONCURRENT_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/search.h"
+#include "one_d/pgm.h"
+
+namespace lidx {
+
+// Concurrent learned index in the XIndex mold (Tang et al., PPoPP 2020),
+// addressing the tutorial's open challenge §6.5 (concurrency as a
+// first-class citizen). The structure is a two-layer design:
+//
+//  * A static top layer partitions the key space into shards (boundaries
+//    chosen from a bulk-load sample); routing is lock-free because the
+//    boundary array is immutable between full rebuilds.
+//  * Each shard holds an immutable learned index (PGM) over its frozen
+//    data plus a small sorted delta buffer for fresh writes, protected by
+//    a per-shard reader-writer lock. When a delta exceeds its limit, the
+//    shard is compacted (merge + retrain) under its own lock — writers to
+//    other shards are unaffected.
+//
+// Reads take a shared lock only on one shard, so read-mostly workloads
+// scale with shard count; this is exactly the scaling claim E13 measures.
+template <typename Key, typename Value>
+class ConcurrentLearnedIndex {
+ public:
+  struct Options {
+    size_t num_shards = 64;
+    size_t delta_limit = 1024;    // Compaction threshold per shard.
+    size_t pgm_epsilon = 64;
+  };
+
+  explicit ConcurrentLearnedIndex(const Options& options = Options())
+      : options_(options) {
+    LIDX_CHECK(options_.num_shards >= 1);
+    shards_ = std::vector<Shard>(options_.num_shards);
+    boundaries_.assign(options_.num_shards, Key{});
+  }
+
+  ConcurrentLearnedIndex(const ConcurrentLearnedIndex&) = delete;
+  ConcurrentLearnedIndex& operator=(const ConcurrentLearnedIndex&) = delete;
+
+  // Bulk-loads sorted unique pairs and carves shard boundaries at even
+  // ranks. Not thread-safe (call before sharing the index).
+  void BulkLoad(const std::vector<Key>& keys,
+                const std::vector<Value>& values) {
+    LIDX_CHECK(keys.size() == values.size());
+    const size_t n = keys.size();
+    const size_t shard_count = options_.num_shards;
+    boundaries_.assign(shard_count, Key{});
+    shards_ = std::vector<Shard>(shard_count);
+    if (n == 0) return;
+    const size_t per_shard = (n + shard_count - 1) / shard_count;
+    for (size_t s = 0; s < shard_count; ++s) {
+      const size_t begin = std::min(n, s * per_shard);
+      const size_t end = std::min(n, begin + per_shard);
+      boundaries_[s] = (begin < n) ? keys[begin] : keys.back();
+      if (begin < end) {
+        std::vector<Key> shard_keys(keys.begin() + begin, keys.begin() + end);
+        std::vector<Value> shard_vals(values.begin() + begin,
+                                      values.begin() + end);
+        typename PgmIndex<Key, Value>::Options opts;
+        opts.epsilon = options_.pgm_epsilon;
+        shards_[s].frozen.Build(std::move(shard_keys), std::move(shard_vals),
+                                opts);
+      }
+    }
+  }
+
+  std::optional<Value> Find(const Key& key) const {
+    const Shard& shard = shards_[RouteShard(key)];
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    // Delta first (newer), then frozen.
+    const auto it = std::lower_bound(
+        shard.delta.begin(), shard.delta.end(), key,
+        [](const DeltaEntry& e, const Key& k) { return e.key < k; });
+    if (it != shard.delta.end() && it->key == key) {
+      if (it->deleted) return std::nullopt;
+      return it->value;
+    }
+    return shard.frozen.Find(key);
+  }
+
+  bool Contains(const Key& key) const { return Find(key).has_value(); }
+
+  void Insert(const Key& key, const Value& value) {
+    Shard& shard = shards_[RouteShard(key)];
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    UpsertDelta(&shard, key, value, /*deleted=*/false);
+    MaybeCompact(&shard);
+  }
+
+  bool Erase(const Key& key) {
+    Shard& shard = shards_[RouteShard(key)];
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    // The delta is newer than the frozen index: a tombstone there means the
+    // key is already gone even if the frozen index still stores it.
+    bool existed;
+    const auto it = std::lower_bound(
+        shard.delta.begin(), shard.delta.end(), key,
+        [](const DeltaEntry& e, const Key& k) { return e.key < k; });
+    if (it != shard.delta.end() && it->key == key) {
+      existed = !it->deleted;
+    } else {
+      existed = shard.frozen.Contains(key);
+    }
+    UpsertDelta(&shard, key, Value{}, /*deleted=*/true);
+    MaybeCompact(&shard);
+    return existed;
+  }
+
+  // Merged scan across frozen + delta of the touched shards.
+  void RangeScan(const Key& lo, const Key& hi,
+                 std::vector<std::pair<Key, Value>>* out) const {
+    const size_t first = RouteShard(lo);
+    for (size_t s = first; s < shards_.size(); ++s) {
+      if (s > first && boundaries_[s] > hi) break;
+      const Shard& shard = shards_[s];
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      std::vector<std::pair<Key, Value>> frozen_part;
+      shard.frozen.RangeScan(lo, hi, &frozen_part);
+      // Merge with delta.
+      auto dit = std::lower_bound(
+          shard.delta.begin(), shard.delta.end(), lo,
+          [](const DeltaEntry& e, const Key& k) { return e.key < k; });
+      size_t fi = 0;
+      while (fi < frozen_part.size() ||
+             (dit != shard.delta.end() && dit->key <= hi)) {
+        const bool take_delta =
+            dit != shard.delta.end() && dit->key <= hi &&
+            (fi >= frozen_part.size() || dit->key <= frozen_part[fi].first);
+        if (take_delta) {
+          if (fi < frozen_part.size() && frozen_part[fi].first == dit->key) {
+            ++fi;  // Delta shadows frozen.
+          }
+          if (!dit->deleted) out->emplace_back(dit->key, dit->value);
+          ++dit;
+        } else {
+          out->push_back(frozen_part[fi++]);
+        }
+      }
+    }
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      total += shard.frozen.size();
+      for (const DeltaEntry& e : shard.delta) {
+        if (e.deleted) {
+          if (shard.frozen.Contains(e.key)) --total;
+        } else if (!shard.frozen.Contains(e.key)) {
+          ++total;
+        }
+      }
+    }
+    return total;
+  }
+
+  size_t SizeBytes() const {
+    size_t total = sizeof(*this) + boundaries_.capacity() * sizeof(Key);
+    for (const Shard& shard : shards_) {
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      total += shard.frozen.SizeBytes() +
+               shard.delta.capacity() * sizeof(DeltaEntry);
+    }
+    return total;
+  }
+
+ private:
+  struct DeltaEntry {
+    Key key;
+    Value value;
+    bool deleted;
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    PgmIndex<Key, Value> frozen;
+    std::vector<DeltaEntry> delta;  // Sorted by key, unique.
+
+    Shard() = default;
+    Shard(Shard&& other) noexcept
+        : frozen(std::move(other.frozen)), delta(std::move(other.delta)) {}
+    Shard& operator=(Shard&&) = delete;
+  };
+
+  // Immutable between rebuilds: lock-free routing.
+  size_t RouteShard(const Key& key) const {
+    const size_t lb =
+        BinarySearchLowerBound(boundaries_, key, 0, boundaries_.size());
+    if (lb < boundaries_.size() && boundaries_[lb] == key) return lb;
+    return lb == 0 ? 0 : lb - 1;
+  }
+
+  static bool DeltaHasLive(const Shard& shard, const Key& key) {
+    const auto it = std::lower_bound(
+        shard.delta.begin(), shard.delta.end(), key,
+        [](const DeltaEntry& e, const Key& k) { return e.key < k; });
+    return it != shard.delta.end() && it->key == key && !it->deleted;
+  }
+
+  static void UpsertDelta(Shard* shard, const Key& key, const Value& value,
+                          bool deleted) {
+    auto it = std::lower_bound(
+        shard->delta.begin(), shard->delta.end(), key,
+        [](const DeltaEntry& e, const Key& k) { return e.key < k; });
+    if (it != shard->delta.end() && it->key == key) {
+      it->value = value;
+      it->deleted = deleted;
+    } else {
+      shard->delta.insert(it, {key, value, deleted});
+    }
+  }
+
+  void MaybeCompact(Shard* shard) {
+    if (shard->delta.size() < options_.delta_limit) return;
+    // Merge frozen + delta into a fresh frozen index.
+    std::vector<Key> keys;
+    std::vector<Value> values;
+    const auto& fkeys = shard->frozen.keys();
+    const auto& fvals = shard->frozen.values();
+    size_t fi = 0, di = 0;
+    while (fi < fkeys.size() || di < shard->delta.size()) {
+      const bool take_delta =
+          di < shard->delta.size() &&
+          (fi >= fkeys.size() || shard->delta[di].key <= fkeys[fi]);
+      if (take_delta) {
+        if (fi < fkeys.size() && fkeys[fi] == shard->delta[di].key) ++fi;
+        if (!shard->delta[di].deleted) {
+          keys.push_back(shard->delta[di].key);
+          values.push_back(shard->delta[di].value);
+        }
+        ++di;
+      } else {
+        keys.push_back(fkeys[fi]);
+        values.push_back(fvals[fi]);
+        ++fi;
+      }
+    }
+    typename PgmIndex<Key, Value>::Options opts;
+    opts.epsilon = options_.pgm_epsilon;
+    shard->frozen = PgmIndex<Key, Value>();
+    shard->frozen.Build(std::move(keys), std::move(values), opts);
+    shard->delta.clear();
+  }
+
+  Options options_;
+  std::vector<Key> boundaries_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_ONE_D_CONCURRENT_INDEX_H_

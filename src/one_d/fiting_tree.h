@@ -1,0 +1,338 @@
+#ifndef LIDX_ONE_D_FITING_TREE_H_
+#define LIDX_ONE_D_FITING_TREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/search.h"
+#include "models/plr.h"
+
+namespace lidx {
+
+// FITing-tree (Galakatos et al., SIGMOD 2019): ε-bounded piecewise-linear
+// segments, each owning its own sorted data plus a small *per-segment*
+// delta buffer for inserts. This is the other delta-buffer design the
+// tutorial contrasts with the global-log DynamicPgm: buffers are local, so
+// an insert only ever touches (and a merge only ever rewrites) one
+// segment's data, and reads consult exactly one buffer instead of a
+// component list. A segment whose buffer fills is merged and re-segmented
+// in place (possibly splitting into several new segments).
+//
+// Taxonomy position: one-dimensional / mutable / fixed layout / pure /
+// delta-buffer (per-segment).
+template <typename Key, typename Value>
+class FitingTree {
+ public:
+  struct Options {
+    size_t epsilon = 64;          // Segment error bound.
+    size_t buffer_capacity = 256; // Per-segment delta size before merge.
+  };
+
+  explicit FitingTree(const Options& options = Options())
+      : options_(options) {
+    // One empty catch-all segment so inserts always have a home.
+    segments_.push_back(Segment{});
+    segment_first_keys_.push_back(Key{});
+  }
+
+  // Bulk-loads sorted unique pairs, replacing contents.
+  void BulkLoad(const std::vector<Key>& keys,
+                const std::vector<Value>& values) {
+    LIDX_CHECK(keys.size() == values.size());
+    segments_.clear();
+    segment_first_keys_.clear();
+    size_ = keys.size();
+    if (keys.empty()) {
+      segments_.push_back(Segment{});
+      segment_first_keys_.push_back(Key{});
+      return;
+    }
+    std::vector<Entry> entries;
+    entries.reserve(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      LIDX_DCHECK(i == 0 || keys[i - 1] < keys[i]);
+      entries.push_back({keys[i], values[i]});
+    }
+    AppendSegmentsFrom(entries);
+  }
+
+  std::optional<Value> Find(const Key& key) const {
+    const Segment& seg = segments_[SegmentOf(key)];
+    // Buffer first: it shadows the frozen data.
+    const auto it = std::lower_bound(
+        seg.buffer.begin(), seg.buffer.end(), key,
+        [](const BufferEntry& e, const Key& k) { return e.key < k; });
+    if (it != seg.buffer.end() && it->key == key) {
+      if (it->deleted) return std::nullopt;
+      return it->value;
+    }
+    const size_t pos = seg.LowerBound(key, options_.epsilon);
+    if (pos < seg.data.size() && seg.data[pos].key == key) {
+      return seg.data[pos].value;
+    }
+    return std::nullopt;
+  }
+
+  bool Contains(const Key& key) const { return Find(key).has_value(); }
+
+  bool Insert(const Key& key, const Value& value) {
+    const size_t si = SegmentOf(key);
+    Segment& seg = segments_[si];
+    const bool existed = ContainsInSegment(seg, key);
+    UpsertBuffer(&seg, key, value, /*deleted=*/false);
+    if (!existed) ++size_;
+    MaybeMerge(si);
+    return !existed;
+  }
+
+  bool Erase(const Key& key) {
+    const size_t si = SegmentOf(key);
+    Segment& seg = segments_[si];
+    if (!ContainsInSegment(seg, key)) return false;
+    UpsertBuffer(&seg, key, Value{}, /*deleted=*/true);
+    --size_;
+    MaybeMerge(si);
+    return true;
+  }
+
+  void RangeScan(const Key& lo, const Key& hi,
+                 std::vector<std::pair<Key, Value>>* out) const {
+    for (size_t si = SegmentOf(lo); si < segments_.size(); ++si) {
+      if (si > 0 && si > SegmentOf(lo) && segment_first_keys_[si] > hi) {
+        break;
+      }
+      ScanSegment(segments_[si], lo, hi, out);
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t NumSegments() const { return segments_.size(); }
+
+  size_t SizeBytes() const {
+    size_t total = sizeof(*this) +
+                   segment_first_keys_.capacity() * sizeof(Key);
+    for (const Segment& seg : segments_) {
+      total += sizeof(Segment) + seg.data.capacity() * sizeof(Entry) +
+               seg.buffer.capacity() * sizeof(BufferEntry);
+    }
+    return total;
+  }
+
+  size_t ModelSizeBytes() const {
+    return sizeof(*this) + segments_.size() * sizeof(LinearModel) +
+           segment_first_keys_.capacity() * sizeof(Key);
+  }
+
+  // Test hook: segment data sorted and within segment bounds; buffers
+  // sorted; every data key routed back to its segment.
+  void CheckInvariants() const {
+    LIDX_CHECK(segments_.size() == segment_first_keys_.size());
+    for (size_t si = 0; si < segments_.size(); ++si) {
+      const Segment& seg = segments_[si];
+      for (size_t i = 0; i < seg.data.size(); ++i) {
+        if (i > 0) LIDX_CHECK(seg.data[i - 1].key < seg.data[i].key);
+        LIDX_CHECK(SegmentOf(seg.data[i].key) == si);
+      }
+      for (size_t i = 1; i < seg.buffer.size(); ++i) {
+        LIDX_CHECK(seg.buffer[i - 1].key < seg.buffer[i].key);
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  struct BufferEntry {
+    Key key;
+    Value value;
+    bool deleted;
+  };
+
+  struct Segment {
+    LinearModel model;
+    std::vector<Entry> data;          // Sorted, frozen between merges.
+    std::vector<BufferEntry> buffer;  // Sorted delta.
+
+    // First data index with key >= `key`, via the ε-certified window.
+    size_t LowerBound(const Key& key, size_t epsilon) const {
+      if (data.empty()) return 0;
+      struct KeyView {
+        const Entry* entries;
+        const Key& operator[](size_t i) const { return entries[i].key; }
+      };
+      const KeyView view{data.data()};
+      const size_t pred = model.PredictClamped(static_cast<double>(key),
+                                               data.size());
+      return WindowLowerBoundWithFixup(view, key, pred, epsilon + 1,
+                                       epsilon + 1, data.size());
+    }
+  };
+
+  // Segment owning `key`: last first_key <= key.
+  size_t SegmentOf(const Key& key) const {
+    const size_t lb = BinarySearchLowerBound(segment_first_keys_, key, 0,
+                                             segment_first_keys_.size());
+    if (lb < segment_first_keys_.size() && segment_first_keys_[lb] == key) {
+      return lb;
+    }
+    return lb == 0 ? 0 : lb - 1;
+  }
+
+  static bool ContainsInSegment(const Segment& seg, const Key& key) {
+    const auto it = std::lower_bound(
+        seg.buffer.begin(), seg.buffer.end(), key,
+        [](const BufferEntry& e, const Key& k) { return e.key < k; });
+    if (it != seg.buffer.end() && it->key == key) return !it->deleted;
+    const size_t pos = std::lower_bound(seg.data.begin(), seg.data.end(),
+                                        key, [](const Entry& e,
+                                                const Key& k) {
+                                          return e.key < k;
+                                        }) -
+                       seg.data.begin();
+    return pos < seg.data.size() && seg.data[pos].key == key;
+  }
+
+  static void UpsertBuffer(Segment* seg, const Key& key, const Value& value,
+                           bool deleted) {
+    auto it = std::lower_bound(
+        seg->buffer.begin(), seg->buffer.end(), key,
+        [](const BufferEntry& e, const Key& k) { return e.key < k; });
+    if (it != seg->buffer.end() && it->key == key) {
+      it->value = value;
+      it->deleted = deleted;
+    } else {
+      seg->buffer.insert(it, {key, value, deleted});
+    }
+  }
+
+  void MaybeMerge(size_t si) {
+    if (segments_[si].buffer.size() < options_.buffer_capacity) return;
+    // Merge buffer into data, then re-segment the merged run in place.
+    Segment seg = std::move(segments_[si]);
+    std::vector<Entry> merged;
+    merged.reserve(seg.data.size() + seg.buffer.size());
+    size_t di = 0, bi = 0;
+    while (di < seg.data.size() || bi < seg.buffer.size()) {
+      const bool take_buffer =
+          bi < seg.buffer.size() &&
+          (di >= seg.data.size() ||
+           seg.buffer[bi].key <= seg.data[di].key);
+      if (take_buffer) {
+        if (di < seg.data.size() &&
+            seg.data[di].key == seg.buffer[bi].key) {
+          ++di;  // Buffer shadows data.
+        }
+        if (!seg.buffer[bi].deleted) {
+          merged.push_back({seg.buffer[bi].key, seg.buffer[bi].value});
+        }
+        ++bi;
+      } else {
+        merged.push_back(seg.data[di++]);
+      }
+    }
+    // Replace segment si with the re-segmented pieces.
+    segments_.erase(segments_.begin() + si);
+    segment_first_keys_.erase(segment_first_keys_.begin() + si);
+    if (merged.empty()) {
+      if (segments_.empty()) {
+        segments_.push_back(Segment{});
+        segment_first_keys_.push_back(Key{});
+      }
+      return;
+    }
+    InsertSegmentsAt(si, merged);
+  }
+
+  // Re-segments `entries` with the swing filter and splices the resulting
+  // segments into position `si`.
+  void InsertSegmentsAt(size_t si, const std::vector<Entry>& entries) {
+    std::vector<Segment> fresh = Segmentize(entries);
+    for (size_t i = 0; i < fresh.size(); ++i) {
+      segment_first_keys_.insert(segment_first_keys_.begin() + si + i,
+                                 fresh[i].data.front().key);
+      segments_.insert(segments_.begin() + si + i, std::move(fresh[i]));
+    }
+    // The very first segment must keep routing keys below the global
+    // minimum to index 0.
+    if (si == 0 && !segment_first_keys_.empty()) {
+      // Nothing to do: SegmentOf clamps lb==0 to segment 0 already.
+    }
+  }
+
+  void AppendSegmentsFrom(const std::vector<Entry>& entries) {
+    std::vector<Segment> fresh = Segmentize(entries);
+    for (Segment& seg : fresh) {
+      segment_first_keys_.push_back(seg.data.front().key);
+      segments_.push_back(std::move(seg));
+    }
+  }
+
+  std::vector<Segment> Segmentize(const std::vector<Entry>& entries) const {
+    SwingFilterBuilder builder(static_cast<double>(options_.epsilon));
+    for (size_t i = 0; i < entries.size(); ++i) {
+      builder.Add(static_cast<double>(entries[i].key), i);
+    }
+    const std::vector<PlaSegment> pla = builder.Finish();
+    std::vector<Segment> out;
+    out.reserve(pla.size());
+    for (size_t s = 0; s < pla.size(); ++s) {
+      const size_t begin = pla[s].first_pos;
+      const size_t end =
+          (s + 1 < pla.size()) ? pla[s + 1].first_pos : entries.size();
+      Segment seg;
+      seg.data.assign(entries.begin() + begin, entries.begin() + end);
+      // Rebase the model so it predicts positions local to the segment.
+      seg.model.slope = pla[s].model.slope;
+      seg.model.intercept =
+          pla[s].model.intercept - static_cast<double>(begin);
+      out.push_back(std::move(seg));
+    }
+    return out;
+  }
+
+  void ScanSegment(const Segment& seg, const Key& lo, const Key& hi,
+                   std::vector<std::pair<Key, Value>>* out) const {
+    size_t di = seg.LowerBound(lo, options_.epsilon);
+    size_t bi = std::lower_bound(seg.buffer.begin(), seg.buffer.end(), lo,
+                                 [](const BufferEntry& e, const Key& k) {
+                                   return e.key < k;
+                                 }) -
+                seg.buffer.begin();
+    while (di < seg.data.size() || bi < seg.buffer.size()) {
+      const bool data_ok = di < seg.data.size() && seg.data[di].key <= hi;
+      const bool buf_ok =
+          bi < seg.buffer.size() && seg.buffer[bi].key <= hi;
+      if (!data_ok && !buf_ok) break;
+      const bool take_buffer =
+          buf_ok && (!data_ok || seg.buffer[bi].key <= seg.data[di].key);
+      if (take_buffer) {
+        if (data_ok && seg.data[di].key == seg.buffer[bi].key) ++di;
+        if (!seg.buffer[bi].deleted) {
+          out->emplace_back(seg.buffer[bi].key, seg.buffer[bi].value);
+        }
+        ++bi;
+      } else {
+        out->emplace_back(seg.data[di].key, seg.data[di].value);
+        ++di;
+      }
+    }
+  }
+
+  Options options_;
+  std::vector<Segment> segments_;
+  std::vector<Key> segment_first_keys_;  // first_keys[i] = min of segment i.
+  size_t size_ = 0;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_ONE_D_FITING_TREE_H_

@@ -1,0 +1,188 @@
+#ifndef LIDX_ONE_D_HYBRID_RMI_H_
+#define LIDX_ONE_D_HYBRID_RMI_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "baselines/btree.h"
+#include "common/macros.h"
+#include "common/search.h"
+#include "models/linear_model.h"
+
+namespace lidx {
+
+// Hybrid-RMI (Kraska et al., SIGMOD 2018, §4.3 of the tutorial): identical
+// to the RMI, except stage-2 partitions whose model error exceeds a
+// threshold are delegated to a traditional B+-tree over that partition —
+// the original paper's recipe for data regions that linear models fit
+// poorly. This makes it the canonical *hybrid* (ML + traditional) immutable
+// index, and E14 shows why: under adversarial keys the B-tree fallback caps
+// the per-lookup cost that a pure RMI cannot bound.
+//
+// Taxonomy position: one-dimensional / immutable / fixed layout /
+// hybrid (B-tree).
+template <typename Key, typename Value>
+class HybridRmi {
+ public:
+  struct Options {
+    size_t num_models = 1 << 12;
+    // Partitions whose max model error exceeds this use a B-tree instead.
+    size_t max_model_error = 512;
+  };
+
+  HybridRmi() = default;
+
+  void Build(std::vector<Key> keys, std::vector<Value> values,
+             const Options& options = Options()) {
+    LIDX_CHECK(keys.size() == values.size());
+    keys_ = std::move(keys);
+    values_ = std::move(values);
+    max_model_error_ = options.max_model_error;
+    const size_t n = keys_.size();
+    num_models_ = std::min(options.num_models, std::max<size_t>(1, n));
+    // Partition holds a unique_ptr, so build a fresh vector (no copies).
+    partitions_ = std::vector<Partition>(num_models_);
+    if (n == 0) return;
+
+    LinearModel pos_model = LinearModel::FitToPositions(keys_, 0, n);
+    const double scale =
+        static_cast<double>(num_models_) / static_cast<double>(n);
+    stage1_.slope = pos_model.slope * scale;
+    stage1_.intercept = pos_model.intercept * scale;
+    LIDX_CHECK(stage1_.slope >= 0.0);
+
+    size_t begin = 0;
+    for (size_t m = 0; m < num_models_; ++m) {
+      size_t end = begin;
+      while (end < n && RouteToModel(keys_[end]) == m) ++end;
+      TrainPartition(m, begin, end);
+      begin = end;
+    }
+    LIDX_CHECK(begin == n);
+  }
+
+  size_t LowerBound(const Key& key) const {
+    const size_t n = keys_.size();
+    if (n == 0) return 0;
+    const Partition& p = partitions_[RouteToModel(key)];
+    if (p.btree != nullptr) {
+      // Exact hits resolve through the B-tree; misses binary-search the
+      // partition bounds (the B-tree stores exact positions, not gaps).
+      const auto hit = p.btree->Find(key);
+      if (hit.has_value()) return static_cast<size_t>(*hit);
+      return BinarySearchLowerBound(keys_, key, p.begin, p.end);
+    }
+    const size_t pred = p.model.PredictClamped(static_cast<double>(key), n);
+    return WindowLowerBoundWithFixup(keys_, key, pred, p.err_lo, p.err_hi, n);
+  }
+
+  std::optional<Value> Find(const Key& key) const {
+    const size_t pos = LowerBound(key);
+    if (pos < keys_.size() && keys_[pos] == key) return values_[pos];
+    return std::nullopt;
+  }
+
+  bool Contains(const Key& key) const {
+    const size_t pos = LowerBound(key);
+    return pos < keys_.size() && keys_[pos] == key;
+  }
+
+  void RangeScan(const Key& lo, const Key& hi,
+                 std::vector<std::pair<Key, Value>>* out) const {
+    for (size_t i = LowerBound(lo); i < keys_.size() && keys_[i] <= hi; ++i) {
+      out->emplace_back(keys_[i], values_[i]);
+    }
+  }
+
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+  // Number of partitions that fell back to a B-tree.
+  size_t NumBtreePartitions() const {
+    size_t n = 0;
+    for (const Partition& p : partitions_) {
+      if (p.btree != nullptr) ++n;
+    }
+    return n;
+  }
+
+  size_t ModelSizeBytes() const {
+    size_t total = sizeof(*this) + partitions_.capacity() * sizeof(Partition);
+    for (const Partition& p : partitions_) {
+      if (p.btree != nullptr) total += p.btree->SizeBytes();
+    }
+    return total;
+  }
+
+  size_t SizeBytes() const {
+    return ModelSizeBytes() + keys_.capacity() * sizeof(Key) +
+           values_.capacity() * sizeof(Value);
+  }
+
+ private:
+  using PositionTree = BPlusTree<Key, uint64_t>;
+
+  struct Partition {
+    LinearModel model;
+    size_t err_lo = 0;
+    size_t err_hi = 0;
+    size_t begin = 0;
+    size_t end = 0;
+    std::unique_ptr<PositionTree> btree;  // Non-null = B-tree fallback.
+  };
+
+  size_t RouteToModel(const Key& key) const {
+    const double p = stage1_.Predict(static_cast<double>(key));
+    if (p <= 0.0) return 0;
+    const size_t m = static_cast<size_t>(p);
+    return m >= num_models_ ? num_models_ - 1 : m;
+  }
+
+  void TrainPartition(size_t m, size_t begin, size_t end) {
+    Partition& p = partitions_[m];
+    p.begin = begin;
+    p.end = end;
+    if (begin >= end) {
+      p.model.slope = 0.0;
+      p.model.intercept = static_cast<double>(begin);
+      return;
+    }
+    p.model = LinearModel::FitToPositions(keys_, begin, end);
+    int64_t max_under = 0, max_over = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const int64_t pred = static_cast<int64_t>(p.model.PredictClamped(
+          static_cast<double>(keys_[i]), keys_.size()));
+      const int64_t err = pred - static_cast<int64_t>(i);
+      if (err > max_over) max_over = err;
+      if (-err > max_under) max_under = -err;
+    }
+    p.err_lo = static_cast<size_t>(max_under);
+    p.err_hi = static_cast<size_t>(max_over);
+    if (std::max(p.err_lo, p.err_hi) > max_model_error_) {
+      // Model unusable: build the traditional fallback.
+      std::vector<std::pair<Key, uint64_t>> pairs;
+      pairs.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        pairs.emplace_back(keys_[i], static_cast<uint64_t>(i));
+      }
+      p.btree = std::make_unique<PositionTree>();
+      p.btree->BulkLoad(pairs);
+    }
+  }
+
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+  LinearModel stage1_;
+  std::vector<Partition> partitions_;
+  size_t num_models_ = 0;
+  size_t max_model_error_ = 512;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_ONE_D_HYBRID_RMI_H_

@@ -1,0 +1,164 @@
+#ifndef LIDX_ONE_D_LEARNED_BLOOM_H_
+#define LIDX_ONE_D_LEARNED_BLOOM_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/bloom.h"
+#include "common/macros.h"
+#include "models/logistic.h"
+
+namespace lidx {
+
+// Learned Bloom filter (Kraska et al. 2018; analysis by Mitzenmacher 2018):
+// a classifier scores keys; scores >= tau answer "present" directly, and the
+// keys the classifier misses (false negatives) go into a small *backup*
+// Bloom filter, preserving the zero-false-negative contract. When the key
+// set has learnable structure the classifier absorbs most members and the
+// backup filter shrinks, beating a standard Bloom filter at equal space.
+//
+// Taxonomy position: one-dimensional / hybrid (Bloom filter).
+class LearnedBloomFilter {
+ public:
+  struct Options {
+    double backup_bits_per_key = 8.0;  // Sizing of the backup filter.
+    // 16 harmonics resolve occupancy structure down to ~1/16 of the key
+    // range; cheaper models miss higher-frequency band layouts entirely.
+    int classifier_harmonics = 16;
+    int train_epochs = 15;
+    // Candidate thresholds swept as quantiles of positive scores.
+    int threshold_candidates = 16;
+    // Target share of negatives the classifier may wrongly admit.
+    double max_classifier_fpr = 0.01;
+  };
+
+  // `positives` = member keys; `negatives` = a sample of non-member keys
+  // (the query distribution the deployment expects).
+  void Build(const std::vector<uint64_t>& positives,
+             const std::vector<uint64_t>& negatives) {
+    Build(positives, negatives, Options());
+  }
+
+  void Build(const std::vector<uint64_t>& positives,
+             const std::vector<uint64_t>& negatives,
+             const Options& options) {
+    LIDX_CHECK(!positives.empty());
+    LIDX_CHECK(!negatives.empty());
+    options_ = options;
+    model_ = std::make_unique<LogisticModel>(options.classifier_harmonics);
+    model_->Train(positives, negatives, options.train_epochs);
+
+    // Score both sets once.
+    std::vector<double> pos_scores(positives.size());
+    for (size_t i = 0; i < positives.size(); ++i) {
+      pos_scores[i] = model_->Predict(positives[i]);
+    }
+    std::vector<double> neg_scores(negatives.size());
+    for (size_t i = 0; i < negatives.size(); ++i) {
+      neg_scores[i] = model_->Predict(negatives[i]);
+    }
+
+    // Pick tau: the lowest positive-score quantile whose classifier FPR on
+    // the negative sample stays within budget (lower tau = fewer backup
+    // keys = smaller backup filter).
+    std::vector<double> sorted_pos = pos_scores;
+    std::sort(sorted_pos.begin(), sorted_pos.end());
+    std::vector<double> sorted_neg = neg_scores;
+    std::sort(sorted_neg.begin(), sorted_neg.end());
+    tau_ = 1.0;
+    for (int c = 1; c <= options.threshold_candidates; ++c) {
+      const double q = static_cast<double>(c) /
+                       (options.threshold_candidates + 1);
+      const double candidate =
+          sorted_pos[static_cast<size_t>(q * (sorted_pos.size() - 1))];
+      // FPR of the classifier alone at this threshold.
+      const size_t admitted =
+          sorted_neg.end() -
+          std::lower_bound(sorted_neg.begin(), sorted_neg.end(), candidate);
+      const double fpr =
+          static_cast<double>(admitted) / static_cast<double>(sorted_neg.size());
+      if (fpr <= options.max_classifier_fpr) {
+        tau_ = candidate;
+        break;
+      }
+    }
+
+    // Backup filter over classifier false negatives.
+    std::vector<uint64_t> backup_keys;
+    for (size_t i = 0; i < positives.size(); ++i) {
+      if (pos_scores[i] < tau_) backup_keys.push_back(positives[i]);
+    }
+    num_backup_keys_ = backup_keys.size();
+    backup_ = std::make_unique<BloomFilter>(
+        std::max<size_t>(1, backup_keys.size()),
+        options.backup_bits_per_key);
+    for (uint64_t k : backup_keys) backup_->Add(k);
+  }
+
+  // True if the key may be a member; never false for a member.
+  bool MayContain(uint64_t key) const {
+    if (model_->Predict(key) >= tau_) return true;
+    return backup_->MayContain(key);
+  }
+
+  double tau() const { return tau_; }
+  size_t num_backup_keys() const { return num_backup_keys_; }
+
+  size_t SizeBytes() const {
+    return sizeof(*this) + model_->SizeBytes() + backup_->SizeBytes();
+  }
+
+ private:
+  Options options_;
+  std::unique_ptr<LogisticModel> model_;
+  std::unique_ptr<BloomFilter> backup_;
+  double tau_ = 1.0;
+  size_t num_backup_keys_ = 0;
+};
+
+// Sandwiched learned Bloom filter (Mitzenmacher, NeurIPS 2018): an initial
+// Bloom filter in front of the classifier screens out most non-members
+// before they can be wrongly admitted, provably improving on the plain
+// learned filter at equal total space.
+class SandwichedLearnedBloomFilter {
+ public:
+  struct Options {
+    LearnedBloomFilter::Options learned;
+    double initial_bits_per_key = 4.0;  // Front filter budget.
+  };
+
+  void Build(const std::vector<uint64_t>& positives,
+             const std::vector<uint64_t>& negatives) {
+    Build(positives, negatives, Options());
+  }
+
+  void Build(const std::vector<uint64_t>& positives,
+             const std::vector<uint64_t>& negatives,
+             const Options& options) {
+    initial_ = std::make_unique<BloomFilter>(positives.size(),
+                                             options.initial_bits_per_key);
+    for (uint64_t k : positives) initial_->Add(k);
+    learned_.Build(positives, negatives, options.learned);
+  }
+
+  bool MayContain(uint64_t key) const {
+    if (!initial_->MayContain(key)) return false;
+    return learned_.MayContain(key);
+  }
+
+  size_t SizeBytes() const {
+    return sizeof(*this) + initial_->SizeBytes() + learned_.SizeBytes() -
+           sizeof(LearnedBloomFilter);
+  }
+
+ private:
+  std::unique_ptr<BloomFilter> initial_;
+  LearnedBloomFilter learned_;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_ONE_D_LEARNED_BLOOM_H_

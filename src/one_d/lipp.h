@@ -1,0 +1,387 @@
+#ifndef LIDX_ONE_D_LIPP_H_
+#define LIDX_ONE_D_LIPP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "models/linear_model.h"
+
+namespace lidx {
+
+// LIPP-style updatable learned index with precise positions (Wu et al.,
+// VLDB 2021): the tutorial's second representative of mutable indexes with
+// a *dynamic* data layout (§4.2). The defining property: the model's
+// prediction IS the position — there is no last-mile search. Every node
+// owns an array of slots; a key's slot is exactly model(key). Colliding
+// keys push a child node into the slot (the layout adapts to the data),
+// and subtrees that accumulate too many inserts since construction are
+// rebuilt to restore balance (LIPP's adjustment strategy).
+//
+// Taxonomy position: one-dimensional / mutable / dynamic layout / pure /
+// in-place.
+template <typename Key, typename Value>
+class LippIndex {
+ public:
+  struct Options {
+    // Slots allocated per entry at (re)build; >1 leaves headroom.
+    double slots_per_key = 2.0;
+    size_t min_node_slots = 16;
+    // Rebuild a subtree once inserts since build exceed this fraction of
+    // its size at build time.
+    double rebuild_factor = 1.0;
+  };
+
+  explicit LippIndex(const Options& options = Options()) : options_(options) {
+    root_ = BuildNode({});
+  }
+
+  ~LippIndex() { FreeNode(root_); }
+
+  LippIndex(const LippIndex&) = delete;
+  LippIndex& operator=(const LippIndex&) = delete;
+
+  void BulkLoad(const std::vector<Key>& keys,
+                const std::vector<Value>& values) {
+    LIDX_CHECK(keys.size() == values.size());
+    FreeNode(root_);
+    std::vector<Entry> entries;
+    entries.reserve(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      LIDX_DCHECK(i == 0 || keys[i - 1] < keys[i]);
+      entries.push_back({keys[i], values[i]});
+    }
+    root_ = BuildNode(entries);
+    size_ = keys.size();
+  }
+
+  std::optional<Value> Find(const Key& key) const {
+    const LippNode* node = root_;
+    while (true) {
+      const size_t slot = node->SlotFor(key);
+      const Cell& cell = node->cells[slot];
+      switch (cell.tag) {
+        case CellTag::kEmpty:
+          return std::nullopt;
+        case CellTag::kData:
+          if (cell.key == key) return cell.value;
+          return std::nullopt;
+        case CellTag::kChild:
+          node = cell.child;
+          break;
+      }
+    }
+  }
+
+  bool Contains(const Key& key) const { return Find(key).has_value(); }
+
+  bool Insert(const Key& key, const Value& value) {
+    bool inserted = false;
+    InsertRecursive(root_, key, value, &inserted, /*depth=*/0);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  bool Erase(const Key& key) {
+    LippNode* node = root_;
+    while (true) {
+      const size_t slot = node->SlotFor(key);
+      Cell& cell = node->cells[slot];
+      switch (cell.tag) {
+        case CellTag::kEmpty:
+          return false;
+        case CellTag::kData:
+          if (cell.key == key) {
+            cell.tag = CellTag::kEmpty;
+            --node->num_entries;
+            --size_;
+            return true;
+          }
+          return false;
+        case CellTag::kChild:
+          node = cell.child;
+          break;
+      }
+    }
+  }
+
+  void RangeScan(const Key& lo, const Key& hi,
+                 std::vector<std::pair<Key, Value>>* out) const {
+    ScanRecursive(root_, lo, hi, out);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  size_t SizeBytes() const { return SizeBytesRecursive(root_); }
+
+  int MaxDepth() const { return MaxDepthRecursive(root_); }
+
+  // Checks that an in-order traversal yields strictly increasing keys (the
+  // monotone-model layout invariant). Test hook.
+  void CheckInvariants() const {
+    bool has_prev = false;
+    Key prev{};
+    CheckRecursive(root_, &has_prev, &prev);
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  enum class CellTag : uint8_t { kEmpty, kData, kChild };
+
+  struct LippNode;
+
+  struct Cell {
+    CellTag tag = CellTag::kEmpty;
+    Key key{};
+    Value value{};
+    LippNode* child = nullptr;
+  };
+
+  struct LippNode {
+    LinearModel model;
+    std::vector<Cell> cells;
+    size_t num_entries = 0;       // Live data cells in this node only.
+    size_t entries_at_build = 0;  // Subtree size when (re)built.
+    size_t inserts_since_build = 0;
+
+    size_t SlotFor(const Key& key) const {
+      return model.PredictClamped(static_cast<double>(key), cells.size());
+    }
+  };
+
+  LippNode* BuildNode(const std::vector<Entry>& entries) {
+    LippNode* node = new LippNode();
+    const size_t cap = std::max(
+        options_.min_node_slots,
+        static_cast<size_t>(static_cast<double>(entries.size()) *
+                            options_.slots_per_key));
+    node->cells.assign(cap, Cell{});
+    node->entries_at_build = entries.size();
+    if (entries.empty()) return node;
+
+    // Model: key -> slot across the full capacity. Monotone because the
+    // entries are sorted, so per-slot key groups partition the key space.
+    std::vector<Key> keys;
+    keys.reserve(entries.size());
+    for (const Entry& e : entries) keys.push_back(e.key);
+    LinearModel rank_model =
+        LinearModel::FitToPositions(keys, 0, keys.size());
+    const double scale =
+        static_cast<double>(cap) / static_cast<double>(entries.size());
+    node->model.slope = rank_model.slope * scale;
+    node->model.intercept = rank_model.intercept * scale;
+
+    // Termination guard: if the fitted model funnels every entry into one
+    // slot (possible for pathological key spreads after clamping), pin the
+    // model through the extreme keys so the group provably splits and
+    // recursion strictly shrinks.
+    if (entries.size() > 1 &&
+        node->SlotFor(entries.front().key) ==
+            node->SlotFor(entries.back().key)) {
+      node->model = LinearModel::ThroughPoints(
+          static_cast<double>(entries.front().key), 0.0,
+          static_cast<double>(entries.back().key),
+          static_cast<double>(cap - 1));
+    }
+
+    // Group consecutive entries that collide into the same slot.
+    size_t i = 0;
+    while (i < entries.size()) {
+      const size_t slot = node->SlotFor(entries[i].key);
+      size_t j = i + 1;
+      while (j < entries.size() && node->SlotFor(entries[j].key) == slot) {
+        ++j;
+      }
+      Cell& cell = node->cells[slot];
+      if (j - i == 1) {
+        cell.tag = CellTag::kData;
+        cell.key = entries[i].key;
+        cell.value = entries[i].value;
+        ++node->num_entries;
+      } else {
+        cell.tag = CellTag::kChild;
+        cell.child = BuildNode(
+            std::vector<Entry>(entries.begin() + i, entries.begin() + j));
+      }
+      i = j;
+    }
+    return node;
+  }
+
+  void InsertRecursive(LippNode* node, const Key& key, const Value& value,
+                       bool* inserted, int depth) {
+    // LIPP's adjustment: rebuild a subtree that has absorbed as many
+    // inserts as it had entries when built (skip the root at depth 0 for
+    // small trees; rebuilding it is handled the same way).
+    ++node->inserts_since_build;
+    if (node->inserts_since_build >
+            std::max<size_t>(64, static_cast<size_t>(
+                                     options_.rebuild_factor *
+                                     static_cast<double>(
+                                         node->entries_at_build))) &&
+        depth >= 0) {
+      std::vector<Entry> entries;
+      CollectEntries(node, &entries);
+      // Insert the new key into the sorted entry list if absent.
+      const auto it = std::lower_bound(
+          entries.begin(), entries.end(), key,
+          [](const Entry& e, const Key& k) { return e.key < k; });
+      if (it != entries.end() && it->key == key) {
+        it->value = value;
+        *inserted = false;
+      } else {
+        entries.insert(it, {key, value});
+        *inserted = true;
+      }
+      RebuildInPlace(node, entries);
+      return;
+    }
+
+    const size_t slot = node->SlotFor(key);
+    Cell& cell = node->cells[slot];
+    switch (cell.tag) {
+      case CellTag::kEmpty:
+        cell.tag = CellTag::kData;
+        cell.key = key;
+        cell.value = value;
+        ++node->num_entries;
+        *inserted = true;
+        return;
+      case CellTag::kData: {
+        if (cell.key == key) {
+          cell.value = value;
+          *inserted = false;
+          return;
+        }
+        // Collision: push both entries into a fresh child.
+        std::vector<Entry> pair;
+        if (cell.key < key) {
+          pair = {{cell.key, cell.value}, {key, value}};
+        } else {
+          pair = {{key, value}, {cell.key, cell.value}};
+        }
+        LippNode* child = BuildNode(pair);
+        cell.tag = CellTag::kChild;
+        cell.child = child;
+        --node->num_entries;
+        *inserted = true;
+        return;
+      }
+      case CellTag::kChild:
+        InsertRecursive(cell.child, key, value, inserted, depth + 1);
+        return;
+    }
+  }
+
+  // In-order collection of all live entries in the subtree.
+  void CollectEntries(const LippNode* node, std::vector<Entry>* out) const {
+    for (const Cell& cell : node->cells) {
+      switch (cell.tag) {
+        case CellTag::kEmpty:
+          break;
+        case CellTag::kData:
+          out->push_back({cell.key, cell.value});
+          break;
+        case CellTag::kChild:
+          CollectEntries(cell.child, out);
+          break;
+      }
+    }
+  }
+
+  void RebuildInPlace(LippNode* node, const std::vector<Entry>& entries) {
+    // Free children, then rebuild this node's storage in place.
+    for (Cell& cell : node->cells) {
+      if (cell.tag == CellTag::kChild) FreeNode(cell.child);
+    }
+    LippNode* fresh = BuildNode(entries);
+    node->model = fresh->model;
+    node->cells = std::move(fresh->cells);
+    node->num_entries = fresh->num_entries;
+    node->entries_at_build = fresh->entries_at_build;
+    node->inserts_since_build = 0;
+    delete fresh;
+  }
+
+  void ScanRecursive(const LippNode* node, const Key& lo, const Key& hi,
+                     std::vector<std::pair<Key, Value>>* out) const {
+    // Monotone model: cells are already in key order.
+    const size_t first = node->SlotFor(lo);
+    for (size_t s = first; s < node->cells.size(); ++s) {
+      const Cell& cell = node->cells[s];
+      switch (cell.tag) {
+        case CellTag::kEmpty:
+          break;
+        case CellTag::kData:
+          if (cell.key > hi) return;
+          if (cell.key >= lo) out->emplace_back(cell.key, cell.value);
+          break;
+        case CellTag::kChild:
+          ScanRecursive(cell.child, lo, hi, out);
+          break;
+      }
+    }
+  }
+
+  void FreeNode(LippNode* node) {
+    if (node == nullptr) return;
+    for (Cell& cell : node->cells) {
+      if (cell.tag == CellTag::kChild) FreeNode(cell.child);
+    }
+    delete node;
+  }
+
+  size_t SizeBytesRecursive(const LippNode* node) const {
+    size_t total = sizeof(LippNode) + node->cells.capacity() * sizeof(Cell);
+    for (const Cell& cell : node->cells) {
+      if (cell.tag == CellTag::kChild) {
+        total += SizeBytesRecursive(cell.child);
+      }
+    }
+    return total;
+  }
+
+  int MaxDepthRecursive(const LippNode* node) const {
+    int depth = 1;
+    for (const Cell& cell : node->cells) {
+      if (cell.tag == CellTag::kChild) {
+        depth = std::max(depth, 1 + MaxDepthRecursive(cell.child));
+      }
+    }
+    return depth;
+  }
+
+  void CheckRecursive(const LippNode* node, bool* has_prev, Key* prev) const {
+    for (const Cell& cell : node->cells) {
+      switch (cell.tag) {
+        case CellTag::kEmpty:
+          break;
+        case CellTag::kData:
+          if (*has_prev) LIDX_CHECK(*prev < cell.key);
+          *prev = cell.key;
+          *has_prev = true;
+          break;
+        case CellTag::kChild:
+          CheckRecursive(cell.child, has_prev, prev);
+          break;
+      }
+    }
+  }
+
+  Options options_;
+  LippNode* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_ONE_D_LIPP_H_

@@ -1,0 +1,175 @@
+#ifndef LIDX_ONE_D_RADIX_SPLINE_H_
+#define LIDX_ONE_D_RADIX_SPLINE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/search.h"
+#include "models/plr.h"
+
+namespace lidx {
+
+// RadixSpline (Kipf et al., aiDM 2020): a single-pass learned index. A
+// greedy error-bounded spline approximates the CDF; a radix table over key
+// prefixes bounds the spline-knot search, so a lookup is: radix probe ->
+// binary search over a handful of knots -> linear interpolation -> bounded
+// last-mile search. Build is one streaming pass, which is why the paper
+// positions it for LSM-style rebuild-heavy deployments.
+//
+// Taxonomy position: one-dimensional / immutable / fixed layout / pure.
+template <typename Key, typename Value>
+class RadixSpline {
+  static_assert(std::is_unsigned_v<Key>,
+                "RadixSpline's radix table requires unsigned integer keys");
+
+ public:
+  struct Options {
+    size_t epsilon = 32;      // Spline interpolation error bound.
+    int num_radix_bits = 18;  // Radix table size = 2^bits entries.
+  };
+
+  RadixSpline() = default;
+
+  void Build(std::vector<Key> keys, std::vector<Value> values,
+             const Options& options = Options()) {
+    LIDX_CHECK(keys.size() == values.size());
+    keys_ = std::move(keys);
+    values_ = std::move(values);
+    epsilon_ = options.epsilon;
+    num_radix_bits_ = options.num_radix_bits;
+    knots_.clear();
+    radix_table_.clear();
+    if (keys_.empty()) return;
+
+    // Single pass: feed every (key, rank) to the greedy corridor.
+    GreedySplineBuilder builder(static_cast<double>(epsilon_));
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      LIDX_DCHECK(i == 0 || keys_[i - 1] < keys_[i]);
+      builder.Add(static_cast<double>(keys_[i]), i);
+    }
+    knots_ = builder.Finish();
+
+    // Radix table over (key - min) >> shift prefixes.
+    min_key_ = keys_.front();
+    const Key max_key = keys_.back();
+    const uint64_t range = static_cast<uint64_t>(max_key - min_key_);
+    int significant_bits = 64 - __builtin_clzll(range | 1);
+    shift_ = std::max(0, significant_bits - num_radix_bits_);
+    const size_t table_size = (range >> shift_) + 2;
+    radix_table_.assign(table_size + 1, 0);
+    size_t cursor = 0;
+    for (size_t i = 0; i < knots_.size(); ++i) {
+      const uint64_t prefix = PrefixOf(knots_[i].key);
+      while (cursor <= prefix) radix_table_[cursor++] = i;
+    }
+    while (cursor < radix_table_.size()) {
+      radix_table_[cursor++] = knots_.size();
+    }
+  }
+
+  size_t LowerBound(const Key& key) const {
+    const size_t n = keys_.size();
+    if (n == 0) return 0;
+    if (key <= min_key_) return 0;
+    if (static_cast<double>(key) >= knots_.back().key) {
+      // Beyond the last knot (== last key): answer is in the final stretch.
+      return BinarySearchLowerBound(keys_, key, n - 1, n);
+    }
+    const uint64_t prefix = PrefixOf(static_cast<double>(key));
+    const size_t begin = radix_table_[prefix];
+    const size_t end = radix_table_[prefix + 1];
+    // Last knot with knot.key <= key, confined to [begin, end].
+    const size_t seg = SegmentFor(static_cast<double>(key), begin, end);
+    const SplineKnot& a = knots_[seg];
+    const SplineKnot& b = knots_[seg + 1];
+    const double frac =
+        (static_cast<double>(key) - a.key) / (b.key - a.key);
+    const double predicted = a.pos + frac * (b.pos - a.pos);
+    size_t pred = 0;
+    if (predicted > 0.0) {
+      pred = std::min(n - 1, static_cast<size_t>(predicted));
+    }
+    return WindowLowerBoundWithFixup(keys_, key, pred, epsilon_ + 1,
+                                     epsilon_ + 1, n);
+  }
+
+  std::optional<Value> Find(const Key& key) const {
+    const size_t pos = LowerBound(key);
+    if (pos < keys_.size() && keys_[pos] == key) return values_[pos];
+    return std::nullopt;
+  }
+
+  bool Contains(const Key& key) const {
+    const size_t pos = LowerBound(key);
+    return pos < keys_.size() && keys_[pos] == key;
+  }
+
+  void RangeScan(const Key& lo, const Key& hi,
+                 std::vector<std::pair<Key, Value>>* out) const {
+    for (size_t i = LowerBound(lo); i < keys_.size() && keys_[i] <= hi; ++i) {
+      out->emplace_back(keys_[i], values_[i]);
+    }
+  }
+
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+  size_t NumKnots() const { return knots_.size(); }
+
+  size_t ModelSizeBytes() const {
+    return sizeof(*this) + knots_.capacity() * sizeof(SplineKnot) +
+           radix_table_.capacity() * sizeof(size_t);
+  }
+
+  size_t SizeBytes() const {
+    return ModelSizeBytes() + keys_.capacity() * sizeof(Key) +
+           values_.capacity() * sizeof(Value);
+  }
+
+  const std::vector<Key>& keys() const { return keys_; }
+
+ private:
+  uint64_t PrefixOf(double key) const {
+    const uint64_t k = static_cast<uint64_t>(key);
+    const uint64_t m = static_cast<uint64_t>(min_key_);
+    return (k <= m) ? 0 : (k - m) >> shift_;
+  }
+
+  // Index of the last knot with key <= k, restricted to [begin, end]
+  // (the radix table guarantees the answer lies there).
+  size_t SegmentFor(double k, size_t begin, size_t end) const {
+    size_t lo = begin;
+    size_t hi = std::min(end + 1, knots_.size());
+    if (lo > 0) --lo;  // The covering knot may precede the bucket start.
+    // Binary search for first knot key > k, then step back.
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (knots_[mid].key <= k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    LIDX_DCHECK(lo > 0);
+    const size_t seg = lo - 1;
+    return std::min(seg, knots_.size() - 2);
+  }
+
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+  std::vector<SplineKnot> knots_;
+  std::vector<size_t> radix_table_;
+  Key min_key_{};
+  size_t epsilon_ = 32;
+  int num_radix_bits_ = 18;
+  int shift_ = 0;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_ONE_D_RADIX_SPLINE_H_

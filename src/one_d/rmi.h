@@ -1,0 +1,227 @@
+#ifndef LIDX_ONE_D_RMI_H_
+#define LIDX_ONE_D_RMI_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/search.h"
+#include "common/serialize.h"
+#include "models/linear_model.h"
+
+namespace lidx {
+
+// Recursive Model Index (Kraska et al., SIGMOD 2018): the first learned
+// index. Two stages of linear models learn the key CDF; stage 1 routes a key
+// to one of `num_models` stage-2 models, each of which predicts a position
+// in the sorted key array. Per-model signed error bounds recorded at build
+// time turn the prediction into a small certified search window.
+//
+// Taxonomy position: one-dimensional / immutable / fixed layout / pure.
+template <typename Key, typename Value>
+class Rmi {
+ public:
+  struct Options {
+    size_t num_models = 1 << 12;  // Stage-2 model count.
+  };
+
+  Rmi() = default;
+
+  // Builds from sorted, unique keys and parallel values.
+  void Build(std::vector<Key> keys, std::vector<Value> values,
+             const Options& options = Options()) {
+    LIDX_CHECK(keys.size() == values.size());
+    LIDX_CHECK(options.num_models >= 1);
+    keys_ = std::move(keys);
+    values_ = std::move(values);
+    const size_t n = keys_.size();
+    num_models_ = std::min(options.num_models, std::max<size_t>(1, n));
+    models_.assign(num_models_, ModelWithBounds{});
+    if (n == 0) return;
+    for (size_t i = 1; i < n; ++i) LIDX_DCHECK(keys_[i - 1] < keys_[i]);
+
+    // Stage 1: least-squares line from key to model index, trained on the
+    // scaled CDF so partitions follow the data distribution.
+    {
+      // Fit key -> position, then rescale slope/intercept to model space.
+      LinearModel pos_model = LinearModel::FitToPositions(keys_, 0, n);
+      const double scale = static_cast<double>(num_models_) /
+                           static_cast<double>(n);
+      stage1_.slope = pos_model.slope * scale;
+      stage1_.intercept = pos_model.intercept * scale;
+    }
+
+    // Partition keys by stage-1 routing. Routing is monotone (non-negative
+    // slope), so each model covers a contiguous key range.
+    LIDX_CHECK(stage1_.slope >= 0.0);
+    size_t begin = 0;
+    for (size_t m = 0; m < num_models_; ++m) {
+      // Find the end of model m's partition by scanning forward.
+      size_t end = begin;
+      while (end < n && RouteToModel(keys_[end]) == m) ++end;
+      TrainModel(m, begin, end);
+      begin = end;
+    }
+    LIDX_CHECK(begin == n);
+  }
+
+  // Raw model prediction for `key` (before the last-mile search); exposed
+  // so wrappers can measure observed error for drift detection (§6.3).
+  size_t PredictPosition(const Key& key) const {
+    if (keys_.empty()) return 0;
+    const ModelWithBounds& m = models_[RouteToModel(key)];
+    return m.model.PredictClamped(static_cast<double>(key), keys_.size());
+  }
+
+  // Position of the first key >= `key` in the sorted key array.
+  size_t LowerBound(const Key& key) const {
+    const size_t n = keys_.size();
+    if (n == 0) return 0;
+    const ModelWithBounds& m = models_[RouteToModel(key)];
+    const size_t pred = m.model.PredictClamped(static_cast<double>(key), n);
+    return WindowLowerBoundWithFixup(keys_, key, pred, m.err_lo, m.err_hi, n);
+  }
+
+  std::optional<Value> Find(const Key& key) const {
+    const size_t pos = LowerBound(key);
+    if (pos < keys_.size() && keys_[pos] == key) return values_[pos];
+    return std::nullopt;
+  }
+
+  bool Contains(const Key& key) const {
+    const size_t pos = LowerBound(key);
+    return pos < keys_.size() && keys_[pos] == key;
+  }
+
+  void RangeScan(const Key& lo, const Key& hi,
+                 std::vector<std::pair<Key, Value>>* out) const {
+    for (size_t i = LowerBound(lo); i < keys_.size() && keys_[i] <= hi; ++i) {
+      out->emplace_back(keys_[i], values_[i]);
+    }
+  }
+
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+  size_t num_models() const { return num_models_; }
+
+  // Index structure size, excluding the data arrays themselves (so it is
+  // comparable to a B+-tree's inner-node overhead per the SOSD convention).
+  size_t ModelSizeBytes() const {
+    return sizeof(*this) + models_.capacity() * sizeof(ModelWithBounds);
+  }
+
+  size_t SizeBytes() const {
+    return ModelSizeBytes() + keys_.capacity() * sizeof(Key) +
+           values_.capacity() * sizeof(Value);
+  }
+
+  // Largest certified search-window radius across models (for E4/E14).
+  size_t MaxErrorWindow() const {
+    size_t w = 0;
+    for (const auto& m : models_) {
+      w = std::max(w, std::max(m.err_lo, m.err_hi));
+    }
+    return w;
+  }
+
+  double MeanErrorWindow() const {
+    if (models_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& m : models_) {
+      sum += static_cast<double>(m.err_lo + m.err_hi) / 2.0;
+    }
+    return sum / static_cast<double>(models_.size());
+  }
+
+  const std::vector<Key>& keys() const { return keys_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  // Binary persistence (same-architecture). Requires trivially copyable
+  // Key and Value.
+  void SaveTo(std::ostream& out) const {
+    static_assert(std::is_trivially_copyable_v<Key>);
+    static_assert(std::is_trivially_copyable_v<Value>);
+    WritePod<uint32_t>(out, kSerialMagic);
+    WritePod<uint32_t>(out, 1);  // Version.
+    WritePod(out, stage1_);
+    WritePod<uint64_t>(out, num_models_);
+    WriteVector(out, keys_);
+    WriteVector(out, values_);
+    WriteVector(out, models_);
+  }
+
+  // Returns false (leaving the index empty) on malformed input.
+  bool LoadFrom(std::istream& in) {
+    *this = Rmi();
+    uint32_t magic = 0, version = 0;
+    if (!ReadPod(in, &magic) || magic != kSerialMagic) return false;
+    if (!ReadPod(in, &version) || version != 1) return false;
+    if (!ReadPod(in, &stage1_)) return false;
+    uint64_t num_models = 0;
+    if (!ReadPod(in, &num_models)) return false;
+    num_models_ = num_models;
+    if (!ReadVector(in, &keys_) || !ReadVector(in, &values_) ||
+        !ReadVector(in, &models_)) {
+      return false;
+    }
+    if (keys_.size() != values_.size()) return false;
+    if (models_.size() != num_models_) return false;
+    if (!keys_.empty() && models_.empty()) return false;
+    return true;
+  }
+
+ private:
+  static constexpr uint32_t kSerialMagic = 0x524D4931;  // "RMI1".
+
+  struct ModelWithBounds {
+    LinearModel model;
+    // err_lo/err_hi: max under-/over-shoot of predictions on trained keys.
+    size_t err_lo = 0;
+    size_t err_hi = 0;
+  };
+
+  size_t RouteToModel(const Key& key) const {
+    const double p = stage1_.Predict(static_cast<double>(key));
+    if (p <= 0.0) return 0;
+    const size_t m = static_cast<size_t>(p);
+    return m >= num_models_ ? num_models_ - 1 : m;
+  }
+
+  void TrainModel(size_t m, size_t begin, size_t end) {
+    ModelWithBounds& mb = models_[m];
+    if (begin >= end) {
+      // Empty partition: constant model pointing at the gap position.
+      mb.model.slope = 0.0;
+      mb.model.intercept = static_cast<double>(begin);
+      return;
+    }
+    mb.model = LinearModel::FitToPositions(keys_, begin, end);
+    int64_t max_under = 0;  // pred < true
+    int64_t max_over = 0;   // pred > true
+    for (size_t i = begin; i < end; ++i) {
+      const int64_t pred = static_cast<int64_t>(
+          mb.model.PredictClamped(static_cast<double>(keys_[i]),
+                                  keys_.size()));
+      const int64_t err = pred - static_cast<int64_t>(i);
+      if (err > max_over) max_over = err;
+      if (-err > max_under) max_under = -err;
+    }
+    mb.err_lo = static_cast<size_t>(max_under);
+    mb.err_hi = static_cast<size_t>(max_over);
+  }
+
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+  LinearModel stage1_;
+  std::vector<ModelWithBounds> models_;
+  size_t num_models_ = 0;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_ONE_D_RMI_H_

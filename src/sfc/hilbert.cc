@@ -1,0 +1,51 @@
+#include "sfc/hilbert.h"
+
+namespace lidx::sfc {
+
+namespace {
+
+// Rotates/reflects a quadrant-local coordinate pair per the classic
+// Hilbert-curve construction (Tropf-style iterative formulation).
+void Rotate(uint64_t side, uint32_t* x, uint32_t* y, uint64_t rx,
+            uint64_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = static_cast<uint32_t>(side - 1 - *x);
+      *y = static_cast<uint32_t>(side - 1 - *y);
+    }
+    const uint32_t t = *x;
+    *x = *y;
+    *y = t;
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertEncode2D(uint32_t x, uint32_t y, int bits) {
+  uint64_t d = 0;
+  const uint64_t side = 1ull << bits;
+  for (uint64_t s = side >> 1; s > 0; s >>= 1) {
+    const uint64_t rx = (x & s) ? 1 : 0;
+    const uint64_t ry = (y & s) ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Reflection is about the full grid during encoding.
+    Rotate(side, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+std::pair<uint32_t, uint32_t> HilbertDecode2D(uint64_t d, int bits) {
+  uint32_t x = 0, y = 0;
+  uint64_t t = d;
+  for (uint64_t s = 1; s < (1ull << bits); s <<= 1) {
+    const uint64_t rx = 1 & (t / 2);
+    const uint64_t ry = 1 & (t ^ rx);
+    Rotate(s, &x, &y, rx, ry);
+    x += static_cast<uint32_t>(s * rx);
+    y += static_cast<uint32_t>(s * ry);
+    t /= 4;
+  }
+  return {x, y};
+}
+
+}  // namespace lidx::sfc

@@ -1,0 +1,22 @@
+#ifndef LIDX_SFC_HILBERT_H_
+#define LIDX_SFC_HILBERT_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace lidx::sfc {
+
+// 2-D Hilbert curve of order `bits` (each coordinate in [0, 2^bits)).
+// Hilbert order preserves locality better than Z-order (every step on the
+// curve is a unit step in space), at the cost of a more expensive
+// per-point transform — exactly the trade-off benchmarked in E12.
+
+// Maps (x, y) to its distance along the Hilbert curve.
+uint64_t HilbertEncode2D(uint32_t x, uint32_t y, int bits);
+
+// Inverse: distance along the curve back to (x, y).
+std::pair<uint32_t, uint32_t> HilbertDecode2D(uint64_t d, int bits);
+
+}  // namespace lidx::sfc
+
+#endif  // LIDX_SFC_HILBERT_H_

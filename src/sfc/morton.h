@@ -1,0 +1,28 @@
+#ifndef LIDX_SFC_MORTON_H_
+#define LIDX_SFC_MORTON_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace lidx::sfc {
+
+// Z-order (Morton) curve: bit interleaving of fixed-point coordinates.
+// 2-D uses 32 bits per dimension (full 64-bit code); 3-D uses 21 bits per
+// dimension. All functions are branch-free magic-number spreads.
+
+// Interleaves x (even bits) and y (odd bits).
+uint64_t MortonEncode2D(uint32_t x, uint32_t y);
+std::pair<uint32_t, uint32_t> MortonDecode2D(uint64_t code);
+
+// 3-D: 21 bits per coordinate (values >= 2^21 are truncated).
+uint64_t MortonEncode3D(uint32_t x, uint32_t y, uint32_t z);
+void MortonDecode3D(uint64_t code, uint32_t* x, uint32_t* y, uint32_t* z);
+
+// Maps a double in [0,1) to a dimension-appropriate fixed-point grid
+// coordinate. `bits` is the per-dimension resolution.
+uint32_t Quantize(double v, int bits);
+double Dequantize(uint32_t q, int bits);
+
+}  // namespace lidx::sfc
+
+#endif  // LIDX_SFC_MORTON_H_

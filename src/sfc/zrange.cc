@@ -1,0 +1,246 @@
+#include "sfc/zrange.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "sfc/hilbert.h"
+#include "sfc/morton.h"
+
+namespace lidx::sfc {
+
+namespace {
+
+constexpr uint64_t kEvenBits = 0x5555555555555555ull;  // x dimension.
+constexpr uint64_t kOddBits = 0xAAAAAAAAAAAAAAAAull;   // y dimension.
+
+uint64_t DimMask(int bit) { return (bit & 1) ? kOddBits : kEvenBits; }
+
+// LOAD "10...0": set `bit`, clear all lower bits of the same dimension.
+uint64_t LoadOneZeros(uint64_t v, int bit) {
+  const uint64_t lower =
+      (bit == 0) ? 0 : (((1ull << bit) - 1) & DimMask(bit));
+  v |= (1ull << bit);
+  v &= ~lower;
+  return v;
+}
+
+// LOAD "01...1": clear `bit`, set all lower bits of the same dimension.
+uint64_t LoadZeroOnes(uint64_t v, int bit) {
+  const uint64_t lower =
+      (bit == 0) ? 0 : (((1ull << bit) - 1) & DimMask(bit));
+  v &= ~(1ull << bit);
+  v |= lower;
+  return v;
+}
+
+}  // namespace
+
+bool ZCodeInRect(uint64_t code, const ZRect& rect) {
+  const auto [x, y] = MortonDecode2D(code);
+  return rect.ContainsCell(x, y);
+}
+
+uint64_t BigMin(uint64_t code, const ZRect& rect) {
+  uint64_t zmin = MortonEncode2D(rect.min_x, rect.min_y);
+  uint64_t zmax = MortonEncode2D(rect.max_x, rect.max_y);
+  uint64_t bigmin = UINT64_MAX;
+  for (int bit = 63; bit >= 0; --bit) {
+    const unsigned z_bit = (code >> bit) & 1;
+    const unsigned min_bit = (zmin >> bit) & 1;
+    const unsigned max_bit = (zmax >> bit) & 1;
+    const unsigned combo = (z_bit << 2) | (min_bit << 1) | max_bit;
+    switch (combo) {
+      case 0b000:
+        break;
+      case 0b001:
+        bigmin = LoadOneZeros(zmin, bit);
+        zmax = LoadZeroOnes(zmax, bit);
+        break;
+      case 0b011:
+        // code's path is entirely below the rectangle: the answer is zmin.
+        return zmin;
+      case 0b100:
+        // code's path is entirely above the rectangle: best seen so far.
+        return bigmin;
+      case 0b101:
+        zmin = LoadOneZeros(zmin, bit);
+        break;
+      case 0b111:
+        break;
+      default:
+        // 0b010 / 0b110 mean zmin > zmax in this dimension: impossible for a
+        // well-formed rectangle.
+        LIDX_CHECK(false);
+    }
+  }
+  return bigmin;
+}
+
+uint64_t LitMax(uint64_t code, const ZRect& rect) {
+  uint64_t zmin = MortonEncode2D(rect.min_x, rect.min_y);
+  uint64_t zmax = MortonEncode2D(rect.max_x, rect.max_y);
+  uint64_t litmax = UINT64_MAX;
+  for (int bit = 63; bit >= 0; --bit) {
+    const unsigned z_bit = (code >> bit) & 1;
+    const unsigned min_bit = (zmin >> bit) & 1;
+    const unsigned max_bit = (zmax >> bit) & 1;
+    const unsigned combo = (z_bit << 2) | (min_bit << 1) | max_bit;
+    switch (combo) {
+      case 0b000:
+        break;
+      case 0b001:
+        // code's bit is 0, so any candidate in the upper half would exceed
+        // it: restrict the rectangle to the lower half.
+        zmax = LoadZeroOnes(zmax, bit);
+        break;
+      case 0b011:
+        return litmax;
+      case 0b100:
+        return zmax;
+      case 0b101:
+        litmax = LoadZeroOnes(zmax, bit);
+        zmin = LoadOneZeros(zmin, bit);
+        break;
+      case 0b111:
+        break;
+      default:
+        LIDX_CHECK(false);
+    }
+  }
+  return litmax;
+}
+
+namespace {
+
+struct Block {
+  uint32_t x0, y0;
+  uint32_t size;  // Power of two; block is [x0, x0+size) x [y0, y0+size).
+};
+
+enum class Overlap { kDisjoint, kPartial, kContained };
+
+Overlap Classify(const Block& b, const ZRect& rect) {
+  const uint64_t bx1 = static_cast<uint64_t>(b.x0) + b.size - 1;
+  const uint64_t by1 = static_cast<uint64_t>(b.y0) + b.size - 1;
+  if (bx1 < rect.min_x || b.x0 > rect.max_x || by1 < rect.min_y ||
+      b.y0 > rect.max_y) {
+    return Overlap::kDisjoint;
+  }
+  if (b.x0 >= rect.min_x && bx1 <= rect.max_x && b.y0 >= rect.min_y &&
+      by1 <= rect.max_y) {
+    return Overlap::kContained;
+  }
+  return Overlap::kPartial;
+}
+
+// A power-of-two-aligned block of side s covers s*s contiguous Z-codes.
+ZInterval BlockInterval(const Block& b) {
+  const uint64_t lo = MortonEncode2D(b.x0, b.y0);
+  const uint64_t count = static_cast<uint64_t>(b.size) * b.size;
+  return {lo, lo + count - 1};
+}
+
+}  // namespace
+
+std::vector<ZInterval> DecomposeZRanges(const ZRect& rect,
+                                        size_t max_ranges) {
+  LIDX_CHECK(max_ranges >= 1);
+  LIDX_CHECK(rect.min_x <= rect.max_x && rect.min_y <= rect.max_y);
+
+  // Smallest power-of-two block enclosing the rectangle's coordinates.
+  uint32_t side = 1;
+  const uint32_t needed = std::max(rect.max_x, rect.max_y);
+  while (side <= needed && side < (1u << 31)) side <<= 1;
+
+  std::vector<ZInterval> result;
+  // Depth-first in Z-order so emitted intervals come out sorted; `pending`
+  // acts as an explicit stack holding blocks in reverse Z-order.
+  std::vector<Block> stack;
+  stack.push_back({0, 0, side});
+  while (!stack.empty()) {
+    const Block b = stack.back();
+    stack.pop_back();
+    const Overlap o = Classify(b, rect);
+    if (o == Overlap::kDisjoint) continue;
+    const bool must_emit =
+        o == Overlap::kContained || b.size == 1 ||
+        // Budget pressure: emitting this whole block (over-covering) keeps
+        // the interval count bounded.
+        result.size() + stack.size() + 4 > max_ranges;
+    if (must_emit) {
+      const ZInterval iv = BlockInterval(b);
+      if (!result.empty() && result.back().hi + 1 == iv.lo) {
+        result.back().hi = iv.hi;  // Coalesce adjacent intervals.
+      } else {
+        result.push_back(iv);
+      }
+      continue;
+    }
+    const uint32_t h = b.size / 2;
+    // Push children in reverse Z-order so they pop in Z-order.
+    stack.push_back({b.x0 + h, b.y0 + h, h});
+    stack.push_back({b.x0, b.y0 + h, h});
+    stack.push_back({b.x0 + h, b.y0, h});
+    stack.push_back({b.x0, b.y0, h});
+  }
+  return result;
+}
+
+std::vector<ZInterval> DecomposeHilbertRanges(const ZRect& rect, int bits,
+                                              size_t max_ranges) {
+  LIDX_CHECK(max_ranges >= 1);
+  LIDX_CHECK(bits >= 1 && bits <= 31);
+  LIDX_CHECK(rect.min_x <= rect.max_x && rect.min_y <= rect.max_y);
+  const uint32_t side = 1u << bits;
+  LIDX_CHECK(rect.max_x < side && rect.max_y < side);
+
+  // An aligned block of side s is one contiguous Hilbert stretch; its
+  // start is the minimum corner encoding (the curve enters at a corner).
+  const auto block_interval = [bits](const Block& b) -> ZInterval {
+    const uint32_t x1 = b.x0 + b.size - 1;
+    const uint32_t y1 = b.y0 + b.size - 1;
+    uint64_t lo = HilbertEncode2D(b.x0, b.y0, bits);
+    lo = std::min(lo, HilbertEncode2D(x1, b.y0, bits));
+    lo = std::min(lo, HilbertEncode2D(b.x0, y1, bits));
+    lo = std::min(lo, HilbertEncode2D(x1, y1, bits));
+    const uint64_t count = static_cast<uint64_t>(b.size) * b.size;
+    return {lo, lo + count - 1};
+  };
+
+  std::vector<ZInterval> result;
+  std::vector<Block> stack;
+  stack.push_back({0, 0, side});
+  while (!stack.empty()) {
+    const Block b = stack.back();
+    stack.pop_back();
+    const Overlap o = Classify(b, rect);
+    if (o == Overlap::kDisjoint) continue;
+    const bool must_emit =
+        o == Overlap::kContained || b.size == 1 ||
+        result.size() + stack.size() + 4 > max_ranges;
+    if (must_emit) {
+      result.push_back(block_interval(b));
+      continue;
+    }
+    const uint32_t h = b.size / 2;
+    stack.push_back({b.x0 + h, b.y0 + h, h});
+    stack.push_back({b.x0, b.y0 + h, h});
+    stack.push_back({b.x0 + h, b.y0, h});
+    stack.push_back({b.x0, b.y0, h});
+  }
+  // Blocks were emitted in Z-scan order, not Hilbert order: sort and
+  // coalesce adjacent intervals.
+  std::sort(result.begin(), result.end(),
+            [](const ZInterval& a, const ZInterval& b) { return a.lo < b.lo; });
+  std::vector<ZInterval> merged;
+  for (const ZInterval& iv : result) {
+    if (!merged.empty() && merged.back().hi + 1 >= iv.lo) {
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+}  // namespace lidx::sfc

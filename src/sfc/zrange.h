@@ -1,0 +1,65 @@
+#ifndef LIDX_SFC_ZRANGE_H_
+#define LIDX_SFC_ZRANGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lidx::sfc {
+
+// Range-query machinery on the 2-D Z-order curve. A rectangle in space maps
+// to many disjoint intervals on the curve; the two classic tools are:
+//
+//  * BIGMIN / LITMAX (Tropf & Herzog 1981): given a code outside the query
+//    rectangle, jump directly to the next (previous) code inside it. This
+//    lets an index scan a sorted code array and skip dead stretches without
+//    materializing the interval decomposition.
+//  * Explicit decomposition of the rectangle into at most `max_ranges` code
+//    intervals (over-covering when the budget is hit).
+
+// A query rectangle in grid coordinates (inclusive bounds).
+struct ZRect {
+  uint32_t min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+
+  bool ContainsCell(uint32_t x, uint32_t y) const {
+    return x >= min_x && x <= max_x && y >= min_y && y <= max_y;
+  }
+};
+
+// True iff the point encoded by `code` lies inside `rect`.
+bool ZCodeInRect(uint64_t code, const ZRect& rect);
+
+// Smallest Z-code >= `code` that lies inside `rect`. `code` is typically the
+// first code found outside the rectangle during a scan. Requires that such a
+// code exists (i.e. code <= MortonEncode2D(rect.max_x, rect.max_y) region);
+// returns max_code+1-like sentinel UINT64_MAX if the rectangle has no code
+// >= `code`.
+uint64_t BigMin(uint64_t code, const ZRect& rect);
+
+// Largest Z-code <= `code` inside `rect`; UINT64_MAX if none.
+uint64_t LitMax(uint64_t code, const ZRect& rect);
+
+// An inclusive interval [lo, hi] of Z-codes.
+struct ZInterval {
+  uint64_t lo;
+  uint64_t hi;
+};
+
+// Decomposes `rect` into at most `max_ranges` sorted, disjoint Z-intervals
+// that together cover every cell of the rectangle. When the budget forces
+// coarsening, intervals may include codes outside the rectangle (callers
+// must post-filter); with an unlimited budget the cover is exact.
+std::vector<ZInterval> DecomposeZRanges(const ZRect& rect, size_t max_ranges);
+
+// Same decomposition on the HILBERT curve of order `bits`: any
+// power-of-two-aligned block is traversed contiguously by the Hilbert
+// curve (it enters and leaves each quadrant exactly once), so a block of
+// side s maps to one interval of s*s consecutive curve positions starting
+// at the minimum of its corner encodings. Hilbert's better locality means
+// the same rectangle needs ~2x fewer intervals than Z-order (E12/A5).
+std::vector<ZInterval> DecomposeHilbertRanges(const ZRect& rect, int bits,
+                                              size_t max_ranges);
+
+}  // namespace lidx::sfc
+
+#endif  // LIDX_SFC_ZRANGE_H_

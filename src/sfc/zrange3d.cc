@@ -1,0 +1,77 @@
+#include "sfc/zrange3d.h"
+
+#include "common/macros.h"
+#include "sfc/morton.h"
+
+namespace lidx::sfc {
+
+namespace {
+
+// Bits of dimension d (0 = x) within a 3-D Morton code: positions with
+// bit_index % 3 == d, up to 21 bits per dimension (63 bits total).
+uint64_t DimMask3(int bit) {
+  constexpr uint64_t kX = 0x1249249249249249ull;  // bits 0, 3, 6, ...
+  switch (bit % 3) {
+    case 0: return kX;
+    case 1: return kX << 1;
+    default: return kX << 2;
+  }
+}
+
+uint64_t LoadOneZeros(uint64_t v, int bit) {
+  const uint64_t lower =
+      (bit == 0) ? 0 : (((1ull << bit) - 1) & DimMask3(bit));
+  v |= (1ull << bit);
+  v &= ~lower;
+  return v;
+}
+
+uint64_t LoadZeroOnes(uint64_t v, int bit) {
+  const uint64_t lower =
+      (bit == 0) ? 0 : (((1ull << bit) - 1) & DimMask3(bit));
+  v &= ~(1ull << bit);
+  v |= lower;
+  return v;
+}
+
+}  // namespace
+
+bool ZCodeInBox3D(uint64_t code, const ZBox3D& box) {
+  uint32_t x, y, z;
+  MortonDecode3D(code, &x, &y, &z);
+  return box.ContainsCell(x, y, z);
+}
+
+uint64_t BigMin3D(uint64_t code, const ZBox3D& box) {
+  uint64_t zmin = MortonEncode3D(box.min_x, box.min_y, box.min_z);
+  uint64_t zmax = MortonEncode3D(box.max_x, box.max_y, box.max_z);
+  uint64_t bigmin = UINT64_MAX;
+  for (int bit = 62; bit >= 0; --bit) {
+    const unsigned z_bit = (code >> bit) & 1;
+    const unsigned min_bit = (zmin >> bit) & 1;
+    const unsigned max_bit = (zmax >> bit) & 1;
+    const unsigned combo = (z_bit << 2) | (min_bit << 1) | max_bit;
+    switch (combo) {
+      case 0b000:
+        break;
+      case 0b001:
+        bigmin = LoadOneZeros(zmin, bit);
+        zmax = LoadZeroOnes(zmax, bit);
+        break;
+      case 0b011:
+        return zmin;
+      case 0b100:
+        return bigmin;
+      case 0b101:
+        zmin = LoadOneZeros(zmin, bit);
+        break;
+      case 0b111:
+        break;
+      default:
+        LIDX_CHECK(false);  // zmin > zmax in some dimension: malformed box.
+    }
+  }
+  return bigmin;
+}
+
+}  // namespace lidx::sfc

@@ -1,0 +1,32 @@
+#ifndef LIDX_SFC_ZRANGE3D_H_
+#define LIDX_SFC_ZRANGE3D_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lidx::sfc {
+
+// BIGMIN machinery for the 3-D Z-order curve. The Tropf-Herzog algorithm
+// generalizes directly: the per-bit dimension mask cycles with period 3
+// instead of 2. Used by the 3-D ZM-index's box queries.
+
+// An axis-aligned box in grid coordinates (inclusive bounds).
+struct ZBox3D {
+  uint32_t min_x = 0, min_y = 0, min_z = 0;
+  uint32_t max_x = 0, max_y = 0, max_z = 0;
+
+  bool ContainsCell(uint32_t x, uint32_t y, uint32_t z) const {
+    return x >= min_x && x <= max_x && y >= min_y && y <= max_y &&
+           z >= min_z && z <= max_z;
+  }
+};
+
+// True iff the cell encoded by `code` lies inside `box`.
+bool ZCodeInBox3D(uint64_t code, const ZBox3D& box);
+
+// Smallest 3-D Z-code >= `code` inside `box`; UINT64_MAX if none.
+uint64_t BigMin3D(uint64_t code, const ZBox3D& box);
+
+}  // namespace lidx::sfc
+
+#endif  // LIDX_SFC_ZRANGE3D_H_

@@ -1,0 +1,31 @@
+#include "spatial/geometry.h"
+
+#include <algorithm>
+
+namespace lidx {
+
+std::vector<uint32_t> BruteForceRange(const std::vector<Point2D>& points,
+                                      const RangeQuery2D& query) {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    if (query.Contains(points[i])) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<uint32_t> BruteForceKnn(const std::vector<Point2D>& points,
+                                    const Point2D& q, size_t k) {
+  std::vector<std::pair<double, uint32_t>> dist;
+  dist.reserve(points.size());
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    dist.emplace_back(Dist2(points[i], q), i);
+  }
+  const size_t take = std::min(k, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + take, dist.end());
+  std::vector<uint32_t> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(dist[i].second);
+  return out;
+}
+
+}  // namespace lidx

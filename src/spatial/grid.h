@@ -1,0 +1,107 @@
+#ifndef LIDX_SPATIAL_GRID_H_
+#define LIDX_SPATIAL_GRID_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "spatial/geometry.h"
+
+namespace lidx {
+
+// Uniform (fixed) grid over the unit square. The simplest traditional
+// spatial index, and the fixed-layout counterpart to Flood's learned grid:
+// Flood's whole pitch is choosing cell boundaries from the data/workload
+// instead of uniformly (E7/E8 compare the two head-to-head).
+class UniformGrid {
+ public:
+  // cells_per_dim x cells_per_dim cells.
+  explicit UniformGrid(uint32_t cells_per_dim = 64)
+      : cells_per_dim_(cells_per_dim),
+        cells_(static_cast<size_t>(cells_per_dim) * cells_per_dim) {
+    LIDX_CHECK(cells_per_dim >= 1);
+  }
+
+  void Build(const std::vector<Point2D>& points) {
+    for (auto& c : cells_) c.clear();
+    size_ = 0;
+    for (uint32_t i = 0; i < points.size(); ++i) Insert(points[i], i);
+  }
+
+  void Insert(const Point2D& p, uint32_t id) {
+    cells_[CellOf(p)].push_back({p, id});
+    ++size_;
+  }
+
+  bool Erase(const Point2D& p, uint32_t id) {
+    auto& cell = cells_[CellOf(p)];
+    for (size_t i = 0; i < cell.size(); ++i) {
+      if (cell[i].id == id && cell[i].point == p) {
+        cell[i] = cell.back();
+        cell.pop_back();
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<uint32_t> FindExact(const Point2D& p) const {
+    std::vector<uint32_t> out;
+    for (const Entry& e : cells_[CellOf(p)]) {
+      if (e.point == p) out.push_back(e.id);
+    }
+    return out;
+  }
+
+  std::vector<uint32_t> RangeQuery(const RangeQuery2D& q) const {
+    std::vector<uint32_t> out;
+    const uint32_t x0 = Clamp(q.min_x);
+    const uint32_t x1 = Clamp(q.max_x);
+    const uint32_t y0 = Clamp(q.min_y);
+    const uint32_t y1 = Clamp(q.max_y);
+    for (uint32_t y = y0; y <= y1; ++y) {
+      for (uint32_t x = x0; x <= x1; ++x) {
+        const auto& cell = cells_[static_cast<size_t>(y) * cells_per_dim_ + x];
+        for (const Entry& e : cell) {
+          if (q.Contains(e.point)) out.push_back(e.id);
+        }
+      }
+    }
+    return out;
+  }
+
+  size_t size() const { return size_; }
+
+  size_t SizeBytes() const {
+    size_t total = sizeof(*this) + cells_.capacity() * sizeof(cells_[0]);
+    for (const auto& c : cells_) total += c.capacity() * sizeof(Entry);
+    return total;
+  }
+
+ private:
+  struct Entry {
+    Point2D point;
+    uint32_t id;
+  };
+
+  uint32_t Clamp(double v) const {
+    if (v <= 0.0) return 0;
+    const auto c = static_cast<uint32_t>(v * cells_per_dim_);
+    return c >= cells_per_dim_ ? cells_per_dim_ - 1 : c;
+  }
+
+  size_t CellOf(const Point2D& p) const {
+    return static_cast<size_t>(Clamp(p.y)) * cells_per_dim_ + Clamp(p.x);
+  }
+
+  uint32_t cells_per_dim_;
+  std::vector<std::vector<Entry>> cells_;
+  size_t size_ = 0;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_SPATIAL_GRID_H_

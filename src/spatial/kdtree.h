@@ -1,0 +1,161 @@
+#ifndef LIDX_SPATIAL_KDTREE_H_
+#define LIDX_SPATIAL_KDTREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/macros.h"
+#include "spatial/geometry.h"
+
+namespace lidx {
+
+// Static 2-D k-d tree over points, built by median splitting into an
+// implicit (array-backed, pointer-free) layout. Baseline for point/kNN
+// queries; the "learned KD tree" branch of the taxonomy augments exactly
+// this structure.
+class KdTree {
+ public:
+  KdTree() = default;
+
+  // Builds from `points`; ids are indices into the input vector.
+  void Build(const std::vector<Point2D>& points) {
+    nodes_.clear();
+    if (points.empty()) return;
+    std::vector<uint32_t> ids(points.size());
+    for (uint32_t i = 0; i < points.size(); ++i) ids[i] = i;
+    points_ = points;
+    nodes_.reserve(points.size());
+    BuildRecursive(&ids, 0, points.size(), 0);
+  }
+
+  // Ids of all points equal to `p`.
+  std::vector<uint32_t> FindExact(const Point2D& p) const {
+    std::vector<uint32_t> out;
+    if (!nodes_.empty()) FindRecursive(0, p, 0, &out);
+    return out;
+  }
+
+  std::vector<uint32_t> RangeQuery(const RangeQuery2D& q) const {
+    std::vector<uint32_t> out;
+    if (!nodes_.empty()) RangeRecursive(0, q, 0, &out);
+    return out;
+  }
+
+  // k nearest neighbors (ordered by increasing distance, ties by id).
+  std::vector<uint32_t> Knn(const Point2D& q, size_t k) const {
+    std::vector<uint32_t> out;
+    if (nodes_.empty() || k == 0) return out;
+    // Max-heap of the best k candidates found so far.
+    std::priority_queue<std::pair<double, uint32_t>> best;
+    KnnRecursive(0, q, 0, k, &best);
+    out.resize(best.size());
+    for (size_t i = out.size(); i > 0; --i) {
+      out[i - 1] = best.top().second;
+      best.pop();
+    }
+    return out;
+  }
+
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  size_t SizeBytes() const {
+    return nodes_.capacity() * sizeof(KdNode) +
+           points_.capacity() * sizeof(Point2D);
+  }
+
+ private:
+  struct KdNode {
+    uint32_t id;        // Point stored at this node.
+    int32_t left = -1;  // Child node indices, -1 when absent.
+    int32_t right = -1;
+  };
+
+  double Coord(uint32_t id, int axis) const {
+    return axis == 0 ? points_[id].x : points_[id].y;
+  }
+
+  // Builds the subtree over ids[begin, end); returns its node index.
+  int32_t BuildRecursive(std::vector<uint32_t>* ids, size_t begin, size_t end,
+                         int axis) {
+    if (begin >= end) return -1;
+    const size_t mid = begin + (end - begin) / 2;
+    std::nth_element(
+        ids->begin() + begin, ids->begin() + mid, ids->begin() + end,
+        [&](uint32_t a, uint32_t b) { return Coord(a, axis) < Coord(b, axis); });
+    const int32_t node_index = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back({(*ids)[mid], -1, -1});
+    const int32_t left = BuildRecursive(ids, begin, mid, 1 - axis);
+    const int32_t right = BuildRecursive(ids, mid + 1, end, 1 - axis);
+    nodes_[node_index].left = left;
+    nodes_[node_index].right = right;
+    return node_index;
+  }
+
+  void FindRecursive(int32_t node, const Point2D& p, int axis,
+                     std::vector<uint32_t>* out) const {
+    if (node < 0) return;
+    const KdNode& n = nodes_[node];
+    const Point2D& np = points_[n.id];
+    if (np == p) out->push_back(n.id);
+    const double pc = axis == 0 ? p.x : p.y;
+    const double nc = Coord(n.id, axis);
+    if (pc < nc) {
+      FindRecursive(n.left, p, 1 - axis, out);
+    } else if (pc > nc) {
+      FindRecursive(n.right, p, 1 - axis, out);
+    } else {
+      // Duplicate coordinates can land on either side of the split.
+      FindRecursive(n.left, p, 1 - axis, out);
+      FindRecursive(n.right, p, 1 - axis, out);
+    }
+  }
+
+  void RangeRecursive(int32_t node, const RangeQuery2D& q, int axis,
+                      std::vector<uint32_t>* out) const {
+    if (node < 0) return;
+    const KdNode& n = nodes_[node];
+    const Point2D& np = points_[n.id];
+    if (q.Contains(np)) out->push_back(n.id);
+    const double nc = Coord(n.id, axis);
+    const double qlo = axis == 0 ? q.min_x : q.min_y;
+    const double qhi = axis == 0 ? q.max_x : q.max_y;
+    // <= on both sides: nth_element may leave duplicates of the split
+    // coordinate in either subtree.
+    if (qlo <= nc) RangeRecursive(n.left, q, 1 - axis, out);
+    if (qhi >= nc) RangeRecursive(n.right, q, 1 - axis, out);
+  }
+
+  void KnnRecursive(int32_t node, const Point2D& q, int axis, size_t k,
+                    std::priority_queue<std::pair<double, uint32_t>>* best)
+      const {
+    if (node < 0) return;
+    const KdNode& n = nodes_[node];
+    const double d2 = Dist2(points_[n.id], q);
+    if (best->size() < k) {
+      best->push({d2, n.id});
+    } else if (d2 < best->top().first ||
+               (d2 == best->top().first && n.id < best->top().second)) {
+      best->pop();
+      best->push({d2, n.id});
+    }
+    const double qc = axis == 0 ? q.x : q.y;
+    const double nc = Coord(n.id, axis);
+    const int32_t near = qc < nc ? n.left : n.right;
+    const int32_t far = qc < nc ? n.right : n.left;
+    KnnRecursive(near, q, 1 - axis, k, best);
+    const double plane2 = (qc - nc) * (qc - nc);
+    if (best->size() < k || plane2 <= best->top().first) {
+      KnnRecursive(far, q, 1 - axis, k, best);
+    }
+  }
+
+  std::vector<Point2D> points_;
+  std::vector<KdNode> nodes_;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_SPATIAL_KDTREE_H_

@@ -1,0 +1,164 @@
+#ifndef LIDX_SPATIAL_QUADTREE_H_
+#define LIDX_SPATIAL_QUADTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "spatial/geometry.h"
+
+namespace lidx {
+
+// Region (PR) quadtree over the unit square: leaves hold up to
+// `kLeafCapacity` points and split into four quadrants when full. A
+// traditional mutable spatial baseline (tutorial §5.3: several hybrid
+// learned indexes use the quadtree as their traditional component).
+class QuadTree {
+ public:
+  static constexpr size_t kLeafCapacity = 32;
+  static constexpr int kMaxDepth = 24;
+
+  QuadTree() : root_(std::make_unique<QuadNode>()) {
+    root_->bounds = {0.0, 0.0, 1.0, 1.0};
+  }
+
+  void Build(const std::vector<Point2D>& points) {
+    root_ = std::make_unique<QuadNode>();
+    root_->bounds = {0.0, 0.0, 1.0, 1.0};
+    size_ = 0;
+    for (uint32_t i = 0; i < points.size(); ++i) Insert(points[i], i);
+  }
+
+  void Insert(const Point2D& p, uint32_t id) {
+    LIDX_DCHECK(root_->bounds.ContainsPoint(p));
+    InsertRecursive(root_.get(), p, id, 0);
+    ++size_;
+  }
+
+  bool Erase(const Point2D& p, uint32_t id) {
+    if (EraseRecursive(root_.get(), p, id)) {
+      --size_;
+      return true;
+    }
+    return false;
+  }
+
+  std::vector<uint32_t> FindExact(const Point2D& p) const {
+    std::vector<uint32_t> out;
+    const QuadNode* node = root_.get();
+    while (node->children[0] != nullptr) {
+      node = node->children[ChildIndex(node, p)].get();
+    }
+    for (const Entry& e : node->entries) {
+      if (e.point == p) out.push_back(e.id);
+    }
+    return out;
+  }
+
+  std::vector<uint32_t> RangeQuery(const RangeQuery2D& q) const {
+    std::vector<uint32_t> out;
+    const Rect qr = Rect::FromQuery(q);
+    RangeRecursive(root_.get(), qr, &out);
+    return out;
+  }
+
+  size_t size() const { return size_; }
+  size_t SizeBytes() const { return SizeBytesRecursive(root_.get()); }
+
+ private:
+  struct Entry {
+    Point2D point;
+    uint32_t id;
+  };
+
+  struct QuadNode {
+    Rect bounds;
+    std::vector<Entry> entries;                    // Leaf payload.
+    std::unique_ptr<QuadNode> children[4];         // All-or-nothing.
+  };
+
+  // Quadrant of `p` inside `node`: 0=SW, 1=SE, 2=NW, 3=NE.
+  static int ChildIndex(const QuadNode* node, const Point2D& p) {
+    const double mx = (node->bounds.min_x + node->bounds.max_x) / 2;
+    const double my = (node->bounds.min_y + node->bounds.max_y) / 2;
+    return (p.x >= mx ? 1 : 0) + (p.y >= my ? 2 : 0);
+  }
+
+  static Rect ChildBounds(const QuadNode* node, int quadrant) {
+    const double mx = (node->bounds.min_x + node->bounds.max_x) / 2;
+    const double my = (node->bounds.min_y + node->bounds.max_y) / 2;
+    Rect r;
+    r.min_x = (quadrant & 1) ? mx : node->bounds.min_x;
+    r.max_x = (quadrant & 1) ? node->bounds.max_x : mx;
+    r.min_y = (quadrant & 2) ? my : node->bounds.min_y;
+    r.max_y = (quadrant & 2) ? node->bounds.max_y : my;
+    return r;
+  }
+
+  void InsertRecursive(QuadNode* node, const Point2D& p, uint32_t id,
+                       int depth) {
+    while (node->children[0] != nullptr) {
+      node = node->children[ChildIndex(node, p)].get();
+      ++depth;
+    }
+    node->entries.push_back({p, id});
+    if (node->entries.size() > kLeafCapacity && depth < kMaxDepth) {
+      // Split: distribute entries to the four quadrants.
+      for (int q = 0; q < 4; ++q) {
+        node->children[q] = std::make_unique<QuadNode>();
+        node->children[q]->bounds = ChildBounds(node, q);
+      }
+      for (const Entry& e : node->entries) {
+        node->children[ChildIndex(node, e.point)]->entries.push_back(e);
+      }
+      node->entries.clear();
+      node->entries.shrink_to_fit();
+    }
+  }
+
+  bool EraseRecursive(QuadNode* node, const Point2D& p, uint32_t id) {
+    while (node->children[0] != nullptr) {
+      node = node->children[ChildIndex(node, p)].get();
+    }
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (node->entries[i].id == id && node->entries[i].point == p) {
+        node->entries.erase(node->entries.begin() + i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void RangeRecursive(const QuadNode* node, const Rect& q,
+                      std::vector<uint32_t>* out) const {
+    if (!q.Intersects(node->bounds)) return;
+    if (node->children[0] == nullptr) {
+      for (const Entry& e : node->entries) {
+        if (q.ContainsPoint(e.point)) out->push_back(e.id);
+      }
+      return;
+    }
+    for (int c = 0; c < 4; ++c) {
+      RangeRecursive(node->children[c].get(), q, out);
+    }
+  }
+
+  size_t SizeBytesRecursive(const QuadNode* node) const {
+    size_t total = sizeof(QuadNode) + node->entries.capacity() * sizeof(Entry);
+    if (node->children[0] != nullptr) {
+      for (int c = 0; c < 4; ++c) {
+        total += SizeBytesRecursive(node->children[c].get());
+      }
+    }
+    return total;
+  }
+
+  std::unique_ptr<QuadNode> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_SPATIAL_QUADTREE_H_

@@ -1,0 +1,633 @@
+#ifndef LIDX_SPATIAL_RTREE_H_
+#define LIDX_SPATIAL_RTREE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "spatial/geometry.h"
+
+namespace lidx {
+
+// Counters filled by queries when a non-null stats pointer is passed; the
+// AI+R-tree experiments report leaf accesses saved by learned routing.
+struct RTreeQueryStats {
+  size_t nodes_visited = 0;
+  size_t leaves_visited = 0;
+};
+
+// Point R-tree (Guttman 1984): the traditional multi-dimensional index that
+// learned spatial indexes are measured against (tutorial §5). Supports STR
+// bulk loading (Leutenegger et al.), dynamic insert with quadratic split,
+// delete with tree condensation, and point / range / kNN queries.
+class RTree {
+ public:
+  static constexpr size_t kMaxEntries = 32;
+  static constexpr size_t kMinEntries = kMaxEntries / 4;
+
+  struct LeafPayload {
+    Point2D point;
+    uint32_t id;
+  };
+
+  RTree() = default;
+  ~RTree() { Clear(); }
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  // Bulk-loads with Sort-Tile-Recursive packing; replaces existing contents.
+  // ids are assigned as indices into `points`.
+  void BulkLoad(const std::vector<Point2D>& points) {
+    Clear();
+    if (points.empty()) return;
+    std::vector<LeafEntry> entries;
+    entries.reserve(points.size());
+    for (uint32_t i = 0; i < points.size(); ++i) {
+      entries.push_back({points[i], i});
+    }
+    root_ = StrPackLeaves(&entries);
+    size_ = points.size();
+  }
+
+  // Bulk-loads from precomputed leaf groupings (e.g., a learned packing
+  // policy — see multi_d/learned_packing.h); the upper levels are packed
+  // with STR over the provided leaves. Empty groups are skipped.
+  void BulkLoadWithLeaves(
+      const std::vector<std::vector<LeafPayload>>& groups) {
+    Clear();
+    std::vector<Node*> leaves;
+    size_t total = 0;
+    for (const auto& group : groups) {
+      if (group.empty()) continue;
+      LIDX_CHECK(group.size() <= kMaxEntries);
+      Node* leaf = new Node(/*is_leaf=*/true);
+      for (const LeafPayload& e : group) {
+        leaf->leaf_entries.push_back({e.point, e.id});
+        leaf->mbr.Expand(e.point);
+      }
+      total += group.size();
+      leaves.push_back(leaf);
+    }
+    root_ = PackUpward(std::move(leaves));
+    size_ = total;
+  }
+
+  void Insert(const Point2D& p, uint32_t id) {
+    if (root_ == nullptr) {
+      Node* leaf = new Node(/*is_leaf=*/true);
+      leaf->leaf_entries.push_back({p, id});
+      leaf->mbr = Rect::FromPoint(p);
+      root_ = leaf;
+      size_ = 1;
+      return;
+    }
+    Node* split = InsertRecursive(root_, p, id);
+    if (split != nullptr) GrowRoot(split);
+    ++size_;
+  }
+
+  // Removes one entry matching (p, id). Returns true if found. Orphaned
+  // entries from underfull nodes are reinserted (Guttman's CondenseTree).
+  bool Erase(const Point2D& p, uint32_t id) {
+    if (root_ == nullptr) return false;
+    std::vector<LeafEntry> orphans;
+    std::vector<Node*> orphan_subtrees;
+    const bool erased =
+        EraseRecursive(root_, p, id, &orphans, &orphan_subtrees);
+    if (!erased) return false;
+    --size_;
+    // Shrink the root if it lost all but one child.
+    while (root_ != nullptr && !root_->is_leaf &&
+           root_->children.size() == 1) {
+      Node* child = root_->children[0];
+      root_->children.clear();
+      delete root_;
+      root_ = child;
+    }
+    if (root_ != nullptr && root_->is_leaf && root_->leaf_entries.empty()) {
+      delete root_;
+      root_ = nullptr;
+    }
+    for (const LeafEntry& e : orphans) Insert(e.point, e.id), --size_;
+    for (Node* subtree : orphan_subtrees) {
+      ReinsertSubtree(subtree);
+    }
+    return true;
+  }
+
+  // Ids of all points with p == query point (point query).
+  std::vector<uint32_t> FindExact(const Point2D& p,
+                                  RTreeQueryStats* stats = nullptr) const {
+    std::vector<uint32_t> out;
+    if (root_ != nullptr) {
+      FindExactRecursive(root_, p, &out, stats);
+    }
+    return out;
+  }
+
+  // Ids of all points inside the query rectangle.
+  std::vector<uint32_t> RangeQuery(const RangeQuery2D& q,
+                                   RTreeQueryStats* stats = nullptr) const {
+    std::vector<uint32_t> out;
+    if (root_ != nullptr) {
+      const Rect qr = Rect::FromQuery(q);
+      RangeRecursive(root_, qr, &out, stats);
+    }
+    return out;
+  }
+
+  // k nearest neighbors by best-first (Hjaltason & Samet) traversal.
+  std::vector<uint32_t> Knn(const Point2D& q, size_t k,
+                            RTreeQueryStats* stats = nullptr) const {
+    std::vector<uint32_t> out;
+    if (root_ == nullptr || k == 0) return out;
+    struct QueueEntry {
+      double dist2;
+      const Node* node;         // nullptr for point entries.
+      Point2D point;
+      uint32_t id;
+      bool operator>(const QueueEntry& o) const { return dist2 > o.dist2; }
+    };
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        heap;
+    heap.push({root_->mbr.MinDist2(q), root_, {}, 0});
+    while (!heap.empty() && out.size() < k) {
+      const QueueEntry top = heap.top();
+      heap.pop();
+      if (top.node == nullptr) {
+        out.push_back(top.id);
+        continue;
+      }
+      const Node* node = top.node;
+      if (stats != nullptr) {
+        ++stats->nodes_visited;
+        if (node->is_leaf) ++stats->leaves_visited;
+      }
+      if (node->is_leaf) {
+        for (const LeafEntry& e : node->leaf_entries) {
+          heap.push({Dist2(e.point, q), nullptr, e.point, e.id});
+        }
+      } else {
+        for (const Node* child : node->children) {
+          heap.push({child->mbr.MinDist2(q), child, {}, 0});
+        }
+      }
+    }
+    return out;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  size_t SizeBytes() const { return SizeBytesRecursive(root_); }
+
+  int Height() const {
+    int h = 0;
+    const Node* n = root_;
+    while (n != nullptr) {
+      ++h;
+      n = n->is_leaf ? nullptr : n->children[0];
+    }
+    return h;
+  }
+
+  // Collects leaf MBRs with stable leaf ids (pre-order); the AI+R-tree
+  // trains its router against this leaf layout.
+  void CollectLeaves(std::vector<Rect>* mbrs,
+                     std::vector<std::vector<LeafPayload>>* contents) const {
+    mbrs->clear();
+    if (contents != nullptr) contents->clear();
+    CollectLeavesRecursive(root_, mbrs, contents);
+  }
+
+  void Clear() {
+    FreeRecursive(root_);
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  // Structural invariants: MBR containment, occupancy bounds, uniform leaf
+  // depth. Aborts on violation; used by tests.
+  void CheckInvariants() const {
+    if (root_ == nullptr) return;
+    int leaf_depth = -1;
+    CheckRecursive(root_, 0, &leaf_depth, /*is_root=*/true);
+  }
+
+ private:
+  struct LeafEntry {
+    Point2D point;
+    uint32_t id;
+  };
+
+  struct Node {
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+    bool is_leaf;
+    Rect mbr;
+    std::vector<Node*> children;        // Internal nodes.
+    std::vector<LeafEntry> leaf_entries;  // Leaf nodes.
+  };
+
+  // ----- Bulk load (STR) -----
+
+  Node* StrPackLeaves(std::vector<LeafEntry>* entries) {
+    const size_t n = entries->size();
+    const size_t num_leaves = (n + kMaxEntries - 1) / kMaxEntries;
+    const size_t num_slices = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+    const size_t slice_size = num_slices * kMaxEntries;
+
+    std::sort(entries->begin(), entries->end(),
+              [](const LeafEntry& a, const LeafEntry& b) {
+                return a.point.x < b.point.x;
+              });
+    std::vector<Node*> leaves;
+    for (size_t s = 0; s < n; s += slice_size) {
+      const size_t end = std::min(n, s + slice_size);
+      std::sort(entries->begin() + s, entries->begin() + end,
+                [](const LeafEntry& a, const LeafEntry& b) {
+                  return a.point.y < b.point.y;
+                });
+      for (size_t i = s; i < end; i += kMaxEntries) {
+        Node* leaf = new Node(/*is_leaf=*/true);
+        const size_t stop = std::min(end, i + kMaxEntries);
+        for (size_t j = i; j < stop; ++j) {
+          leaf->leaf_entries.push_back((*entries)[j]);
+          leaf->mbr.Expand((*entries)[j].point);
+        }
+        leaves.push_back(leaf);
+      }
+    }
+    return PackUpward(std::move(leaves));
+  }
+
+  Node* PackUpward(std::vector<Node*> level) {
+    while (level.size() > 1) {
+      // Re-tile the node centers with STR as well.
+      std::sort(level.begin(), level.end(), [](const Node* a, const Node* b) {
+        return a->mbr.min_x + a->mbr.max_x < b->mbr.min_x + b->mbr.max_x;
+      });
+      const size_t num_parents =
+          (level.size() + kMaxEntries - 1) / kMaxEntries;
+      const size_t num_slices = static_cast<size_t>(
+          std::ceil(std::sqrt(static_cast<double>(num_parents))));
+      const size_t slice = num_slices * kMaxEntries;
+      std::vector<Node*> upper;
+      for (size_t s = 0; s < level.size(); s += slice) {
+        const size_t end = std::min(level.size(), s + slice);
+        std::sort(level.begin() + s, level.begin() + end,
+                  [](const Node* a, const Node* b) {
+                    return a->mbr.min_y + a->mbr.max_y <
+                           b->mbr.min_y + b->mbr.max_y;
+                  });
+        for (size_t i = s; i < end; i += kMaxEntries) {
+          Node* parent = new Node(/*is_leaf=*/false);
+          const size_t stop = std::min(end, i + kMaxEntries);
+          for (size_t j = i; j < stop; ++j) {
+            parent->children.push_back(level[j]);
+            parent->mbr.Expand(level[j]->mbr);
+          }
+          upper.push_back(parent);
+        }
+      }
+      level = std::move(upper);
+    }
+    return level.empty() ? nullptr : level[0];
+  }
+
+  // ----- Dynamic insert -----
+
+  void GrowRoot(Node* split) {
+    Node* new_root = new Node(/*is_leaf=*/false);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split);
+    new_root->mbr = root_->mbr;
+    new_root->mbr.Expand(split->mbr);
+    root_ = new_root;
+  }
+
+  // Returns the new sibling if `node` split, else nullptr.
+  Node* InsertRecursive(Node* node, const Point2D& p, uint32_t id) {
+    node->mbr.Expand(p);
+    if (node->is_leaf) {
+      node->leaf_entries.push_back({p, id});
+      if (node->leaf_entries.size() <= kMaxEntries) return nullptr;
+      return SplitLeaf(node);
+    }
+    Node* best = ChooseSubtree(node, p);
+    Node* split = InsertRecursive(best, p, id);
+    if (split == nullptr) return nullptr;
+    node->children.push_back(split);
+    if (node->children.size() <= kMaxEntries) return nullptr;
+    return SplitInternal(node);
+  }
+
+  static Node* ChooseSubtree(Node* node, const Point2D& p) {
+    const Rect pr = Rect::FromPoint(p);
+    Node* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::max();
+    double best_area = std::numeric_limits<double>::max();
+    for (Node* child : node->children) {
+      const double enl = child->mbr.Enlargement(pr);
+      const double area = child->mbr.Area();
+      if (enl < best_enlargement ||
+          (enl == best_enlargement && area < best_area)) {
+        best = child;
+        best_enlargement = enl;
+        best_area = area;
+      }
+    }
+    return best;
+  }
+
+  // Guttman's quadratic split over leaf entries.
+  Node* SplitLeaf(Node* node) {
+    std::vector<LeafEntry> entries = std::move(node->leaf_entries);
+    node->leaf_entries.clear();
+
+    // Pick the pair of seeds wasting the most area together.
+    size_t seed_a = 0, seed_b = 1;
+    double worst = -1.0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      for (size_t j = i + 1; j < entries.size(); ++j) {
+        Rect merged = Rect::FromPoint(entries[i].point);
+        merged.Expand(entries[j].point);
+        const double waste = merged.Area();
+        if (waste > worst) {
+          worst = waste;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+    Node* right = new Node(/*is_leaf=*/true);
+    node->mbr = Rect::FromPoint(entries[seed_a].point);
+    right->mbr = Rect::FromPoint(entries[seed_b].point);
+    node->leaf_entries.push_back(entries[seed_a]);
+    right->leaf_entries.push_back(entries[seed_b]);
+
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (i == seed_a || i == seed_b) continue;
+      const LeafEntry& e = entries[i];
+      const size_t remaining = entries.size() - i;
+      // Force assignment if one side must take all remaining entries to
+      // reach minimum occupancy.
+      if (node->leaf_entries.size() + remaining <= kMinEntries) {
+        AddToLeaf(node, e);
+        continue;
+      }
+      if (right->leaf_entries.size() + remaining <= kMinEntries) {
+        AddToLeaf(right, e);
+        continue;
+      }
+      const double enl_l = node->mbr.Enlargement(Rect::FromPoint(e.point));
+      const double enl_r = right->mbr.Enlargement(Rect::FromPoint(e.point));
+      if (enl_l < enl_r ||
+          (enl_l == enl_r && node->mbr.Area() <= right->mbr.Area())) {
+        AddToLeaf(node, e);
+      } else {
+        AddToLeaf(right, e);
+      }
+    }
+    return right;
+  }
+
+  static void AddToLeaf(Node* leaf, const LeafEntry& e) {
+    leaf->leaf_entries.push_back(e);
+    leaf->mbr.Expand(e.point);
+  }
+
+  Node* SplitInternal(Node* node) {
+    std::vector<Node*> children = std::move(node->children);
+    node->children.clear();
+
+    size_t seed_a = 0, seed_b = 1;
+    double worst = -1.0;
+    for (size_t i = 0; i < children.size(); ++i) {
+      for (size_t j = i + 1; j < children.size(); ++j) {
+        Rect merged = children[i]->mbr;
+        merged.Expand(children[j]->mbr);
+        const double waste = merged.Area() - children[i]->mbr.Area() -
+                             children[j]->mbr.Area();
+        if (waste > worst) {
+          worst = waste;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+    Node* right = new Node(/*is_leaf=*/false);
+    node->mbr = children[seed_a]->mbr;
+    right->mbr = children[seed_b]->mbr;
+    node->children.push_back(children[seed_a]);
+    right->children.push_back(children[seed_b]);
+
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i == seed_a || i == seed_b) continue;
+      Node* c = children[i];
+      const size_t remaining = children.size() - i;
+      if (node->children.size() + remaining <= kMinEntries) {
+        node->children.push_back(c);
+        node->mbr.Expand(c->mbr);
+        continue;
+      }
+      if (right->children.size() + remaining <= kMinEntries) {
+        right->children.push_back(c);
+        right->mbr.Expand(c->mbr);
+        continue;
+      }
+      const double enl_l = node->mbr.Enlargement(c->mbr);
+      const double enl_r = right->mbr.Enlargement(c->mbr);
+      if (enl_l < enl_r ||
+          (enl_l == enl_r && node->mbr.Area() <= right->mbr.Area())) {
+        node->children.push_back(c);
+        node->mbr.Expand(c->mbr);
+      } else {
+        right->children.push_back(c);
+        right->mbr.Expand(c->mbr);
+      }
+    }
+    return right;
+  }
+
+  // ----- Delete -----
+
+  bool EraseRecursive(Node* node, const Point2D& p, uint32_t id,
+                      std::vector<LeafEntry>* orphans,
+                      std::vector<Node*>* orphan_subtrees) {
+    if (node->is_leaf) {
+      for (size_t i = 0; i < node->leaf_entries.size(); ++i) {
+        if (node->leaf_entries[i].id == id &&
+            node->leaf_entries[i].point == p) {
+          node->leaf_entries.erase(node->leaf_entries.begin() + i);
+          RecomputeMbr(node);
+          return true;
+        }
+      }
+      return false;
+    }
+    for (size_t c = 0; c < node->children.size(); ++c) {
+      Node* child = node->children[c];
+      if (!child->mbr.ContainsPoint(p)) continue;
+      if (!EraseRecursive(child, p, id, orphans, orphan_subtrees)) continue;
+      const size_t child_size =
+          child->is_leaf ? child->leaf_entries.size() : child->children.size();
+      if (child_size < kMinEntries) {
+        // Condense: remove the child and queue its contents for reinsertion.
+        node->children.erase(node->children.begin() + c);
+        if (child->is_leaf) {
+          for (const LeafEntry& e : child->leaf_entries) orphans->push_back(e);
+          child->leaf_entries.clear();
+          delete child;
+        } else {
+          for (Node* grandchild : child->children) {
+            orphan_subtrees->push_back(grandchild);
+          }
+          child->children.clear();
+          delete child;
+        }
+      }
+      RecomputeMbr(node);
+      return true;
+    }
+    return false;
+  }
+
+  static void RecomputeMbr(Node* node) {
+    node->mbr = Rect();
+    if (node->is_leaf) {
+      for (const LeafEntry& e : node->leaf_entries) node->mbr.Expand(e.point);
+    } else {
+      for (const Node* c : node->children) node->mbr.Expand(c->mbr);
+    }
+  }
+
+  // Reinserts every point of an orphaned subtree (simple but correct;
+  // orphan subtrees are rare outside adversarial delete patterns).
+  void ReinsertSubtree(Node* subtree) {
+    if (subtree->is_leaf) {
+      for (const LeafEntry& e : subtree->leaf_entries) {
+        Insert(e.point, e.id);
+        --size_;
+      }
+    } else {
+      for (Node* c : subtree->children) ReinsertSubtree(c);
+      subtree->children.clear();
+    }
+    subtree->children.clear();
+    subtree->leaf_entries.clear();
+    delete subtree;
+  }
+
+  // ----- Queries -----
+
+  void FindExactRecursive(const Node* node, const Point2D& p,
+                          std::vector<uint32_t>* out,
+                          RTreeQueryStats* stats) const {
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      if (node->is_leaf) ++stats->leaves_visited;
+    }
+    if (node->is_leaf) {
+      for (const LeafEntry& e : node->leaf_entries) {
+        if (e.point == p) out->push_back(e.id);
+      }
+      return;
+    }
+    for (const Node* child : node->children) {
+      if (child->mbr.ContainsPoint(p)) {
+        FindExactRecursive(child, p, out, stats);
+      }
+    }
+  }
+
+  void RangeRecursive(const Node* node, const Rect& q,
+                      std::vector<uint32_t>* out,
+                      RTreeQueryStats* stats) const {
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      if (node->is_leaf) ++stats->leaves_visited;
+    }
+    if (node->is_leaf) {
+      for (const LeafEntry& e : node->leaf_entries) {
+        if (q.ContainsPoint(e.point)) out->push_back(e.id);
+      }
+      return;
+    }
+    for (const Node* child : node->children) {
+      if (q.Intersects(child->mbr)) {
+        RangeRecursive(child, q, out, stats);
+      }
+    }
+  }
+
+  void CollectLeavesRecursive(
+      const Node* node, std::vector<Rect>* mbrs,
+      std::vector<std::vector<LeafPayload>>* contents) const {
+    if (node == nullptr) return;
+    if (node->is_leaf) {
+      mbrs->push_back(node->mbr);
+      if (contents != nullptr) {
+        std::vector<LeafPayload> payload;
+        for (const LeafEntry& e : node->leaf_entries) {
+          payload.push_back({e.point, e.id});
+        }
+        contents->push_back(std::move(payload));
+      }
+      return;
+    }
+    for (const Node* c : node->children) {
+      CollectLeavesRecursive(c, mbrs, contents);
+    }
+  }
+
+  void FreeRecursive(Node* node) {
+    if (node == nullptr) return;
+    if (!node->is_leaf) {
+      for (Node* c : node->children) FreeRecursive(c);
+    }
+    delete node;
+  }
+
+  size_t SizeBytesRecursive(const Node* node) const {
+    if (node == nullptr) return 0;
+    size_t total = sizeof(Node) + node->children.capacity() * sizeof(Node*) +
+                   node->leaf_entries.capacity() * sizeof(LeafEntry);
+    for (const Node* c : node->children) total += SizeBytesRecursive(c);
+    return total;
+  }
+
+  void CheckRecursive(const Node* node, int depth, int* leaf_depth,
+                      bool is_root) const {
+    if (node->is_leaf) {
+      if (*leaf_depth < 0) *leaf_depth = depth;
+      LIDX_CHECK(*leaf_depth == depth);
+      if (!is_root) LIDX_CHECK(node->leaf_entries.size() >= 1);
+      LIDX_CHECK(node->leaf_entries.size() <= kMaxEntries);
+      for (const LeafEntry& e : node->leaf_entries) {
+        LIDX_CHECK(node->mbr.ContainsPoint(e.point));
+      }
+      return;
+    }
+    LIDX_CHECK(node->children.size() >= (is_root ? 2u : 1u));
+    LIDX_CHECK(node->children.size() <= kMaxEntries);
+    for (const Node* c : node->children) {
+      LIDX_CHECK(node->mbr.ContainsRect(c->mbr));
+      CheckRecursive(c, depth + 1, leaf_depth, /*is_root=*/false);
+    }
+  }
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_SPATIAL_RTREE_H_

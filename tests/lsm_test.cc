@@ -1,0 +1,213 @@
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datasets/generators.h"
+#include "lsm/lsm_tree.h"
+
+namespace lidx {
+namespace {
+
+using Lsm = LsmTree<uint64_t, uint64_t>;
+
+Lsm::Options SmallOptions(RunSearchMode mode) {
+  Lsm::Options opts;
+  opts.memtable_limit = 256;
+  opts.l0_run_limit = 3;
+  opts.level_size_factor = 4;
+  opts.search_mode = mode;
+  return opts;
+}
+
+class LsmModeTest : public ::testing::TestWithParam<RunSearchMode> {};
+
+TEST_P(LsmModeTest, PutGetAcrossCompactions) {
+  Lsm lsm(SmallOptions(GetParam()));
+  const auto keys = GenerateKeys(KeyDistribution::kUniform, 20000, 701);
+  for (size_t i = 0; i < keys.size(); ++i) lsm.Put(keys[i], i);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(lsm.Get(keys[i]), std::optional<uint64_t>(i)) << i;
+  }
+  // Misses.
+  Rng rng(709);
+  for (int probe = 0; probe < 500; ++probe) {
+    const uint64_t miss = keys[rng.NextBounded(keys.size())] + 1;
+    if (!std::binary_search(keys.begin(), keys.end(), miss)) {
+      ASSERT_FALSE(lsm.Get(miss).has_value());
+    }
+  }
+}
+
+TEST_P(LsmModeTest, OverwriteTakesNewest) {
+  Lsm lsm(SmallOptions(GetParam()));
+  for (uint64_t k = 0; k < 5000; ++k) lsm.Put(k, k);
+  for (uint64_t k = 0; k < 5000; k += 3) lsm.Put(k, k + 1000000);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    const uint64_t expected = (k % 3 == 0) ? k + 1000000 : k;
+    ASSERT_EQ(lsm.Get(k), std::optional<uint64_t>(expected)) << k;
+  }
+}
+
+TEST_P(LsmModeTest, DeleteShadowsAcrossLevels) {
+  Lsm lsm(SmallOptions(GetParam()));
+  for (uint64_t k = 0; k < 5000; ++k) lsm.Put(k, k);
+  lsm.Flush();
+  for (uint64_t k = 0; k < 5000; k += 2) lsm.Delete(k);
+  lsm.Flush();
+  for (uint64_t k = 0; k < 5000; ++k) {
+    if (k % 2 == 0) {
+      ASSERT_FALSE(lsm.Get(k).has_value()) << k;
+    } else {
+      ASSERT_EQ(lsm.Get(k), std::optional<uint64_t>(k)) << k;
+    }
+  }
+}
+
+TEST_P(LsmModeTest, FuzzAgainstStdMap) {
+  Lsm lsm(SmallOptions(GetParam()));
+  std::map<uint64_t, uint64_t> ref;
+  Rng rng(719);
+  for (int op = 0; op < 30000; ++op) {
+    const uint64_t key = rng.NextBounded(3000);
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1:
+        lsm.Put(key, op);
+        ref[key] = op;
+        break;
+      case 2: {
+        const auto got = lsm.Get(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(got.has_value(), it != ref.end()) << key;
+        if (got.has_value()) { ASSERT_EQ(*got, it->second); }
+        break;
+      }
+      default:
+        lsm.Delete(key);
+        ref.erase(key);
+    }
+  }
+  for (const auto& [k, v] : ref) {
+    ASSERT_EQ(lsm.Get(k), std::optional<uint64_t>(v));
+  }
+}
+
+TEST_P(LsmModeTest, RangeScanMergesComponents) {
+  Lsm lsm(SmallOptions(GetParam()));
+  std::map<uint64_t, uint64_t> ref;
+  Rng rng(727);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t k = rng.NextBounded(100000);
+    lsm.Put(k, i);
+    ref[k] = i;
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t k = rng.NextBounded(100000);
+    lsm.Delete(k);
+    ref.erase(k);
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint64_t lo = rng.NextBounded(90000);
+    const uint64_t hi = lo + rng.NextBounded(10000);
+    std::vector<std::pair<uint64_t, uint64_t>> got;
+    lsm.RangeScan(lo, hi, &got);
+    std::vector<std::pair<uint64_t, uint64_t>> expected;
+    for (auto it = ref.lower_bound(lo); it != ref.end() && it->first <= hi;
+         ++it) {
+      expected.emplace_back(it->first, it->second);
+    }
+    ASSERT_EQ(got, expected) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, LsmModeTest,
+                         ::testing::Values(RunSearchMode::kBinarySearch,
+                                           RunSearchMode::kLearned),
+                         [](const auto& info) {
+                           return info.param == RunSearchMode::kLearned
+                                      ? "learned"
+                                      : "binary";
+                         });
+
+TEST(LsmTest, LearnedModeUsesFewerSearchSteps) {
+  // The BOURBON claim: per-run learned models shrink the in-run search.
+  const auto keys = GenerateKeys(KeyDistribution::kUniform, 50000, 733);
+  Lsm learned(SmallOptions(RunSearchMode::kLearned));
+  Lsm binary(SmallOptions(RunSearchMode::kBinarySearch));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    learned.Put(keys[i], i);
+    binary.Put(keys[i], i);
+  }
+  learned.Flush();
+  binary.Flush();
+  learned.ResetStats();
+  binary.ResetStats();
+  Rng rng(739);
+  for (int probe = 0; probe < 5000; ++probe) {
+    const uint64_t k = keys[rng.NextBounded(keys.size())];
+    learned.Get(k);
+    binary.Get(k);
+  }
+  ASSERT_GT(binary.stats().search_steps, 0u);
+  EXPECT_LT(learned.stats().search_steps, binary.stats().search_steps / 2);
+}
+
+TEST(LsmTest, BloomCutsRunProbes) {
+  Lsm lsm(SmallOptions(RunSearchMode::kLearned));
+  const auto keys = GenerateKeys(KeyDistribution::kUniform, 20000, 743);
+  for (size_t i = 0; i < keys.size(); ++i) lsm.Put(keys[i], i);
+  lsm.Flush();
+  lsm.ResetStats();
+  Rng rng(751);
+  for (int probe = 0; probe < 2000; ++probe) {
+    lsm.Get(keys[rng.NextBounded(keys.size())] + 1);  // Mostly misses.
+  }
+  EXPECT_GT(lsm.stats().bloom_rejects, lsm.stats().run_probes * 5);
+}
+
+TEST(LsmTest, CompactionReducesRunCount) {
+  Lsm::Options opts = SmallOptions(RunSearchMode::kLearned);
+  Lsm lsm(opts);
+  for (uint64_t k = 0; k < 50000; ++k) lsm.Put(k, k);
+  lsm.Flush();
+  // L0 is bounded by the run limit; the rest must have been compacted.
+  EXPECT_LE(lsm.NumRuns(), opts.l0_run_limit + lsm.NumLevels() + 1);
+}
+
+TEST(LsmTest, ModelBytesOnlyInLearnedMode) {
+  Lsm learned(SmallOptions(RunSearchMode::kLearned));
+  Lsm binary(SmallOptions(RunSearchMode::kBinarySearch));
+  for (uint64_t k = 0; k < 5000; ++k) {
+    learned.Put(k * 7, k);
+    binary.Put(k * 7, k);
+  }
+  learned.Flush();
+  binary.Flush();
+  EXPECT_GT(learned.ModelSizeBytes(), 0u);
+  EXPECT_EQ(binary.ModelSizeBytes(), 0u);
+}
+
+TEST(LsmTest, EmptyTreeBehaves) {
+  Lsm lsm;
+  EXPECT_FALSE(lsm.Get(5).has_value());
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  lsm.RangeScan(0, 100, &out);
+  EXPECT_TRUE(out.empty());
+  lsm.Flush();  // No-op.
+  EXPECT_EQ(lsm.NumRuns(), 0u);
+}
+
+TEST(LsmTest, DeleteOfAbsentKeyHarmless) {
+  Lsm lsm(SmallOptions(RunSearchMode::kLearned));
+  lsm.Delete(42);
+  lsm.Put(43, 1);
+  EXPECT_FALSE(lsm.Get(42).has_value());
+  EXPECT_EQ(lsm.Get(43), std::optional<uint64_t>(1));
+}
+
+}  // namespace
+}  // namespace lidx

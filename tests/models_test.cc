@@ -1,0 +1,273 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datasets/generators.h"
+#include "models/linear_model.h"
+#include "models/logistic.h"
+#include "models/plr.h"
+
+namespace lidx {
+namespace {
+
+// ----- LinearModel -----
+
+TEST(LinearModelTest, FitsExactLine) {
+  // keys[i] = 10*i + 3 -> position i; the fit must recover slope 1/10.
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 100; ++i) keys.push_back(10 * i + 3);
+  const LinearModel m = LinearModel::FitToPositions(keys, 0, keys.size());
+  EXPECT_NEAR(m.slope, 0.1, 1e-9);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_NEAR(m.Predict(static_cast<double>(keys[i])),
+                static_cast<double>(i), 1e-6);
+  }
+}
+
+TEST(LinearModelTest, SubrangeFit) {
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 100; ++i) keys.push_back(5 * i);
+  const LinearModel m = LinearModel::FitToPositions(keys, 40, 60);
+  // Positions are global indices.
+  EXPECT_NEAR(m.Predict(static_cast<double>(keys[50])), 50.0, 1e-6);
+}
+
+TEST(LinearModelTest, SinglePoint) {
+  std::vector<uint64_t> keys{42};
+  const LinearModel m = LinearModel::FitToPositions(keys, 0, 1);
+  EXPECT_DOUBLE_EQ(m.slope, 0.0);
+  EXPECT_DOUBLE_EQ(m.Predict(42.0), 0.0);
+}
+
+TEST(LinearModelTest, EmptyRange) {
+  std::vector<uint64_t> keys{1, 2, 3};
+  const LinearModel m = LinearModel::FitToPositions(keys, 1, 1);
+  EXPECT_DOUBLE_EQ(m.slope, 0.0);
+}
+
+TEST(LinearModelTest, PredictClampedBounds) {
+  LinearModel m{1.0, -5.0};
+  EXPECT_EQ(m.PredictClamped(0.0, 10), 0u);    // Negative prediction.
+  EXPECT_EQ(m.PredictClamped(100.0, 10), 9u);  // Overshoot.
+  EXPECT_EQ(m.PredictClamped(8.0, 10), 3u);
+}
+
+TEST(LinearModelTest, ThroughPoints) {
+  const LinearModel m = LinearModel::ThroughPoints(2.0, 10.0, 4.0, 20.0);
+  EXPECT_DOUBLE_EQ(m.Predict(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(m.Predict(4.0), 20.0);
+  EXPECT_DOUBLE_EQ(m.Predict(3.0), 15.0);
+}
+
+TEST(LinearModelTest, ThroughPointsDegenerate) {
+  const LinearModel m = LinearModel::ThroughPoints(2.0, 10.0, 2.0, 20.0);
+  EXPECT_DOUBLE_EQ(m.slope, 0.0);
+  EXPECT_DOUBLE_EQ(m.Predict(2.0), 10.0);
+}
+
+TEST(LinearModelTest, NonuniformSlopeNonNegativeOnSorted) {
+  // LS fit over sorted x with increasing y always has slope >= 0.
+  for (KeyDistribution d : AllKeyDistributions()) {
+    const auto keys = GenerateKeys(d, 2000, 17);
+    const LinearModel m = LinearModel::FitToPositions(keys, 0, keys.size());
+    EXPECT_GE(m.slope, 0.0) << KeyDistributionName(d);
+  }
+}
+
+// ----- Swing filter (epsilon-bounded PLA) -----
+
+struct PlaParam {
+  KeyDistribution dist;
+  double epsilon;
+};
+
+class SwingFilterTest
+    : public ::testing::TestWithParam<std::tuple<KeyDistribution, double>> {};
+
+TEST_P(SwingFilterTest, EpsilonGuaranteeHolds) {
+  const auto [dist, eps] = GetParam();
+  const auto keys = GenerateKeys(dist, 20000, 21);
+  const auto segments = BuildPla(keys, eps);
+  ASSERT_FALSE(segments.empty());
+  // Every key's covering segment must predict within eps.
+  size_t seg = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const double k = static_cast<double>(keys[i]);
+    while (seg + 1 < segments.size() && segments[seg + 1].first_key <= k) {
+      ++seg;
+    }
+    const double err =
+        segments[seg].model.Predict(k) - static_cast<double>(i);
+    ASSERT_LE(std::abs(err), eps + 1e-6)
+        << "key " << i << " dist " << KeyDistributionName(dist);
+  }
+}
+
+TEST_P(SwingFilterTest, SegmentsCoverKeysInOrder) {
+  const auto [dist, eps] = GetParam();
+  const auto keys = GenerateKeys(dist, 5000, 23);
+  const auto segments = BuildPla(keys, eps);
+  EXPECT_DOUBLE_EQ(segments.front().first_key,
+                   static_cast<double>(keys.front()));
+  for (size_t s = 1; s < segments.size(); ++s) {
+    EXPECT_LT(segments[s - 1].first_key, segments[s].first_key);
+    EXPECT_LT(segments[s - 1].last_key, segments[s].first_key);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SwingFilterTest,
+    ::testing::Combine(::testing::ValuesIn(AllKeyDistributions()),
+                       ::testing::Values(4.0, 32.0, 256.0)));
+
+TEST(SwingFilterTest, FewerSegmentsWithLargerEpsilon) {
+  const auto keys = GenerateKeys(KeyDistribution::kLognormal, 50000, 29);
+  const size_t small_eps = BuildPla(keys, 8.0).size();
+  const size_t large_eps = BuildPla(keys, 128.0).size();
+  EXPECT_GT(small_eps, large_eps);
+}
+
+TEST(SwingFilterTest, PerfectlyLinearDataOneSegment) {
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 10000; ++i) keys.push_back(7 * i + 13);
+  EXPECT_EQ(BuildPla(keys, 1.0).size(), 1u);
+}
+
+TEST(SwingFilterTest, SingleKey) {
+  std::vector<uint64_t> keys{99};
+  const auto segments = BuildPla(keys, 4.0);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_NEAR(segments[0].model.Predict(99.0), 0.0, 1e-9);
+}
+
+TEST(SwingFilterTest, ZeroEpsilonStillCorrect) {
+  const auto keys = GenerateKeys(KeyDistribution::kUniform, 1000, 31);
+  const auto segments = BuildPla(keys, 0.0);
+  size_t seg = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const double k = static_cast<double>(keys[i]);
+    while (seg + 1 < segments.size() && segments[seg + 1].first_key <= k) {
+      ++seg;
+    }
+    EXPECT_NEAR(segments[seg].model.Predict(k), static_cast<double>(i), 1e-5);
+  }
+}
+
+// ----- Greedy spline corridor -----
+
+class GreedySplineTest
+    : public ::testing::TestWithParam<std::tuple<KeyDistribution, double>> {};
+
+TEST_P(GreedySplineTest, InterpolationErrorBounded) {
+  const auto [dist, eps] = GetParam();
+  const auto keys = GenerateKeys(dist, 20000, 37);
+  GreedySplineBuilder builder(eps);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    builder.Add(static_cast<double>(keys[i]), i);
+  }
+  const auto knots = builder.Finish();
+  ASSERT_GE(knots.size(), 1u);
+  // Interpolate each key within its knot segment.
+  size_t seg = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const double k = static_cast<double>(keys[i]);
+    while (seg + 2 < knots.size() && knots[seg + 1].key <= k) ++seg;
+    if (seg + 1 >= knots.size()) break;
+    const SplineKnot& a = knots[seg];
+    const SplineKnot& b = knots[seg + 1];
+    if (k < a.key || k > b.key) continue;
+    const double frac = (b.key == a.key) ? 0.0 : (k - a.key) / (b.key - a.key);
+    const double pred = a.pos + frac * (b.pos - a.pos);
+    ASSERT_LE(std::abs(pred - static_cast<double>(i)), eps + 1e-6)
+        << "key index " << i;
+  }
+}
+
+TEST_P(GreedySplineTest, KnotsStrictlyIncreasing) {
+  const auto [dist, eps] = GetParam();
+  const auto keys = GenerateKeys(dist, 5000, 41);
+  GreedySplineBuilder builder(eps);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    builder.Add(static_cast<double>(keys[i]), i);
+  }
+  const auto knots = builder.Finish();
+  for (size_t i = 1; i < knots.size(); ++i) {
+    EXPECT_LT(knots[i - 1].key, knots[i].key);
+    EXPECT_LT(knots[i - 1].pos, knots[i].pos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedySplineTest,
+    ::testing::Combine(::testing::ValuesIn(AllKeyDistributions()),
+                       ::testing::Values(8.0, 64.0)));
+
+TEST(GreedySplineTest, LinearDataTwoKnots) {
+  GreedySplineBuilder builder(2.0);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    builder.Add(static_cast<double>(3 * i), i);
+  }
+  EXPECT_EQ(builder.Finish().size(), 2u);
+}
+
+// ----- Logistic classifier -----
+
+TEST(LogisticTest, LearnsSeparableInterval) {
+  // Members in [0, 2^32), non-members in [2^33, 2^34): linearly separable
+  // after normalization.
+  Rng rng(43);
+  std::vector<uint64_t> pos, neg;
+  for (int i = 0; i < 2000; ++i) {
+    pos.push_back(rng.NextBounded(1ull << 32));
+    neg.push_back((1ull << 33) + rng.NextBounded(1ull << 33));
+  }
+  LogisticModel model(4);
+  model.Train(pos, neg, 10);
+  size_t correct = 0;
+  for (uint64_t k : pos) correct += (model.Predict(k) > 0.5);
+  for (uint64_t k : neg) correct += (model.Predict(k) < 0.5);
+  EXPECT_GT(correct, (pos.size() + neg.size()) * 95 / 100);
+}
+
+TEST(LogisticTest, LearnsClusteredStructure) {
+  // Members in two bands; non-members between them. Needs harmonics.
+  Rng rng(47);
+  std::vector<uint64_t> pos, neg;
+  const uint64_t unit = 1ull << 40;
+  for (int i = 0; i < 2000; ++i) {
+    pos.push_back(rng.NextBounded(unit));                 // Band [0, 1).
+    pos.push_back(5 * unit + rng.NextBounded(unit));      // Band [5, 6).
+    neg.push_back(2 * unit + rng.NextBounded(2 * unit));  // Gap [2, 4).
+    neg.push_back(8 * unit + rng.NextBounded(2 * unit));  // Gap [8, 10).
+  }
+  LogisticModel model(8);
+  model.Train(pos, neg, 25);
+  size_t correct = 0;
+  for (uint64_t k : pos) correct += (model.Predict(k) > 0.5);
+  for (uint64_t k : neg) correct += (model.Predict(k) < 0.5);
+  EXPECT_GT(correct, (pos.size() + neg.size()) * 80 / 100);
+}
+
+TEST(LogisticTest, PredictInUnitInterval) {
+  std::vector<uint64_t> pos{1, 2, 3}, neg{1000001, 1000002};
+  LogisticModel model(2);
+  model.Train(pos, neg, 5);
+  for (uint64_t k = 0; k < 2000000; k += 50000) {
+    const double p = model.Predict(k);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LogisticTest, SizeAccounting) {
+  LogisticModel model(8);
+  EXPECT_EQ(model.NumParameters(), 2u + 16u);
+  EXPECT_GT(model.SizeBytes(), model.NumParameters() * sizeof(double) - 1);
+}
+
+}  // namespace
+}  // namespace lidx

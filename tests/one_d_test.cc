@@ -1,0 +1,596 @@
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datasets/generators.h"
+#include "one_d/alex.h"
+#include "one_d/dynamic_pgm.h"
+#include "one_d/hybrid_rmi.h"
+#include "one_d/lipp.h"
+#include "one_d/pgm.h"
+#include "one_d/radix_spline.h"
+#include "one_d/rmi.h"
+
+namespace lidx {
+namespace {
+
+using Params = std::tuple<KeyDistribution, size_t>;
+
+std::string ParamName(const ::testing::TestParamInfo<Params>& info) {
+  return KeyDistributionName(std::get<0>(info.param)) + "_" +
+         std::to_string(std::get<1>(info.param));
+}
+
+// Shared correctness battery for any index with Find/Contains/RangeScan and
+// values equal to the key's rank.
+template <typename Index>
+void CheckLookups(const Index& index, const std::vector<uint64_t>& keys,
+                  uint64_t seed) {
+  // Every key resolves to its rank.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const auto got = index.Find(keys[i]);
+    ASSERT_TRUE(got.has_value()) << "missing key rank " << i;
+    ASSERT_EQ(*got, i) << "wrong value at rank " << i;
+  }
+  // Guaranteed misses.
+  Rng rng(seed);
+  for (int probe = 0; probe < 200; ++probe) {
+    const size_t j = rng.NextBounded(keys.size());
+    const uint64_t miss = keys[j] + 1;
+    const bool is_member =
+        std::binary_search(keys.begin(), keys.end(), miss);
+    if (!is_member) {
+      ASSERT_FALSE(index.Find(miss).has_value()) << miss;
+    }
+  }
+  // Below-minimum and above-maximum probes.
+  if (keys.front() > 0) {
+    ASSERT_FALSE(index.Contains(keys.front() - 1));
+  }
+  ASSERT_FALSE(index.Contains(keys.back() + 1));
+}
+
+template <typename Index>
+void CheckRangeScans(const Index& index, const std::vector<uint64_t>& keys,
+                     uint64_t seed) {
+  Rng rng(seed);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t a = rng.NextBounded(keys.size());
+    const size_t b = std::min(keys.size() - 1, a + rng.NextBounded(200));
+    std::vector<std::pair<uint64_t, uint64_t>> got;
+    index.RangeScan(keys[a], keys[b], &got);
+    ASSERT_EQ(got.size(), b - a + 1) << "range [" << a << "," << b << "]";
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].first, keys[a + i]);
+      ASSERT_EQ(got[i].second, a + i);
+    }
+  }
+  // Empty range (between two adjacent keys, if there is a gap).
+  for (size_t i = 0; i + 1 < keys.size(); ++i) {
+    if (keys[i + 1] > keys[i] + 2) {
+      std::vector<std::pair<uint64_t, uint64_t>> got;
+      index.RangeScan(keys[i] + 1, keys[i + 1] - 1, &got);
+      ASSERT_TRUE(got.empty());
+      break;
+    }
+  }
+}
+
+std::vector<uint64_t> Ranks(size_t n) {
+  std::vector<uint64_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+// ----- RMI -----
+
+class RmiParamTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(RmiParamTest, LookupAndRange) {
+  const auto [dist, n] = GetParam();
+  const auto keys = GenerateKeys(dist, n, 71);
+  Rmi<uint64_t, uint64_t> index;
+  index.Build(keys, Ranks(n));
+  CheckLookups(index, keys, 73);
+  CheckRangeScans(index, keys, 79);
+}
+
+TEST_P(RmiParamTest, LowerBoundMatchesStd) {
+  const auto [dist, n] = GetParam();
+  const auto keys = GenerateKeys(dist, n, 83);
+  Rmi<uint64_t, uint64_t> index;
+  index.Build(keys, Ranks(n));
+  Rng rng(89);
+  for (int probe = 0; probe < 500; ++probe) {
+    const uint64_t k = keys[rng.NextBounded(n)] + rng.NextBounded(3) - 1;
+    const size_t expected =
+        std::lower_bound(keys.begin(), keys.end(), k) - keys.begin();
+    ASSERT_EQ(index.LowerBound(k), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RmiParamTest,
+    ::testing::Combine(::testing::ValuesIn(AllKeyDistributions()),
+                       ::testing::Values(100, 10000)),
+    ParamName);
+
+TEST(RmiTest, ModelCountVariants) {
+  const auto keys = GenerateKeys(KeyDistribution::kLognormal, 20000, 97);
+  for (size_t models : {1u, 16u, 1024u, 65536u}) {
+    Rmi<uint64_t, uint64_t> index;
+    Rmi<uint64_t, uint64_t>::Options opts;
+    opts.num_models = models;
+    index.Build(keys, Ranks(keys.size()), opts);
+    CheckLookups(index, keys, 101);
+  }
+}
+
+TEST(RmiTest, MoreModelsSmallerErrors) {
+  const auto keys = GenerateKeys(KeyDistribution::kLognormal, 50000, 103);
+  Rmi<uint64_t, uint64_t> coarse, fine;
+  Rmi<uint64_t, uint64_t>::Options copts, fopts;
+  copts.num_models = 16;
+  fopts.num_models = 8192;
+  coarse.Build(keys, Ranks(keys.size()), copts);
+  fine.Build(keys, Ranks(keys.size()), fopts);
+  EXPECT_LT(fine.MeanErrorWindow(), coarse.MeanErrorWindow());
+}
+
+TEST(RmiTest, TinyInputs) {
+  for (size_t n : {1u, 2u, 3u}) {
+    std::vector<uint64_t> keys;
+    for (size_t i = 0; i < n; ++i) keys.push_back(100 * (i + 1));
+    Rmi<uint64_t, uint64_t> index;
+    index.Build(keys, Ranks(n));
+    CheckLookups(index, keys, 107);
+  }
+}
+
+TEST(RmiTest, EmptyIndex) {
+  Rmi<uint64_t, uint64_t> index;
+  index.Build({}, {});
+  EXPECT_TRUE(index.empty());
+  EXPECT_FALSE(index.Find(5).has_value());
+  EXPECT_EQ(index.LowerBound(5), 0u);
+}
+
+// ----- PGM -----
+
+class PgmParamTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(PgmParamTest, LookupAndRange) {
+  const auto [dist, n] = GetParam();
+  const auto keys = GenerateKeys(dist, n, 109);
+  PgmIndex<uint64_t, uint64_t> index;
+  index.Build(keys, Ranks(n));
+  CheckLookups(index, keys, 113);
+  CheckRangeScans(index, keys, 127);
+}
+
+TEST_P(PgmParamTest, EpsilonInvariant) {
+  const auto [dist, n] = GetParam();
+  const auto keys = GenerateKeys(dist, n, 131);
+  for (size_t eps : {8u, 64u}) {
+    PgmIndex<uint64_t, uint64_t> index;
+    PgmIndex<uint64_t, uint64_t>::Options opts;
+    opts.epsilon = eps;
+    index.Build(keys, Ranks(n), opts);
+    index.CheckEpsilonInvariant();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PgmParamTest,
+    ::testing::Combine(::testing::ValuesIn(AllKeyDistributions()),
+                       ::testing::Values(100, 10000)),
+    ParamName);
+
+TEST(PgmTest, EpsilonTradeoff) {
+  const auto keys = GenerateKeys(KeyDistribution::kClustered, 50000, 137);
+  PgmIndex<uint64_t, uint64_t> tight, loose;
+  PgmIndex<uint64_t, uint64_t>::Options topts, lopts;
+  topts.epsilon = 8;
+  lopts.epsilon = 256;
+  tight.Build(keys, Ranks(keys.size()), topts);
+  loose.Build(keys, Ranks(keys.size()), lopts);
+  EXPECT_GT(tight.NumSegments(), loose.NumSegments());
+  EXPECT_GT(tight.ModelSizeBytes(), loose.ModelSizeBytes());
+}
+
+TEST(PgmTest, MultiLevelStructure) {
+  const auto keys = GenerateKeys(KeyDistribution::kUniform, 200000, 139);
+  PgmIndex<uint64_t, uint64_t> index;
+  PgmIndex<uint64_t, uint64_t>::Options opts;
+  opts.epsilon = 8;
+  opts.epsilon_internal = 4;
+  index.Build(keys, Ranks(keys.size()), opts);
+  EXPECT_GE(index.NumLevels(), 2u);
+  CheckLookups(index, keys, 149);
+}
+
+TEST(PgmTest, AdversarialKeysStillCorrect) {
+  const auto keys = GenerateKeys(KeyDistribution::kAdversarial, 30000, 151);
+  PgmIndex<uint64_t, uint64_t> index;
+  index.Build(keys, Ranks(keys.size()));
+  index.CheckEpsilonInvariant();
+  CheckLookups(index, keys, 157);
+}
+
+TEST(PgmTest, TinyAndEmpty) {
+  PgmIndex<uint64_t, uint64_t> empty;
+  empty.Build({}, {});
+  EXPECT_FALSE(empty.Find(1).has_value());
+  PgmIndex<uint64_t, uint64_t> one;
+  one.Build({42}, {7});
+  EXPECT_EQ(one.Find(42), std::optional<uint64_t>(7));
+  EXPECT_FALSE(one.Find(41).has_value());
+}
+
+// ----- RadixSpline -----
+
+class RadixSplineParamTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(RadixSplineParamTest, LookupAndRange) {
+  const auto [dist, n] = GetParam();
+  const auto keys = GenerateKeys(dist, n, 163);
+  RadixSpline<uint64_t, uint64_t> index;
+  index.Build(keys, Ranks(n));
+  CheckLookups(index, keys, 167);
+  CheckRangeScans(index, keys, 173);
+}
+
+TEST_P(RadixSplineParamTest, LowerBoundMatchesStd) {
+  const auto [dist, n] = GetParam();
+  const auto keys = GenerateKeys(dist, n, 179);
+  RadixSpline<uint64_t, uint64_t> index;
+  index.Build(keys, Ranks(n));
+  Rng rng(181);
+  for (int probe = 0; probe < 500; ++probe) {
+    const uint64_t k = keys[rng.NextBounded(n)] + rng.NextBounded(3) - 1;
+    const size_t expected =
+        std::lower_bound(keys.begin(), keys.end(), k) - keys.begin();
+    ASSERT_EQ(index.LowerBound(k), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RadixSplineParamTest,
+    ::testing::Combine(::testing::ValuesIn(AllKeyDistributions()),
+                       ::testing::Values(100, 10000)),
+    ParamName);
+
+TEST(RadixSplineTest, EpsilonControlsKnots) {
+  const auto keys = GenerateKeys(KeyDistribution::kLognormal, 50000, 191);
+  RadixSpline<uint64_t, uint64_t> tight, loose;
+  RadixSpline<uint64_t, uint64_t>::Options topts, lopts;
+  topts.epsilon = 4;
+  lopts.epsilon = 128;
+  tight.Build(keys, Ranks(keys.size()), topts);
+  loose.Build(keys, Ranks(keys.size()), lopts);
+  EXPECT_GT(tight.NumKnots(), loose.NumKnots());
+}
+
+TEST(RadixSplineTest, TinyInputs) {
+  RadixSpline<uint64_t, uint64_t> one;
+  one.Build({42}, {0});
+  EXPECT_TRUE(one.Contains(42));
+  EXPECT_FALSE(one.Contains(41));
+  RadixSpline<uint64_t, uint64_t> two;
+  two.Build({42, 4200}, {0, 1});
+  EXPECT_TRUE(two.Contains(42));
+  EXPECT_TRUE(two.Contains(4200));
+  EXPECT_FALSE(two.Contains(1000));
+}
+
+// ----- Hybrid RMI -----
+
+class HybridRmiParamTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(HybridRmiParamTest, LookupAndRange) {
+  const auto [dist, n] = GetParam();
+  const auto keys = GenerateKeys(dist, n, 193);
+  HybridRmi<uint64_t, uint64_t> index;
+  index.Build(keys, Ranks(n));
+  CheckLookups(index, keys, 197);
+  CheckRangeScans(index, keys, 199);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HybridRmiParamTest,
+    ::testing::Combine(::testing::ValuesIn(AllKeyDistributions()),
+                       ::testing::Values(100, 10000)),
+    ParamName);
+
+TEST(HybridRmiTest, AdversarialDataUsesBtreeFallback) {
+  const auto keys = GenerateKeys(KeyDistribution::kAdversarial, 50000, 211);
+  HybridRmi<uint64_t, uint64_t> index;
+  HybridRmi<uint64_t, uint64_t>::Options opts;
+  opts.num_models = 64;        // Coarse partitions -> big model errors.
+  opts.max_model_error = 32;   // Aggressive fallback threshold.
+  index.Build(keys, Ranks(keys.size()), opts);
+  EXPECT_GT(index.NumBtreePartitions(), 0u);
+  CheckLookups(index, keys, 223);
+}
+
+TEST(HybridRmiTest, SmoothDataAvoidsFallback) {
+  const auto keys = GenerateKeys(KeyDistribution::kSequential, 50000, 227);
+  HybridRmi<uint64_t, uint64_t> index;
+  index.Build(keys, Ranks(keys.size()));
+  EXPECT_EQ(index.NumBtreePartitions(), 0u);
+}
+
+// ----- ALEX -----
+
+class AlexParamTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(AlexParamTest, BulkLoadLookupAndRange) {
+  const auto [dist, n] = GetParam();
+  const auto keys = GenerateKeys(dist, n, 229);
+  AlexIndex<uint64_t, uint64_t> index;
+  index.BulkLoad(keys, Ranks(n));
+  index.CheckInvariants();
+  CheckLookups(index, keys, 233);
+  CheckRangeScans(index, keys, 239);
+}
+
+TEST_P(AlexParamTest, InsertAfterBulkLoad) {
+  const auto [dist, n] = GetParam();
+  const auto keys = GenerateKeys(dist, n, 241);
+  AlexIndex<uint64_t, uint64_t> index;
+  index.BulkLoad(keys, Ranks(n));
+  std::map<uint64_t, uint64_t> ref;
+  for (size_t i = 0; i < keys.size(); ++i) ref[keys[i]] = i;
+  Rng rng(251);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t k = rng.Next() >> 4;
+    index.Insert(k, i);
+    ref[k] = i;
+  }
+  index.CheckInvariants();
+  ASSERT_EQ(index.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_EQ(index.Find(k), std::optional<uint64_t>(v)) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlexParamTest,
+    ::testing::Combine(::testing::ValuesIn(AllKeyDistributions()),
+                       ::testing::Values(100, 10000)),
+    ParamName);
+
+TEST(AlexTest, FuzzAgainstStdMap) {
+  AlexIndex<uint64_t, uint64_t> index;
+  std::map<uint64_t, uint64_t> ref;
+  Rng rng(257);
+  for (int op = 0; op < 30000; ++op) {
+    const uint64_t key = rng.NextBounded(8000);
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {
+        index.Insert(key, op);
+        ref[key] = op;
+        break;
+      }
+      case 2: {
+        const auto got = index.Find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(got.has_value(), it != ref.end()) << key;
+        if (got.has_value()) { ASSERT_EQ(*got, it->second); }
+        break;
+      }
+      default:
+        ASSERT_EQ(index.Erase(key), ref.erase(key) > 0) << key;
+    }
+    if (op % 10000 == 9999) index.CheckInvariants();
+  }
+  ASSERT_EQ(index.size(), ref.size());
+  std::vector<std::pair<uint64_t, uint64_t>> all;
+  index.RangeScan(0, UINT64_MAX, &all);
+  ASSERT_EQ(all.size(), ref.size());
+  auto it = ref.begin();
+  for (const auto& [k, v] : all) {
+    ASSERT_EQ(k, it->first);
+    ASSERT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+TEST(AlexTest, NodeSplitsUnderSmallLimits) {
+  AlexIndex<uint64_t, uint64_t>::Options opts;
+  opts.max_node_slots = 64;
+  opts.bulk_leaf_entries = 16;
+  AlexIndex<uint64_t, uint64_t> index(opts);
+  for (uint64_t k = 0; k < 20000; ++k) index.Insert(k * 3, k);
+  index.CheckInvariants();
+  EXPECT_GT(index.NumDataNodes(), 100u);
+  for (uint64_t k = 0; k < 20000; ++k) {
+    ASSERT_EQ(index.Find(k * 3), std::optional<uint64_t>(k));
+  }
+}
+
+TEST(AlexTest, InsertIntoEmpty) {
+  AlexIndex<uint64_t, uint64_t> index;
+  EXPECT_TRUE(index.Insert(10, 1));
+  EXPECT_FALSE(index.Insert(10, 2));  // Update.
+  EXPECT_EQ(index.Find(10), std::optional<uint64_t>(2));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(AlexTest, EraseThenReinsert) {
+  AlexIndex<uint64_t, uint64_t> index;
+  for (uint64_t k = 0; k < 1000; ++k) index.Insert(k, k);
+  for (uint64_t k = 0; k < 1000; k += 2) ASSERT_TRUE(index.Erase(k));
+  EXPECT_EQ(index.size(), 500u);
+  for (uint64_t k = 0; k < 1000; k += 2) {
+    EXPECT_FALSE(index.Contains(k));
+    index.Insert(k, k + 1);
+  }
+  EXPECT_EQ(index.size(), 1000u);
+  EXPECT_EQ(index.Find(4), std::optional<uint64_t>(5));
+}
+
+// ----- LIPP -----
+
+class LippParamTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(LippParamTest, BulkLoadLookupAndRange) {
+  const auto [dist, n] = GetParam();
+  const auto keys = GenerateKeys(dist, n, 263);
+  LippIndex<uint64_t, uint64_t> index;
+  index.BulkLoad(keys, Ranks(n));
+  index.CheckInvariants();
+  CheckLookups(index, keys, 269);
+  CheckRangeScans(index, keys, 271);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LippParamTest,
+    ::testing::Combine(::testing::ValuesIn(AllKeyDistributions()),
+                       ::testing::Values(100, 10000)),
+    ParamName);
+
+TEST(LippTest, FuzzAgainstStdMap) {
+  LippIndex<uint64_t, uint64_t> index;
+  std::map<uint64_t, uint64_t> ref;
+  Rng rng(277);
+  for (int op = 0; op < 30000; ++op) {
+    const uint64_t key = rng.NextBounded(8000);
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1:
+        index.Insert(key, op);
+        ref[key] = op;
+        break;
+      case 2: {
+        const auto got = index.Find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(got.has_value(), it != ref.end()) << key;
+        if (got.has_value()) { ASSERT_EQ(*got, it->second); }
+        break;
+      }
+      default:
+        ASSERT_EQ(index.Erase(key), ref.erase(key) > 0) << key;
+    }
+    if (op % 10000 == 9999) index.CheckInvariants();
+  }
+  ASSERT_EQ(index.size(), ref.size());
+}
+
+TEST(LippTest, RebuildBoundsDepth) {
+  LippIndex<uint64_t, uint64_t> index;
+  // Sequential inserts are the worst case for precise-position layouts;
+  // the rebuild policy must keep depth sane.
+  for (uint64_t k = 0; k < 50000; ++k) index.Insert(k, k);
+  EXPECT_LT(index.MaxDepth(), 24);
+  for (uint64_t k = 0; k < 50000; ++k) {
+    ASSERT_EQ(index.Find(k), std::optional<uint64_t>(k));
+  }
+}
+
+TEST(LippTest, NoLastMileSearchExactPositions) {
+  // Every Find walks models only; verify correctness on clustered keys.
+  const auto keys = GenerateKeys(KeyDistribution::kClustered, 20000, 281);
+  LippIndex<uint64_t, uint64_t> index;
+  index.BulkLoad(keys, Ranks(keys.size()));
+  for (size_t i = 0; i < keys.size(); i += 7) {
+    ASSERT_EQ(index.Find(keys[i]), std::optional<uint64_t>(i));
+  }
+}
+
+// ----- Dynamic PGM -----
+
+class DynamicPgmParamTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(DynamicPgmParamTest, BulkLoadLookupAndRange) {
+  const auto [dist, n] = GetParam();
+  const auto keys = GenerateKeys(dist, n, 283);
+  DynamicPgm<uint64_t, uint64_t> index;
+  index.BulkLoad(keys, Ranks(n));
+  CheckLookups(index, keys, 293);
+  CheckRangeScans(index, keys, 307);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DynamicPgmParamTest,
+    ::testing::Combine(::testing::ValuesIn(AllKeyDistributions()),
+                       ::testing::Values(100, 10000)),
+    ParamName);
+
+TEST(DynamicPgmTest, FuzzAgainstStdMap) {
+  DynamicPgm<uint64_t, uint64_t> index;
+  std::map<uint64_t, uint64_t> ref;
+  Rng rng(311);
+  for (int op = 0; op < 15000; ++op) {
+    const uint64_t key = rng.NextBounded(4000);
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1:
+        index.Insert(key, op);
+        ref[key] = op;
+        break;
+      case 2: {
+        const auto got = index.Find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(got.has_value(), it != ref.end()) << key;
+        if (got.has_value()) { ASSERT_EQ(*got, it->second); }
+        break;
+      }
+      default:
+        ASSERT_EQ(index.Erase(key), ref.erase(key) > 0) << key;
+    }
+  }
+  ASSERT_EQ(index.size(), ref.size());
+  std::vector<std::pair<uint64_t, uint64_t>> all;
+  index.RangeScan(0, UINT64_MAX, &all);
+  ASSERT_EQ(all.size(), ref.size());
+  auto it = ref.begin();
+  for (const auto& [k, v] : all) {
+    ASSERT_EQ(k, it->first);
+    ASSERT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+TEST(DynamicPgmTest, ComponentCountLogarithmic) {
+  DynamicPgm<uint64_t, uint64_t> index;
+  for (uint64_t k = 0; k < 100000; ++k) index.Insert(k * 2, k);
+  // Logarithmic method: component count should be O(log(n/base)).
+  EXPECT_LE(index.NumComponents(), 12u);
+}
+
+TEST(DynamicPgmTest, DeleteShadowsOlderInsert) {
+  DynamicPgm<uint64_t, uint64_t> index;
+  for (uint64_t k = 0; k < 1000; ++k) index.Insert(k, k);
+  ASSERT_TRUE(index.Erase(500));
+  EXPECT_FALSE(index.Contains(500));
+  EXPECT_FALSE(index.Erase(500));
+  // Reinsert resurrects.
+  index.Insert(500, 77);
+  EXPECT_EQ(index.Find(500), std::optional<uint64_t>(77));
+}
+
+TEST(DynamicPgmTest, TombstonesDroppedAtFullMerge) {
+  DynamicPgm<uint64_t, uint64_t>::Options opts;
+  opts.base_capacity = 16;
+  DynamicPgm<uint64_t, uint64_t> index(opts);
+  for (uint64_t k = 0; k < 64; ++k) index.Insert(k, k);
+  for (uint64_t k = 0; k < 64; ++k) index.Erase(k);
+  EXPECT_EQ(index.size(), 0u);
+  // Inserting enough fresh keys forces merges that reach the oldest slot.
+  for (uint64_t k = 100; k < 600; ++k) index.Insert(k, k);
+  EXPECT_EQ(index.size(), 500u);
+  for (uint64_t k = 0; k < 64; ++k) {
+    ASSERT_FALSE(index.Contains(k)) << k;
+  }
+}
+
+}  // namespace
+}  // namespace lidx
