@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a02_flood_tuning.dir/bench_a02_flood_tuning.cc.o"
+  "CMakeFiles/bench_a02_flood_tuning.dir/bench_a02_flood_tuning.cc.o.d"
+  "bench_a02_flood_tuning"
+  "bench_a02_flood_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a02_flood_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

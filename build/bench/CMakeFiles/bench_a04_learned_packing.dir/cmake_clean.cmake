@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a04_learned_packing.dir/bench_a04_learned_packing.cc.o"
+  "CMakeFiles/bench_a04_learned_packing.dir/bench_a04_learned_packing.cc.o.d"
+  "bench_a04_learned_packing"
+  "bench_a04_learned_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a04_learned_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

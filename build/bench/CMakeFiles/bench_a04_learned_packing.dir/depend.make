@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a04_learned_packing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a05_sfc_index.dir/bench_a05_sfc_index.cc.o"
+  "CMakeFiles/bench_a05_sfc_index.dir/bench_a05_sfc_index.cc.o.d"
+  "bench_a05_sfc_index"
+  "bench_a05_sfc_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a05_sfc_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e01_lookup_1d.dir/bench_e01_lookup_1d.cc.o"
+  "CMakeFiles/bench_e01_lookup_1d.dir/bench_e01_lookup_1d.cc.o.d"
+  "bench_e01_lookup_1d"
+  "bench_e01_lookup_1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e01_lookup_1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

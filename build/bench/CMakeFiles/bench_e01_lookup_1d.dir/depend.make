@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e01_lookup_1d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e02_insert_1d.
+# This may be replaced when dependencies are built.

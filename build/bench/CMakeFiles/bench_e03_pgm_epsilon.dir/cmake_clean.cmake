@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e03_pgm_epsilon.dir/bench_e03_pgm_epsilon.cc.o"
+  "CMakeFiles/bench_e03_pgm_epsilon.dir/bench_e03_pgm_epsilon.cc.o.d"
+  "bench_e03_pgm_epsilon"
+  "bench_e03_pgm_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_pgm_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

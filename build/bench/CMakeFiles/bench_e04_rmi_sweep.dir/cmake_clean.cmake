@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e04_rmi_sweep.dir/bench_e04_rmi_sweep.cc.o"
+  "CMakeFiles/bench_e04_rmi_sweep.dir/bench_e04_rmi_sweep.cc.o.d"
+  "bench_e04_rmi_sweep"
+  "bench_e04_rmi_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e04_rmi_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

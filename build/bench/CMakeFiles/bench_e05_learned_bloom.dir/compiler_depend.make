@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e05_learned_bloom.
+# This may be replaced when dependencies are built.

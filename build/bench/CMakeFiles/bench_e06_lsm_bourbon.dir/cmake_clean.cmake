@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e06_lsm_bourbon.dir/bench_e06_lsm_bourbon.cc.o"
+  "CMakeFiles/bench_e06_lsm_bourbon.dir/bench_e06_lsm_bourbon.cc.o.d"
+  "bench_e06_lsm_bourbon"
+  "bench_e06_lsm_bourbon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e06_lsm_bourbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

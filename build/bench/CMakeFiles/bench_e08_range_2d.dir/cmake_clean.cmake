@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e08_range_2d.dir/bench_e08_range_2d.cc.o"
+  "CMakeFiles/bench_e08_range_2d.dir/bench_e08_range_2d.cc.o.d"
+  "bench_e08_range_2d"
+  "bench_e08_range_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e08_range_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e09_knn.dir/bench_e09_knn.cc.o"
+  "CMakeFiles/bench_e09_knn.dir/bench_e09_knn.cc.o.d"
+  "bench_e09_knn"
+  "bench_e09_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e09_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_qdtree.dir/bench_e11_qdtree.cc.o"
+  "CMakeFiles/bench_e11_qdtree.dir/bench_e11_qdtree.cc.o.d"
+  "bench_e11_qdtree"
+  "bench_e11_qdtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_qdtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

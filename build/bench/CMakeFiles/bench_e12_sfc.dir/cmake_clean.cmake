@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_sfc.dir/bench_e12_sfc.cc.o"
+  "CMakeFiles/bench_e12_sfc.dir/bench_e12_sfc.cc.o.d"
+  "bench_e12_sfc"
+  "bench_e12_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_concurrency.dir/bench_e13_concurrency.cc.o"
+  "CMakeFiles/bench_e13_concurrency.dir/bench_e13_concurrency.cc.o.d"
+  "bench_e13_concurrency"
+  "bench_e13_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

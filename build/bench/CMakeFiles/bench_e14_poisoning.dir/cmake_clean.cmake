@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_poisoning.dir/bench_e14_poisoning.cc.o"
+  "CMakeFiles/bench_e14_poisoning.dir/bench_e14_poisoning.cc.o.d"
+  "bench_e14_poisoning"
+  "bench_e14_poisoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_poisoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_learned_hash.dir/bench_e15_learned_hash.cc.o"
+  "CMakeFiles/bench_e15_learned_hash.dir/bench_e15_learned_hash.cc.o.d"
+  "bench_e15_learned_hash"
+  "bench_e15_learned_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_learned_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_tuning.dir/self_tuning.cc.o"
+  "CMakeFiles/self_tuning.dir/self_tuning.cc.o.d"
+  "self_tuning"
+  "self_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

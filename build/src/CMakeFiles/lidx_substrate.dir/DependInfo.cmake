@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bloom.cc" "src/CMakeFiles/lidx_substrate.dir/baselines/bloom.cc.o" "gcc" "src/CMakeFiles/lidx_substrate.dir/baselines/bloom.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/lidx_substrate.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/lidx_substrate.dir/common/stats.cc.o.d"
+  "/root/repo/src/datasets/generators.cc" "src/CMakeFiles/lidx_substrate.dir/datasets/generators.cc.o" "gcc" "src/CMakeFiles/lidx_substrate.dir/datasets/generators.cc.o.d"
+  "/root/repo/src/datasets/workload.cc" "src/CMakeFiles/lidx_substrate.dir/datasets/workload.cc.o" "gcc" "src/CMakeFiles/lidx_substrate.dir/datasets/workload.cc.o.d"
+  "/root/repo/src/models/logistic.cc" "src/CMakeFiles/lidx_substrate.dir/models/logistic.cc.o" "gcc" "src/CMakeFiles/lidx_substrate.dir/models/logistic.cc.o.d"
+  "/root/repo/src/sfc/hilbert.cc" "src/CMakeFiles/lidx_substrate.dir/sfc/hilbert.cc.o" "gcc" "src/CMakeFiles/lidx_substrate.dir/sfc/hilbert.cc.o.d"
+  "/root/repo/src/sfc/morton.cc" "src/CMakeFiles/lidx_substrate.dir/sfc/morton.cc.o" "gcc" "src/CMakeFiles/lidx_substrate.dir/sfc/morton.cc.o.d"
+  "/root/repo/src/sfc/zrange.cc" "src/CMakeFiles/lidx_substrate.dir/sfc/zrange.cc.o" "gcc" "src/CMakeFiles/lidx_substrate.dir/sfc/zrange.cc.o.d"
+  "/root/repo/src/sfc/zrange3d.cc" "src/CMakeFiles/lidx_substrate.dir/sfc/zrange3d.cc.o" "gcc" "src/CMakeFiles/lidx_substrate.dir/sfc/zrange3d.cc.o.d"
+  "/root/repo/src/spatial/geometry.cc" "src/CMakeFiles/lidx_substrate.dir/spatial/geometry.cc.o" "gcc" "src/CMakeFiles/lidx_substrate.dir/spatial/geometry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidx_substrate.dir/baselines/bloom.cc.o"
+  "CMakeFiles/lidx_substrate.dir/baselines/bloom.cc.o.d"
+  "CMakeFiles/lidx_substrate.dir/common/stats.cc.o"
+  "CMakeFiles/lidx_substrate.dir/common/stats.cc.o.d"
+  "CMakeFiles/lidx_substrate.dir/datasets/generators.cc.o"
+  "CMakeFiles/lidx_substrate.dir/datasets/generators.cc.o.d"
+  "CMakeFiles/lidx_substrate.dir/datasets/workload.cc.o"
+  "CMakeFiles/lidx_substrate.dir/datasets/workload.cc.o.d"
+  "CMakeFiles/lidx_substrate.dir/models/logistic.cc.o"
+  "CMakeFiles/lidx_substrate.dir/models/logistic.cc.o.d"
+  "CMakeFiles/lidx_substrate.dir/sfc/hilbert.cc.o"
+  "CMakeFiles/lidx_substrate.dir/sfc/hilbert.cc.o.d"
+  "CMakeFiles/lidx_substrate.dir/sfc/morton.cc.o"
+  "CMakeFiles/lidx_substrate.dir/sfc/morton.cc.o.d"
+  "CMakeFiles/lidx_substrate.dir/sfc/zrange.cc.o"
+  "CMakeFiles/lidx_substrate.dir/sfc/zrange.cc.o.d"
+  "CMakeFiles/lidx_substrate.dir/sfc/zrange3d.cc.o"
+  "CMakeFiles/lidx_substrate.dir/sfc/zrange3d.cc.o.d"
+  "CMakeFiles/lidx_substrate.dir/spatial/geometry.cc.o"
+  "CMakeFiles/lidx_substrate.dir/spatial/geometry.cc.o.d"
+  "liblidx_substrate.a"
+  "liblidx_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidx_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblidx_substrate.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_bloom_test.dir/learned_bloom_test.cc.o"
+  "CMakeFiles/learned_bloom_test.dir/learned_bloom_test.cc.o.d"
+  "learned_bloom_test"
+  "learned_bloom_test.pdb"
+  "learned_bloom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_bloom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

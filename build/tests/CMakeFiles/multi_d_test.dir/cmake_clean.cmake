@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_d_test.dir/multi_d_test.cc.o"
+  "CMakeFiles/multi_d_test.dir/multi_d_test.cc.o.d"
+  "multi_d_test"
+  "multi_d_test.pdb"
+  "multi_d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

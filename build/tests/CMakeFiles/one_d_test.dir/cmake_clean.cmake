@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_d_test.dir/one_d_test.cc.o"
+  "CMakeFiles/one_d_test.dir/one_d_test.cc.o.d"
+  "one_d_test"
+  "one_d_test.pdb"
+  "one_d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
