@@ -1,10 +1,13 @@
 #ifndef LIDX_BENCH_BENCH_UTIL_H_
 #define LIDX_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/timer.h"
@@ -27,6 +30,52 @@ double MeasureNsPerOp(size_t n, Fn&& fn, size_t warmup = 1000) {
   Timer timer;
   for (size_t i = 0; i < n; ++i) fn(i);
   return static_cast<double>(timer.ElapsedNanos()) / static_cast<double>(n);
+}
+
+// Multi-threaded throughput driver for batched lookups. Splits
+// [0, total_ops) evenly across `num_threads` workers; each worker walks
+// its slice in `batch_size` chunks calling fn(begin, len), where fn is
+// expected to process lookups [begin, begin + len) (e.g. by calling an
+// index's LookupBatch on a shared query array and writing to a disjoint
+// slice of a shared output array). fn must be safe to call concurrently —
+// read-only index access with disjoint outputs qualifies. Returns
+// aggregate millions of operations per second. One untimed warmup batch
+// per worker slice touches the code path before the clock starts.
+template <typename Fn>
+double MeasureThroughputMops(size_t num_threads, size_t batch_size,
+                             size_t total_ops, Fn&& fn) {
+  if (num_threads == 0 || batch_size == 0 || total_ops == 0) return 0.0;
+  auto slice = [&](size_t t) {
+    const size_t begin = t * total_ops / num_threads;
+    const size_t end = (t + 1) * total_ops / num_threads;
+    return std::pair<size_t, size_t>(begin, end);
+  };
+  for (size_t t = 0; t < num_threads; ++t) {
+    const auto [begin, end] = slice(t);
+    if (begin < end) fn(begin, std::min(batch_size, end - begin));
+  }
+  Timer timer;
+  if (num_threads == 1) {
+    // Avoid thread spawn/join noise in the single-thread rows.
+    const auto [begin, end] = slice(0);
+    for (size_t i = begin; i < end; i += batch_size) {
+      fn(i, std::min(batch_size, end - i));
+    }
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t) {
+      workers.emplace_back([&, t] {
+        const auto [begin, end] = slice(t);
+        for (size_t i = begin; i < end; i += batch_size) {
+          fn(i, std::min(batch_size, end - i));
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  const double seconds = timer.ElapsedSeconds();
+  return static_cast<double>(total_ops) / seconds / 1e6;
 }
 
 // Standard header every bench binary prints, so outputs are self-describing

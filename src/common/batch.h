@@ -1,0 +1,165 @@
+#ifndef LIDX_COMMON_BATCH_H_
+#define LIDX_COMMON_BATCH_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/prefetch.h"
+#include "common/search.h"
+
+namespace lidx {
+
+// Batched-lookup machinery shared by every index that implements
+// LookupBatch(): an AMAC-style group scheduler (Kocberber et al., VLDB
+// 2015 "Asynchronous Memory Access Chaining") plus a staged version of the
+// certified last-mile search.
+//
+// The idea: a single index lookup is a chain of dependent memory accesses
+// (model row -> predicted window -> binary probes -> value), each of which
+// can miss all the way to DRAM. Executed one lookup at a time, the core
+// sits idle for the full miss latency at every step. Executed as a group
+// of G independent lookups, each lookup issues a prefetch for its *next*
+// access and yields, so the miss latencies of up to G chains overlap. The
+// arithmetic of learned models is exactly cheap enough to hide under the
+// prefetches, which is the hardware-level version of the tutorial's
+// "replace pointer chasing with arithmetic" argument.
+
+// Runs `n` independent state machines, keeping up to G in flight.
+//
+//   init(Cursor&, size_t i)  starts lookup i on a free cursor slot; it
+//                            should issue the prefetch for the lookup's
+//                            first dependent access before returning.
+//   step(Cursor&) -> bool    advances one stage (touching only memory a
+//                            previous stage prefetched, and prefetching
+//                            the next stage's memory); returns true when
+//                            the lookup has produced its result.
+//
+// Slots are refilled from the remaining work as lookups retire, so the
+// group stays full until the tail. G == 1 degenerates to the scalar loop
+// (no scheduling overhead), which benchmarks use as the baseline.
+template <size_t G, typename Cursor, typename InitFn, typename StepFn>
+inline void InterleavedRun(size_t n, InitFn&& init, StepFn&& step) {
+  static_assert(G >= 1, "group size must be positive");
+  if (n == 0) return;
+  if constexpr (G == 1) {
+    Cursor c;
+    for (size_t i = 0; i < n; ++i) {
+      init(c, i);
+      while (!step(c)) {
+      }
+    }
+    return;
+  } else {
+    Cursor cursors[G];
+    bool live[G];
+    const size_t width = n < G ? n : G;
+    size_t next = 0;
+    for (size_t s = 0; s < width; ++s) {
+      init(cursors[s], next++);
+      live[s] = true;
+    }
+    size_t in_flight = width;
+    while (in_flight > 0) {
+      for (size_t s = 0; s < width; ++s) {
+        if (!live[s]) continue;
+        if (step(cursors[s])) {
+          if (next < n) {
+            init(cursors[s], next++);
+          } else {
+            live[s] = false;
+            --in_flight;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Staged equivalent of WindowLowerBoundWithFixup (common/search.h): the
+// same certified-window binary search, but one probe per Advance() call,
+// with the next probe's cache line prefetched before yielding. Returns
+// bit-identical results to the scalar routine (including the rare
+// exponential-search fallback, which runs scalar — it is off the hot
+// path by construction).
+//
+// Usage inside a batch cursor:
+//   Begin(data, key, pred, err_lo, err_hi, n)   once per lookup
+//   while (!Advance(data, key)) yield;          one probe per scheduler pass
+//   result()                                    final lower-bound position
+template <typename Key>
+class WindowSearchCursor {
+ public:
+  template <typename Vec>
+  void Begin(const Vec& data, Key key, size_t pred, size_t err_lo,
+             size_t err_hi, size_t n) {
+    total_ = n;
+    if (n == 0) {
+      result_ = 0;
+      done_ = true;
+      return;
+    }
+    done_ = false;
+    if (pred >= n) pred = n - 1;
+    lo_ = (pred > err_lo + 1) ? pred - err_lo - 1 : 0;
+    hi_ = pred + err_hi + 2;
+    if (hi_ > n) hi_ = n;
+    base_ = lo_;
+    left_ = hi_ - lo_;
+    PrefetchProbe(data);
+    // The certification step reads data[lo_ - 1]; fetch it now so the
+    // final Advance() does not stall on it.
+    if (lo_ > 0) LIDX_PREFETCH_READ(&data[lo_ - 1]);
+    (void)key;
+  }
+
+  // One probe per call; true once result() is final.
+  template <typename Vec>
+  bool Advance(const Vec& data, Key key) {
+    if (done_) return true;
+    if (left_ > 1) {
+      const size_t half = left_ / 2;
+      base_ = (data[base_ + half - 1] < key) ? base_ + half : base_;
+      left_ -= half;
+      PrefetchProbe(data);
+      return false;
+    }
+    // left_ == 1: the window collapsed to a single candidate (same final
+    // step as BinarySearchLowerBound), then certify as in the scalar
+    // fix-up.
+    size_t r = base_;
+    if (base_ < hi_ && data[base_] < key) ++r;
+    const bool left_ok = (r > lo_) || lo_ == 0 || data[lo_ - 1] < key;
+    const bool right_ok = (r < hi_) || hi_ == total_;
+    result_ = LIDX_LIKELY(left_ok && right_ok)
+                  ? r
+                  : ExponentialSearchLowerBound(data, key, r, 0, total_);
+    done_ = true;
+    return true;
+  }
+
+  size_t result() const {
+    LIDX_DCHECK(done_);
+    return result_;
+  }
+
+ private:
+  template <typename Vec>
+  void PrefetchProbe(const Vec& data) {
+    // Next address BinarySearchLowerBound will touch given (base_, left_).
+    const size_t probe = (left_ > 1) ? base_ + left_ / 2 - 1 : base_;
+    LIDX_PREFETCH_READ(&data[probe]);
+  }
+
+  size_t base_ = 0;
+  size_t left_ = 0;
+  size_t lo_ = 0;
+  size_t hi_ = 0;
+  size_t total_ = 0;
+  size_t result_ = 0;
+  bool done_ = true;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_COMMON_BATCH_H_

@@ -1,0 +1,50 @@
+#ifndef LIDX_COMMON_PREFETCH_H_
+#define LIDX_COMMON_PREFETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Portable software-prefetch wrapper. On GCC/Clang this lowers to the
+// target's prefetch instruction (PREFETCHT0/T1/T2/NTA on x86, PRFM on
+// AArch64); elsewhere it compiles away, so batched code paths degrade to
+// plain loads instead of failing to build.
+//
+//   addr      pointer-ish expression (may point one-past-the-end or at a
+//             speculative location: prefetch never faults)
+//   rw        0 = read, 1 = write
+//   locality  0 (non-temporal) .. 3 (keep in all cache levels)
+#if defined(__GNUC__) || defined(__clang__)
+#define LIDX_PREFETCH(addr, rw, locality) \
+  __builtin_prefetch((const void*)(addr), (rw), (locality))
+#else
+#define LIDX_PREFETCH(addr, rw, locality) ((void)(addr))
+#endif
+
+// Read-prefetch with the default "keep resident" hint; the common case for
+// index probes where the line is touched within a few hundred cycles.
+#define LIDX_PREFETCH_READ(addr) LIDX_PREFETCH((addr), 0, 3)
+
+namespace lidx {
+
+// Cache-line granularity assumed by the range helper. 64 bytes covers every
+// x86 and most AArch64 parts; being wrong only costs redundant prefetches.
+inline constexpr size_t kCacheLineBytes = 64;
+
+// Prefetches every cache line overlapping [first, last), capped at
+// `max_lines` lines so a pathologically wide window cannot flood the load
+// queue. Used for the certified last-mile windows of learned indexes, which
+// are usually a handful of lines wide.
+template <typename T>
+inline void PrefetchRange(const T* first, const T* last,
+                          size_t max_lines = 8) {
+  const char* p = reinterpret_cast<const char*>(first);
+  const char* e = reinterpret_cast<const char*>(last);
+  for (size_t line = 0; p < e && line < max_lines;
+       p += kCacheLineBytes, ++line) {
+    LIDX_PREFETCH_READ(p);
+  }
+}
+
+}  // namespace lidx
+
+#endif  // LIDX_COMMON_PREFETCH_H_

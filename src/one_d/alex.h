@@ -8,7 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/batch.h"
 #include "common/macros.h"
+#include "common/prefetch.h"
 #include "common/search.h"
 #include "models/linear_model.h"
 
@@ -104,6 +106,75 @@ class AlexIndex {
   }
 
   bool Contains(const Key& key) const { return Find(key).has_value(); }
+
+  // Batched point lookups (see Rmi::LookupBatch for the contract). The
+  // tree is shallow (model-routed internal nodes with fanout up to 4096),
+  // so the cursor alternates two stages per node — prefetch the boundary
+  // array's first binary probes, then route — and at the data node
+  // prefetches the model-predicted slot of the gapped array before the
+  // exponential search touches it.
+  template <size_t G = 16>
+  void LookupBatch(const Key* keys, size_t count, Value* out) const {
+    enum Stage { kEnter, kRoute, kLeaf };
+    struct Cursor {
+      Key key;
+      size_t idx;
+      const Node* node;
+      Stage stage;
+    };
+    InterleavedRun<G, Cursor>(
+        count,
+        [&](Cursor& c, size_t i) {
+          c.idx = i;
+          c.key = keys[i];
+          c.node = root_;
+          c.stage = kEnter;
+        },
+        [&](Cursor& c) -> bool {
+          switch (c.stage) {
+            case kEnter: {
+              if (c.node->is_data) {
+                const DataNode* leaf = static_cast<const DataNode*>(c.node);
+                const size_t cap = leaf->keys_.size();
+                if (cap > 0) {
+                  const size_t pred = leaf->model_.PredictClamped(
+                      static_cast<double>(c.key), cap);
+                  LIDX_PREFETCH_READ(leaf->keys_.data() + pred);
+                  LIDX_PREFETCH_READ(leaf->values_.data() + pred);
+                  LIDX_PREFETCH_READ(leaf->bitmap_.data() + pred / 64);
+                }
+                c.stage = kLeaf;
+                return false;
+              }
+              const InternalNode* in =
+                  static_cast<const InternalNode*>(c.node);
+              const Key* b = in->boundaries.data();
+              const size_t m = in->boundaries.size();
+              // First levels of the routing search (window or binary) land
+              // near these positions.
+              LIDX_PREFETCH_READ(b + m / 2);
+              LIDX_PREFETCH_READ(b + m / 4);
+              LIDX_PREFETCH_READ(b + (3 * m) / 4);
+              c.stage = kRoute;
+              return false;
+            }
+            case kRoute: {
+              const InternalNode* in =
+                  static_cast<const InternalNode*>(c.node);
+              c.node = in->children[in->Route(c.key)];
+              LIDX_PREFETCH_READ(&c.node->is_data);
+              c.stage = kEnter;
+              return false;
+            }
+            default: {
+              const DataNode* leaf = static_cast<const DataNode*>(c.node);
+              const std::optional<Value> v = leaf->Find(c.key);
+              out[c.idx] = v ? *v : Value{};
+              return true;
+            }
+          }
+        });
+  }
 
   bool Erase(const Key& key) {
     Node* node = root_;

@@ -8,7 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/batch.h"
 #include "common/macros.h"
+#include "common/prefetch.h"
 #include "common/search.h"
 #include "common/serialize.h"
 #include "models/plr.h"
@@ -99,6 +101,96 @@ class PgmIndex {
   bool Contains(const Key& key) const {
     const size_t pos = LowerBound(key);
     return pos < keys_.size() && keys_[pos] == key;
+  }
+
+  // Batched point lookups (see Rmi::LookupBatch for the contract). The
+  // cursor walks the same level cascade as LowerBound, one certified
+  // window probe per scheduler pass, prefetching each level's segment row
+  // and first-key probes before touching them. The root scan stays scalar
+  // in the init stage: it covers at most kRootFanout segments that every
+  // lookup shares, so it is resident after the first lookup of a batch.
+  template <size_t G = 16>
+  void LookupBatch(const Key* keys, size_t count, Value* out) const {
+    const size_t n = keys_.size();
+    if (n == 0) {
+      std::fill(out, out + count, Value{});
+      return;
+    }
+    enum Stage { kSegSearch, kSegReady, kDataSearch, kFetch };
+    struct Cursor {
+      Key key;
+      double k;
+      size_t idx;
+      size_t level;  // Level whose first_keys seg_search is walking.
+      size_t seg;
+      size_t pos;
+      Stage stage;
+      WindowSearchCursor<double> seg_search;
+      WindowSearchCursor<Key> data_search;
+    };
+    // Starts the descent from `level` (which has a resolved c.seg) into
+    // the level below, or the data array when c.level == 0.
+    auto descend = [&](Cursor& c) {
+      if (c.level == 0) {
+        const PlaSegment& s = levels_[0].segments[c.seg];
+        const size_t pred = s.model.PredictClamped(c.k, n);
+        c.data_search.Begin(keys_, c.key, pred, epsilon_ + 1, epsilon_ + 1,
+                            n);
+        c.stage = kDataSearch;
+        return;
+      }
+      const Level& below = levels_[c.level - 1];
+      const size_t pred = levels_[c.level].segments[c.seg].model.PredictClamped(
+          c.k, below.Size());
+      c.seg_search.Begin(below.first_keys, c.k, pred, epsilon_internal_ + 1,
+                         epsilon_internal_ + 1, below.Size());
+      c.stage = kSegSearch;
+    };
+    InterleavedRun<G, Cursor>(
+        count,
+        [&](Cursor& c, size_t i) {
+          c.idx = i;
+          c.key = keys[i];
+          c.k = static_cast<double>(c.key);
+          const Level& root = levels_.back();
+          c.seg = PredecessorSegment(root, c.k, root.Size(),
+                                     /*use_hint=*/false, 0);
+          c.level = levels_.size() - 1;
+          descend(c);
+        },
+        [&](Cursor& c) -> bool {
+          switch (c.stage) {
+            case kSegSearch: {
+              const Level& level = levels_[c.level - 1];
+              if (!c.seg_search.Advance(level.first_keys, c.k)) return false;
+              const size_t lb = c.seg_search.result();
+              const auto& fk = level.first_keys;
+              c.seg = (lb < fk.size() && fk[lb] == c.k)
+                          ? lb
+                          : (lb == 0 ? 0 : lb - 1);
+              --c.level;
+              // The next stage reads this level's segment row.
+              LIDX_PREFETCH_READ(&levels_[c.level].segments[c.seg]);
+              c.stage = kSegReady;
+              return false;
+            }
+            case kSegReady:
+              descend(c);
+              return false;
+            case kDataSearch: {
+              if (!c.data_search.Advance(keys_, c.key)) return false;
+              c.pos = c.data_search.result();
+              if (c.pos < n) LIDX_PREFETCH_READ(&values_[c.pos]);
+              c.stage = kFetch;
+              return false;
+            }
+            default:
+              out[c.idx] = (c.pos < n && keys_[c.pos] == c.key)
+                               ? values_[c.pos]
+                               : Value{};
+              return true;
+          }
+        });
   }
 
   void RangeScan(const Key& lo, const Key& hi,

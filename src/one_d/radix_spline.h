@@ -9,7 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/batch.h"
 #include "common/macros.h"
+#include "common/prefetch.h"
 #include "common/search.h"
 #include "models/plr.h"
 
@@ -108,6 +110,103 @@ class RadixSpline {
   bool Contains(const Key& key) const {
     const size_t pos = LowerBound(key);
     return pos < keys_.size() && keys_[pos] == key;
+  }
+
+  // Batched point lookups (see Rmi::LookupBatch for the contract). The
+  // radix table is the structure's only large routing array (2^bits
+  // entries), so the first stage prefetches the two table slots, the
+  // second the knot range they delimit, and the rest run the staged
+  // last-mile search over the data array.
+  template <size_t G = 16>
+  void LookupBatch(const Key* keys, size_t count, Value* out) const {
+    const size_t n = keys_.size();
+    if (n == 0) {
+      std::fill(out, out + count, Value{});
+      return;
+    }
+    enum Stage { kRadix, kKnots, kSearch, kFetch };
+    struct Cursor {
+      Key key;
+      size_t idx;
+      uint64_t prefix;
+      size_t begin;
+      size_t end;
+      size_t pos;
+      Stage stage;
+      WindowSearchCursor<Key> search;
+    };
+    InterleavedRun<G, Cursor>(
+        count,
+        [&](Cursor& c, size_t i) {
+          c.idx = i;
+          c.key = keys[i];
+          // Mirror the LowerBound guard rails so results stay identical.
+          if (c.key <= min_key_) {
+            c.pos = 0;
+            LIDX_PREFETCH_READ(&keys_[0]);
+            LIDX_PREFETCH_READ(&values_[0]);
+            c.stage = kFetch;
+            return;
+          }
+          if (static_cast<double>(c.key) >= knots_.back().key) {
+            c.pos = BinarySearchLowerBound(keys_, c.key, n - 1, n);
+            if (c.pos < n) LIDX_PREFETCH_READ(&values_[c.pos]);
+            c.stage = kFetch;
+            return;
+          }
+          c.prefix = PrefixOf(static_cast<double>(c.key));
+          LIDX_PREFETCH_READ(&radix_table_[c.prefix]);
+          LIDX_PREFETCH_READ(&radix_table_[c.prefix + 1]);
+          c.stage = kRadix;
+        },
+        [&](Cursor& c) -> bool {
+          switch (c.stage) {
+            case kRadix: {
+              c.begin = radix_table_[c.prefix];
+              c.end = radix_table_[c.prefix + 1];
+              // Fetch the knot range SegmentFor will bisect (typically a
+              // few knots; both ends cover the lines it can touch).
+              size_t lo = c.begin > 0 ? c.begin - 1 : 0;
+              const size_t hi = std::min(c.end + 1, knots_.size());
+              LIDX_PREFETCH_READ(&knots_[lo]);
+              if (hi > lo + 1) {
+                LIDX_PREFETCH_READ(&knots_[(lo + hi) / 2]);
+                LIDX_PREFETCH_READ(&knots_[hi - 1]);
+              }
+              c.stage = kKnots;
+              return false;
+            }
+            case kKnots: {
+              const size_t seg =
+                  SegmentFor(static_cast<double>(c.key), c.begin, c.end);
+              const SplineKnot& a = knots_[seg];
+              const SplineKnot& b = knots_[seg + 1];
+              const double frac =
+                  (static_cast<double>(c.key) - a.key) / (b.key - a.key);
+              const double predicted = a.pos + frac * (b.pos - a.pos);
+              size_t pred = 0;
+              if (predicted > 0.0) {
+                pred = std::min(n - 1, static_cast<size_t>(predicted));
+              }
+              c.search.Begin(keys_, c.key, pred, epsilon_ + 1, epsilon_ + 1,
+                             n);
+              c.stage = kSearch;
+              return false;
+            }
+            case kSearch: {
+              if (!c.search.Advance(keys_, c.key)) return false;
+              c.pos = c.search.result();
+              if (c.pos < n) LIDX_PREFETCH_READ(&values_[c.pos]);
+              c.stage = kFetch;
+              return false;
+            }
+            default:
+              out[c.idx] = (c.pos < n && keys_[c.pos] == c.key)
+                               ? values_[c.pos]
+                               : Value{};
+              return true;
+          }
+        });
   }
 
   void RangeScan(const Key& lo, const Key& hi,

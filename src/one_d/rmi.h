@@ -9,7 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/batch.h"
 #include "common/macros.h"
+#include "common/prefetch.h"
 #include "common/search.h"
 #include "common/serialize.h"
 #include "models/linear_model.h"
@@ -96,6 +98,63 @@ class Rmi {
   bool Contains(const Key& key) const {
     const size_t pos = LowerBound(key);
     return pos < keys_.size() && keys_[pos] == key;
+  }
+
+  // Batched point lookups: out[i] = value for keys[i], or Value{} when the
+  // key is absent (same equality semantics as Find). Lookups run as AMAC
+  // groups of G: each stage prefetches the next dependent access (stage-2
+  // model row, last-mile window probes, value slot) and yields, so up to G
+  // cache misses are in flight per thread instead of one.
+  template <size_t G = 16>
+  void LookupBatch(const Key* keys, size_t count, Value* out) const {
+    const size_t n = keys_.size();
+    if (n == 0) {
+      std::fill(out, out + count, Value{});
+      return;
+    }
+    struct Cursor {
+      Key key;
+      size_t idx;
+      size_t model;
+      size_t pos;
+      int stage;
+      WindowSearchCursor<Key> search;
+    };
+    InterleavedRun<G, Cursor>(
+        count,
+        [&](Cursor& c, size_t i) {
+          c.idx = i;
+          c.key = keys[i];
+          c.stage = 0;
+          c.model = RouteToModel(c.key);
+          // The stage-2 model table is far larger than L1; fetch this
+          // key's row while other lookups in the group execute.
+          LIDX_PREFETCH_READ(&models_[c.model]);
+        },
+        [&](Cursor& c) -> bool {
+          switch (c.stage) {
+            case 0: {
+              const ModelWithBounds& m = models_[c.model];
+              const size_t pred =
+                  m.model.PredictClamped(static_cast<double>(c.key), n);
+              c.search.Begin(keys_, c.key, pred, m.err_lo, m.err_hi, n);
+              c.stage = 1;
+              return false;
+            }
+            case 1: {
+              if (!c.search.Advance(keys_, c.key)) return false;
+              c.pos = c.search.result();
+              if (c.pos < n) LIDX_PREFETCH_READ(&values_[c.pos]);
+              c.stage = 2;
+              return false;
+            }
+            default:
+              out[c.idx] = (c.pos < n && keys_[c.pos] == c.key)
+                               ? values_[c.pos]
+                               : Value{};
+              return true;
+          }
+        });
   }
 
   void RangeScan(const Key& lo, const Key& hi,

@@ -1,0 +1,272 @@
+// Batch-vs-scalar equivalence: LookupBatch<G> must produce byte-identical
+// results to a scalar Find loop on every index that implements it, for
+// randomized keys, hit/miss mixes, boundary keys, and every group size —
+// the prefetch-interleaved path is an execution-order optimization, never
+// a semantic one.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/btree.h"
+#include "common/random.h"
+#include "datasets/generators.h"
+#include "one_d/alex.h"
+#include "one_d/pgm.h"
+#include "one_d/radix_spline.h"
+#include "one_d/rmi.h"
+
+namespace lidx {
+namespace {
+
+// Sorted unique random keys; sizes and spacing randomized by seed.
+std::vector<uint64_t> RandomKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  uint64_t k = rng.NextBounded(1000);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(k);
+    k += 1 + rng.NextBounded(1000);  // Mixed dense/sparse gaps.
+  }
+  return keys;
+}
+
+// Queries covering hits, near misses (key +/- 1), far misses, and the
+// extremes below/above the key range, in shuffled order.
+std::vector<uint64_t> MakeQueries(const std::vector<uint64_t>& keys,
+                                  size_t n_queries, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> q;
+  q.reserve(n_queries + 4);
+  if (!keys.empty()) {
+    q.push_back(0);
+    q.push_back(keys.front() == 0 ? 0 : keys.front() - 1);
+    q.push_back(keys.back() + 1);
+    q.push_back(UINT64_MAX);
+  }
+  for (size_t i = 0; i < n_queries; ++i) {
+    const uint64_t pick = keys.empty() ? rng.Next() : keys[rng.NextBounded(keys.size())];
+    switch (rng.NextBounded(4)) {
+      case 0:
+        q.push_back(pick);  // Hit.
+        break;
+      case 1:
+        q.push_back(pick + 1);  // Near miss right (may still hit).
+        break;
+      case 2:
+        q.push_back(pick == 0 ? 0 : pick - 1);  // Near miss left.
+        break;
+      default:
+        q.push_back(rng.Next());  // Far miss (usually).
+        break;
+    }
+  }
+  return q;
+}
+
+// Checks LookupBatch<G> against scalar Find for G in {1, 8, 32, 64}.
+template <typename Index>
+void ExpectBatchMatchesScalar(const Index& idx,
+                              const std::vector<uint64_t>& queries) {
+  std::vector<uint64_t> expected(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    expected[i] = idx.Find(queries[i]).value_or(0);
+  }
+  auto check = [&](auto group_tag) {
+    constexpr size_t G = decltype(group_tag)::value;
+    std::vector<uint64_t> got(queries.size(), ~uint64_t{0});  // Poison.
+    idx.template LookupBatch<G>(queries.data(), queries.size(), got.data());
+    ASSERT_EQ(queries.size(), got.size());
+    const bool identical =
+        queries.empty() ||
+        std::memcmp(got.data(), expected.data(),
+                    got.size() * sizeof(uint64_t)) == 0;
+    EXPECT_TRUE(identical) << "G=" << G;
+    if (!identical) {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        ASSERT_EQ(got[i], expected[i])
+            << "G=" << G << " query " << i << " key=" << queries[i];
+      }
+    }
+  };
+  check(std::integral_constant<size_t, 1>{});
+  check(std::integral_constant<size_t, 8>{});
+  check(std::integral_constant<size_t, 32>{});
+  check(std::integral_constant<size_t, 64>{});
+}
+
+// Values are rank + 1 so that 0 (== Value{}) unambiguously means "absent".
+std::vector<uint64_t> RankValues(size_t n) {
+  std::vector<uint64_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = i + 1;
+  return v;
+}
+
+class BatchEquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BatchEquivalenceTest, Rmi) {
+  const size_t n = GetParam();
+  const std::vector<uint64_t> keys = RandomKeys(n, n * 31 + 1);
+  Rmi<uint64_t, uint64_t> idx;
+  Rmi<uint64_t, uint64_t>::Options options;
+  options.num_models = 64;  // Small model count => wide error windows.
+  idx.Build(keys, RankValues(n), options);
+  ExpectBatchMatchesScalar(idx, MakeQueries(keys, 2000, n + 7));
+}
+
+TEST_P(BatchEquivalenceTest, Pgm) {
+  const size_t n = GetParam();
+  const std::vector<uint64_t> keys = RandomKeys(n, n * 31 + 2);
+  PgmIndex<uint64_t, uint64_t> idx;
+  PgmIndex<uint64_t, uint64_t>::Options options;
+  options.epsilon = 8;  // Force a multi-level cascade on larger sizes.
+  options.epsilon_internal = 4;
+  idx.Build(keys, RankValues(n), options);
+  ExpectBatchMatchesScalar(idx, MakeQueries(keys, 2000, n + 8));
+}
+
+TEST_P(BatchEquivalenceTest, RadixSpline) {
+  const size_t n = GetParam();
+  const std::vector<uint64_t> keys = RandomKeys(n, n * 31 + 3);
+  RadixSpline<uint64_t, uint64_t> idx;
+  idx.Build(keys, RankValues(n));
+  ExpectBatchMatchesScalar(idx, MakeQueries(keys, 2000, n + 9));
+}
+
+TEST_P(BatchEquivalenceTest, Alex) {
+  const size_t n = GetParam();
+  const std::vector<uint64_t> keys = RandomKeys(n, n * 31 + 4);
+  AlexIndex<uint64_t, uint64_t> idx;
+  idx.BulkLoad(keys, RankValues(n));
+  ExpectBatchMatchesScalar(idx, MakeQueries(keys, 2000, n + 10));
+}
+
+TEST_P(BatchEquivalenceTest, BPlusTree) {
+  const size_t n = GetParam();
+  const std::vector<uint64_t> keys = RandomKeys(n, n * 31 + 5);
+  std::vector<std::pair<uint64_t, uint64_t>> pairs(n);
+  for (size_t i = 0; i < n; ++i) pairs[i] = {keys[i], i + 1};
+  BPlusTree<uint64_t, uint64_t> idx;
+  idx.BulkLoad(pairs);
+  ExpectBatchMatchesScalar(idx, MakeQueries(keys, 2000, n + 11));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatchEquivalenceTest,
+                         ::testing::Values(1, 2, 7, 777, 50'000));
+
+// Realistic CDF shapes at a size where every routing structure is
+// exercised (multi-level PGM cascade, multi-level ALEX/B+-tree).
+TEST(BatchEquivalenceTest, AllDistributions100k) {
+  for (KeyDistribution dist : AllKeyDistributions()) {
+    const std::vector<uint64_t> keys = GenerateKeys(dist, 100'000);
+    const std::vector<uint64_t> values = RankValues(keys.size());
+    const std::vector<uint64_t> queries = MakeQueries(keys, 5000, 99);
+
+    Rmi<uint64_t, uint64_t> rmi;
+    rmi.Build(keys, values);
+    ExpectBatchMatchesScalar(rmi, queries);
+
+    PgmIndex<uint64_t, uint64_t> pgm;
+    pgm.Build(keys, values);
+    ExpectBatchMatchesScalar(pgm, queries);
+
+    RadixSpline<uint64_t, uint64_t> rs;
+    rs.Build(keys, values);
+    ExpectBatchMatchesScalar(rs, queries);
+
+    AlexIndex<uint64_t, uint64_t> alex;
+    alex.BulkLoad(keys, values);
+    ExpectBatchMatchesScalar(alex, queries);
+
+    std::vector<std::pair<uint64_t, uint64_t>> pairs(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) pairs[i] = {keys[i], values[i]};
+    BPlusTree<uint64_t, uint64_t> btree;
+    btree.BulkLoad(pairs);
+    ExpectBatchMatchesScalar(btree, queries);
+  }
+}
+
+// Mutable indexes after churn: inserts (and for the B+-tree, deletes)
+// reshape nodes away from the bulk-loaded layout; the batched walk must
+// still agree with scalar lookups.
+TEST(BatchEquivalenceTest, AlexAfterInserts) {
+  Rng rng(1234);
+  AlexIndex<uint64_t, uint64_t> idx;
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 20'000; ++i) {
+    const uint64_t k = rng.Next() % 1'000'000;
+    if (idx.Insert(k, k + 1)) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  ExpectBatchMatchesScalar(idx, MakeQueries(keys, 3000, 55));
+}
+
+TEST(BatchEquivalenceTest, BPlusTreeAfterChurn) {
+  Rng rng(4321);
+  BPlusTree<uint64_t, uint64_t> idx;
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 20'000; ++i) {
+    const uint64_t k = rng.Next() % 1'000'000;
+    if (idx.Insert(k, k + 1)) keys.push_back(k);
+  }
+  for (int i = 0; i < 5'000; ++i) {
+    idx.Erase(keys[rng.NextBounded(keys.size())]);
+  }
+  std::sort(keys.begin(), keys.end());
+  ExpectBatchMatchesScalar(idx, MakeQueries(keys, 3000, 66));
+}
+
+TEST(BatchEquivalenceTest, EmptyIndexes) {
+  const std::vector<uint64_t> queries = {0, 1, 42, UINT64_MAX};
+  std::vector<uint64_t> out(queries.size(), 7);
+
+  Rmi<uint64_t, uint64_t> rmi;
+  rmi.Build({}, {});
+  rmi.LookupBatch<8>(queries.data(), queries.size(), out.data());
+  for (uint64_t v : out) EXPECT_EQ(v, 0u);
+
+  PgmIndex<uint64_t, uint64_t> pgm;
+  pgm.Build({}, {});
+  std::fill(out.begin(), out.end(), 7);
+  pgm.LookupBatch<8>(queries.data(), queries.size(), out.data());
+  for (uint64_t v : out) EXPECT_EQ(v, 0u);
+
+  RadixSpline<uint64_t, uint64_t> rs;
+  rs.Build({}, {});
+  std::fill(out.begin(), out.end(), 7);
+  rs.LookupBatch<8>(queries.data(), queries.size(), out.data());
+  for (uint64_t v : out) EXPECT_EQ(v, 0u);
+
+  AlexIndex<uint64_t, uint64_t> alex;
+  std::fill(out.begin(), out.end(), 7);
+  alex.LookupBatch<8>(queries.data(), queries.size(), out.data());
+  for (uint64_t v : out) EXPECT_EQ(v, 0u);
+
+  BPlusTree<uint64_t, uint64_t> btree;
+  std::fill(out.begin(), out.end(), 7);
+  btree.LookupBatch<8>(queries.data(), queries.size(), out.data());
+  for (uint64_t v : out) EXPECT_EQ(v, 0u);
+}
+
+// Zero-length batches must be a no-op on every index.
+TEST(BatchEquivalenceTest, ZeroCountBatch) {
+  const std::vector<uint64_t> keys = RandomKeys(100, 5);
+  Rmi<uint64_t, uint64_t> rmi;
+  rmi.Build(keys, RankValues(keys.size()));
+  rmi.LookupBatch<16>(nullptr, 0, nullptr);
+
+  BPlusTree<uint64_t, uint64_t> btree;
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  for (size_t i = 0; i < keys.size(); ++i) pairs.emplace_back(keys[i], i + 1);
+  btree.BulkLoad(pairs);
+  btree.LookupBatch<16>(nullptr, 0, nullptr);
+}
+
+}  // namespace
+}  // namespace lidx

@@ -1,10 +1,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <set>
+#include <type_traits>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/batch.h"
 #include "common/random.h"
 #include "common/search.h"
 #include "common/stats.h"
@@ -154,6 +156,118 @@ TEST(SearchKernelTest, EmptyRange) {
   EXPECT_EQ(BinarySearchLowerBound(one, uint64_t{5}, 0, 1), 0u);
   EXPECT_EQ(BinarySearchLowerBound(one, uint64_t{10}, 0, 1), 0u);
   EXPECT_EQ(BinarySearchLowerBound(one, uint64_t{11}, 0, 1), 1u);
+}
+
+TEST(SearchKernelTest, ExponentialEmptyAndSingleRanges) {
+  std::vector<uint64_t> data{10, 20, 30};
+  // Empty range [lo, hi) with lo >= hi returns lo regardless of the hint.
+  EXPECT_EQ(ExponentialSearchLowerBound(data, uint64_t{15}, 0, 2, 2), 2u);
+  EXPECT_EQ(ExponentialSearchLowerBound(data, uint64_t{15}, 5, 3, 1), 3u);
+  // Single-element subrange, hint clamped into it from both sides.
+  EXPECT_EQ(ExponentialSearchLowerBound(data, uint64_t{15}, 0, 1, 2), 1u);
+  EXPECT_EQ(ExponentialSearchLowerBound(data, uint64_t{25}, 2, 1, 2), 2u);
+}
+
+TEST(SearchKernelTest, ExponentialKeyOutsideData) {
+  std::vector<uint64_t> data{10, 20, 30, 40, 50};
+  const size_t n = data.size();
+  for (size_t hint = 0; hint < n + 2; ++hint) {
+    // Key below every element: always position 0.
+    EXPECT_EQ(ExponentialSearchLowerBound(data, uint64_t{1}, hint, 0, n), 0u);
+    // Key above every element: always position n (hint past hi is clamped).
+    EXPECT_EQ(ExponentialSearchLowerBound(data, uint64_t{99}, hint, 0, n), n);
+  }
+  // Exact boundary keys from boundary predictions.
+  EXPECT_EQ(ExponentialSearchLowerBound(data, uint64_t{10}, 0, 0, n), 0u);
+  EXPECT_EQ(ExponentialSearchLowerBound(data, uint64_t{50}, n - 1, 0, n),
+            n - 1);
+}
+
+TEST(SearchKernelTest, WindowFixupKeyOutsideData) {
+  std::vector<uint64_t> data{10, 20, 30, 40, 50};
+  const size_t n = data.size();
+  // Key below / above all data, from every prediction (including out of
+  // range) and a zero-width certified window: the fix-up must recover.
+  for (size_t pred = 0; pred < n + 3; ++pred) {
+    EXPECT_EQ(WindowLowerBoundWithFixup(data, uint64_t{1}, pred, 0, 0, n),
+              0u);
+    EXPECT_EQ(WindowLowerBoundWithFixup(data, uint64_t{99}, pred, 0, 0, n),
+              n);
+  }
+}
+
+TEST(SearchKernelTest, WindowFixupPredictionAtBoundary) {
+  std::vector<uint64_t> data{10, 20, 30, 40, 50};
+  const size_t n = data.size();
+  // Prediction pinned at 0 / n-1 with the true position at the other end.
+  EXPECT_EQ(WindowLowerBoundWithFixup(data, uint64_t{50}, 0, 0, 0, n), n - 1);
+  EXPECT_EQ(WindowLowerBoundWithFixup(data, uint64_t{10}, n - 1, 0, 0, n),
+            0u);
+  // Window exactly covering the answer at both edges certifies directly.
+  EXPECT_EQ(WindowLowerBoundWithFixup(data, uint64_t{25}, 2, 1, 1, n), 2u);
+  EXPECT_EQ(WindowLowerBoundWithFixup(data, uint64_t{45}, 4, 1, 1, n), 4u);
+}
+
+// The staged cursor (common/batch.h) must return bit-identical positions
+// to the scalar WindowLowerBoundWithFixup for every prediction/window
+// combination, including the fallback path.
+TEST_P(SearchKernelTest, WindowSearchCursorMatchesScalar) {
+  const size_t n = GetParam();
+  Rng rng(n + 5);
+  std::vector<uint64_t> data;
+  for (size_t i = 0; i < n; ++i) data.push_back(rng.NextBounded(n * 4 + 10));
+  std::sort(data.begin(), data.end());
+  for (int probe = 0; probe < 500; ++probe) {
+    const uint64_t key = rng.NextBounded(n * 4 + 20);
+    const size_t pred = rng.NextBounded(n + 2);
+    const size_t err_lo = rng.NextBounded(8);
+    const size_t err_hi = rng.NextBounded(8);
+    const size_t scalar =
+        WindowLowerBoundWithFixup(data, key, pred, err_lo, err_hi, n);
+    WindowSearchCursor<uint64_t> cursor;
+    cursor.Begin(data, key, pred, err_lo, err_hi, n);
+    int steps = 0;
+    while (!cursor.Advance(data, key)) {
+      ASSERT_LT(++steps, 1000) << "staged search failed to terminate";
+    }
+    EXPECT_EQ(cursor.result(), scalar);
+  }
+}
+
+TEST(SearchKernelTest, WindowSearchCursorEmptyData) {
+  std::vector<uint64_t> data;
+  WindowSearchCursor<uint64_t> cursor;
+  cursor.Begin(data, uint64_t{5}, 0, 2, 2, 0);
+  EXPECT_TRUE(cursor.Advance(data, uint64_t{5}));
+  EXPECT_EQ(cursor.result(), 0u);
+}
+
+TEST(InterleavedRunTest, VisitsEveryLookupOnceAtAnyGroupSize) {
+  struct Cursor {
+    size_t idx;
+    int stages_left;
+  };
+  const size_t n = 103;  // Not a multiple of any group size.
+  auto run = [&](auto group_tag) {
+    constexpr size_t G = decltype(group_tag)::value;
+    std::vector<int> finished(n, 0);
+    InterleavedRun<G, Cursor>(
+        n,
+        [&](Cursor& c, size_t i) {
+          c.idx = i;
+          c.stages_left = static_cast<int>(i % 5);  // Uneven chain lengths.
+        },
+        [&](Cursor& c) -> bool {
+          if (c.stages_left-- > 0) return false;
+          ++finished[c.idx];
+          return true;
+        });
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(finished[i], 1) << i;
+  };
+  run(std::integral_constant<size_t, 1>{});
+  run(std::integral_constant<size_t, 4>{});
+  run(std::integral_constant<size_t, 16>{});
+  run(std::integral_constant<size_t, 128>{});  // Group wider than the work.
 }
 
 // ----- Summary / TablePrinter -----
