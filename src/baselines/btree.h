@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/batch.h"
+#include "common/invariants.h"
 #include "common/macros.h"
 #include "common/prefetch.h"
 #include "common/search.h"
@@ -319,13 +320,38 @@ class BPlusTree {
     height_ = 0;
   }
 
-  // Validates structural invariants (sortedness, occupancy, separator keys);
-  // used by tests. Aborts on violation.
+  // Validates structural invariants (sortedness, occupancy, separator keys,
+  // leaf-chain integrity, entry count vs. size()); used by tests. Aborts on
+  // violation.
   void CheckInvariants() const {
-    if (root_ == nullptr) return;
+    if (root_ == nullptr) {
+      LIDX_INVARIANT(size_ == 0 && height_ == 0, "btree: empty tree state");
+      return;
+    }
     Key dummy_lo{};
     CheckRecursive(root_, height_, /*has_lo=*/false, dummy_lo,
                    /*is_root=*/true);
+    // The linked leaf level must enumerate every entry exactly once, in
+    // globally strict key order, starting at the leftmost leaf.
+    const Node* node = root_;
+    for (int level = height_; level > 1; --level) {
+      node = static_cast<const Internal*>(node)->children[0];
+    }
+    size_t entries = 0;
+    bool has_prev = false;
+    Key prev{};
+    for (const Leaf* leaf = static_cast<const Leaf*>(node); leaf != nullptr;
+         leaf = leaf->next) {
+      for (int i = 0; i < leaf->count; ++i) {
+        if (has_prev) {
+          LIDX_INVARIANT(prev < leaf->keys[i], "btree: leaf chain sorted");
+        }
+        prev = leaf->keys[i];
+        has_prev = true;
+        ++entries;
+      }
+    }
+    LIDX_INVARIANT(entries == size_, "btree: leaf chain matches size()");
   }
 
  private:

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/invariants.h"
 #include "common/macros.h"
 #include "common/random.h"
 
@@ -131,6 +132,30 @@ class SkipList {
       node = node->next[0];
     }
     return total;
+  }
+
+  // Structural invariants: every level's forward chain is strictly
+  // increasing, links only reach nodes tall enough to live at that level,
+  // and the ground-level chain length matches size(). Aborts on violation.
+  void CheckInvariants() const {
+    size_t ground_nodes = 0;
+    for (int i = 0; i < kMaxLevel; ++i) {
+      const SkipNode* node = head_->next[i];
+      bool has_prev = false;
+      Key prev{};
+      while (node != nullptr) {
+        LIDX_INVARIANT(node->level > i, "skiplist: node tall enough");
+        if (has_prev) {
+          LIDX_INVARIANT(prev < node->key, "skiplist: level chain sorted");
+        }
+        prev = node->key;
+        has_prev = true;
+        if (i == 0) ++ground_nodes;
+        node = node->next[i];
+      }
+    }
+    LIDX_INVARIANT(ground_nodes == size_,
+                   "skiplist: ground chain matches size()");
   }
 
  private:

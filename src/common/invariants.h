@@ -1,0 +1,81 @@
+#ifndef LIDX_COMMON_INVARIANTS_H_
+#define LIDX_COMMON_INVARIANTS_H_
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/macros.h"
+
+// Structural-invariant checking framework. Every index in the library
+// exposes a `CheckInvariants()` member that walks its internal structure
+// and aborts (via LIDX_INVARIANT) on the first violation: unsorted arrays,
+// broken fanout bounds, ε-guarantees that do not hold, occupancy counters
+// that drifted from the data, dangling level links. Tests call it after
+// build/insert/erase churn; sanitizer CI runs the same checks under
+// ASan/UBSan/TSan so a memory bug that silently corrupts a structure is
+// caught at the next checkpoint even when it does not crash.
+//
+// The checks are deliberately O(n) full-structure walks — they are test
+// and debugging hooks, not production-path assertions (those use
+// LIDX_DCHECK and compile out in release builds).
+
+namespace lidx {
+
+// Like LIDX_CHECK, but tagged with the name of the structural invariant
+// that failed so a violation pinpoints *what* broke, not just where.
+#define LIDX_INVARIANT(cond, what)                                          \
+  do {                                                                      \
+    if (LIDX_UNLIKELY(!(cond))) {                                           \
+      ::std::fprintf(stderr,                                                \
+                     "LIDX_INVARIANT violated: %s (%s) at %s:%d\n", (what), \
+                     #cond, __FILE__, __LINE__);                            \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (0)
+
+namespace invariants {
+
+// `keys[i-1] < keys[i]` for every adjacent pair (sorted and duplicate-free).
+template <typename Container>
+void CheckStrictlySorted(const Container& keys, const char* what) {
+  for (size_t i = 1; i < keys.size(); ++i) {
+    LIDX_INVARIANT(keys[i - 1] < keys[i], what);
+  }
+}
+
+// `keys[i-1] <= keys[i]` for every adjacent pair (gapped arrays keep
+// duplicate fill copies, so only non-decreasing order is required).
+template <typename Container>
+void CheckSorted(const Container& keys, const char* what) {
+  for (size_t i = 1; i < keys.size(); ++i) {
+    LIDX_INVARIANT(!(keys[i] < keys[i - 1]), what);
+  }
+}
+
+// |pred - truth| <= bound, computed without unsigned underflow.
+inline void CheckWithinWindow(size_t pred, size_t truth, size_t bound,
+                              const char* what) {
+  const size_t diff = pred > truth ? pred - truth : truth - pred;
+  LIDX_INVARIANT(diff <= bound, what);
+}
+
+}  // namespace invariants
+
+// Uniform entry point so generic test harnesses (and the cross-index
+// checker test) can validate any index without knowing its type:
+// `CheckIndexInvariants(index)` compiles for exactly the types that
+// implement the member hook.
+template <typename T>
+concept HasCheckInvariants = requires(const T& t) {
+  t.CheckInvariants();
+};
+
+template <HasCheckInvariants T>
+void CheckIndexInvariants(const T& index) {
+  index.CheckInvariants();
+}
+
+}  // namespace lidx
+
+#endif  // LIDX_COMMON_INVARIANTS_H_

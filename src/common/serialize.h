@@ -2,6 +2,7 @@
 #define LIDX_COMMON_SERIALIZE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <type_traits>
@@ -13,18 +14,27 @@ namespace lidx {
 // format is flat little-endian host-order: suitable for save/load on the
 // same architecture (the common "build offline, serve online" deployment
 // for immutable learned indexes), not for cross-platform interchange.
+//
+// All object bytes are staged through char buffers with std::memcpy rather
+// than written/read through casted object pointers, so no code path relies
+// on type-punned or potentially misaligned access.
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.write(buf, sizeof(T));
 }
 
 template <typename T>
 bool ReadPod(std::istream& in, T* value) {
   static_assert(std::is_trivially_copyable_v<T>);
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
+  char buf[sizeof(T)];
+  in.read(buf, sizeof(T));
+  if (!in) return false;
+  std::memcpy(value, buf, sizeof(T));
+  return true;
 }
 
 template <typename T>
@@ -32,8 +42,9 @@ void WriteVector(std::ostream& out, const std::vector<T>& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   WritePod<uint64_t>(out, v.size());
   if (!v.empty()) {
-    out.write(reinterpret_cast<const char*>(v.data()),
-              static_cast<std::streamsize>(v.size() * sizeof(T)));
+    std::vector<char> buf(v.size() * sizeof(T));
+    std::memcpy(buf.data(), v.data(), buf.size());
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
   }
 }
 
@@ -46,8 +57,10 @@ bool ReadVector(std::istream& in, std::vector<T>* v) {
   if (size > (1ull << 40) / sizeof(T)) return false;
   v->resize(size);
   if (size > 0) {
-    in.read(reinterpret_cast<char*>(v->data()),
-            static_cast<std::streamsize>(size * sizeof(T)));
+    std::vector<char> buf(size * sizeof(T));
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!in) return false;
+    std::memcpy(v->data(), buf.data(), buf.size());
   }
   return static_cast<bool>(in);
 }

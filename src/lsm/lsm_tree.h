@@ -11,6 +11,7 @@
 
 #include "baselines/bloom.h"
 #include "baselines/skiplist.h"
+#include "common/invariants.h"
 #include "common/macros.h"
 #include "lsm/run.h"
 
@@ -140,6 +141,36 @@ class LsmTree {
       if (run != nullptr) total += run->SizeBytes();
     }
     return total;
+  }
+
+  // Structural invariants: memtable below its flush threshold, the L0 run
+  // count within its compaction trigger, every run internally consistent
+  // (sorted, Bloom/ε contracts), and level sizes respecting the leveled
+  // capacity schedule — each occupied level fits its capacity except the
+  // deepest, which absorbs overflow when the tree is full. Aborts on
+  // violation. Test hook.
+  void CheckInvariants() const {
+    memtable_.CheckInvariants();
+    LIDX_INVARIANT(memtable_.size() < options_.memtable_limit ||
+                       options_.memtable_limit == 0,
+                   "lsm: memtable below flush threshold");
+    LIDX_INVARIANT(l0_.size() <= options_.l0_run_limit,
+                   "lsm: L0 run count within compaction trigger");
+    for (const auto& run : l0_) {
+      LIDX_INVARIANT(run != nullptr, "lsm: L0 run allocated");
+      run->CheckInvariants();
+      LIDX_INVARIANT(run->size() <= options_.memtable_limit,
+                     "lsm: L0 run no larger than one memtable flush");
+    }
+    LIDX_INVARIANT(levels_.size() <= kMaxLevels, "lsm: level count bound");
+    for (size_t level = 0; level < levels_.size(); ++level) {
+      if (levels_[level] == nullptr) continue;
+      levels_[level]->CheckInvariants();
+      LIDX_INVARIANT(
+          levels_[level]->size() <= LevelCapacity(level) ||
+              level + 1 >= kMaxLevels,
+          "lsm: level sizes follow the leveled capacity schedule");
+    }
   }
 
   // Total learned-model bytes across runs (0 in binary-search mode).

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "baselines/bloom.h"
+#include "common/invariants.h"
 #include "common/macros.h"
 #include "models/plr.h"
 
@@ -137,6 +138,41 @@ class SortedRun {
   }
 
   size_t NumSegments() const { return segments_.size(); }
+
+  // Structural invariants: strict key order, parallel key/value arrays,
+  // Bloom filter with no false negatives, and in learned mode a PLA whose
+  // segment mirror is consistent and whose ε bound holds for every key.
+  // Aborts on violation. Test hook.
+  void CheckInvariants() const {
+    LIDX_INVARIANT(keys_.size() == values_.size(), "run: parallel arrays");
+    invariants::CheckStrictlySorted(keys_, "run: keys strictly sorted");
+    for (const Key& k : keys_) {
+      LIDX_INVARIANT(bloom_.MayContain(static_cast<uint64_t>(k)),
+                     "run: bloom has no false negatives");
+    }
+    if (options_.search_mode != RunSearchMode::kLearned || keys_.empty()) {
+      return;
+    }
+    LIDX_INVARIANT(!segments_.empty(), "run: learned mode has segments");
+    LIDX_INVARIANT(segments_.size() == segment_first_keys_.size(),
+                   "run: segment/first-key parallel arrays");
+    for (size_t s = 0; s < segments_.size(); ++s) {
+      LIDX_INVARIANT(segments_[s].first_key == segment_first_keys_[s],
+                     "run: first-key mirror matches segment");
+      if (s > 0) {
+        LIDX_INVARIANT(segment_first_keys_[s - 1] < segment_first_keys_[s],
+                       "run: segment first keys strictly increasing");
+      }
+    }
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      const double k = static_cast<double>(keys_[i]);
+      const double pred = segments_[SegmentFor(k)].model.Predict(k);
+      const double eps = static_cast<double>(options_.learned_epsilon) + 1.0;
+      const double err = pred - static_cast<double>(i);
+      LIDX_INVARIANT(err <= eps && -err <= eps,
+                     "run: epsilon guarantee on learned model");
+    }
+  }
 
  private:
   // Last segment with first_key <= k.

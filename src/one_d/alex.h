@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/batch.h"
+#include "common/invariants.h"
 #include "common/macros.h"
 #include "common/prefetch.h"
 #include "common/search.h"
@@ -211,9 +212,14 @@ class AlexIndex {
 
   size_t NumDataNodes() const { return CountDataNodes(root_); }
 
-  // Structural invariants (sorted gapped arrays, boundary consistency);
+  // Structural invariants (sorted gapped arrays, gapped-array density and
+  // fanout bounds, boundary consistency, live-entry count vs. size());
   // aborts on violation. Test hook.
-  void CheckInvariants() const { CheckRecursive(root_, nullptr, nullptr); }
+  void CheckInvariants() const {
+    size_t live = 0;
+    CheckRecursive(root_, nullptr, nullptr, &live);
+    LIDX_INVARIANT(live == size_, "alex: live entries match size()");
+  }
 
  private:
   struct Entry {
@@ -418,13 +424,28 @@ class AlexIndex {
     void CheckInvariants() const {
       size_t live = 0;
       for (size_t i = 0; i < keys_.size(); ++i) {
-        if (i > 0) LIDX_CHECK(!(keys_[i] < keys_[i - 1]));
+        if (i > 0) {
+          LIDX_INVARIANT(!(keys_[i] < keys_[i - 1]),
+                         "alex: gapped array non-decreasing");
+        }
         if (Occupied(i)) {
           ++live;
-          if (i > 0 && Occupied(i - 1)) LIDX_CHECK(keys_[i - 1] < keys_[i]);
+          if (i > 0 && Occupied(i - 1)) {
+            LIDX_INVARIANT(keys_[i - 1] < keys_[i],
+                           "alex: live keys strictly increasing");
+          }
         }
       }
-      LIDX_CHECK(live == num_entries_);
+      LIDX_INVARIANT(live == num_entries_,
+                     "alex: occupancy bitmap matches entry count");
+      // Density bound: inserts rebuild with fresh gaps (or split) before
+      // exceeding max_density, so a node never runs out of gaps.
+      LIDX_INVARIANT(
+          num_entries_ <= static_cast<size_t>(options_.max_density *
+                                              static_cast<double>(
+                                                  keys_.size())) +
+                              1,
+          "alex: gapped-array density bound");
     }
 
    private:
@@ -685,26 +706,35 @@ class AlexIndex {
     return total;
   }
 
-  void CheckRecursive(const Node* node, const Key* lo, const Key* hi) const {
+  void CheckRecursive(const Node* node, const Key* lo, const Key* hi,
+                      size_t* live) const {
     if (node->is_data) {
       const DataNode* leaf = static_cast<const DataNode*>(node);
       leaf->CheckInvariants();
+      *live += leaf->num_entries();
       if (leaf->num_entries() > 0) {
-        if (lo != nullptr) LIDX_CHECK(!(leaf->min_key() < *lo));
+        if (lo != nullptr) {
+          LIDX_INVARIANT(!(leaf->min_key() < *lo),
+                         "alex: leaf min within boundary");
+        }
       }
       (void)hi;
       return;
     }
     const InternalNode* in = static_cast<const InternalNode*>(node);
-    LIDX_CHECK(!in->children.empty());
-    LIDX_CHECK(in->children.size() == in->boundaries.size());
+    LIDX_INVARIANT(!in->children.empty(), "alex: internal node non-empty");
+    LIDX_INVARIANT(in->children.size() == in->boundaries.size(),
+                   "alex: boundary/child parallel arrays");
+    LIDX_INVARIANT(in->boundaries.size() <= options_.max_fanout,
+                   "alex: fanout bound");
     for (size_t i = 1; i < in->boundaries.size(); ++i) {
-      LIDX_CHECK(in->boundaries[i - 1] < in->boundaries[i]);
+      LIDX_INVARIANT(in->boundaries[i - 1] < in->boundaries[i],
+                     "alex: boundaries strictly increasing");
     }
     for (size_t i = 0; i < in->children.size(); ++i) {
       const Key* child_hi =
           (i + 1 < in->boundaries.size()) ? &in->boundaries[i + 1] : hi;
-      CheckRecursive(in->children[i], &in->boundaries[i], child_hi);
+      CheckRecursive(in->children[i], &in->boundaries[i], child_hi, live);
     }
   }
 

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/invariants.h"
 #include "common/macros.h"
 #include "common/search.h"
 #include "one_d/pgm.h"
@@ -177,6 +178,39 @@ class ConcurrentLearnedIndex {
                shard.delta.capacity() * sizeof(DeltaEntry);
     }
     return total;
+  }
+
+  // Structural invariants: non-decreasing shard boundaries, every shard's
+  // delta sorted/unique and below its compaction threshold, the frozen PGM
+  // internally consistent, and every key stored in a shard routing back to
+  // that shard. Takes each shard's lock in shared mode, so it is safe to
+  // call concurrently with readers and writers. Aborts on violation.
+  void CheckInvariants() const {
+    LIDX_INVARIANT(boundaries_.size() == shards_.size(),
+                   "cidx: boundary per shard");
+    invariants::CheckSorted(boundaries_, "cidx: boundaries non-decreasing");
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const Shard& shard = shards_[s];
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      LIDX_INVARIANT(shard.delta.size() < options_.delta_limit ||
+                         options_.delta_limit == 0,
+                     "cidx: delta below compaction threshold");
+      for (size_t i = 1; i < shard.delta.size(); ++i) {
+        LIDX_INVARIANT(shard.delta[i - 1].key < shard.delta[i].key,
+                       "cidx: delta sorted unique");
+      }
+      shard.frozen.CheckInvariants();
+      if (shards_.size() > 1) {
+        for (const DeltaEntry& e : shard.delta) {
+          LIDX_INVARIANT(RouteShard(e.key) == s,
+                         "cidx: delta key routes to its shard");
+        }
+        for (const Key& k : shard.frozen.keys()) {
+          LIDX_INVARIANT(RouteShard(k) == s,
+                         "cidx: frozen key routes to its shard");
+        }
+      }
+    }
   }
 
  private:

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "baselines/bloom.h"
+#include "common/invariants.h"
 #include "common/macros.h"
 #include "one_d/pgm.h"
 
@@ -187,6 +188,58 @@ class DynamicPgm {
     return total;
   }
 
+  // Structural invariants of the logarithmic method: sorted unique insert
+  // buffer below its spill threshold, every component within its slot
+  // capacity and internally consistent (including the PGM ε-guarantee and
+  // the Bloom filter's no-false-negative contract), and the live-entry
+  // count matching size_ after tombstone shadowing. Aborts on violation.
+  void CheckInvariants() const {
+    LIDX_INVARIANT(buffer_.size() < options_.base_capacity ||
+                       options_.base_capacity == 0,
+                   "dpgm: buffer below spill threshold");
+    for (size_t i = 1; i < buffer_.size(); ++i) {
+      LIDX_INVARIANT(buffer_[i - 1].key < buffer_[i].key,
+                     "dpgm: buffer sorted unique");
+    }
+    size_t live = 0;
+    std::vector<Key> seen;  // Keys already resolved by a newer component.
+    auto absorb = [&](const Entry* data, size_t n) {
+      std::vector<Key> fresh;
+      for (size_t i = 0; i < n; ++i) {
+        const Key& k = data[i].key;
+        if (!std::binary_search(seen.begin(), seen.end(), k)) {
+          if (!data[i].deleted) ++live;
+          fresh.push_back(k);
+        }
+      }
+      std::vector<Key> merged;
+      merged.reserve(seen.size() + fresh.size());
+      std::merge(seen.begin(), seen.end(), fresh.begin(), fresh.end(),
+                 std::back_inserter(merged));
+      seen = std::move(merged);
+    };
+    absorb(buffer_.data(), buffer_.size());
+    for (size_t s = 0; s < slots_.size(); ++s) {
+      const Slot& slot = slots_[s];
+      if (slot.index.empty()) continue;
+      LIDX_INVARIANT(slot.index.size() <= SlotCapacity(s),
+                     "dpgm: component within slot capacity");
+      slot.index.CheckInvariants();
+      const auto& entries = slot.index.values();
+      for (size_t i = 0; i < entries.size(); ++i) {
+        LIDX_INVARIANT(entries[i].key == slot.index.keys()[i],
+                       "dpgm: entry key mirrors index key");
+        if (slot.bloom != nullptr) {
+          LIDX_INVARIANT(
+              slot.bloom->MayContain(static_cast<uint64_t>(entries[i].key)),
+              "dpgm: bloom has no false negatives");
+        }
+      }
+      absorb(entries.data(), entries.size());
+    }
+    LIDX_INVARIANT(live == size_, "dpgm: live-entry count matches size()");
+  }
+
  private:
   static constexpr size_t kMinBloomEntries = 16384;
 
@@ -234,21 +287,24 @@ class DynamicPgm {
 
   // Pushes a sorted run of entries into the logarithmic structure.
   void PushRun(std::vector<Entry> run) {
-    // Runs are merged in place from the slots' own storage (no copies);
-    // slots are only cleared after the merge consumed them.
-    std::vector<const std::vector<Entry>*> runs;
+    // Pick the target slot first and size the slot array once: growing
+    // slots_ can reallocate and move the Slot objects, so any pointer into
+    // a slot's storage taken before the growth would dangle.
     size_t total = run.size();
-    runs.push_back(&run);
     size_t target = 0;
     while (true) {
-      EnsureSlots(target + 1);
-      const auto& index = slots_[target].index;
-      if (!index.empty()) {
-        total += index.size();
-        runs.push_back(&index.values());
-      }
+      if (target < slots_.size()) total += slots_[target].index.size();
       if (total <= SlotCapacity(target)) break;
       ++target;
+    }
+    EnsureSlots(target + 1);
+    // Runs are merged in place from the slots' own storage (no copies);
+    // slots are only cleared after the merge consumed them. runs[0] must
+    // stay newest, then slots in increasing (newer-first) order.
+    std::vector<const std::vector<Entry>*> runs;
+    runs.push_back(&run);
+    for (size_t s = 0; s <= target; ++s) {
+      if (!slots_[s].index.empty()) runs.push_back(&slots_[s].index.values());
     }
     std::vector<Entry> merged = MergeRuns(runs, total);
     for (size_t s = 0; s <= target; ++s) {

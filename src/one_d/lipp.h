@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/invariants.h"
 #include "common/macros.h"
 #include "models/linear_model.h"
 
@@ -122,11 +123,15 @@ class LippIndex {
   int MaxDepth() const { return MaxDepthRecursive(root_); }
 
   // Checks that an in-order traversal yields strictly increasing keys (the
-  // monotone-model layout invariant). Test hook.
+  // monotone-model layout invariant), that every node's occupancy counter
+  // matches its live cells, and that the live total matches size(). Aborts
+  // on violation. Test hook.
   void CheckInvariants() const {
     bool has_prev = false;
     Key prev{};
-    CheckRecursive(root_, &has_prev, &prev);
+    size_t live = 0;
+    CheckRecursive(root_, &has_prev, &prev, &live);
+    LIDX_INVARIANT(live == size_, "lipp: live entries match size()");
   }
 
  private:
@@ -360,21 +365,31 @@ class LippIndex {
     return depth;
   }
 
-  void CheckRecursive(const LippNode* node, bool* has_prev, Key* prev) const {
+  void CheckRecursive(const LippNode* node, bool* has_prev, Key* prev,
+                      size_t* live) const {
+    size_t node_entries = 0;
     for (const Cell& cell : node->cells) {
       switch (cell.tag) {
         case CellTag::kEmpty:
           break;
         case CellTag::kData:
-          if (*has_prev) LIDX_CHECK(*prev < cell.key);
+          if (*has_prev) {
+            LIDX_INVARIANT(*prev < cell.key,
+                           "lipp: in-order keys strictly increasing");
+          }
           *prev = cell.key;
           *has_prev = true;
+          ++node_entries;
+          ++*live;
           break;
         case CellTag::kChild:
-          CheckRecursive(cell.child, has_prev, prev);
+          LIDX_INVARIANT(cell.child != nullptr, "lipp: child cell non-null");
+          CheckRecursive(cell.child, has_prev, prev, live);
           break;
       }
     }
+    LIDX_INVARIANT(node_entries == node->num_entries,
+                   "lipp: node occupancy counter");
   }
 
   Options options_;

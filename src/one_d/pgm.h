@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/batch.h"
+#include "common/invariants.h"
 #include "common/macros.h"
 #include "common/prefetch.h"
 #include "common/search.h"
@@ -268,6 +269,38 @@ class PgmIndex {
     }
     if (!keys_.empty() && levels_.empty()) return false;
     return true;
+  }
+
+  // Structural invariants: strict key order, parallel arrays, a root level
+  // small enough for its scan, per-level segment/first-key consistency with
+  // non-increasing level sizes going up, and the ε-guarantee re-verified
+  // for every indexed key. Aborts on violation. Test hook.
+  void CheckInvariants() const {
+    LIDX_INVARIANT(keys_.size() == values_.size(), "pgm: parallel arrays");
+    invariants::CheckStrictlySorted(keys_, "pgm: keys strictly sorted");
+    if (keys_.empty()) {
+      return;
+    }
+    LIDX_INVARIANT(!levels_.empty(), "pgm: levels exist for non-empty data");
+    LIDX_INVARIANT(levels_.back().Size() <= kRootFanout,
+                   "pgm: root level fits the root scan");
+    for (size_t l = 0; l < levels_.size(); ++l) {
+      const Level& level = levels_[l];
+      LIDX_INVARIANT(level.Size() >= 1, "pgm: level non-empty");
+      LIDX_INVARIANT(level.segments.size() == level.first_keys.size(),
+                     "pgm: segment/first-key parallel arrays");
+      invariants::CheckStrictlySorted(level.first_keys,
+                                      "pgm: level first keys sorted");
+      for (size_t s = 0; s < level.segments.size(); ++s) {
+        LIDX_INVARIANT(level.segments[s].first_key == level.first_keys[s],
+                       "pgm: first-key mirror matches segment");
+      }
+      if (l > 0) {
+        LIDX_INVARIANT(level.Size() <= levels_[l - 1].Size(),
+                       "pgm: level sizes non-increasing upward");
+      }
+    }
+    CheckEpsilonInvariant();
   }
 
   // Verifies the ε-guarantee for every indexed key (test hook): the data

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/batch.h"
+#include "common/invariants.h"
 #include "common/macros.h"
 #include "common/prefetch.h"
 #include "common/search.h"
@@ -231,6 +232,53 @@ class RadixSpline {
   }
 
   const std::vector<Key>& keys() const { return keys_; }
+
+  // Structural invariants: strict key order, a spline whose knots are
+  // strictly increasing in key and non-decreasing in position with endpoints
+  // pinned to the data, a monotone radix table bounded by the knot count,
+  // and the ε interpolation guarantee re-verified at every indexed key.
+  // Aborts on violation. Test hook.
+  void CheckInvariants() const {
+    LIDX_INVARIANT(keys_.size() == values_.size(), "rs: parallel arrays");
+    invariants::CheckStrictlySorted(keys_, "rs: keys strictly sorted");
+    if (keys_.empty()) return;
+    const size_t n = keys_.size();
+    LIDX_INVARIANT(!knots_.empty(), "rs: spline exists for non-empty data");
+    for (size_t i = 1; i < knots_.size(); ++i) {
+      LIDX_INVARIANT(knots_[i - 1].key < knots_[i].key,
+                     "rs: knot keys strictly increasing");
+      LIDX_INVARIANT(knots_[i - 1].pos <= knots_[i].pos,
+                     "rs: knot positions non-decreasing");
+    }
+    LIDX_INVARIANT(knots_.front().key == static_cast<double>(keys_.front()),
+                   "rs: first knot pinned to first key");
+    LIDX_INVARIANT(knots_.back().key == static_cast<double>(keys_.back()),
+                   "rs: last knot pinned to last key");
+    LIDX_INVARIANT(radix_table_.size() >= 2, "rs: radix table allocated");
+    for (size_t i = 0; i < radix_table_.size(); ++i) {
+      LIDX_INVARIANT(radix_table_[i] <= knots_.size(),
+                     "rs: radix entry within knot count");
+      if (i > 0) {
+        LIDX_INVARIANT(radix_table_[i - 1] <= radix_table_[i],
+                       "rs: radix table monotone");
+      }
+    }
+    // ε-guarantee: the covering spline segment's interpolation lands within
+    // epsilon (+1 for the final size_t truncation) of every key's rank.
+    size_t seg = 0;
+    for (size_t i = 0; i < n && knots_.size() >= 2; ++i) {
+      const double k = static_cast<double>(keys_[i]);
+      while (seg + 2 < knots_.size() && knots_[seg + 1].key <= k) ++seg;
+      const SplineKnot& a = knots_[seg];
+      const SplineKnot& b = knots_[seg + 1];
+      const double frac = (k - a.key) / (b.key - a.key);
+      const double predicted = a.pos + frac * (b.pos - a.pos);
+      const double err = predicted - static_cast<double>(i);
+      LIDX_INVARIANT(err <= static_cast<double>(epsilon_) + 1.0 &&
+                         -err <= static_cast<double>(epsilon_) + 1.0,
+                     "rs: epsilon interpolation guarantee");
+    }
+  }
 
  private:
   uint64_t PrefixOf(double key) const {

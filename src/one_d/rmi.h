@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/batch.h"
+#include "common/invariants.h"
 #include "common/macros.h"
 #include "common/prefetch.h"
 #include "common/search.h"
@@ -232,6 +233,30 @@ class Rmi {
     if (models_.size() != num_models_) return false;
     if (!keys_.empty() && models_.empty()) return false;
     return true;
+  }
+
+  // Structural invariants: parallel arrays, strict key order, monotone
+  // stage-1 routing, and the certified error window of every stage-2 model
+  // re-verified against each key it covers. Aborts on violation. Test hook.
+  void CheckInvariants() const {
+    LIDX_INVARIANT(keys_.size() == values_.size(), "rmi: parallel arrays");
+    invariants::CheckStrictlySorted(keys_, "rmi: keys strictly sorted");
+    if (keys_.empty()) return;
+    LIDX_INVARIANT(num_models_ >= 1, "rmi: at least one model");
+    LIDX_INVARIANT(models_.size() == num_models_, "rmi: model table size");
+    LIDX_INVARIANT(stage1_.slope >= 0.0, "rmi: monotone stage-1 routing");
+    const size_t n = keys_.size();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t m = RouteToModel(keys_[i]);
+      const ModelWithBounds& mb = models_[m];
+      const size_t pred =
+          mb.model.PredictClamped(static_cast<double>(keys_[i]), n);
+      if (pred > i) {
+        LIDX_INVARIANT(pred - i <= mb.err_hi, "rmi: certified error window");
+      } else {
+        LIDX_INVARIANT(i - pred <= mb.err_lo, "rmi: certified error window");
+      }
+    }
   }
 
  private:

@@ -238,6 +238,7 @@ TEST(SkipListTest, InsertFindErase) {
   EXPECT_TRUE(list.Erase(5));
   EXPECT_FALSE(list.Erase(5));
   EXPECT_EQ(list.size(), 2u);
+  list.CheckInvariants();
 }
 
 TEST(SkipListTest, DrainSortedOrder) {
@@ -291,7 +292,9 @@ TEST(SkipListTest, FuzzAgainstStdMap) {
       default:
         ASSERT_EQ(list.Erase(key), ref.erase(key) > 0);
     }
+    if (op % 5000 == 4999) list.CheckInvariants();
   }
+  list.CheckInvariants();
   ASSERT_EQ(list.size(), ref.size());
 }
 

@@ -26,6 +26,7 @@ TEST(ConcurrentIndexTest, BulkLoadAndFind) {
   const auto keys = GenerateKeys(KeyDistribution::kLognormal, 50000, 829);
   Index index;
   index.BulkLoad(keys, Ranks(keys.size()));
+  index.CheckInvariants();
   for (size_t i = 0; i < keys.size(); i += 3) {
     ASSERT_EQ(index.Find(keys[i]), std::optional<uint64_t>(i));
   }
@@ -59,6 +60,7 @@ TEST(ConcurrentIndexTest, CompactionPreservesData) {
     index.Insert(k, op);
     ref[k] = op;
   }
+  index.CheckInvariants();
   for (const auto& [k, v] : ref) {
     ASSERT_EQ(index.Find(k), std::optional<uint64_t>(v)) << k;
   }
@@ -142,6 +144,7 @@ TEST(ConcurrentIndexTest, ReadersAndWritersNoTornState) {
   stop.store(true);
   for (auto& t : readers) t.join();
   EXPECT_EQ(bad_reads.load(), 0u);
+  index.CheckInvariants();
 
   // Post-conditions: all writer keys visible with the right values.
   for (int t = 0; t < 2; ++t) {
@@ -175,6 +178,7 @@ TEST(ConcurrentIndexTest, ParallelWritersDisjointShards) {
     });
   }
   for (auto& t : writers) t.join();
+  index.CheckInvariants();
   for (int t = 0; t < 4; ++t) {
     for (uint64_t i = 0; i < 5000; i += 97) {
       ASSERT_EQ(index.Find((static_cast<uint64_t>(t) << 50) + i * 2 + 1),

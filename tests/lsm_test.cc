@@ -29,6 +29,7 @@ TEST_P(LsmModeTest, PutGetAcrossCompactions) {
   Lsm lsm(SmallOptions(GetParam()));
   const auto keys = GenerateKeys(KeyDistribution::kUniform, 20000, 701);
   for (size_t i = 0; i < keys.size(); ++i) lsm.Put(keys[i], i);
+  lsm.CheckInvariants();
   for (size_t i = 0; i < keys.size(); ++i) {
     ASSERT_EQ(lsm.Get(keys[i]), std::optional<uint64_t>(i)) << i;
   }
@@ -58,6 +59,7 @@ TEST_P(LsmModeTest, DeleteShadowsAcrossLevels) {
   lsm.Flush();
   for (uint64_t k = 0; k < 5000; k += 2) lsm.Delete(k);
   lsm.Flush();
+  lsm.CheckInvariants();
   for (uint64_t k = 0; k < 5000; ++k) {
     if (k % 2 == 0) {
       ASSERT_FALSE(lsm.Get(k).has_value()) << k;
@@ -90,7 +92,9 @@ TEST_P(LsmModeTest, FuzzAgainstStdMap) {
         lsm.Delete(key);
         ref.erase(key);
     }
+    if (op % 10000 == 9999) lsm.CheckInvariants();
   }
+  lsm.CheckInvariants();
   for (const auto& [k, v] : ref) {
     ASSERT_EQ(lsm.Get(k), std::optional<uint64_t>(v));
   }

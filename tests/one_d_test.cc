@@ -97,6 +97,7 @@ TEST_P(RmiParamTest, LookupAndRange) {
   const auto keys = GenerateKeys(dist, n, 71);
   Rmi<uint64_t, uint64_t> index;
   index.Build(keys, Ranks(n));
+  index.CheckInvariants();
   CheckLookups(index, keys, 73);
   CheckRangeScans(index, keys, 79);
 }
@@ -128,6 +129,7 @@ TEST(RmiTest, ModelCountVariants) {
     Rmi<uint64_t, uint64_t>::Options opts;
     opts.num_models = models;
     index.Build(keys, Ranks(keys.size()), opts);
+    index.CheckInvariants();
     CheckLookups(index, keys, 101);
   }
 }
@@ -170,6 +172,7 @@ TEST_P(PgmParamTest, LookupAndRange) {
   const auto keys = GenerateKeys(dist, n, 109);
   PgmIndex<uint64_t, uint64_t> index;
   index.Build(keys, Ranks(n));
+  index.CheckInvariants();
   CheckLookups(index, keys, 113);
   CheckRangeScans(index, keys, 127);
 }
@@ -182,7 +185,7 @@ TEST_P(PgmParamTest, EpsilonInvariant) {
     PgmIndex<uint64_t, uint64_t>::Options opts;
     opts.epsilon = eps;
     index.Build(keys, Ranks(n), opts);
-    index.CheckEpsilonInvariant();
+    index.CheckInvariants();
   }
 }
 
@@ -219,7 +222,7 @@ TEST(PgmTest, AdversarialKeysStillCorrect) {
   const auto keys = GenerateKeys(KeyDistribution::kAdversarial, 30000, 151);
   PgmIndex<uint64_t, uint64_t> index;
   index.Build(keys, Ranks(keys.size()));
-  index.CheckEpsilonInvariant();
+  index.CheckInvariants();
   CheckLookups(index, keys, 157);
 }
 
@@ -242,6 +245,7 @@ TEST_P(RadixSplineParamTest, LookupAndRange) {
   const auto keys = GenerateKeys(dist, n, 163);
   RadixSpline<uint64_t, uint64_t> index;
   index.Build(keys, Ranks(n));
+  index.CheckInvariants();
   CheckLookups(index, keys, 167);
   CheckRangeScans(index, keys, 173);
 }
@@ -514,6 +518,7 @@ TEST_P(DynamicPgmParamTest, BulkLoadLookupAndRange) {
   const auto keys = GenerateKeys(dist, n, 283);
   DynamicPgm<uint64_t, uint64_t> index;
   index.BulkLoad(keys, Ranks(n));
+  index.CheckInvariants();
   CheckLookups(index, keys, 293);
   CheckRangeScans(index, keys, 307);
 }
@@ -546,7 +551,9 @@ TEST(DynamicPgmTest, FuzzAgainstStdMap) {
       default:
         ASSERT_EQ(index.Erase(key), ref.erase(key) > 0) << key;
     }
+    if (op % 5000 == 4999) index.CheckInvariants();
   }
+  index.CheckInvariants();
   ASSERT_EQ(index.size(), ref.size());
   std::vector<std::pair<uint64_t, uint64_t>> all;
   index.RangeScan(0, UINT64_MAX, &all);

@@ -1,0 +1,165 @@
+// Sanitizer-targeted stress tests. These exist primarily for the TSan CI
+// leg: they hammer the shard-locked concurrent index and the multi-threaded
+// throughput harness with mixed readers, writers, erasers, range scanners,
+// and concurrent invariant checkers, so data races in the locking protocol
+// surface as sanitizer reports rather than rare corruption. Under plain
+// builds they double as correctness smoke tests.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "datasets/generators.h"
+#include "one_d/concurrent_index.h"
+
+namespace lidx {
+namespace {
+
+using Index = ConcurrentLearnedIndex<uint64_t, uint64_t>;
+
+std::vector<uint64_t> Ranks(size_t n) {
+  std::vector<uint64_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+// Readers, writers, erasers, range scanners, and invariant checkers all
+// running at once. The checker takes each shard lock in shared mode, so it
+// is legal mid-churn; any locking bug shows up as a TSan report or an
+// invariant abort.
+TEST(StressTest, MixedOpsWithConcurrentInvariantChecks) {
+  const auto keys = GenerateKeys(KeyDistribution::kUniform, 20000, 907);
+  Index::Options opts;
+  opts.num_shards = 8;
+  opts.delta_limit = 128;  // Frequent compactions under churn.
+  Index index(opts);
+  index.BulkLoad(keys, Ranks(keys.size()));
+
+  constexpr int kOpsPerThread = 4000;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> bad_reads{0};
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {  // Writers.
+      Rng rng(911 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t k = rng.Next() >> 8;
+        index.Insert(k, k + 1);
+      }
+    });
+  }
+  threads.emplace_back([&] {  // Eraser over its own key space.
+    Rng rng(919);
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const uint64_t k = rng.Next() >> 8;
+      index.Insert(k, k + 1);
+      index.Erase(k);
+    }
+  });
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {  // Point readers over bulk keys.
+      Rng rng(929 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t j = rng.NextBounded(keys.size());
+        const auto got = index.Find(keys[j]);
+        // Bulk keys are overwritten (k -> k+1) but never erased here, so a
+        // miss or an unexpected value is a torn read.
+        if (!got.has_value() || (*got != j && *got != keys[j] + 1)) {
+          bad_reads.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {  // Range scanner.
+    Rng rng(937);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t lo = keys[rng.NextBounded(keys.size())];
+      std::vector<std::pair<uint64_t, uint64_t>> out;
+      index.RangeScan(lo, lo + (1ull << 40), &out);
+      for (size_t i = 1; i < out.size(); ++i) {
+        if (out[i - 1].first >= out[i].first) bad_reads.fetch_add(1);
+      }
+    }
+  });
+  threads.emplace_back([&] {  // Concurrent structural checker.
+    while (!stop.load(std::memory_order_relaxed)) {
+      index.CheckInvariants();
+    }
+  });
+
+  // First three threads are the bounded writers/eraser; join them, then
+  // stop the unbounded readers/checker.
+  for (int t = 0; t < 3; ++t) threads[t].join();
+  stop.store(true);
+  for (size_t t = 3; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(bad_reads.load(), 0u);
+  index.CheckInvariants();
+}
+
+// Drives the benchmark throughput harness itself with a mixed workload, so
+// the TSan leg covers the exact thread-spawning path the benchmarks use.
+TEST(StressTest, ThroughputHarnessMixedReadersWriters) {
+  const auto keys = GenerateKeys(KeyDistribution::kLognormal, 10000, 941);
+  Index::Options opts;
+  opts.num_shards = 8;
+  opts.delta_limit = 256;
+  Index index(opts);
+  index.BulkLoad(keys, Ranks(keys.size()));
+
+  std::atomic<size_t> misses{0};
+  const double mops = bench::MeasureThroughputMops(
+      /*num_threads=*/4, /*batch_size=*/64, /*total_ops=*/40000,
+      [&](size_t start, size_t count) {
+        for (size_t j = 0; j < count; ++j) {
+          const size_t op = start + j;
+          const uint64_t k = keys[op % keys.size()];
+          switch (op % 4) {
+            case 0:
+              index.Insert(k + 1, op);
+              break;
+            case 1:
+              // Guard: k + 1 may itself be a bulk key if two bulk keys are
+              // adjacent; never erase those.
+              if (!std::binary_search(keys.begin(), keys.end(), k + 1)) {
+                index.Erase(k + 1);
+              }
+              break;
+            default:
+              if (!index.Find(k).has_value()) misses.fetch_add(1);
+          }
+        }
+      });
+  EXPECT_GT(mops, 0.0);
+  // Bulk keys are never erased (only k+1 shadows churn), so every Find
+  // must hit.
+  EXPECT_EQ(misses.load(), 0u);
+  index.CheckInvariants();
+}
+
+// Many checkers in parallel with readers: CheckInvariants must be reentrant
+// and must not write anything (shared locks only).
+TEST(StressTest, ParallelInvariantCheckers) {
+  const auto keys = GenerateKeys(KeyDistribution::kUniform, 20000, 947);
+  Index index;
+  index.BulkLoad(keys, Ranks(keys.size()));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) index.CheckInvariants();
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+}  // namespace lidx
