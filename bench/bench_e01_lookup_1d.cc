@@ -65,9 +65,9 @@ Row RunOne(const std::string& dist, const std::string& name,
 }
 
 void RunDistribution(KeyDistribution dist, std::vector<Row>* rows) {
-  const auto keys = GenerateKeys(dist, kNumKeys, 4242);
-  std::vector<uint64_t> values(keys.size());
-  for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+  const bench::Dataset1D data = bench::MakeDataset1D(dist, kNumKeys, 4242);
+  const std::vector<uint64_t>& keys = data.keys;
+  const std::vector<uint64_t>& values = data.values;
   const auto hits = GenerateLookupKeys(keys, kNumLookups, 0.0, 0.0, 7);
   const auto mixed = GenerateLookupKeys(keys, kNumLookups, 0.0, 0.5, 11);
   const std::string dname = KeyDistributionName(dist);
@@ -90,8 +90,7 @@ void RunDistribution(KeyDistribution dist, std::vector<Row>* rows) {
   }
   {
     BPlusTree<uint64_t, uint64_t> tree;
-    std::vector<std::pair<uint64_t, uint64_t>> pairs;
-    for (size_t i = 0; i < keys.size(); ++i) pairs.emplace_back(keys[i], i);
+    const auto pairs = bench::ToPairs(data);
     rows->push_back(RunOne(
         dname, "b+tree", hits, mixed, [&] { tree.BulkLoad(pairs); },
         [&](uint64_t k) -> uint64_t { return tree.Find(k).value_or(0); },

@@ -68,9 +68,10 @@ int main() {
       "lock-free learned routing + shard-local locks beat a global lock as "
       "threads grow (relative gap; absolute scaling is hardware-bound)");
 
-  const auto keys = GenerateKeys(KeyDistribution::kUniform, kNumKeys, 2020);
-  std::vector<uint64_t> values(keys.size());
-  for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+  const bench::Dataset1D data =
+      bench::MakeDataset1D(KeyDistribution::kUniform, kNumKeys, 2020);
+  const std::vector<uint64_t>& keys = data.keys;
+  const std::vector<uint64_t>& values = data.values;
 
   TablePrinter table({"threads", "mix", "learned-sharded Mops/s",
                       "locked-b+tree Mops/s"});
@@ -80,9 +81,7 @@ int main() {
       learned.BulkLoad(keys, values);
 
       BPlusTree<uint64_t, uint64_t> tree;
-      std::vector<std::pair<uint64_t, uint64_t>> pairs;
-      for (size_t i = 0; i < keys.size(); ++i) pairs.emplace_back(keys[i], i);
-      tree.BulkLoad(pairs);
+      tree.BulkLoad(bench::ToPairs(data));
       std::mutex tree_mutex;
 
       const double learned_mops = RunThreads(

@@ -112,9 +112,10 @@ void RunDistribution(KeyDistribution dist, AcceptanceTracker* acceptance) {
   const std::string dist_name = KeyDistributionName(dist);
   std::printf("\n---- %s, %zu keys, %zu lookups ----\n", dist_name.c_str(),
               kNumKeys, kNumLookups);
-  std::vector<uint64_t> keys = GenerateKeys(dist, kNumKeys);
-  std::vector<uint64_t> values(keys.size());
-  for (size_t i = 0; i < keys.size(); ++i) values[i] = keys[i] ^ 0x9E3779B9u;
+  const bench::Dataset1D data =
+      bench::MakeDataset1D(dist, kNumKeys, 42, bench::ValueScheme::kHashed);
+  const std::vector<uint64_t>& keys = data.keys;
+  const std::vector<uint64_t>& values = data.values;
 
   // Uniformly random hits; the interesting traffic for MLP (misses spend
   // their time in the same search windows, so the shape matches).
@@ -165,8 +166,7 @@ void RunDistribution(KeyDistribution dist, AcceptanceTracker* acceptance) {
     track("ALEX", SweepIndex(dist_name, "ALEX", alex, queries, expected));
   }
   {
-    std::vector<std::pair<uint64_t, uint64_t>> pairs(keys.size());
-    for (size_t i = 0; i < keys.size(); ++i) pairs[i] = {keys[i], values[i]};
+    const auto pairs = bench::ToPairs(data);
     BPlusTree<uint64_t, uint64_t> btree;
     const double ms = bench::MeasureMs([&] { btree.BulkLoad(pairs); });
     std::printf("\nbuild B+tree: %.0f ms\n", ms);

@@ -2,6 +2,7 @@
 #define LIDX_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -11,8 +12,58 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "datasets/generators.h"
 
 namespace lidx::bench {
+
+// ----- Shared dataset generation -----
+//
+// Every 1-D bench needs the same thing: sorted unique keys from a named
+// distribution plus a value array. Centralised here so experiments agree on
+// what "1M lognormal keys" means and new benches (E18) don't re-grow their
+// own copy of the loop.
+
+enum class ValueScheme {
+  kRank,   // values[i] = i (rank values; the common lookup-bench choice).
+  kHashed  // values[i] = keys[i] ^ 0x9E3779B9 (checkable from the key alone).
+};
+
+struct Dataset1D {
+  std::vector<uint64_t> keys;    // Sorted, unique.
+  std::vector<uint64_t> values;  // Parallel to keys.
+};
+
+inline Dataset1D MakeDataset1D(KeyDistribution dist, size_t n, uint64_t seed,
+                               ValueScheme scheme = ValueScheme::kRank) {
+  Dataset1D data;
+  data.keys = GenerateKeys(dist, n, seed);
+  data.values.resize(data.keys.size());
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    data.values[i] = scheme == ValueScheme::kRank
+                         ? i
+                         : (data.keys[i] ^ 0x9E3779B9u);
+  }
+  return data;
+}
+
+// Key/value pairs for indexes that bulk-load from std::pair vectors.
+inline std::vector<std::pair<uint64_t, uint64_t>> ToPairs(
+    const Dataset1D& data) {
+  std::vector<std::pair<uint64_t, uint64_t>> pairs(data.keys.size());
+  for (size_t i = 0; i < data.keys.size(); ++i) {
+    pairs[i] = {data.keys[i], data.values[i]};
+  }
+  return pairs;
+}
+
+// p in [0, 100] over a copy-free nth_element pass; `samples` is reordered.
+inline double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(samples->size() - 1) + 0.5);
+  std::nth_element(samples->begin(), samples->begin() + rank, samples->end());
+  return (*samples)[rank];
+}
 
 // Milliseconds consumed by `fn` (single shot; used for build times).
 inline double MeasureMs(const std::function<void()>& fn) {
@@ -86,6 +137,72 @@ inline void PrintHeader(const std::string& experiment,
   std::printf("%s\n", experiment.c_str());
   std::printf("Claim under test: %s\n", claim.c_str());
   std::printf("==============================================\n");
+}
+
+// ----- Machine-readable results -----
+//
+// ReportJson writes BENCH_<name>.json next to the binary so CI can upload
+// benchmark numbers as artifacts and diff them across commits without
+// scraping the human-oriented tables.
+
+struct JsonField {
+  std::string key;
+  std::string rendered;  // Already-valid JSON value text.
+
+  static JsonField Num(const std::string& key, double v) {
+    char buf[64];
+    if (std::isfinite(v)) {
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+    } else {
+      std::snprintf(buf, sizeof(buf), "null");
+    }
+    return {key, buf};
+  }
+  static JsonField Num(const std::string& key, size_t v) {
+    return {key, std::to_string(v)};
+  }
+  static JsonField Str(const std::string& key, const std::string& v) {
+    std::string out = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return {key, out};
+  }
+};
+
+using JsonRow = std::vector<JsonField>;
+
+inline void ReportJson(const std::string& name,
+                       const std::vector<JsonRow>& rows,
+                       const std::vector<JsonField>& meta = {}) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ReportJson: cannot open %s\n", path.c_str());
+    return;
+  }
+  const auto write_object = [&](const std::vector<JsonField>& fields,
+                                const char* indent) {
+    std::fprintf(f, "{");
+    for (size_t i = 0; i < fields.size(); ++i) {
+      std::fprintf(f, "%s%s\"%s\": %s", i == 0 ? "" : ",", indent,
+                   fields[i].key.c_str(), fields[i].rendered.c_str());
+    }
+    std::fprintf(f, "%s}", fields.empty() ? "" : " ");
+  };
+  std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"meta\": ", name.c_str());
+  write_object(meta, " ");
+  std::fprintf(f, ",\n  \"rows\": [\n");
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::fprintf(f, "    ");
+    write_object(rows[r], " ");
+    std::fprintf(f, "%s\n", r + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("[json] wrote %s (%zu rows)\n", path.c_str(), rows.size());
 }
 
 }  // namespace lidx::bench

@@ -11,6 +11,7 @@
 #include "common/batch.h"
 #include "common/invariants.h"
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "common/prefetch.h"
 #include "common/search.h"
 
@@ -50,8 +51,11 @@ class BPlusTree {
 
   // Bulk-loads from sorted, unique (key, value) pairs; replaces any existing
   // contents. fill_factor in (0, 1] controls leaf packing density.
+  // build_threads > 1 constructs the (independent) leaves in parallel; the
+  // leaf chunking is fixed by per_leaf, so the tree is identical to the
+  // serial build for every thread count.
   void BulkLoad(const std::vector<std::pair<Key, Value>>& sorted,
-                double fill_factor = 1.0) {
+                double fill_factor = 1.0, size_t build_threads = 1) {
     LIDX_CHECK(fill_factor > 0.0 && fill_factor <= 1.0);
     Clear();
     if (sorted.empty()) return;
@@ -59,27 +63,26 @@ class BPlusTree {
         1, std::min(kLeafCapacity,
                     static_cast<int>(kLeafCapacity * fill_factor)));
 
-    // Build leaf level.
-    std::vector<Node*> level;
-    std::vector<Key> level_keys;  // Minimum key of each node.
-    Leaf* prev = nullptr;
-    size_t i = 0;
-    while (i < sorted.size()) {
+    // Build leaf level: fill each fixed-size chunk into its own leaf, then
+    // link the next pointers serially.
+    const size_t chunk = static_cast<size_t>(per_leaf);
+    const size_t num_leaves = (sorted.size() + chunk - 1) / chunk;
+    std::vector<Node*> level(num_leaves, nullptr);
+    std::vector<Key> level_keys(num_leaves);  // Minimum key of each node.
+    ParallelForIndex(build_threads, num_leaves, [&](size_t l) {
       Leaf* leaf = new Leaf();
-      const size_t take =
-          std::min<size_t>(per_leaf, sorted.size() - i);
-      // Avoid a final underfull leaf that would violate min occupancy for
-      // future deletes: steal from the previous chunk boundary instead.
+      const size_t base = l * chunk;
+      const size_t take = std::min<size_t>(chunk, sorted.size() - base);
       for (size_t j = 0; j < take; ++j) {
-        leaf->keys[j] = sorted[i + j].first;
-        leaf->values[j] = sorted[i + j].second;
+        leaf->keys[j] = sorted[base + j].first;
+        leaf->values[j] = sorted[base + j].second;
       }
       leaf->count = static_cast<int>(take);
-      if (prev != nullptr) prev->next = leaf;
-      prev = leaf;
-      level.push_back(leaf);
-      level_keys.push_back(leaf->keys[0]);
-      i += take;
+      level[l] = leaf;
+      level_keys[l] = leaf->keys[0];
+    });
+    for (size_t l = 0; l + 1 < num_leaves; ++l) {
+      static_cast<Leaf*>(level[l])->next = static_cast<Leaf*>(level[l + 1]);
     }
 
     // Build internal levels bottom-up.

@@ -2,9 +2,11 @@
 #define LIDX_LSM_LSM_TREE_H_
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "baselines/skiplist.h"
 #include "common/invariants.h"
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "lsm/run.h"
 
 namespace lidx {
@@ -26,6 +29,24 @@ namespace lidx {
 //
 // Keys are uint64-compatible integers; deletes are tombstones that are
 // dropped when a compaction reaches the bottom level.
+//
+// Compaction runs in one of two modes:
+//  - synchronous (default): a flush that trips the L0 trigger merges
+//    inline on the writing thread, exactly as before — deterministic and
+//    single-threaded.
+//  - background (Options::background_compaction): the merge is handed to
+//    the shared thread pool and the writer returns immediately; runs are
+//    reference-counted so in-flight reads keep old runs alive while the
+//    worker installs the merged levels. Writers only stall when the
+//    uncompacted-L0 backlog exceeds a bounded queue, which is the
+//    insert-stall fix: Put latency no longer includes multi-level merges.
+// In both modes the merge itself can use Options::compaction_threads
+// workers: the k-way merge partitions by key range (byte-identical to the
+// serial merge) and the new run's learned model trains blockwise.
+//
+// Thread-safety contract: one client thread issues Put/Delete/Get/scans;
+// background mode adds internal synchronization between that client and
+// the pool worker, not support for concurrent clients.
 template <typename Key, typename Value>
 class LsmTree {
  public:
@@ -36,9 +57,23 @@ class LsmTree {
     RunSearchMode search_mode = RunSearchMode::kLearned;
     size_t learned_epsilon = 16;
     double bloom_bits_per_key = 10.0;
+    // Threads for major compactions (range-partitioned merge + blocked
+    // model training). 1 = fully serial, byte-identical by construction.
+    size_t compaction_threads = 1;
+    // Off-thread flush-triggered merges (see class comment).
+    bool background_compaction = false;
+    // Backlog allowance in background mode: writers stall once L0 holds
+    // more than l0_run_limit * (max_pending_compactions + 1) runs, which
+    // bounds both memory and the staleness a compaction must absorb.
+    size_t max_pending_compactions = 2;
   };
 
   explicit LsmTree(const Options& options = Options()) : options_(options) {}
+
+  ~LsmTree() { WaitForCompactions(); }
+
+  LsmTree(const LsmTree&) = delete;
+  LsmTree& operator=(const LsmTree&) = delete;
 
   void Put(const Key& key, const Value& value) {
     memtable_.Insert(key, RunEntry<Value>{value, false});
@@ -51,77 +86,83 @@ class LsmTree {
   }
 
   std::optional<Value> Get(const Key& key) const {
-    // Memtable is newest.
+    // Memtable is newest (only the client thread touches it).
     if (const auto hit = memtable_.Find(key); hit.has_value()) {
       if (hit->deleted) return std::nullopt;
       return hit->value;
     }
-    // L0 runs newest-first, then deeper levels.
-    for (auto it = l0_.rbegin(); it != l0_.rend(); ++it) {
-      if (const auto found = (*it)->Get(key, &stats_); found.has_value()) {
-        if (found->deleted) return std::nullopt;
-        return found->value;
-      }
+    if (!options_.background_compaction) {
+      return GetFromRuns(l0_, levels_, key);
     }
-    for (const auto& run : levels_) {
-      if (run == nullptr) continue;
-      if (const auto found = run->Get(key, &stats_); found.has_value()) {
-        if (found->deleted) return std::nullopt;
-        return found->value;
-      }
-    }
-    return std::nullopt;
+    // Snapshot the run pointers under the lock; the runs themselves are
+    // immutable, so probing outside the lock is safe even while a worker
+    // installs a new level layout.
+    std::vector<RunPtr> l0;
+    std::vector<RunPtr> levels;
+    SnapshotComponents(&l0, &levels);
+    return GetFromRuns(l0, levels, key);
   }
 
   // Live entries with lo <= key <= hi, merged across all components.
   void RangeScan(const Key& lo, const Key& hi,
                  std::vector<std::pair<Key, Value>>* out) const {
+    std::vector<RunPtr> l0;
+    std::vector<RunPtr> levels;
+    if (options_.background_compaction) {
+      SnapshotComponents(&l0, &levels);
+    } else {
+      l0 = l0_;
+      levels = levels_;
+    }
     // Gather per-component sorted streams; newest stream wins per key.
-    std::vector<std::vector<std::pair<Key, RunEntry<Value>>>> streams;
+    std::vector<std::vector<KV>> streams;
     {
-      std::vector<std::pair<Key, RunEntry<Value>>> mem;
+      std::vector<KV> mem;
       memtable_.RangeScan(lo, hi, &mem);
       streams.push_back(std::move(mem));
     }
-    for (auto it = l0_.rbegin(); it != l0_.rend(); ++it) {
+    for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
       streams.push_back((*it)->Scan(lo, hi));
     }
-    for (const auto& run : levels_) {
+    for (const auto& run : levels) {
       if (run != nullptr) streams.push_back(run->Scan(lo, hi));
     }
-    std::vector<size_t> pos(streams.size(), 0);
-    while (true) {
-      int best = -1;
-      for (size_t s = 0; s < streams.size(); ++s) {
-        if (pos[s] >= streams[s].size()) continue;
-        if (best < 0 ||
-            streams[s][pos[s]].first < streams[best][pos[best]].first) {
-          best = static_cast<int>(s);
-        }
-      }
-      if (best < 0) break;
-      const Key k = streams[best][pos[best]].first;
-      const RunEntry<Value>& e = streams[best][pos[best]].second;
-      if (!e.deleted) out->emplace_back(k, e.value);
-      for (size_t s = 0; s < streams.size(); ++s) {
-        while (pos[s] < streams[s].size() && streams[s][pos[s]].first == k) {
-          ++pos[s];
-        }
-      }
+    std::vector<std::pair<size_t, size_t>> bounds;
+    bounds.reserve(streams.size());
+    for (const auto& s : streams) bounds.emplace_back(0, s.size());
+    for (KV& e : MergeRange(streams, bounds)) {
+      if (!e.second.deleted) out->emplace_back(e.first, e.second.value);
     }
   }
 
   // Forces the memtable to disk-run form (tests / benchmarks).
   void Flush() {
     if (memtable_.empty()) return;
-    std::vector<std::pair<Key, RunEntry<Value>>> entries;
+    std::vector<KV> entries;
     memtable_.DrainSorted(&entries);
-    l0_.push_back(MakeRun(std::move(entries)));
+    RunPtr run = MakeRun(std::move(entries));
     memtable_ = SkipList<Key, RunEntry<Value>>();
-    MaybeCompact();
+    if (!options_.background_compaction) {
+      l0_.push_back(std::move(run));
+      MaybeCompact();
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    l0_.push_back(std::move(run));
+    if (l0_.size() > options_.l0_run_limit) ScheduleCompactionLocked(lock);
+  }
+
+  // Blocks until no background compaction is in flight (no-op in
+  // synchronous mode). The destructor calls this, so a tree never dies
+  // while a pool worker still references it.
+  void WaitForCompactions() {
+    if (!options_.background_compaction) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !compaction_inflight_; });
   }
 
   size_t NumRuns() const {
+    const auto lock = MaybeLock();
     size_t n = l0_.size();
     for (const auto& run : levels_) {
       if (run != nullptr) ++n;
@@ -129,12 +170,27 @@ class LsmTree {
     return n;
   }
 
-  size_t NumLevels() const { return levels_.size(); }
+  size_t NumLevels() const {
+    const auto lock = MaybeLock();
+    return levels_.size();
+  }
+
+  // Compaction passes merged inline on the writer thread vs. on the pool.
+  // Deterministic test hooks for the two modes.
+  size_t inline_compactions() const {
+    const auto lock = MaybeLock();
+    return inline_compactions_;
+  }
+  size_t background_compactions() const {
+    const auto lock = MaybeLock();
+    return background_compactions_;
+  }
 
   const LsmStats& stats() const { return stats_; }
   void ResetStats() const { stats_ = LsmStats{}; }
 
   size_t SizeBytes() const {
+    const auto lock = MaybeLock();
     size_t total = sizeof(*this) + memtable_.SizeBytes();
     for (const auto& run : l0_) total += run->SizeBytes();
     for (const auto& run : levels_) {
@@ -144,17 +200,22 @@ class LsmTree {
   }
 
   // Structural invariants: memtable below its flush threshold, the L0 run
-  // count within its compaction trigger, every run internally consistent
-  // (sorted, Bloom/ε contracts), and level sizes respecting the leveled
-  // capacity schedule — each occupied level fits its capacity except the
-  // deepest, which absorbs overflow when the tree is full. Aborts on
-  // violation. Test hook.
+  // count within its compaction trigger (or, in background mode, within
+  // the bounded backlog a scheduled compaction is allowed to absorb),
+  // every run internally consistent (sorted, Bloom/ε contracts), and level
+  // sizes respecting the leveled capacity schedule — each occupied level
+  // fits its capacity except the deepest, which absorbs overflow when the
+  // tree is full. Aborts on violation. Test hook.
   void CheckInvariants() const {
+    const auto lock = MaybeLock();
     memtable_.CheckInvariants();
     LIDX_INVARIANT(memtable_.size() < options_.memtable_limit ||
                        options_.memtable_limit == 0,
                    "lsm: memtable below flush threshold");
-    LIDX_INVARIANT(l0_.size() <= options_.l0_run_limit,
+    const size_t l0_bound = options_.background_compaction
+                                ? BacklogBound() + 1
+                                : options_.l0_run_limit;
+    LIDX_INVARIANT(l0_.size() <= l0_bound,
                    "lsm: L0 run count within compaction trigger");
     for (const auto& run : l0_) {
       LIDX_INVARIANT(run != nullptr, "lsm: L0 run allocated");
@@ -175,6 +236,7 @@ class LsmTree {
 
   // Total learned-model bytes across runs (0 in binary-search mode).
   size_t ModelSizeBytes() const {
+    const auto lock = MaybeLock();
     size_t total = 0;
     for (const auto& run : l0_) total += run->ModelSizeBytes();
     for (const auto& run : levels_) {
@@ -184,14 +246,18 @@ class LsmTree {
   }
 
  private:
-  using RunPtr = std::unique_ptr<SortedRun<Key, Value>>;
+  // Shared (not unique) so background compaction can replace the level
+  // layout while concurrent reads keep probing the old runs.
+  using RunPtr = std::shared_ptr<SortedRun<Key, Value>>;
+  using KV = std::pair<Key, RunEntry<Value>>;
 
-  RunPtr MakeRun(std::vector<std::pair<Key, RunEntry<Value>>> entries) {
+  RunPtr MakeRun(std::vector<KV> entries) const {
     typename SortedRun<Key, Value>::Options opts;
     opts.search_mode = options_.search_mode;
     opts.learned_epsilon = options_.learned_epsilon;
     opts.bloom_bits_per_key = options_.bloom_bits_per_key;
-    return std::make_unique<SortedRun<Key, Value>>(std::move(entries), opts);
+    opts.build_threads = options_.compaction_threads;
+    return std::make_shared<SortedRun<Key, Value>>(std::move(entries), opts);
   }
 
   void MaybeFlush() {
@@ -204,58 +270,216 @@ class LsmTree {
     return cap;
   }
 
-  void MaybeCompact() {
-    if (l0_.size() <= options_.l0_run_limit) return;
-    // Merge all L0 runs into level 0 of `levels_` (aka L1).
-    std::vector<std::vector<std::pair<Key, RunEntry<Value>>>> runs;
-    // Newest first so MergeStreams keeps the freshest version per key.
-    for (auto it = l0_.rbegin(); it != l0_.rend(); ++it) {
-      runs.push_back((*it)->Drain());
-    }
-    l0_.clear();
-    PushIntoLevel(0, MergeStreams(std::move(runs)));
+  size_t BacklogBound() const {
+    return options_.l0_run_limit * (options_.max_pending_compactions + 1);
   }
 
-  void PushIntoLevel(size_t level,
-                     std::vector<std::pair<Key, RunEntry<Value>>> entries) {
-    while (levels_.size() <= level) levels_.push_back(nullptr);
-    if (levels_[level] != nullptr) {
-      std::vector<std::vector<std::pair<Key, RunEntry<Value>>>> runs;
-      runs.push_back(std::move(entries));        // Newer.
-      runs.push_back(levels_[level]->Drain());   // Older.
-      levels_[level] = nullptr;
-      entries = MergeStreams(std::move(runs));
+  // Locks the component mutex in background mode; a no-op handle in
+  // synchronous mode, where only the client thread ever touches state.
+  std::unique_lock<std::mutex> MaybeLock() const {
+    return options_.background_compaction ? std::unique_lock<std::mutex>(mu_)
+                                          : std::unique_lock<std::mutex>();
+  }
+
+  void SnapshotComponents(std::vector<RunPtr>* l0,
+                          std::vector<RunPtr>* levels) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    *l0 = l0_;
+    *levels = levels_;
+  }
+
+  std::optional<Value> GetFromRuns(const std::vector<RunPtr>& l0,
+                                   const std::vector<RunPtr>& levels,
+                                   const Key& key) const {
+    // L0 runs newest-first, then deeper levels.
+    for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
+      if (const auto found = (*it)->Get(key, &stats_); found.has_value()) {
+        if (found->deleted) return std::nullopt;
+        return found->value;
+      }
     }
-    const bool is_bottom = (level + 1 >= levels_.size()) &&
+    for (const auto& run : levels) {
+      if (run == nullptr) continue;
+      if (const auto found = run->Get(key, &stats_); found.has_value()) {
+        if (found->deleted) return std::nullopt;
+        return found->value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Synchronous-mode compaction: merge inline on the caller's thread.
+  void MaybeCompact() {
+    if (l0_.size() <= options_.l0_run_limit) return;
+    std::vector<RunPtr> batch = std::move(l0_);
+    l0_.clear();
+    levels_ = CompactIntoLevels(batch, std::move(levels_));
+    ++inline_compactions_;
+  }
+
+  // Schedules (or piggybacks on) the single background worker. Called with
+  // mu_ held; may release it while waiting out the backlog bound.
+  void ScheduleCompactionLocked(std::unique_lock<std::mutex>& lock) {
+    if (!compaction_inflight_) {
+      compaction_inflight_ = true;
+      ThreadPool::Shared().Submit([this] { BackgroundCompact(); });
+      return;
+    }
+    // A worker is already draining L0 and will keep looping until it is
+    // back under the trigger; only stall the writer when it has outrun
+    // compaction by the whole backlog allowance (the bounded queue).
+    const size_t bound = BacklogBound();
+    cv_.wait(lock, [&] {
+      return l0_.size() <= bound || !compaction_inflight_;
+    });
+    if (!compaction_inflight_ && l0_.size() > options_.l0_run_limit) {
+      compaction_inflight_ = true;
+      ThreadPool::Shared().Submit([this] { BackgroundCompact(); });
+    }
+  }
+
+  // Pool-worker body: repeatedly snapshot the L0 batch plus levels, merge
+  // outside the lock (reads only immutable runs and options_), and install
+  // the result. New runs flushed while merging append behind the snapshot,
+  // so erasing the batch prefix afterwards is exact.
+  void BackgroundCompact() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (l0_.size() > options_.l0_run_limit) {
+      const std::vector<RunPtr> batch(l0_.begin(), l0_.end());
+      std::vector<RunPtr> levels = levels_;
+      lock.unlock();
+      std::vector<RunPtr> next = CompactIntoLevels(batch, std::move(levels));
+      lock.lock();
+      l0_.erase(l0_.begin(),
+                l0_.begin() + static_cast<std::ptrdiff_t>(batch.size()));
+      levels_ = std::move(next);
+      ++background_compactions_;
+      cv_.notify_all();  // Writers stalled on the backlog bound.
+    }
+    compaction_inflight_ = false;
+    cv_.notify_all();  // WaitForCompactions / re-schedulers.
+  }
+
+  // Merges an L0 batch into a copy of the levels and returns the new
+  // layout. Reads only the immutable runs and options_, so it is safe on a
+  // pool thread while the tree keeps serving from the old shared_ptrs.
+  std::vector<RunPtr> CompactIntoLevels(const std::vector<RunPtr>& l0_batch,
+                                        std::vector<RunPtr> levels) const {
+    std::vector<std::vector<KV>> runs;
+    runs.reserve(l0_batch.size());
+    // Newest first so MergeStreams keeps the freshest version per key.
+    for (auto it = l0_batch.rbegin(); it != l0_batch.rend(); ++it) {
+      runs.push_back((*it)->Drain());
+    }
+    PushIntoLevel(0, MergeStreams(std::move(runs), options_.compaction_threads),
+                  &levels);
+    return levels;
+  }
+
+  void PushIntoLevel(size_t level, std::vector<KV> entries,
+                     std::vector<RunPtr>* levels) const {
+    while (levels->size() <= level) levels->push_back(nullptr);
+    if ((*levels)[level] != nullptr) {
+      std::vector<std::vector<KV>> runs;
+      runs.push_back(std::move(entries));         // Newer.
+      runs.push_back((*levels)[level]->Drain());  // Older.
+      (*levels)[level] = nullptr;
+      entries = MergeStreams(std::move(runs), options_.compaction_threads);
+    }
+    const bool is_bottom = (level + 1 >= levels->size()) &&
                            entries.size() <= LevelCapacity(level);
-    if (entries.size() > LevelCapacity(level) &&
-        level + 1 < kMaxLevels) {
-      PushIntoLevel(level + 1, std::move(entries));
+    if (entries.size() > LevelCapacity(level) && level + 1 < kMaxLevels) {
+      PushIntoLevel(level + 1, std::move(entries), levels);
       return;
     }
     if (is_bottom) {
       // Tombstones can be dropped at the bottom of the tree.
-      entries.erase(
-          std::remove_if(entries.begin(), entries.end(),
-                         [](const std::pair<Key, RunEntry<Value>>& e) {
-                           return e.second.deleted;
-                         }),
-          entries.end());
+      entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                   [](const KV& e) {
+                                     return e.second.deleted;
+                                   }),
+                    entries.end());
     }
     if (!entries.empty()) {
-      levels_[level] = MakeRun(std::move(entries));
+      (*levels)[level] = MakeRun(std::move(entries));
     }
   }
 
   // Merges newest-first sorted streams keeping the newest entry per key.
-  static std::vector<std::pair<Key, RunEntry<Value>>> MergeStreams(
-      std::vector<std::vector<std::pair<Key, RunEntry<Value>>>> runs) {
-    std::vector<std::pair<Key, RunEntry<Value>>> merged;
-    std::vector<size_t> pos(runs.size(), 0);
+  // With threads > 1 the key space is split at pivots sampled from the
+  // largest run and each range merges independently; equal keys always
+  // land in the same range (both range bounds use lower_bound on the same
+  // pivots), so the concatenated output is byte-identical to the serial
+  // merge for every thread count.
+  static std::vector<KV> MergeStreams(std::vector<std::vector<KV>> runs,
+                                      size_t threads) {
+    static constexpr size_t kMinParallelMerge = size_t{1} << 14;
+    size_t total = 0;
+    size_t largest = 0;
+    for (size_t r = 0; r < runs.size(); ++r) {
+      total += runs[r].size();
+      if (runs[r].size() > runs[largest].size()) largest = r;
+    }
+    const size_t parts =
+        (threads <= 1 || runs.empty() || total < kMinParallelMerge ||
+         runs[largest].empty())
+            ? 1
+            : threads;
+    if (parts <= 1) {
+      std::vector<std::pair<size_t, size_t>> bounds;
+      bounds.reserve(runs.size());
+      for (const auto& r : runs) bounds.emplace_back(0, r.size());
+      return MergeRange(runs, bounds);
+    }
+    const std::vector<KV>& big = runs[largest];
+    std::vector<Key> pivots;
+    for (size_t p = 1; p < parts; ++p) {
+      const Key k = big[p * big.size() / parts].first;
+      if (pivots.empty() || pivots.back() < k) pivots.push_back(k);
+    }
+    const size_t num_ranges = pivots.size() + 1;
+    const auto key_lower = [](const KV& e, const Key& k) {
+      return e.first < k;
+    };
+    std::vector<std::vector<KV>> out(num_ranges);
+    ParallelForIndex(threads, num_ranges, [&](size_t g) {
+      std::vector<std::pair<size_t, size_t>> bounds(runs.size());
+      for (size_t r = 0; r < runs.size(); ++r) {
+        const auto begin = runs[r].begin();
+        const auto lo_it =
+            (g == 0) ? begin
+                     : std::lower_bound(begin, runs[r].end(), pivots[g - 1],
+                                        key_lower);
+        const auto hi_it =
+            (g + 1 == num_ranges)
+                ? runs[r].end()
+                : std::lower_bound(begin, runs[r].end(), pivots[g], key_lower);
+        bounds[r] = {static_cast<size_t>(lo_it - begin),
+                     static_cast<size_t>(hi_it - begin)};
+      }
+      out[g] = MergeRange(runs, bounds);
+    });
+    std::vector<KV> merged;
+    merged.reserve(total);
+    for (std::vector<KV>& part : out) {
+      merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+    }
+    return merged;
+  }
+
+  // Newest-wins k-way merge over runs[r][bounds[r].first, bounds[r].second)
+  // (runs ordered newest first; ties on key keep the newest stream's entry).
+  static std::vector<KV> MergeRange(
+      const std::vector<std::vector<KV>>& runs,
+      const std::vector<std::pair<size_t, size_t>>& bounds) {
+    std::vector<KV> merged;
+    std::vector<size_t> pos(runs.size());
+    for (size_t r = 0; r < runs.size(); ++r) pos[r] = bounds[r].first;
     while (true) {
       int best = -1;
       for (size_t r = 0; r < runs.size(); ++r) {
-        if (pos[r] >= runs[r].size()) continue;
+        if (pos[r] >= bounds[r].second) continue;
         if (best < 0 || runs[r][pos[r]].first < runs[best][pos[best]].first) {
           best = static_cast<int>(r);
         }
@@ -264,7 +488,7 @@ class LsmTree {
       const Key k = runs[best][pos[best]].first;
       merged.push_back(runs[best][pos[best]]);
       for (size_t r = 0; r < runs.size(); ++r) {
-        while (pos[r] < runs[r].size() && runs[r][pos[r]].first == k) {
+        while (pos[r] < bounds[r].second && runs[r][pos[r]].first == k) {
           ++pos[r];
         }
       }
@@ -276,6 +500,13 @@ class LsmTree {
 
   Options options_;
   SkipList<Key, RunEntry<Value>> memtable_;
+  // In background mode mu_ guards l0_, levels_, and the counters; the
+  // memtable and stats stay client-thread-only in both modes.
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool compaction_inflight_ = false;
+  size_t inline_compactions_ = 0;
+  size_t background_compactions_ = 0;
   std::vector<RunPtr> l0_;
   std::vector<RunPtr> levels_;  // levels_[i] = L(i+1), single run each.
   mutable LsmStats stats_;

@@ -46,6 +46,10 @@ class SortedRun {
     RunSearchMode search_mode = RunSearchMode::kLearned;
     size_t learned_epsilon = 16;
     double bloom_bits_per_key = 10.0;
+    // Threads for the learned-model training pass (blocked PLA, seams
+    // preserve ε). Large runs produced by deep compactions are where this
+    // matters. 1 = fully serial.
+    size_t build_threads = 1;
   };
 
   SortedRun(std::vector<std::pair<Key, RunEntry<Value>>> entries,
@@ -62,7 +66,9 @@ class SortedRun {
       bloom_.Add(static_cast<uint64_t>(key));
     }
     if (options_.search_mode == RunSearchMode::kLearned && !keys_.empty()) {
-      segments_ = BuildPla(keys_, static_cast<double>(options_.learned_epsilon));
+      segments_ =
+          BuildPlaBlocked(keys_, static_cast<double>(options_.learned_epsilon),
+                          options_.build_threads);
       segment_first_keys_.reserve(segments_.size());
       for (const PlaSegment& s : segments_) {
         segment_first_keys_.push_back(s.first_key);

@@ -6,6 +6,43 @@
 
 namespace lidx {
 
+struct LinearModel;
+
+// Mergeable least-squares sums for a key -> position fit. Callers feed
+// centered x values (subtract a shared x0 before Add) so uint64-range keys
+// do not cancel catastrophically, then Solve(x0) recovers the line in the
+// original coordinates. Because accumulators over disjoint slices merge by
+// plain addition, a fit can be computed blockwise — serially or in
+// parallel — and yields the same sums as long as the block decomposition
+// and merge order are fixed.
+struct FitAccumulator {
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  size_t n = 0;
+
+  void Add(double x, double y) {
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+    ++n;
+  }
+
+  void Merge(const FitAccumulator& o) {
+    sum_x += o.sum_x;
+    sum_y += o.sum_y;
+    sum_xx += o.sum_xx;
+    sum_xy += o.sum_xy;
+    n += o.n;
+  }
+
+  // Solves for the line through the accumulated points; x0 is the shared
+  // centering offset. Defined below LinearModel.
+  inline LinearModel Solve(double x0) const;
+};
+
 // y = slope * x + intercept. The workhorse model of nearly every learned
 // index: cheap to train (closed form), two multiplies-adds to evaluate, and
 // trivially serializable.
@@ -39,26 +76,11 @@ struct LinearModel {
     // Accumulate in double; keys can be uint64 so center them first to
     // limit catastrophic cancellation.
     const double x0 = static_cast<double>(keys[begin]);
-    double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+    FitAccumulator acc;
     for (size_t i = begin; i < end; ++i) {
-      const double x = static_cast<double>(keys[i]) - x0;
-      const double y = static_cast<double>(i);
-      sum_x += x;
-      sum_y += y;
-      sum_xx += x * x;
-      sum_xy += x * y;
+      acc.Add(static_cast<double>(keys[i]) - x0, static_cast<double>(i));
     }
-    const double dn = static_cast<double>(n);
-    const double denom = dn * sum_xx - sum_x * sum_x;
-    if (denom <= 0.0) {
-      // All keys equal (or numerically so): flat model at the mean position.
-      m.slope = 0.0;
-      m.intercept = sum_y / dn;
-      return m;
-    }
-    m.slope = (dn * sum_xy - sum_x * sum_y) / denom;
-    m.intercept = (sum_y - m.slope * sum_x) / dn - m.slope * x0;
-    return m;
+    return acc.Solve(x0);
   }
 
   // Exact line through two (x, y) points.
@@ -75,6 +97,22 @@ struct LinearModel {
     return m;
   }
 };
+
+inline LinearModel FitAccumulator::Solve(double x0) const {
+  LinearModel m;
+  if (n == 0) return m;
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sum_xx - sum_x * sum_x;
+  if (denom <= 0.0) {
+    // All keys equal (or numerically so): flat model at the mean position.
+    m.slope = 0.0;
+    m.intercept = sum_y / dn;
+    return m;
+  }
+  m.slope = (dn * sum_xy - sum_x * sum_y) / denom;
+  m.intercept = (sum_y - m.slope * sum_x) / dn - m.slope * x0;
+  return m;
+}
 
 }  // namespace lidx
 

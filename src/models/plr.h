@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "models/linear_model.h"
 
 namespace lidx {
@@ -129,6 +130,86 @@ std::vector<PlaSegment> BuildPla(const Vec& keys, double epsilon) {
   return builder.Finish();
 }
 
+// Blocked parallel segmentation: split [0, n) into at most `threads`
+// contiguous blocks, run an independent swing filter per block (ranks stay
+// global), and concatenate the per-block segment lists in block order.
+//
+// The seam argument for why ε is preserved: every segment is emitted by
+// *some* block's swing filter, which certifies |predict(key) - rank| <= ε
+// for exactly the keys it covered — the global ranks fed to it. A block
+// boundary only forces the filter to restart, which can add up to one
+// extra segment per seam, never loosen a bound. The span between a block's
+// last key and the next block's first key contains no data keys, so no key
+// is ever attributed to a segment trained without it. Lookups that binary
+// search segment first-keys are therefore exactly as accurate; the only
+// observable difference from the serial build is the (slightly larger)
+// segment count.
+//
+// With threads <= 1 this is exactly BuildPla. Block boundaries depend only
+// on (threads, n), so a given thread count reproduces bit-identical
+// segments on any machine.
+template <typename Vec>
+std::vector<PlaSegment> BuildPlaBlocked(const Vec& keys, double epsilon,
+                                        size_t threads) {
+  static constexpr size_t kMinBlock = size_t{1} << 12;
+  const size_t n = keys.size();
+  const size_t blocks =
+      (threads <= 1) ? 1
+                     : std::min(threads, std::max<size_t>(1, n / kMinBlock));
+  if (blocks <= 1) return BuildPla(keys, epsilon);
+  std::vector<std::vector<PlaSegment>> per_block(blocks);
+  ParallelForIndex(threads, blocks, [&](size_t b) {
+    const size_t lo = b * n / blocks;
+    const size_t hi = (b + 1) * n / blocks;
+    SwingFilterBuilder builder(epsilon);
+    double prev = -std::numeric_limits<double>::infinity();
+    for (size_t i = lo; i < hi; ++i) {
+      const double k = static_cast<double>(keys[i]);
+      LIDX_CHECK(k > prev);  // Keys must be strictly increasing.
+      builder.Add(k, i);
+      prev = k;
+    }
+    per_block[b] = builder.Finish();
+  });
+  std::vector<PlaSegment> segments;
+  for (std::vector<PlaSegment>& segs : per_block) {
+    segments.insert(segments.end(), segs.begin(), segs.end());
+  }
+  return segments;
+}
+
+// BuildPlaBlocked for sorted keys *with duplicates*: the model trains on
+// first occurrences only (duplicates are handled by the caller's fix-up
+// search widening). The serial path reproduces the classic
+// "skip if equal to the previously added key" loop exactly: on a sorted
+// array, keys[i] equals the previously added key iff keys[i] == keys[i-1],
+// so the block-local rule needs no cross-block state.
+template <typename Vec>
+std::vector<PlaSegment> BuildPlaDedupBlocked(const Vec& keys, double epsilon,
+                                             size_t threads) {
+  static constexpr size_t kMinBlock = size_t{1} << 12;
+  const size_t n = keys.size();
+  const size_t blocks =
+      (threads <= 1) ? 1
+                     : std::min(threads, std::max<size_t>(1, n / kMinBlock));
+  std::vector<std::vector<PlaSegment>> per_block(blocks);
+  ParallelForIndex(threads, blocks, [&](size_t b) {
+    const size_t lo = b * n / blocks;
+    const size_t hi = (b + 1) * n / blocks;
+    SwingFilterBuilder builder(epsilon);
+    for (size_t i = lo; i < hi; ++i) {
+      if (i > 0 && keys[i] == keys[i - 1]) continue;
+      builder.Add(static_cast<double>(keys[i]), i);
+    }
+    per_block[b] = builder.Finish();
+  });
+  std::vector<PlaSegment> segments;
+  for (std::vector<PlaSegment>& segs : per_block) {
+    segments.insert(segments.end(), segs.begin(), segs.end());
+  }
+  return segments;
+}
+
 // ----- Greedy spline corridor (RadixSpline's CDF model) -----
 
 // A spline knot: (key, position). Between consecutive knots, positions are
@@ -201,6 +282,51 @@ class GreedySplineBuilder {
   double upper_ = 0.0;
   double lower_ = 0.0;
 };
+
+// Blocked parallel spline construction, mirroring BuildPlaBlocked: an
+// independent greedy corridor per contiguous key block (global ranks),
+// knot lists concatenated in block order. Each block's spline starts with
+// a knot pinned at its first key and ends with one pinned at its last key
+// (GreedySplineBuilder::Finish), so the concatenation interpolates every
+// in-block key within ε and every seam span [block b's last key, block
+// b+1's first key] contains no data keys at all — the ε-guarantee holds
+// vacuously there. Knot keys stay strictly increasing across the seam
+// because the blocks partition a strictly sorted array. Serial path
+// (threads <= 1) is the exact single-corridor pass.
+template <typename Vec>
+std::vector<SplineKnot> BuildSplineBlocked(const Vec& keys, double epsilon,
+                                           size_t threads) {
+  static constexpr size_t kMinBlock = size_t{1} << 12;
+  const size_t n = keys.size();
+  const size_t blocks =
+      (threads <= 1) ? 1
+                     : std::min(threads, std::max<size_t>(1, n / kMinBlock));
+  if (blocks <= 1) {
+    GreedySplineBuilder builder(epsilon);
+    for (size_t i = 0; i < n; ++i) {
+      LIDX_DCHECK(i == 0 ||
+                  static_cast<double>(keys[i - 1]) <
+                      static_cast<double>(keys[i]));
+      builder.Add(static_cast<double>(keys[i]), i);
+    }
+    return builder.Finish();
+  }
+  std::vector<std::vector<SplineKnot>> per_block(blocks);
+  ParallelForIndex(threads, blocks, [&](size_t b) {
+    const size_t lo = b * n / blocks;
+    const size_t hi = (b + 1) * n / blocks;
+    GreedySplineBuilder builder(epsilon);
+    for (size_t i = lo; i < hi; ++i) {
+      builder.Add(static_cast<double>(keys[i]), i);
+    }
+    per_block[b] = builder.Finish();
+  });
+  std::vector<SplineKnot> knots;
+  for (std::vector<SplineKnot>& k : per_block) {
+    knots.insert(knots.end(), k.begin(), k.end());
+  }
+  return knots;
+}
 
 }  // namespace lidx
 

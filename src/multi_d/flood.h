@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "common/search.h"
 #include "models/linear_model.h"
 #include "models/plr.h"
@@ -34,6 +35,11 @@ class FloodIndex {
     size_t epsilon = 32;     // Per-column model error bound.
     // Candidates considered when tuning.
     std::vector<size_t> tuning_candidates = {16, 32, 64, 128, 256, 512};
+    // Threads for Build: the x-CDF sort and the per-column work (y-sort +
+    // ε-model) parallelize; the scatter into columns stays serial to
+    // preserve point order. The built index is byte-identical for every
+    // thread count. 1 = fully serial.
+    size_t build_threads = 1;
   };
 
   FloodIndex() = default;
@@ -151,25 +157,38 @@ class FloodIndex {
   };
 
   void BuildWithColumns(const std::vector<Point2D>& points, size_t columns) {
+    const size_t threads = options_.build_threads;
     points_ = points;
     columns_.assign(columns, Column{});
     column_boundaries_.clear();
 
-    // Learned x-CDF as equi-depth boundaries.
-    std::vector<double> xs;
-    xs.reserve(points.size());
-    for (const Point2D& p : points) xs.push_back(p.x);
-    std::sort(xs.begin(), xs.end());
+    // Learned x-CDF as equi-depth boundaries. Doubles with duplicates sort
+    // to the same sequence under any thread count (content equality is all
+    // the rank probes below read).
+    std::vector<double> xs(points.size());
+    ParallelForIndex(threads, points.size(),
+                     [&](size_t i) { xs[i] = points[i].x; });
+    ParallelSort(threads, &xs);
     column_boundaries_.reserve(columns);
     for (size_t c = 0; c < columns; ++c) {
       const size_t rank = c * xs.size() / columns;
       column_boundaries_.push_back(xs[rank]);
     }
 
+    // Column routing parallelizes; the scatter itself stays serial so each
+    // column receives its points in point order, exactly as the serial
+    // build does.
+    std::vector<uint32_t> col_of(points.size());
+    ParallelForIndex(threads, points.size(), [&](size_t i) {
+      col_of[i] = static_cast<uint32_t>(ColumnOf(points[i].x));
+    });
     for (uint32_t i = 0; i < points.size(); ++i) {
-      columns_[ColumnOf(points[i].x)].entries.push_back({points[i], i});
+      columns_[col_of[i]].entries.push_back(
+          {points[i], i});
     }
-    for (Column& col : columns_) {
+    // Columns are independent: y-sort + model build fan out per column.
+    ParallelForIndex(threads, columns_.size(), [&](size_t c) {
+      Column& col = columns_[c];
       std::sort(col.entries.begin(), col.entries.end(),
                 [](const Entry& a, const Entry& b) {
                   if (a.point.y != b.point.y) return a.point.y < b.point.y;
@@ -179,22 +198,14 @@ class FloodIndex {
       for (const Entry& e : col.entries) col.ys.push_back(e.point.y);
       // ε-bounded model over the (dedup-fed) y array.
       if (col.ys.size() >= 32) {
-        SwingFilterBuilder builder(static_cast<double>(options_.epsilon));
-        double prev = 0.0;
-        bool has_prev = false;
-        for (size_t j = 0; j < col.ys.size(); ++j) {
-          if (has_prev && col.ys[j] == prev) continue;
-          builder.Add(col.ys[j], j);
-          prev = col.ys[j];
-          has_prev = true;
-        }
-        col.segments = builder.Finish();
+        col.segments = BuildPlaDedupBlocked(
+            col.ys, static_cast<double>(options_.epsilon), /*threads=*/1);
         col.segment_first_keys.reserve(col.segments.size());
         for (const PlaSegment& s : col.segments) {
           col.segment_first_keys.push_back(s.first_key);
         }
       }
-    }
+    });
   }
 
   // Column of x: last boundary <= x.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "common/search.h"
 #include "models/plr.h"
 #include "sfc/morton.h"
@@ -30,6 +31,12 @@ class ZmIndex {
   struct Options {
     int bits_per_dim = 20;   // Grid resolution for quantization.
     size_t epsilon = 64;     // PLA error bound on the code array.
+    // Threads for Build: Morton encoding, the (code, id) sort, and the PLA
+    // segmentation all parallelize. Entries and codes are identical for
+    // every thread count (the sort key is a total order); only the PLA
+    // segment boundaries may differ at block seams, with the same
+    // ε-guarantee. 1 = fully serial.
+    size_t build_threads = 1;
   };
 
   ZmIndex() = default;
@@ -40,38 +47,31 @@ class ZmIndex {
 
   void Build(const std::vector<Point2D>& points, const Options& options) {
     options_ = options;
+    const size_t threads = options.build_threads;
     const size_t n = points.size();
-    entries_.clear();
-    entries_.reserve(n);
-    for (uint32_t i = 0; i < n; ++i) {
+    entries_.assign(n, ZEntry{});
+    ParallelForIndex(threads, n, [&](size_t i) {
       const uint32_t qx = sfc::Quantize(points[i].x, options_.bits_per_dim);
       const uint32_t qy = sfc::Quantize(points[i].y, options_.bits_per_dim);
-      entries_.push_back({sfc::MortonEncode2D(qx, qy), points[i], i});
-    }
-    std::sort(entries_.begin(), entries_.end(),
-              [](const ZEntry& a, const ZEntry& b) {
-                if (a.code != b.code) return a.code < b.code;
-                return a.id < b.id;
-              });
-    codes_.clear();
-    codes_.reserve(n);
-    for (const ZEntry& e : entries_) codes_.push_back(e.code);
+      entries_[i] = {sfc::MortonEncode2D(qx, qy), points[i],
+                     static_cast<uint32_t>(i)};
+    });
+    // (code, id) is a total order, so the parallel sort is byte-identical
+    // to the serial one.
+    ParallelSort(threads, &entries_,
+                 [](const ZEntry& a, const ZEntry& b) {
+                   if (a.code != b.code) return a.code < b.code;
+                   return a.id < b.id;
+                 });
+    codes_.assign(n, 0);
+    ParallelForIndex(threads, n, [&](size_t i) { codes_[i] = entries_[i].code; });
 
     // ε-bounded PLA over the (deduplicated) codes; duplicates are rare but
     // legal, so the model trains on first occurrences and lookups widen
     // through the fix-up search.
-    segments_.clear();
+    segments_ = BuildPlaDedupBlocked(
+        codes_, static_cast<double>(options_.epsilon), threads);
     segment_first_keys_.clear();
-    SwingFilterBuilder builder(static_cast<double>(options_.epsilon));
-    uint64_t prev_code = 0;
-    bool has_prev = false;
-    for (size_t i = 0; i < codes_.size(); ++i) {
-      if (has_prev && codes_[i] == prev_code) continue;
-      builder.Add(static_cast<double>(codes_[i]), i);
-      prev_code = codes_[i];
-      has_prev = true;
-    }
-    segments_ = builder.Finish();
     segment_first_keys_.reserve(segments_.size());
     for (const PlaSegment& s : segments_) {
       segment_first_keys_.push_back(s.first_key);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "common/search.h"
 #include "models/plr.h"
 #include "sfc/morton.h"
@@ -54,6 +55,10 @@ class ZmIndex3D {
     // supports up to 21 bits per dimension).
     int bits_per_dim = 16;
     size_t epsilon = 64;
+    // Same contract as ZmIndex::Options::build_threads: encode/sort/PLA
+    // parallelize; entries and codes are thread-count-invariant, PLA seams
+    // may differ with the same ε-guarantee. 1 = fully serial.
+    size_t build_threads = 1;
   };
 
   ZmIndex3D() = default;
@@ -65,32 +70,24 @@ class ZmIndex3D {
   void Build(const std::vector<Point3D>& points, const Options& options) {
     LIDX_CHECK(options.bits_per_dim >= 1 && options.bits_per_dim <= 17);
     options_ = options;
-    entries_.clear();
-    codes_.clear();
-    segments_.clear();
-    segment_first_keys_.clear();
-    entries_.reserve(points.size());
-    for (uint32_t i = 0; i < points.size(); ++i) {
-      entries_.push_back({EncodePoint(points[i]), points[i], i});
-    }
-    std::sort(entries_.begin(), entries_.end(),
-              [](const ZEntry& a, const ZEntry& b) {
-                if (a.code != b.code) return a.code < b.code;
-                return a.id < b.id;
-              });
-    codes_.reserve(entries_.size());
-    for (const ZEntry& e : entries_) codes_.push_back(e.code);
+    const size_t threads = options.build_threads;
+    const size_t n = points.size();
+    entries_.assign(n, ZEntry{});
+    ParallelForIndex(threads, n, [&](size_t i) {
+      entries_[i] = {EncodePoint(points[i]), points[i],
+                     static_cast<uint32_t>(i)};
+    });
+    ParallelSort(threads, &entries_,
+                 [](const ZEntry& a, const ZEntry& b) {
+                   if (a.code != b.code) return a.code < b.code;
+                   return a.id < b.id;
+                 });
+    codes_.assign(n, 0);
+    ParallelForIndex(threads, n, [&](size_t i) { codes_[i] = entries_[i].code; });
 
-    SwingFilterBuilder builder(static_cast<double>(options_.epsilon));
-    uint64_t prev = 0;
-    bool has_prev = false;
-    for (size_t i = 0; i < codes_.size(); ++i) {
-      if (has_prev && codes_[i] == prev) continue;
-      builder.Add(static_cast<double>(codes_[i]), i);
-      prev = codes_[i];
-      has_prev = true;
-    }
-    segments_ = builder.Finish();
+    segments_ = BuildPlaDedupBlocked(
+        codes_, static_cast<double>(options_.epsilon), threads);
+    segment_first_keys_.clear();
     segment_first_keys_.reserve(segments_.size());
     for (const PlaSegment& s : segments_) {
       segment_first_keys_.push_back(s.first_key);

@@ -11,6 +11,7 @@
 #include "common/batch.h"
 #include "common/invariants.h"
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "common/prefetch.h"
 #include "common/search.h"
 #include "models/linear_model.h"
@@ -54,6 +55,11 @@ class AlexIndex {
     size_t max_fanout = 4096;
     // Leaf size targeted by bulk loading (in entries).
     size_t bulk_leaf_entries = 2048;
+    // Threads for BulkLoad: the children of each internal node are
+    // independent subtrees, so they build in parallel. Node structure is
+    // identical to the serial build for every thread count (boundaries are
+    // computed before the fan-out). 1 = fully serial.
+    size_t build_threads = 1;
   };
 
   explicit AlexIndex(const Options& options = Options()) : options_(options) {
@@ -72,13 +78,12 @@ class AlexIndex {
     FreeNode(root_);
     root_ = nullptr;
     size_ = keys.size();
-    std::vector<Entry> entries;
-    entries.reserve(keys.size());
-    for (size_t i = 0; i < keys.size(); ++i) {
+    std::vector<Entry> entries(keys.size());
+    ParallelForIndex(options_.build_threads, keys.size(), [&](size_t i) {
       LIDX_DCHECK(i == 0 || keys[i - 1] < keys[i]);
-      entries.push_back({keys[i], values[i]});
-    }
-    root_ = BuildSubtree(entries, 0, entries.size());
+      entries[i] = {keys[i], values[i]};
+    });
+    root_ = BuildSubtree(entries, 0, entries.size(), options_.build_threads);
   }
 
   bool Insert(const Key& key, const Value& value) {
@@ -570,9 +575,12 @@ class AlexIndex {
     return static_cast<const DataNode*>(node)->min_key();
   }
 
-  // Builds a subtree over entries[begin, end) (bulk load).
+  // Builds a subtree over entries[begin, end) (bulk load). Child subtrees
+  // are independent, so with threads > 1 they build in parallel; the
+  // boundary array is laid out up front, which keeps the node structure
+  // identical to the serial build.
   Node* BuildSubtree(const std::vector<Entry>& entries, size_t begin,
-                     size_t end) {
+                     size_t end, size_t threads) {
     const size_t n = end - begin;
     if (n <= options_.bulk_leaf_entries) {
       std::vector<Entry> slice(entries.begin() + begin,
@@ -585,13 +593,26 @@ class AlexIndex {
         std::max<size_t>(2, n / options_.bulk_leaf_entries));
     InternalNode* node = new InternalNode();
     const size_t per_child = (n + fanout - 1) / fanout;
+    std::vector<std::pair<size_t, size_t>> ranges;
     size_t i = begin;
     while (i < end) {
       const size_t j = std::min(end, i + per_child);
       node->boundaries.push_back(entries[i].key);
-      node->children.push_back(BuildSubtree(entries, i, j));
+      ranges.emplace_back(i, j);
       i = j;
     }
+    node->children.assign(ranges.size(), nullptr);
+    // Split the thread budget across children; once the fan-out exceeds it
+    // each child builds serially.
+    const size_t child_threads =
+        ranges.size() >= threads
+            ? 1
+            : (threads + ranges.size() - 1) / ranges.size();
+    ParallelForIndex(threads, ranges.size(), [&](size_t c) {
+      node->children[c] =
+          BuildSubtree(entries, ranges[c].first, ranges[c].second,
+                       child_threads);
+    });
     node->Retrain();
     return node;
   }

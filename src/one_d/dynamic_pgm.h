@@ -46,6 +46,10 @@ class DynamicPgm {
     // fewer components to read, more slack) — the LSM fanout trade-off.
     unsigned size_factor_log2 = 2;
     double bloom_bits_per_key = 10.0;
+    // Threads used when (re)building a slot's PGM component — large slots
+    // are rebuilt wholesale by cascade merges, which is where the parallel
+    // data-level segmentation pays off. 1 = fully serial.
+    size_t build_threads = 1;
   };
 
   explicit DynamicPgm(const Options& options = Options())
@@ -377,6 +381,7 @@ class DynamicPgm {
     typename PgmIndex<Key, Entry>::Options opts;
     opts.epsilon = options_.epsilon;
     opts.epsilon_internal = options_.epsilon_internal;
+    opts.build_threads = options_.build_threads;
     slots_[slot].index.Build(std::move(keys), std::move(entries), opts);
   }
 

@@ -33,6 +33,12 @@ class PgmIndex {
   struct Options {
     size_t epsilon = 64;           // Data-level error bound.
     size_t epsilon_internal = 8;   // Error bound for internal levels.
+    // Threads for the data-level segmentation (one swing filter per key
+    // block, stitched at seams — see BuildPlaBlocked for the ε argument).
+    // Parallel builds may emit a few more segments at block seams than
+    // the serial pass, so the layout is thread-count-dependent, but every
+    // segment carries the same ε-guarantee. 1 = fully serial.
+    size_t build_threads = 1;
   };
 
   PgmIndex() = default;
@@ -49,8 +55,10 @@ class PgmIndex {
 
     // Level 0 approximates the data keys; level l approximates the first
     // keys of level l-1's segments, until a level fits in one root scan.
-    std::vector<PlaSegment> segs =
-        BuildPla(keys_, static_cast<double>(epsilon_));
+    // Only level 0 is worth parallelizing: upper levels shrink by ~2ε per
+    // step and are a vanishing fraction of build time.
+    std::vector<PlaSegment> segs = BuildPlaBlocked(
+        keys_, static_cast<double>(epsilon_), options.build_threads);
     while (true) {
       Level level;
       level.segments = std::move(segs);

@@ -35,6 +35,12 @@ class RadixSpline {
   struct Options {
     size_t epsilon = 32;      // Spline interpolation error bound.
     int num_radix_bits = 18;  // Radix table size = 2^bits entries.
+    // Threads for the spline pass (one greedy corridor per key block,
+    // stitched at seams — see BuildSplineBlocked for the ε argument).
+    // Parallel builds may place a few extra knots at block seams, so the
+    // knot list is thread-count-dependent, but the interpolation guarantee
+    // is unchanged. 1 = fully serial.
+    size_t build_threads = 1;
   };
 
   RadixSpline() = default;
@@ -50,13 +56,10 @@ class RadixSpline {
     radix_table_.clear();
     if (keys_.empty()) return;
 
-    // Single pass: feed every (key, rank) to the greedy corridor.
-    GreedySplineBuilder builder(static_cast<double>(epsilon_));
-    for (size_t i = 0; i < keys_.size(); ++i) {
-      LIDX_DCHECK(i == 0 || keys_[i - 1] < keys_[i]);
-      builder.Add(static_cast<double>(keys_[i]), i);
-    }
-    knots_ = builder.Finish();
+    // Feed every (key, rank) to the greedy corridor — one corridor per key
+    // block when build_threads > 1, the classic single pass otherwise.
+    knots_ = BuildSplineBlocked(keys_, static_cast<double>(epsilon_),
+                                options.build_threads);
 
     // Radix table over (key - min) >> shift prefixes.
     min_key_ = keys_.front();

@@ -12,6 +12,7 @@
 #include "common/batch.h"
 #include "common/invariants.h"
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "common/prefetch.h"
 #include "common/search.h"
 #include "common/serialize.h"
@@ -31,6 +32,12 @@ class Rmi {
  public:
   struct Options {
     size_t num_models = 1 << 12;  // Stage-2 model count.
+    // Threads used by Build: stage-2 models train over disjoint key ranges
+    // in parallel. The result is byte-identical for every thread count
+    // (the stage-1 fit accumulates in fixed-size blocks regardless of
+    // threads, and each stage-2 model trains on exactly its serial
+    // partition). 1 = fully serial.
+    size_t build_threads = 1;
   };
 
   Rmi() = default;
@@ -50,9 +57,10 @@ class Rmi {
 
     // Stage 1: least-squares line from key to model index, trained on the
     // scaled CDF so partitions follow the data distribution.
+    const size_t threads = options.build_threads;
     {
       // Fit key -> position, then rescale slope/intercept to model space.
-      LinearModel pos_model = LinearModel::FitToPositions(keys_, 0, n);
+      LinearModel pos_model = FitStage1(n, threads);
       const double scale = static_cast<double>(num_models_) /
                            static_cast<double>(n);
       stage1_.slope = pos_model.slope * scale;
@@ -60,17 +68,24 @@ class Rmi {
     }
 
     // Partition keys by stage-1 routing. Routing is monotone (non-negative
-    // slope), so each model covers a contiguous key range.
+    // slope), so each model covers the contiguous range ending at the first
+    // key routed past it. Partitions are disjoint, so the stage-2 models
+    // train independently — in parallel when build_threads > 1 — and the
+    // boundaries (hence every trained model) match the serial build
+    // exactly.
     LIDX_CHECK(stage1_.slope >= 0.0);
-    size_t begin = 0;
-    for (size_t m = 0; m < num_models_; ++m) {
-      // Find the end of model m's partition by scanning forward.
-      size_t end = begin;
-      while (end < n && RouteToModel(keys_[end]) == m) ++end;
-      TrainModel(m, begin, end);
-      begin = end;
-    }
-    LIDX_CHECK(begin == n);
+    std::vector<size_t> ends(num_models_);
+    ParallelForIndex(threads, num_models_, [&](size_t m) {
+      ends[m] = static_cast<size_t>(
+          std::partition_point(
+              keys_.begin(), keys_.end(),
+              [&](const Key& k) { return RouteToModel(k) <= m; }) -
+          keys_.begin());
+    });
+    LIDX_CHECK(ends.back() == n);
+    ParallelForIndex(threads, num_models_, [&](size_t m) {
+      TrainModel(m, m == 0 ? 0 : ends[m - 1], ends[m]);
+    });
   }
 
   // Raw model prediction for `key` (before the last-mile search); exposed
@@ -274,6 +289,30 @@ class Rmi {
     if (p <= 0.0) return 0;
     const size_t m = static_cast<size_t>(p);
     return m >= num_models_ ? num_models_ - 1 : m;
+  }
+
+  // Stage-1 fit via fixed-size block accumulation: the block decomposition
+  // is independent of build_threads, so the fitted line — and with it every
+  // partition boundary and stage-2 model — is bit-identical across thread
+  // counts.
+  LinearModel FitStage1(size_t n, size_t threads) const {
+    static constexpr size_t kFitBlock = size_t{1} << 13;
+    if (n <= 1) return LinearModel::FitToPositions(keys_, 0, n);
+    const double x0 = static_cast<double>(keys_[0]);
+    FitAccumulator acc = ParallelReduce<FitAccumulator>(
+        threads, n, kFitBlock, FitAccumulator{},
+        [&](size_t begin, size_t end) {
+          FitAccumulator a;
+          for (size_t i = begin; i < end; ++i) {
+            a.Add(static_cast<double>(keys_[i]) - x0, static_cast<double>(i));
+          }
+          return a;
+        },
+        [](FitAccumulator lhs, const FitAccumulator& rhs) {
+          lhs.Merge(rhs);
+          return lhs;
+        });
+    return acc.Solve(x0);
   }
 
   void TrainModel(size_t m, size_t begin, size_t end) {

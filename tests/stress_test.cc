@@ -16,8 +16,10 @@
 #include <gtest/gtest.h>
 
 #include "bench/bench_util.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "datasets/generators.h"
+#include "lsm/lsm_tree.h"
 #include "one_d/concurrent_index.h"
 
 namespace lidx {
@@ -159,6 +161,58 @@ TEST(StressTest, ParallelInvariantCheckers) {
     });
   }
   for (auto& t : threads) t.join();
+}
+
+TEST(StressTest, ThreadPoolConcurrentClients) {
+  // Several client threads drive ParallelFor / ParallelSort on the shared
+  // pool at once — the work-sharing protocol (atomic chunk claims, condvar
+  // completion) must hold under contention and TSan.
+  constexpr size_t kClients = 4;
+  std::vector<std::thread> clients;
+  std::atomic<size_t> failures{0};
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, &failures] {
+      Rng rng(1000 + c);
+      for (int round = 0; round < 10; ++round) {
+        std::vector<uint64_t> data(20'000);
+        for (uint64_t& v : data) v = rng.Next();
+        std::vector<uint64_t> expected = data;
+        std::sort(expected.begin(), expected.end());
+        ParallelSort(4, &data);
+        if (data != expected) failures.fetch_add(1);
+        std::atomic<size_t> covered{0};
+        ParallelForIndex(4, 10'000, [&](size_t) { covered.fetch_add(1); });
+        if (covered.load() != 10'000) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+TEST(StressTest, LsmBackgroundCompactionChurn) {
+  // The client thread floods the tree with puts/gets/deletes/invariant
+  // checks while the pool worker compacts underneath — the TSan probe for
+  // the l0_/levels_ snapshot-and-install protocol. (The LSM contract is
+  // one client thread plus the internal worker; the memtable is
+  // deliberately client-thread-only, so the checks run from the client.)
+  LsmTree<uint64_t, uint64_t>::Options opts;
+  opts.memtable_limit = 128;
+  opts.l0_run_limit = 2;
+  opts.level_size_factor = 4;
+  opts.background_compaction = true;
+  LsmTree<uint64_t, uint64_t> lsm(opts);
+  Rng rng(7777);
+  for (uint64_t k = 0; k < 30'000; ++k) {
+    const uint64_t key = rng.Next() | 1u;
+    lsm.Put(key, k);
+    if (k % 3 == 0) lsm.Get(key);
+    if (k % 97 == 0) lsm.Delete(key);
+    if (k % 512 == 0) lsm.CheckInvariants();
+  }
+  lsm.Flush();
+  lsm.WaitForCompactions();
+  lsm.CheckInvariants();
 }
 
 }  // namespace
