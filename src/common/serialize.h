@@ -1,10 +1,13 @@
 #ifndef LIDX_COMMON_SERIALIZE_H_
 #define LIDX_COMMON_SERIALIZE_H_
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -63,6 +66,80 @@ bool ReadVector(std::istream& in, std::vector<T>* v) {
     std::memcpy(v->data(), buf.data(), buf.size());
   }
   return static_cast<bool>(in);
+}
+
+// CRC32 (IEEE 802.3 reflected polynomial, the zlib/`cksum -o3` variant).
+// Chainable: Crc32(b, nb, Crc32(a, na)) == Crc32(a ++ b). Used by the page
+// header in src/storage and by the checksummed index-image frame below.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = ~seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// Versioned magic header: every persistent artifact (index image, page
+// file) starts with a 4-byte magic tag plus a 4-byte format version, so a
+// reader can reject foreign or future-format bytes before parsing anything.
+inline void WriteHeader(std::ostream& out, uint32_t magic, uint32_t version) {
+  WritePod(out, magic);
+  WritePod(out, version);
+}
+
+// Returns false on a short read or magic mismatch; the caller checks the
+// version it can parse.
+inline bool ReadHeader(std::istream& in, uint32_t expected_magic,
+                       uint32_t* version) {
+  uint32_t magic = 0;
+  if (!ReadPod(in, &magic) || magic != expected_magic) return false;
+  return ReadPod(in, version);
+}
+
+// Checksummed image frame shared by the index SaveTo/LoadFrom paths:
+//
+//   [magic u32][version u32][crc32 u32][payload_len u64][payload bytes]
+//
+// The CRC covers the payload, so any byte flip — not just ones that break
+// structural framing — is rejected at load time instead of producing a
+// garbage index. Structural corruption that forges a matching CRC is still
+// caught by the per-index CheckInvariants() hooks (defense in depth).
+inline void WriteImage(std::ostream& out, uint32_t magic, uint32_t version,
+                       const std::string& payload) {
+  WriteHeader(out, magic, version);
+  WritePod<uint32_t>(out, Crc32(payload.data(), payload.size()));
+  WritePod<uint64_t>(out, payload.size());
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+// Reads an image frame written by WriteImage. Returns false on magic or
+// version mismatch, truncation, an implausible payload length, or a CRC
+// mismatch; on success `payload` holds the verified payload bytes.
+inline bool ReadImage(std::istream& in, uint32_t expected_magic,
+                      uint32_t expected_version, std::string* payload) {
+  uint32_t version = 0;
+  if (!ReadHeader(in, expected_magic, &version)) return false;
+  if (version != expected_version) return false;
+  uint32_t crc = 0;
+  uint64_t len = 0;
+  if (!ReadPod(in, &crc) || !ReadPod(in, &len)) return false;
+  if (len > (1ull << 40)) return false;  // Corrupt length guard.
+  payload->resize(len);
+  in.read(payload->data(), static_cast<std::streamsize>(len));
+  if (!in) return false;
+  return Crc32(payload->data(), payload->size()) == crc;
 }
 
 }  // namespace lidx

@@ -1,0 +1,115 @@
+#ifndef LIDX_LSM_MERGE_H_
+#define LIDX_LSM_MERGE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace lidx {
+
+// Newest-wins k-way merge shared by the in-memory LsmTree and the
+// disk-resident DiskLsmTree. Streams are sorted by key and ordered newest
+// first; on a key collision the entry from the newest stream survives
+// (tombstones included — dropping them is a compaction policy decision,
+// not a merge one).
+
+// Merges runs[r][bounds[r].first, bounds[r].second) across all streams.
+template <typename Key, typename Entry>
+std::vector<std::pair<Key, Entry>> MergeRange(
+    const std::vector<std::vector<std::pair<Key, Entry>>>& runs,
+    const std::vector<std::pair<size_t, size_t>>& bounds) {
+  std::vector<std::pair<Key, Entry>> merged;
+  std::vector<size_t> pos(runs.size());
+  for (size_t r = 0; r < runs.size(); ++r) pos[r] = bounds[r].first;
+  while (true) {
+    int best = -1;
+    for (size_t r = 0; r < runs.size(); ++r) {
+      if (pos[r] >= bounds[r].second) continue;
+      if (best < 0 || runs[r][pos[r]].first < runs[best][pos[best]].first) {
+        best = static_cast<int>(r);
+      }
+    }
+    if (best < 0) break;
+    const Key k = runs[best][pos[best]].first;
+    merged.push_back(runs[best][pos[best]]);
+    for (size_t r = 0; r < runs.size(); ++r) {
+      while (pos[r] < bounds[r].second && runs[r][pos[r]].first == k) {
+        ++pos[r];
+      }
+    }
+  }
+  return merged;
+}
+
+// Merges newest-first sorted streams keeping the newest entry per key.
+// With threads > 1 the key space is split at pivots sampled from the
+// largest run and each range merges independently; equal keys always land
+// in the same range (both range bounds use lower_bound on the same
+// pivots), so the concatenated output is byte-identical to the serial
+// merge for every thread count.
+template <typename Key, typename Entry>
+std::vector<std::pair<Key, Entry>> MergeStreams(
+    std::vector<std::vector<std::pair<Key, Entry>>> runs, size_t threads) {
+  using KV = std::pair<Key, Entry>;
+  static constexpr size_t kMinParallelMerge = size_t{1} << 14;
+  size_t total = 0;
+  size_t largest = 0;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    total += runs[r].size();
+    if (runs[r].size() > runs[largest].size()) largest = r;
+  }
+  const size_t parts =
+      (threads <= 1 || runs.empty() || total < kMinParallelMerge ||
+       runs[largest].empty())
+          ? 1
+          : threads;
+  if (parts <= 1) {
+    std::vector<std::pair<size_t, size_t>> bounds;
+    bounds.reserve(runs.size());
+    for (const auto& r : runs) bounds.emplace_back(0, r.size());
+    return MergeRange(runs, bounds);
+  }
+  const std::vector<KV>& big = runs[largest];
+  std::vector<Key> pivots;
+  for (size_t p = 1; p < parts; ++p) {
+    const Key k = big[p * big.size() / parts].first;
+    if (pivots.empty() || pivots.back() < k) pivots.push_back(k);
+  }
+  const size_t num_ranges = pivots.size() + 1;
+  const auto key_lower = [](const KV& e, const Key& k) {
+    return e.first < k;
+  };
+  std::vector<std::vector<KV>> out(num_ranges);
+  ParallelForIndex(threads, num_ranges, [&](size_t g) {
+    std::vector<std::pair<size_t, size_t>> bounds(runs.size());
+    for (size_t r = 0; r < runs.size(); ++r) {
+      const auto begin = runs[r].begin();
+      const auto lo_it =
+          (g == 0) ? begin
+                   : std::lower_bound(begin, runs[r].end(), pivots[g - 1],
+                                      key_lower);
+      const auto hi_it =
+          (g + 1 == num_ranges)
+              ? runs[r].end()
+              : std::lower_bound(begin, runs[r].end(), pivots[g], key_lower);
+      bounds[r] = {static_cast<size_t>(lo_it - begin),
+                   static_cast<size_t>(hi_it - begin)};
+    }
+    out[g] = MergeRange(runs, bounds);
+  });
+  std::vector<KV> merged;
+  merged.reserve(total);
+  for (std::vector<KV>& part : out) {
+    merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+  return merged;
+}
+
+}  // namespace lidx
+
+#endif  // LIDX_LSM_MERGE_H_

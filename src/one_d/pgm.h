@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -236,29 +238,33 @@ class PgmIndex {
 
   // Binary persistence (same-architecture; the "build offline, serve
   // online" path for immutable learned indexes). Requires trivially
-  // copyable Key and Value.
+  // copyable Key and Value. The image is CRC-framed (WriteImage), so byte
+  // flips anywhere in the payload are rejected at load time.
   void SaveTo(std::ostream& out) const {
     static_assert(std::is_trivially_copyable_v<Key>);
     static_assert(std::is_trivially_copyable_v<Value>);
-    WritePod<uint32_t>(out, kSerialMagic);
-    WritePod<uint32_t>(out, 1);  // Version.
-    WritePod<uint64_t>(out, epsilon_);
-    WritePod<uint64_t>(out, epsilon_internal_);
-    WriteVector(out, keys_);
-    WriteVector(out, values_);
-    WritePod<uint64_t>(out, levels_.size());
+    std::ostringstream payload;
+    WritePod<uint64_t>(payload, epsilon_);
+    WritePod<uint64_t>(payload, epsilon_internal_);
+    WriteVector(payload, keys_);
+    WriteVector(payload, values_);
+    WritePod<uint64_t>(payload, levels_.size());
     for (const Level& level : levels_) {
-      WriteVector(out, level.segments);
-      WriteVector(out, level.first_keys);
+      WriteVector(payload, level.segments);
+      WriteVector(payload, level.first_keys);
     }
+    WriteImage(out, kSerialMagic, kSerialVersion, payload.str());
   }
 
-  // Returns false (leaving the index empty) on malformed input.
-  bool LoadFrom(std::istream& in) {
+  // Returns false (leaving the index empty) on malformed input: wrong
+  // magic/version, truncation, or a payload CRC mismatch.
+  bool LoadFrom(std::istream& stream) {
     *this = PgmIndex();
-    uint32_t magic = 0, version = 0;
-    if (!ReadPod(in, &magic) || magic != kSerialMagic) return false;
-    if (!ReadPod(in, &version) || version != 1) return false;
+    std::string bytes;
+    if (!ReadImage(stream, kSerialMagic, kSerialVersion, &bytes)) {
+      return false;
+    }
+    std::istringstream in(std::move(bytes));
     uint64_t eps = 0, eps_internal = 0;
     if (!ReadPod(in, &eps) || !ReadPod(in, &eps_internal)) return false;
     epsilon_ = eps;
@@ -333,6 +339,7 @@ class PgmIndex {
  private:
   static constexpr size_t kRootFanout = 64;
   static constexpr uint32_t kSerialMagic = 0x504D4731;  // "PGM1".
+  static constexpr uint32_t kSerialVersion = 2;  // 2: CRC-framed image.
 
   struct Level {
     std::vector<PlaSegment> segments;

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -217,25 +219,29 @@ class Rmi {
   const std::vector<Value>& values() const { return values_; }
 
   // Binary persistence (same-architecture). Requires trivially copyable
-  // Key and Value.
+  // Key and Value. CRC-framed (WriteImage): byte flips anywhere in the
+  // payload are rejected at load time.
   void SaveTo(std::ostream& out) const {
     static_assert(std::is_trivially_copyable_v<Key>);
     static_assert(std::is_trivially_copyable_v<Value>);
-    WritePod<uint32_t>(out, kSerialMagic);
-    WritePod<uint32_t>(out, 1);  // Version.
-    WritePod(out, stage1_);
-    WritePod<uint64_t>(out, num_models_);
-    WriteVector(out, keys_);
-    WriteVector(out, values_);
-    WriteVector(out, models_);
+    std::ostringstream payload;
+    WritePod(payload, stage1_);
+    WritePod<uint64_t>(payload, num_models_);
+    WriteVector(payload, keys_);
+    WriteVector(payload, values_);
+    WriteVector(payload, models_);
+    WriteImage(out, kSerialMagic, kSerialVersion, payload.str());
   }
 
-  // Returns false (leaving the index empty) on malformed input.
-  bool LoadFrom(std::istream& in) {
+  // Returns false (leaving the index empty) on malformed input: wrong
+  // magic/version, truncation, or a payload CRC mismatch.
+  bool LoadFrom(std::istream& stream) {
     *this = Rmi();
-    uint32_t magic = 0, version = 0;
-    if (!ReadPod(in, &magic) || magic != kSerialMagic) return false;
-    if (!ReadPod(in, &version) || version != 1) return false;
+    std::string bytes;
+    if (!ReadImage(stream, kSerialMagic, kSerialVersion, &bytes)) {
+      return false;
+    }
+    std::istringstream in(std::move(bytes));
     if (!ReadPod(in, &stage1_)) return false;
     uint64_t num_models = 0;
     if (!ReadPod(in, &num_models)) return false;
@@ -276,6 +282,7 @@ class Rmi {
 
  private:
   static constexpr uint32_t kSerialMagic = 0x524D4931;  // "RMI1".
+  static constexpr uint32_t kSerialVersion = 2;  // 2: CRC-framed image.
 
   struct ModelWithBounds {
     LinearModel model;

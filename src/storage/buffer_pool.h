@@ -1,0 +1,221 @@
+#ifndef LIDX_STORAGE_BUFFER_POOL_H_
+#define LIDX_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/invariants.h"
+#include "common/macros.h"
+#include "storage/file_manager.h"
+#include "storage/page.h"
+
+namespace lidx::storage {
+
+// Counters the disk benches plot: hits and misses partition the Pin calls,
+// misses are exactly the pages fetched from disk, and evictions count CLOCK
+// victims (never a pinned page).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+// Fixed-size page cache in front of a FileManager. Frames are replaced
+// with the CLOCK (second-chance) policy: every frame has a reference bit
+// set on access; the clock hand clears set bits as it sweeps and evicts
+// the first unpinned frame whose bit is already clear. Pinned frames are
+// never victims — a PageRef guard keeps its frame's pin count non-zero for
+// exactly as long as the caller holds it.
+//
+// A failed page read (corrupt, truncated, or missing page) aborts via
+// LIDX_INVARIANT: by the time a query pins a page, the engine has already
+// decided the page is part of the database, so bad bytes here mean the
+// file is damaged and limping on would return wrong answers. Callers that
+// want a clean error for untrusted files validate with
+// FileManager::ReadPage first (see DiskRun::CheckInvariants).
+//
+// Thread-safety: all state is guarded by one mutex; the miss path performs
+// the disk read while holding it. That serializes I/O across threads,
+// which is fine for the engine's contract (one client thread; background
+// compaction writes through the FileManager, not the pool).
+class BufferPool {
+ public:
+  // RAII pin. The referenced Page stays valid and unevictable until the
+  // guard is destroyed (or moved from).
+  class PageRef {
+   public:
+    PageRef() = default;
+    PageRef(BufferPool* pool, size_t frame)
+        : pool_(pool), frame_(frame) {}
+    PageRef(PageRef&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          frame_(other.frame_) {}
+    PageRef& operator=(PageRef&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        frame_ = other.frame_;
+      }
+      return *this;
+    }
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+    ~PageRef() { Release(); }
+
+    const Page& operator*() const { return pool_->frames_[frame_].page; }
+    const Page* operator->() const { return &pool_->frames_[frame_].page; }
+
+   private:
+    void Release() {
+      if (pool_ != nullptr) pool_->Unpin(frame_);
+      pool_ = nullptr;
+    }
+
+    BufferPool* pool_ = nullptr;
+    size_t frame_ = 0;
+  };
+
+  BufferPool(FileManager* file, size_t num_frames)
+      : file_(file), frames_(num_frames) {
+    LIDX_CHECK(num_frames >= 1);
+    table_.reserve(num_frames);
+  }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns a pinned reference to the page, fetching it from disk on a
+  // miss. Aborts if every frame is pinned (the pool is undersized for the
+  // working set of concurrently held guards) or if the page fails
+  // validation on read.
+  PageRef Pin(uint64_t page_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = table_.find(page_id); it != table_.end()) {
+      Frame& frame = frames_[it->second];
+      ++frame.pins;
+      frame.referenced = true;
+      ++stats_.hits;
+      return PageRef(this, it->second);
+    }
+    ++stats_.misses;
+    const size_t victim = FindVictimLocked();
+    Frame& frame = frames_[victim];
+    if (frame.valid) {
+      table_.erase(frame.page_id);
+      ++stats_.evictions;
+    }
+    LIDX_INVARIANT(file_->ReadPage(page_id, &frame.page),
+                   "bufferpool: page read failed (corrupt, truncated, or "
+                   "missing page)");
+    frame.page_id = page_id;
+    frame.pins = 1;
+    frame.referenced = true;
+    frame.valid = true;
+    table_.emplace(page_id, victim);
+    return PageRef(this, victim);
+  }
+
+  // Drops an unpinned cached copy of `page_id`, if any. Called before a
+  // page is freed and its id recycled, so a later Pin of the reused id
+  // cannot serve the dead run's bytes.
+  void Invalidate(uint64_t page_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = table_.find(page_id);
+    if (it == table_.end()) return;
+    Frame& frame = frames_[it->second];
+    LIDX_INVARIANT(frame.pins == 0,
+                   "bufferpool: invalidated page must not be pinned");
+    frame.valid = false;
+    frame.referenced = false;
+    table_.erase(it);
+  }
+
+  BufferPoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = BufferPoolStats{};
+  }
+
+  size_t num_frames() const { return frames_.size(); }
+
+  size_t SizeBytes() const {
+    return sizeof(*this) + frames_.capacity() * sizeof(Frame) +
+           table_.size() * (sizeof(uint64_t) + sizeof(size_t));
+  }
+
+  // Structural invariants: the page table and frames agree bijectively,
+  // every cached frame holds the page it is indexed under, and pin counts
+  // are sane (no pins on invalid frames). Aborts on violation. Test hook.
+  void CheckInvariants() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t valid_frames = 0;
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      const Frame& frame = frames_[i];
+      if (!frame.valid) {
+        LIDX_INVARIANT(frame.pins == 0, "bufferpool: invalid frame unpinned");
+        continue;
+      }
+      ++valid_frames;
+      const auto it = table_.find(frame.page_id);
+      LIDX_INVARIANT(it != table_.end() && it->second == i,
+                     "bufferpool: frame indexed under its page id");
+      LIDX_INVARIANT(frame.page.header().page_id == frame.page_id,
+                     "bufferpool: cached page self-id matches frame");
+    }
+    LIDX_INVARIANT(table_.size() == valid_frames,
+                   "bufferpool: table size matches valid frames");
+  }
+
+ private:
+  struct Frame {
+    Page page;
+    uint64_t page_id = 0;
+    uint32_t pins = 0;
+    bool referenced = false;
+    bool valid = false;
+  };
+
+  void Unpin(size_t frame) {
+    std::lock_guard<std::mutex> lock(mu_);
+    LIDX_DCHECK(frames_[frame].pins > 0);
+    --frames_[frame].pins;
+  }
+
+  // CLOCK sweep. Invalid frames are taken immediately; otherwise the hand
+  // gives each referenced frame a second chance. Two full sweeps with no
+  // victim means every frame is pinned.
+  size_t FindVictimLocked() {
+    for (size_t step = 0; step < 2 * frames_.size(); ++step) {
+      const size_t i = clock_hand_;
+      clock_hand_ = (clock_hand_ + 1) % frames_.size();
+      Frame& frame = frames_[i];
+      if (!frame.valid) return i;
+      if (frame.pins > 0) continue;
+      if (frame.referenced) {
+        frame.referenced = false;
+        continue;
+      }
+      return i;
+    }
+    LIDX_INVARIANT(false, "bufferpool: all frames pinned");
+    return 0;  // Unreachable.
+  }
+
+  mutable std::mutex mu_;
+  FileManager* file_;
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, size_t> table_;
+  size_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace lidx::storage
+
+#endif  // LIDX_STORAGE_BUFFER_POOL_H_

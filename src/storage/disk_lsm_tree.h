@@ -1,5 +1,5 @@
-#ifndef LIDX_LSM_LSM_TREE_H_
-#define LIDX_LSM_LSM_TREE_H_
+#ifndef LIDX_STORAGE_DISK_LSM_TREE_H_
+#define LIDX_STORAGE_DISK_LSM_TREE_H_
 
 #include <algorithm>
 #include <condition_variable>
@@ -8,73 +8,73 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
-#include "baselines/bloom.h"
 #include "baselines/skiplist.h"
 #include "common/invariants.h"
 #include "common/macros.h"
 #include "common/parallel.h"
 #include "lsm/merge.h"
 #include "lsm/run.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_run.h"
+#include "storage/file_manager.h"
+#include "storage/io_stats.h"
 
-namespace lidx {
+namespace lidx::storage {
 
-// Mini log-structured merge tree: skip-list memtable, immutable sorted runs,
-// leveled compaction. This is the substrate for the BOURBON experiment
-// (Dai et al., OSDI 2020; tutorial §4.2, §5.6): each immutable run can be
-// searched either by binary search (WiscKey-style baseline) or through a
-// per-run learned index — runs are rebuilt wholesale by compaction, which
-// is exactly the regime where cheap-to-build learned models pay off.
+// Disk-resident LSM tree: the same skip-list memtable / immutable runs /
+// leveled-compaction machinery as the in-memory LsmTree, but flushes and
+// compactions write DiskRuns into one page file, and reads go through a
+// BufferPool. Query results are identical to LsmTree's for the same
+// operation sequence — the merge logic is literally shared (lsm/merge.h);
+// only where the sorted records live differs.
 //
-// Keys are uint64-compatible integers; deletes are tombstones that are
-// dropped when a compaction reaches the bottom level.
-//
-// Compaction runs in one of two modes:
-//  - synchronous (default): a flush that trips the L0 trigger merges
-//    inline on the writing thread, exactly as before — deterministic and
-//    single-threaded.
-//  - background (Options::background_compaction): the merge is handed to
-//    the shared thread pool and the writer returns immediately; runs are
-//    reference-counted so in-flight reads keep old runs alive while the
-//    worker installs the merged levels. Writers only stall when the
-//    uncompacted-L0 backlog exceeds a bounded queue, which is the
-//    insert-stall fix: Put latency no longer includes multi-level merges.
-// In both modes the merge itself can use Options::compaction_threads
-// workers: the k-way merge partitions by key range (byte-identical to the
-// serial merge) and the new run's learned model trains blockwise.
+// Compaction modes mirror LsmTree: synchronous (merge inline on the writer
+// thread) or background (Options::background_compaction — the merge runs
+// on the shared thread pool, writers stall only past a bounded L0
+// backlog). Background compaction drains old runs through the FileManager
+// directly (positional pread, no pool frames) and writes new runs through
+// thread-safe page allocation, so it neither pollutes the cache nor races
+// foreground reads; old pages are freed only when the last shared_ptr to
+// their run drops, and their pool entries are invalidated first so a
+// recycled page id can never serve stale cached bytes.
 //
 // Thread-safety contract: one client thread issues Put/Delete/Get/scans;
 // background mode adds internal synchronization between that client and
 // the pool worker, not support for concurrent clients.
 template <typename Key, typename Value>
-class LsmTree {
+class DiskLsmTree {
  public:
   struct Options {
     size_t memtable_limit = 4096;   // Entries before flush.
     size_t l0_run_limit = 4;        // L0 runs before compacting into L1.
     size_t level_size_factor = 8;   // Level i holds factor^i * base entries.
-    RunSearchMode search_mode = RunSearchMode::kLearned;
-    size_t learned_epsilon = 16;
+    size_t learned_epsilon = 16;    // ε of each run's in-memory PLA model.
     double bloom_bits_per_key = 10.0;
+    size_t pool_frames = 1024;      // Buffer-pool size (4 KiB frames).
     // Threads for major compactions (range-partitioned merge + blocked
     // model training). 1 = fully serial, byte-identical by construction.
     size_t compaction_threads = 1;
     // Off-thread flush-triggered merges (see class comment).
     bool background_compaction = false;
     // Backlog allowance in background mode: writers stall once L0 holds
-    // more than l0_run_limit * (max_pending_compactions + 1) runs, which
-    // bounds both memory and the staleness a compaction must absorb.
+    // more than l0_run_limit * (max_pending_compactions + 1) runs.
     size_t max_pending_compactions = 2;
   };
 
-  explicit LsmTree(const Options& options = Options()) : options_(options) {}
+  // `path` names the page file; it is created if absent and extended as
+  // runs are written. The tree owns the file and buffer pool.
+  explicit DiskLsmTree(const std::string& path,
+                       const Options& options = Options())
+      : options_(options), file_(path), pool_(&file_, options.pool_frames) {}
 
-  ~LsmTree() { WaitForCompactions(); }
+  ~DiskLsmTree() { WaitForCompactions(); }
 
-  LsmTree(const LsmTree&) = delete;
-  LsmTree& operator=(const LsmTree&) = delete;
+  DiskLsmTree(const DiskLsmTree&) = delete;
+  DiskLsmTree& operator=(const DiskLsmTree&) = delete;
 
   void Put(const Key& key, const Value& value) {
     memtable_.Insert(key, RunEntry<Value>{value, false});
@@ -123,10 +123,10 @@ class LsmTree {
       streams.push_back(std::move(mem));
     }
     for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
-      streams.push_back((*it)->Scan(lo, hi));
+      streams.push_back((*it)->Scan(lo, hi, &stats_));
     }
     for (const auto& run : levels) {
-      if (run != nullptr) streams.push_back(run->Scan(lo, hi));
+      if (run != nullptr) streams.push_back(run->Scan(lo, hi, &stats_));
     }
     std::vector<std::pair<size_t, size_t>> bounds;
     bounds.reserve(streams.size());
@@ -136,7 +136,7 @@ class LsmTree {
     }
   }
 
-  // Forces the memtable to disk-run form (tests / benchmarks).
+  // Forces the memtable into on-disk run form (tests / benchmarks).
   void Flush() {
     if (memtable_.empty()) return;
     std::vector<KV> entries;
@@ -154,8 +154,8 @@ class LsmTree {
   }
 
   // Blocks until no background compaction is in flight (no-op in
-  // synchronous mode). The destructor calls this, so a tree never dies
-  // while a pool worker still references it.
+  // synchronous mode). The destructor calls this, so the page file never
+  // closes while a pool worker still writes to it.
   void WaitForCompactions() {
     if (!options_.background_compaction) return;
     std::unique_lock<std::mutex> lock(mu_);
@@ -176,8 +176,6 @@ class LsmTree {
     return levels_.size();
   }
 
-  // Compaction passes merged inline on the writer thread vs. on the pool.
-  // Deterministic test hooks for the two modes.
   size_t inline_compactions() const {
     const auto lock = MaybeLock();
     return inline_compactions_;
@@ -187,12 +185,18 @@ class LsmTree {
     return background_compactions_;
   }
 
-  const LsmStats& stats() const { return stats_; }
-  void ResetStats() const { stats_ = LsmStats{}; }
+  const DiskIoStats& stats() const { return stats_; }
+  void ResetStats() const { stats_ = DiskIoStats{}; }
 
+  const FileManager& file() const { return file_; }
+  BufferPool& pool() { return pool_; }
+  const BufferPool& pool() const { return pool_; }
+
+  // In-memory footprint: memtable plus each run's navigational state
+  // (fences, model, filter) plus the buffer pool. Record pages are disk.
   size_t SizeBytes() const {
     const auto lock = MaybeLock();
-    size_t total = sizeof(*this) + memtable_.SizeBytes();
+    size_t total = sizeof(*this) + memtable_.SizeBytes() + pool_.SizeBytes();
     for (const auto& run : l0_) total += run->SizeBytes();
     for (const auto& run : levels_) {
       if (run != nullptr) total += run->SizeBytes();
@@ -200,42 +204,7 @@ class LsmTree {
     return total;
   }
 
-  // Structural invariants: memtable below its flush threshold, the L0 run
-  // count within its compaction trigger (or, in background mode, within
-  // the bounded backlog a scheduled compaction is allowed to absorb),
-  // every run internally consistent (sorted, Bloom/ε contracts), and level
-  // sizes respecting the leveled capacity schedule — each occupied level
-  // fits its capacity except the deepest, which absorbs overflow when the
-  // tree is full. Aborts on violation. Test hook.
-  void CheckInvariants() const {
-    const auto lock = MaybeLock();
-    memtable_.CheckInvariants();
-    LIDX_INVARIANT(memtable_.size() < options_.memtable_limit ||
-                       options_.memtable_limit == 0,
-                   "lsm: memtable below flush threshold");
-    const size_t l0_bound = options_.background_compaction
-                                ? BacklogBound() + 1
-                                : options_.l0_run_limit;
-    LIDX_INVARIANT(l0_.size() <= l0_bound,
-                   "lsm: L0 run count within compaction trigger");
-    for (const auto& run : l0_) {
-      LIDX_INVARIANT(run != nullptr, "lsm: L0 run allocated");
-      run->CheckInvariants();
-      LIDX_INVARIANT(run->size() <= options_.memtable_limit,
-                     "lsm: L0 run no larger than one memtable flush");
-    }
-    LIDX_INVARIANT(levels_.size() <= kMaxLevels, "lsm: level count bound");
-    for (size_t level = 0; level < levels_.size(); ++level) {
-      if (levels_[level] == nullptr) continue;
-      levels_[level]->CheckInvariants();
-      LIDX_INVARIANT(
-          levels_[level]->size() <= LevelCapacity(level) ||
-              level + 1 >= kMaxLevels,
-          "lsm: level sizes follow the leveled capacity schedule");
-    }
-  }
-
-  // Total learned-model bytes across runs (0 in binary-search mode).
+  // Total learned-model bytes across runs.
   size_t ModelSizeBytes() const {
     const auto lock = MaybeLock();
     size_t total = 0;
@@ -246,19 +215,55 @@ class LsmTree {
     return total;
   }
 
+  // Structural invariants: the same component-layout checks as the
+  // in-memory LsmTree, plus the storage layer's own contracts — every
+  // run's pages re-read and verified against their CRCs, the page
+  // allocator's free list consistent, and the buffer pool's table/frame
+  // bijection intact. Aborts on violation. Test hook.
+  void CheckInvariants() const {
+    const auto lock = MaybeLock();
+    memtable_.CheckInvariants();
+    LIDX_INVARIANT(memtable_.size() < options_.memtable_limit ||
+                       options_.memtable_limit == 0,
+                   "disklsm: memtable below flush threshold");
+    const size_t l0_bound = options_.background_compaction
+                                ? BacklogBound() + 1
+                                : options_.l0_run_limit;
+    LIDX_INVARIANT(l0_.size() <= l0_bound,
+                   "disklsm: L0 run count within compaction trigger");
+    for (const auto& run : l0_) {
+      LIDX_INVARIANT(run != nullptr, "disklsm: L0 run allocated");
+      run->CheckInvariants();
+      LIDX_INVARIANT(run->size() <= options_.memtable_limit,
+                     "disklsm: L0 run no larger than one memtable flush");
+    }
+    LIDX_INVARIANT(levels_.size() <= kMaxLevels, "disklsm: level count bound");
+    for (size_t level = 0; level < levels_.size(); ++level) {
+      if (levels_[level] == nullptr) continue;
+      levels_[level]->CheckInvariants();
+      LIDX_INVARIANT(
+          levels_[level]->size() <= LevelCapacity(level) ||
+              level + 1 >= kMaxLevels,
+          "disklsm: level sizes follow the leveled capacity schedule");
+    }
+    file_.CheckInvariants();
+    pool_.CheckInvariants();
+  }
+
  private:
   // Shared (not unique) so background compaction can replace the level
-  // layout while concurrent reads keep probing the old runs.
-  using RunPtr = std::shared_ptr<SortedRun<Key, Value>>;
+  // layout while concurrent reads keep probing the old runs — and so a
+  // run's pages are freed only after its last reader is gone.
+  using RunPtr = std::shared_ptr<DiskRun<Key, Value>>;
   using KV = std::pair<Key, RunEntry<Value>>;
 
-  RunPtr MakeRun(std::vector<KV> entries) const {
-    typename SortedRun<Key, Value>::Options opts;
-    opts.search_mode = options_.search_mode;
+  RunPtr MakeRun(std::vector<KV> entries) {
+    typename DiskRun<Key, Value>::Options opts;
     opts.learned_epsilon = options_.learned_epsilon;
     opts.bloom_bits_per_key = options_.bloom_bits_per_key;
     opts.build_threads = options_.compaction_threads;
-    return std::make_shared<SortedRun<Key, Value>>(std::move(entries), opts);
+    return std::make_shared<DiskRun<Key, Value>>(std::move(entries), &file_,
+                                                 &pool_, opts);
   }
 
   void MaybeFlush() {
@@ -326,9 +331,6 @@ class LsmTree {
       ThreadPool::Shared().Submit([this] { BackgroundCompact(); });
       return;
     }
-    // A worker is already draining L0 and will keep looping until it is
-    // back under the trigger; only stall the writer when it has outrun
-    // compaction by the whole backlog allowance (the bounded queue).
     const size_t bound = BacklogBound();
     cv_.wait(lock, [&] {
       return l0_.size() <= bound || !compaction_inflight_;
@@ -340,9 +342,8 @@ class LsmTree {
   }
 
   // Pool-worker body: repeatedly snapshot the L0 batch plus levels, merge
-  // outside the lock (reads only immutable runs and options_), and install
-  // the result. New runs flushed while merging append behind the snapshot,
-  // so erasing the batch prefix afterwards is exact.
+  // outside the lock (drains immutable runs via positional reads, writes
+  // new pages via the thread-safe allocator), and install the result.
   void BackgroundCompact() {
     std::unique_lock<std::mutex> lock(mu_);
     while (l0_.size() > options_.l0_run_limit) {
@@ -362,10 +363,10 @@ class LsmTree {
   }
 
   // Merges an L0 batch into a copy of the levels and returns the new
-  // layout. Reads only the immutable runs and options_, so it is safe on a
-  // pool thread while the tree keeps serving from the old shared_ptrs.
+  // layout. Old runs stay alive (and their pages allocated) until the
+  // caller swaps the layout and the last shared_ptr drops.
   std::vector<RunPtr> CompactIntoLevels(const std::vector<RunPtr>& l0_batch,
-                                        std::vector<RunPtr> levels) const {
+                                        std::vector<RunPtr> levels) {
     std::vector<std::vector<KV>> runs;
     runs.reserve(l0_batch.size());
     // Newest first so MergeStreams keeps the freshest version per key.
@@ -378,7 +379,7 @@ class LsmTree {
   }
 
   void PushIntoLevel(size_t level, std::vector<KV> entries,
-                     std::vector<RunPtr>* levels) const {
+                     std::vector<RunPtr>* levels) {
     while (levels->size() <= level) levels->push_back(nullptr);
     if ((*levels)[level] != nullptr) {
       std::vector<std::vector<KV>> runs;
@@ -409,6 +410,10 @@ class LsmTree {
   static constexpr size_t kMaxLevels = 8;
 
   Options options_;
+  // Declared before the run vectors: members destroy in reverse order, so
+  // every DiskRun (whose destructor frees pages through these) dies first.
+  FileManager file_;
+  mutable BufferPool pool_;
   SkipList<Key, RunEntry<Value>> memtable_;
   // In background mode mu_ guards l0_, levels_, and the counters; the
   // memtable and stats stay client-thread-only in both modes.
@@ -419,9 +424,9 @@ class LsmTree {
   size_t background_compactions_ = 0;
   std::vector<RunPtr> l0_;
   std::vector<RunPtr> levels_;  // levels_[i] = L(i+1), single run each.
-  mutable LsmStats stats_;
+  mutable DiskIoStats stats_;
 };
 
-}  // namespace lidx
+}  // namespace lidx::storage
 
-#endif  // LIDX_LSM_LSM_TREE_H_
+#endif  // LIDX_STORAGE_DISK_LSM_TREE_H_

@@ -1,0 +1,309 @@
+#ifndef LIDX_STORAGE_DISK_PGM_TABLE_H_
+#define LIDX_STORAGE_DISK_PGM_TABLE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/invariants.h"
+#include "common/macros.h"
+#include "models/plr.h"
+#include "storage/buffer_pool.h"
+#include "storage/file_manager.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace lidx::storage {
+
+// How a point lookup navigates from key to page.
+enum class DiskSearchMode {
+  // B+-tree-style baseline: binary search the in-memory fence keys (one
+  // per page) and read exactly the one page that can hold the key. Its
+  // navigational memory is Θ(one key per page).
+  kFenceBinary,
+  // Learned navigation: an ε-bounded PLA model predicts the key's rank;
+  // the lookup reads only pages overlapping the ε-window, scanning forward
+  // with an early exit once the window is resolved. Pages per lookup is
+  // ~ε/records-per-page — it shrinks monotonically as ε tightens — and the
+  // navigational memory is the model (segments), which for smooth key
+  // distributions is far smaller than the fence array.
+  kLearned
+};
+
+// Disk-backed read-only learned table: sorted fixed-width records packed
+// into checksummed 4 KiB pages, navigated either by fence keys or by an
+// in-memory PGM-style ε-bounded model. This is the vehicle for the
+// tutorial's disk-resident comparison (FITing-tree / PGM vs. a B+-style
+// page directory): both modes return identical results; they differ in
+// pages read per lookup and in what must be held in memory, and
+// DiskIoStats makes that trade measurable.
+template <typename Key, typename Value>
+class DiskPgmTable {
+ public:
+  struct Options {
+    size_t epsilon = 64;
+    DiskSearchMode mode = DiskSearchMode::kLearned;
+    // Threads for model training (blocked PLA, seams preserve ε).
+    size_t build_threads = 1;
+  };
+
+  static constexpr size_t kRecordBytes = sizeof(Key) + sizeof(Value);
+  static constexpr size_t kRecordsPerPage = kPagePayloadSize / kRecordBytes;
+  static_assert(kRecordsPerPage >= 1, "record must fit in one page");
+
+  // Writes the sorted (keys[i], values[i]) pairs to freshly allocated
+  // pages and trains the model. Keys must be strictly increasing. `file`
+  // and `pool` must outlive the table.
+  DiskPgmTable(const std::vector<Key>& keys, const std::vector<Value>& values,
+               FileManager* file, BufferPool* pool, const Options& options)
+      : options_(options), file_(file), pool_(pool), n_(keys.size()) {
+    LIDX_CHECK(keys.size() == values.size());
+    if (!keys.empty()) {
+      segments_ =
+          BuildPlaBlocked(keys, static_cast<double>(options_.epsilon),
+                          options_.build_threads);
+      segment_first_keys_.reserve(segments_.size());
+      for (const PlaSegment& s : segments_) {
+        segment_first_keys_.push_back(s.first_key);
+      }
+    }
+    pages_.reserve((n_ + kRecordsPerPage - 1) / kRecordsPerPage);
+    fence_keys_.reserve(pages_.capacity());
+    for (size_t start = 0; start < n_; start += kRecordsPerPage) {
+      const size_t count = std::min(kRecordsPerPage, n_ - start);
+      Page page{};
+      PageHeader h = page.header();
+      h.type = static_cast<uint16_t>(PageType::kData);
+      h.payload_bytes = static_cast<uint32_t>(count * kRecordBytes);
+      page.set_header(h);
+      for (size_t i = 0; i < count; ++i) {
+        LIDX_DCHECK(start + i == 0 || keys[start + i - 1] < keys[start + i]);
+        StoreRecord(page.payload() + i * kRecordBytes, keys[start + i],
+                    values[start + i]);
+      }
+      const uint64_t id = file_->Allocate();
+      file_->WritePage(id, &page);
+      pages_.push_back(id);
+      fence_keys_.push_back(keys[start]);
+    }
+  }
+
+  ~DiskPgmTable() {
+    for (const uint64_t id : pages_) {
+      pool_->Invalidate(id);
+      file_->Free(id);
+    }
+  }
+
+  DiskPgmTable(const DiskPgmTable&) = delete;
+  DiskPgmTable& operator=(const DiskPgmTable&) = delete;
+
+  std::optional<Value> Find(const Key& key, DiskIoStats* io) const {
+    if (n_ == 0) return std::nullopt;
+    if (io != nullptr) ++io->run_probes;
+    if (options_.mode == DiskSearchMode::kFenceBinary) {
+      return FindViaFences(key, io);
+    }
+    return FindViaModel(key, io);
+  }
+
+  // Sorted (key, value) pairs with lo <= key <= hi. Scans are fence-guided
+  // in both modes: a range scan reads every overlapping page regardless of
+  // how point lookups navigate, so the mode comparison stays a statement
+  // about point-lookup I/O.
+  std::vector<std::pair<Key, Value>> RangeScan(const Key& lo, const Key& hi,
+                                               DiskIoStats* io) const {
+    std::vector<std::pair<Key, Value>> out;
+    if (n_ == 0 || hi < lo) return out;
+    size_t p = 0;
+    const auto it =
+        std::upper_bound(fence_keys_.begin(), fence_keys_.end(), lo);
+    if (it != fence_keys_.begin()) {
+      p = static_cast<size_t>(it - fence_keys_.begin()) - 1;
+    }
+    for (; p < pages_.size() && !(hi < fence_keys_[p]); ++p) {
+      if (io != nullptr) ++io->pages_touched;
+      const BufferPool::PageRef ref = pool_->Pin(pages_[p]);
+      const size_t count = ref->header().payload_bytes / kRecordBytes;
+      for (size_t i = 0; i < count; ++i) {
+        Key k;
+        Value v;
+        LoadRecord(ref->payload() + i * kRecordBytes, &k, &v);
+        if (k < lo) continue;
+        if (hi < k) return out;
+        out.emplace_back(k, v);
+      }
+    }
+    return out;
+  }
+
+  size_t size() const { return n_; }
+  size_t NumPages() const { return pages_.size(); }
+  size_t NumSegments() const { return segments_.size(); }
+
+  // The two sides of the navigational-memory trade the modes compare.
+  size_t ModelSizeBytes() const {
+    return segments_.capacity() * sizeof(PlaSegment) +
+           segment_first_keys_.capacity() * sizeof(double);
+  }
+  size_t FenceSizeBytes() const {
+    return fence_keys_.capacity() * sizeof(Key);
+  }
+
+  // Structural invariants, checked by re-reading every page: pages
+  // validate (magic/self-id/CRC), counts fill pages densely, fences equal
+  // first record keys, keys strictly sorted globally, and the model
+  // honours its ε bound at every rank. Aborts on violation. Test hook.
+  void CheckInvariants() const {
+    LIDX_INVARIANT(pages_.size() == fence_keys_.size(),
+                   "diskpgm: fence per page");
+    LIDX_INVARIANT(pages_.size() ==
+                       (n_ + kRecordsPerPage - 1) / kRecordsPerPage,
+                   "diskpgm: page count matches entry count");
+    if (n_ == 0) return;
+    LIDX_INVARIANT(!segments_.empty(), "diskpgm: has learned segments");
+    LIDX_INVARIANT(segments_.size() == segment_first_keys_.size(),
+                   "diskpgm: segment/first-key parallel arrays");
+    Page page;
+    size_t rank = 0;
+    bool have_prev = false;
+    Key prev{};
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      LIDX_INVARIANT(file_->ReadPage(pages_[p], &page),
+                     "diskpgm: page readable and checksummed");
+      const PageHeader h = page.header();
+      LIDX_INVARIANT(h.type == static_cast<uint16_t>(PageType::kData),
+                     "diskpgm: data page type");
+      LIDX_INVARIANT(h.payload_bytes % kRecordBytes == 0,
+                     "diskpgm: payload holds whole records");
+      const size_t count = h.payload_bytes / kRecordBytes;
+      const size_t expect = std::min(kRecordsPerPage, n_ - p * kRecordsPerPage);
+      LIDX_INVARIANT(count == expect, "diskpgm: pages packed densely");
+      for (size_t i = 0; i < count; ++i, ++rank) {
+        Key k;
+        Value v;
+        LoadRecord(page.payload() + i * kRecordBytes, &k, &v);
+        if (i == 0) {
+          LIDX_INVARIANT(!(fence_keys_[p] < k) && !(k < fence_keys_[p]),
+                         "diskpgm: fence equals page's first key");
+        }
+        LIDX_INVARIANT(!have_prev || prev < k,
+                       "diskpgm: keys strictly sorted");
+        prev = k;
+        have_prev = true;
+        const double kd = static_cast<double>(k);
+        const double pred = segments_[SegmentFor(kd)].model.Predict(kd);
+        const double eps = static_cast<double>(options_.epsilon) + 1.0;
+        const double err = pred - static_cast<double>(rank);
+        LIDX_INVARIANT(err <= eps && -err <= eps,
+                       "diskpgm: epsilon guarantee on learned model");
+      }
+    }
+    LIDX_INVARIANT(rank == n_, "diskpgm: ranks cover all entries");
+  }
+
+ private:
+  static void StoreRecord(unsigned char* dst, const Key& key,
+                          const Value& value) {
+    std::memcpy(dst, &key, sizeof(Key));
+    std::memcpy(dst + sizeof(Key), &value, sizeof(Value));
+  }
+  static void LoadRecord(const unsigned char* src, Key* key, Value* value) {
+    std::memcpy(key, src, sizeof(Key));
+    std::memcpy(value, src + sizeof(Key), sizeof(Value));
+  }
+
+  // B+-style: the fence directory names the single candidate page.
+  std::optional<Value> FindViaFences(const Key& key, DiskIoStats* io) const {
+    const auto it =
+        std::upper_bound(fence_keys_.begin(), fence_keys_.end(), key);
+    if (it == fence_keys_.begin()) return std::nullopt;
+    const size_t p = static_cast<size_t>(it - fence_keys_.begin()) - 1;
+    if (io != nullptr) ++io->pages_touched;
+    const BufferPool::PageRef ref = pool_->Pin(pages_[p]);
+    const size_t count = ref->header().payload_bytes / kRecordBytes;
+    return SearchInPage(ref, 0, count, key, io);
+  }
+
+  // Model-only: no fence directory consulted. The rank window maps to a
+  // window of pages; scan it forward, exiting as soon as a page's first
+  // key passes the target (pages are sorted, so the key cannot be later).
+  std::optional<Value> FindViaModel(const Key& key, DiskIoStats* io) const {
+    const double kd = static_cast<double>(key);
+    const size_t pred = segments_[SegmentFor(kd)].model.PredictClamped(kd, n_);
+    const size_t eps = options_.epsilon;
+    const size_t lo = (pred > eps + 1) ? pred - eps - 1 : 0;
+    const size_t hi = std::min(n_, pred + eps + 2);
+    const size_t page_lo = lo / kRecordsPerPage;
+    const size_t page_hi = (hi - 1) / kRecordsPerPage;
+    for (size_t p = page_lo; p <= page_hi; ++p) {
+      if (io != nullptr) ++io->pages_touched;
+      const BufferPool::PageRef ref = pool_->Pin(pages_[p]);
+      const size_t count = ref->header().payload_bytes / kRecordBytes;
+      Key first;
+      std::memcpy(&first, ref->payload(), sizeof(Key));
+      if (key < first) return std::nullopt;  // Early exit: passed the key.
+      Key last;
+      std::memcpy(&last, ref->payload() + (count - 1) * kRecordBytes,
+                  sizeof(Key));
+      if (last < key) continue;  // Key, if present, is in a later page.
+      // The page brackets the key: search the model window ∩ page ranks.
+      const size_t base = p * kRecordsPerPage;
+      const size_t rlo = std::max(lo, base) - base;
+      const size_t rhi = std::min(hi, base + count) - base;
+      return SearchInPage(ref, rlo, rhi, key, io);
+    }
+    return std::nullopt;
+  }
+
+  // Counted binary search for `key` over record slots [rlo, rhi) of a
+  // pinned page.
+  std::optional<Value> SearchInPage(const BufferPool::PageRef& ref, size_t rlo,
+                                    size_t rhi, const Key& key,
+                                    DiskIoStats* io) const {
+    const size_t count = ref->header().payload_bytes / kRecordBytes;
+    while (rlo < rhi) {
+      if (io != nullptr) ++io->search_steps;
+      const size_t mid = rlo + (rhi - rlo) / 2;
+      Key k;
+      std::memcpy(&k, ref->payload() + mid * kRecordBytes, sizeof(Key));
+      if (k < key) {
+        rlo = mid + 1;
+      } else {
+        rhi = mid;
+      }
+    }
+    if (rlo < count) {
+      Key k;
+      Value v;
+      LoadRecord(ref->payload() + rlo * kRecordBytes, &k, &v);
+      if (!(k < key) && !(key < k)) return v;
+    }
+    return std::nullopt;
+  }
+
+  // Last segment with first_key <= k.
+  size_t SegmentFor(double k) const {
+    const auto it = std::upper_bound(segment_first_keys_.begin(),
+                                     segment_first_keys_.end(), k);
+    if (it == segment_first_keys_.begin()) return 0;
+    return static_cast<size_t>(it - segment_first_keys_.begin()) - 1;
+  }
+
+  Options options_;
+  FileManager* file_;
+  BufferPool* pool_;
+  size_t n_;
+  std::vector<uint64_t> pages_;   // Page id per page, in key order.
+  std::vector<Key> fence_keys_;   // First key of each page.
+  std::vector<PlaSegment> segments_;
+  std::vector<double> segment_first_keys_;
+};
+
+}  // namespace lidx::storage
+
+#endif  // LIDX_STORAGE_DISK_PGM_TABLE_H_

@@ -1,0 +1,335 @@
+#ifndef LIDX_STORAGE_DISK_RUN_H_
+#define LIDX_STORAGE_DISK_RUN_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "baselines/bloom.h"
+#include "common/invariants.h"
+#include "common/macros.h"
+#include "lsm/run.h"
+#include "models/plr.h"
+#include "storage/buffer_pool.h"
+#include "storage/file_manager.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace lidx::storage {
+
+// Disk-resident immutable sorted run: the on-disk counterpart of SortedRun
+// and the core of the model-in-memory / data-on-disk regime the paper's
+// disk-based systems (FITing-tree, BOURBON, PGM's paged variant) operate
+// in. Records live in checksummed 4 KiB pages; what stays in memory is the
+// cheap navigational state — one fence key per page, an ε-bounded PLA
+// model over the keys, and a Bloom filter.
+//
+// A point lookup combines the two: the model predicts the key's rank,
+// which narrows the candidate range to the ε-window of pages, and the
+// fence keys select the single page in that window that can hold the key —
+// so a probe that survives the Bloom filter pins exactly one page, and the
+// model's rank window then bounds the in-page binary search. Records are
+// packed field-by-field (key, value, tombstone byte) rather than memcpy'd
+// as structs, so no padding bytes reach the disk and page CRCs are
+// deterministic.
+template <typename Key, typename Value>
+class DiskRun {
+ public:
+  struct Options {
+    size_t learned_epsilon = 16;
+    double bloom_bits_per_key = 10.0;
+    // Threads for the model-training pass (blocked PLA, seams preserve ε).
+    size_t build_threads = 1;
+  };
+
+  // On-disk record layout inside a kData page payload.
+  static constexpr size_t kRecordBytes = sizeof(Key) + sizeof(Value) + 1;
+  static constexpr size_t kRecordsPerPage = kPagePayloadSize / kRecordBytes;
+  static_assert(kRecordsPerPage >= 1, "record must fit in one page");
+
+  // Writes `entries` (strictly sorted by key, newest-wins already applied)
+  // to freshly allocated pages of `file` and builds the in-memory model,
+  // fences, and filter. `file` and `pool` must outlive the run.
+  DiskRun(std::vector<std::pair<Key, RunEntry<Value>>> entries,
+          FileManager* file, BufferPool* pool, const Options& options)
+      : options_(options),
+        file_(file),
+        pool_(pool),
+        n_(entries.size()),
+        bloom_(std::max<size_t>(1, entries.size()),
+               options.bloom_bits_per_key) {
+    std::vector<Key> keys;
+    keys.reserve(n_);
+    for (const auto& [key, entry] : entries) {
+      LIDX_DCHECK(keys.empty() || keys.back() < key);
+      keys.push_back(key);
+      bloom_.Add(static_cast<uint64_t>(key));
+    }
+    if (!keys.empty()) {
+      segments_ =
+          BuildPlaBlocked(keys, static_cast<double>(options_.learned_epsilon),
+                          options_.build_threads);
+      segment_first_keys_.reserve(segments_.size());
+      for (const PlaSegment& s : segments_) {
+        segment_first_keys_.push_back(s.first_key);
+      }
+    }
+    pages_.reserve((n_ + kRecordsPerPage - 1) / kRecordsPerPage);
+    fence_keys_.reserve(pages_.capacity());
+    for (size_t start = 0; start < n_; start += kRecordsPerPage) {
+      const size_t count = std::min(kRecordsPerPage, n_ - start);
+      Page page{};
+      PageHeader h = page.header();
+      h.type = static_cast<uint16_t>(PageType::kData);
+      h.payload_bytes = static_cast<uint32_t>(count * kRecordBytes);
+      page.set_header(h);
+      for (size_t i = 0; i < count; ++i) {
+        const auto& [key, entry] = entries[start + i];
+        StoreRecord(page.payload() + i * kRecordBytes, key, entry);
+      }
+      const uint64_t id = file_->Allocate();
+      file_->WritePage(id, &page);
+      pages_.push_back(id);
+      fence_keys_.push_back(entries[start].first);
+    }
+  }
+
+  // Frees the run's pages. Runs are held by shared_ptr (readers snapshot
+  // the run list), so by the time the destructor fires no reader can still
+  // reach these page ids; invalidating the pool first guarantees a later
+  // reuse of an id never serves this run's cached bytes.
+  ~DiskRun() {
+    for (const uint64_t id : pages_) {
+      pool_->Invalidate(id);
+      file_->Free(id);
+    }
+  }
+
+  DiskRun(const DiskRun&) = delete;
+  DiskRun& operator=(const DiskRun&) = delete;
+
+  std::optional<RunEntry<Value>> Get(const Key& key, DiskIoStats* io) const {
+    if (n_ == 0) return std::nullopt;
+    if (!bloom_.MayContain(static_cast<uint64_t>(key))) {
+      if (io != nullptr) ++io->bloom_rejects;
+      return std::nullopt;
+    }
+    if (io != nullptr) ++io->run_probes;
+    // Model: rank window [lo, hi) that must contain the key if present.
+    const double k = static_cast<double>(key);
+    const size_t pred =
+        segments_[SegmentFor(k)].model.PredictClamped(k, n_);
+    const size_t eps = options_.learned_epsilon;
+    const size_t lo = (pred > eps + 1) ? pred - eps - 1 : 0;
+    const size_t hi = std::min(n_, pred + eps + 2);
+    // Fences: the only page in the ε-window whose range covers the key is
+    // the last one with fence <= key. If even the window's first fence
+    // exceeds the key, the key would have to sit at a rank below the
+    // window — impossible if present — so conclude absence with zero I/O.
+    const size_t page_lo = lo / kRecordsPerPage;
+    const size_t page_hi = (hi - 1) / kRecordsPerPage;
+    const auto fence_begin = fence_keys_.begin();
+    const auto it = std::upper_bound(fence_begin + page_lo,
+                                     fence_begin + (page_hi + 1), key);
+    if (it == fence_begin + page_lo) return std::nullopt;
+    const size_t p = static_cast<size_t>(it - fence_begin) - 1;
+    if (io != nullptr) ++io->pages_touched;
+    const BufferPool::PageRef ref = pool_->Pin(pages_[p]);
+    const size_t base = p * kRecordsPerPage;
+    const size_t count = ref->header().payload_bytes / kRecordBytes;
+    // In-page binary search over the model window ∩ this page's ranks.
+    size_t rlo = std::max(lo, base) - base;
+    size_t rhi = std::min(hi, base + count) - base;
+    while (rlo < rhi) {
+      if (io != nullptr) ++io->search_steps;
+      const size_t mid = rlo + (rhi - rlo) / 2;
+      Key rk;
+      std::memcpy(&rk, ref->payload() + mid * kRecordBytes, sizeof(Key));
+      if (rk < key) {
+        rlo = mid + 1;
+      } else {
+        rhi = mid;
+      }
+    }
+    if (rlo < count) {
+      Key rk;
+      RunEntry<Value> entry;
+      LoadRecord(ref->payload() + rlo * kRecordBytes, &rk, &entry);
+      if (rk == key) return entry;
+    }
+    return std::nullopt;
+  }
+
+  // Sorted entries with lo <= key <= hi, read through the buffer pool.
+  // Fence keys bound the page walk on both ends.
+  std::vector<std::pair<Key, RunEntry<Value>>> Scan(const Key& lo,
+                                                    const Key& hi,
+                                                    DiskIoStats* io) const {
+    std::vector<std::pair<Key, RunEntry<Value>>> out;
+    if (n_ == 0 || hi < lo) return out;
+    size_t p = 0;
+    const auto it =
+        std::upper_bound(fence_keys_.begin(), fence_keys_.end(), lo);
+    if (it != fence_keys_.begin()) {
+      p = static_cast<size_t>(it - fence_keys_.begin()) - 1;
+    }
+    for (; p < pages_.size() && !(hi < fence_keys_[p]); ++p) {
+      if (io != nullptr) ++io->pages_touched;
+      const BufferPool::PageRef ref = pool_->Pin(pages_[p]);
+      const size_t count = ref->header().payload_bytes / kRecordBytes;
+      for (size_t i = 0; i < count; ++i) {
+        Key k;
+        RunEntry<Value> entry;
+        LoadRecord(ref->payload() + i * kRecordBytes, &k, &entry);
+        if (k < lo) continue;
+        if (hi < k) return out;
+        out.emplace_back(k, entry);
+      }
+    }
+    return out;
+  }
+
+  // Extracts all entries for compaction. Reads through the FileManager
+  // directly: a full-run sweep would only flush the buffer pool's useful
+  // working set, and compaction runs on a background thread that must not
+  // compete for frames with foreground queries.
+  std::vector<std::pair<Key, RunEntry<Value>>> Drain() const {
+    std::vector<std::pair<Key, RunEntry<Value>>> out;
+    out.reserve(n_);
+    Page page;
+    for (const uint64_t id : pages_) {
+      LIDX_INVARIANT(file_->ReadPage(id, &page),
+                     "diskrun: drain read failed (corrupt or truncated page)");
+      const size_t count = page.header().payload_bytes / kRecordBytes;
+      for (size_t i = 0; i < count; ++i) {
+        Key k;
+        RunEntry<Value> entry;
+        LoadRecord(page.payload() + i * kRecordBytes, &k, &entry);
+        out.emplace_back(k, entry);
+      }
+    }
+    return out;
+  }
+
+  size_t size() const { return n_; }
+  size_t NumPages() const { return pages_.size(); }
+  size_t NumSegments() const { return segments_.size(); }
+
+  // In-memory footprint only — the records themselves are on disk.
+  size_t SizeBytes() const {
+    return sizeof(*this) + pages_.capacity() * sizeof(uint64_t) +
+           FenceSizeBytes() + bloom_.SizeBytes() + ModelSizeBytes();
+  }
+  size_t ModelSizeBytes() const {
+    return segments_.capacity() * sizeof(PlaSegment) +
+           segment_first_keys_.capacity() * sizeof(double);
+  }
+  size_t FenceSizeBytes() const {
+    return fence_keys_.capacity() * sizeof(Key);
+  }
+
+  // Structural invariants, checked by re-reading every page from disk:
+  // pages validate (magic/self-id/CRC), record counts fill pages densely,
+  // fence keys equal each page's first record key, keys are strictly
+  // sorted globally, the Bloom filter has no false negatives, and the PLA
+  // model honours its ε bound at every rank. Aborts on violation. Test
+  // hook.
+  void CheckInvariants() const {
+    LIDX_INVARIANT(pages_.size() == fence_keys_.size(),
+                   "diskrun: fence per page");
+    LIDX_INVARIANT(pages_.size() ==
+                       (n_ + kRecordsPerPage - 1) / kRecordsPerPage,
+                   "diskrun: page count matches entry count");
+    if (n_ == 0) return;
+    LIDX_INVARIANT(!segments_.empty(), "diskrun: has learned segments");
+    LIDX_INVARIANT(segments_.size() == segment_first_keys_.size(),
+                   "diskrun: segment/first-key parallel arrays");
+    for (size_t s = 0; s < segments_.size(); ++s) {
+      LIDX_INVARIANT(segments_[s].first_key == segment_first_keys_[s],
+                     "diskrun: first-key mirror matches segment");
+      if (s > 0) {
+        LIDX_INVARIANT(segment_first_keys_[s - 1] < segment_first_keys_[s],
+                       "diskrun: segment first keys strictly increasing");
+      }
+    }
+    Page page;
+    size_t rank = 0;
+    bool have_prev = false;
+    Key prev{};
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      LIDX_INVARIANT(file_->ReadPage(pages_[p], &page),
+                     "diskrun: page readable and checksummed");
+      const PageHeader h = page.header();
+      LIDX_INVARIANT(h.type == static_cast<uint16_t>(PageType::kData),
+                     "diskrun: data page type");
+      LIDX_INVARIANT(h.payload_bytes % kRecordBytes == 0,
+                     "diskrun: payload holds whole records");
+      const size_t count = h.payload_bytes / kRecordBytes;
+      const size_t expect = std::min(kRecordsPerPage, n_ - p * kRecordsPerPage);
+      LIDX_INVARIANT(count == expect, "diskrun: pages packed densely");
+      for (size_t i = 0; i < count; ++i, ++rank) {
+        Key k;
+        RunEntry<Value> entry;
+        LoadRecord(page.payload() + i * kRecordBytes, &k, &entry);
+        if (i == 0) {
+          LIDX_INVARIANT(!(fence_keys_[p] < k) && !(k < fence_keys_[p]),
+                         "diskrun: fence equals page's first key");
+        }
+        LIDX_INVARIANT(!have_prev || prev < k,
+                       "diskrun: keys strictly sorted");
+        prev = k;
+        have_prev = true;
+        LIDX_INVARIANT(bloom_.MayContain(static_cast<uint64_t>(k)),
+                       "diskrun: bloom has no false negatives");
+        const double kd = static_cast<double>(k);
+        const double pred = segments_[SegmentFor(kd)].model.Predict(kd);
+        const double eps =
+            static_cast<double>(options_.learned_epsilon) + 1.0;
+        const double err = pred - static_cast<double>(rank);
+        LIDX_INVARIANT(err <= eps && -err <= eps,
+                       "diskrun: epsilon guarantee on learned model");
+      }
+    }
+    LIDX_INVARIANT(rank == n_, "diskrun: ranks cover all entries");
+  }
+
+ private:
+  static void StoreRecord(unsigned char* dst, const Key& key,
+                          const RunEntry<Value>& entry) {
+    std::memcpy(dst, &key, sizeof(Key));
+    std::memcpy(dst + sizeof(Key), &entry.value, sizeof(Value));
+    dst[sizeof(Key) + sizeof(Value)] = entry.deleted ? 1 : 0;
+  }
+  static void LoadRecord(const unsigned char* src, Key* key,
+                         RunEntry<Value>* entry) {
+    std::memcpy(key, src, sizeof(Key));
+    std::memcpy(&entry->value, src + sizeof(Key), sizeof(Value));
+    entry->deleted = src[sizeof(Key) + sizeof(Value)] != 0;
+  }
+
+  // Last segment with first_key <= k.
+  size_t SegmentFor(double k) const {
+    const auto it = std::upper_bound(segment_first_keys_.begin(),
+                                     segment_first_keys_.end(), k);
+    if (it == segment_first_keys_.begin()) return 0;
+    return static_cast<size_t>(it - segment_first_keys_.begin()) - 1;
+  }
+
+  Options options_;
+  FileManager* file_;
+  BufferPool* pool_;
+  size_t n_;
+  std::vector<uint64_t> pages_;   // Page id per page, in key order.
+  std::vector<Key> fence_keys_;   // First key of each page.
+  BloomFilter bloom_;
+  std::vector<PlaSegment> segments_;
+  std::vector<double> segment_first_keys_;
+};
+
+}  // namespace lidx::storage
+
+#endif  // LIDX_STORAGE_DISK_RUN_H_

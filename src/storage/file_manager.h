@@ -1,0 +1,160 @@
+#ifndef LIDX_STORAGE_FILE_MANAGER_H_
+#define LIDX_STORAGE_FILE_MANAGER_H_
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/invariants.h"
+#include "common/macros.h"
+#include "storage/page.h"
+
+namespace lidx::storage {
+
+// Owns one page file and maps page ids to pread/pwrite offsets. Allocation
+// is page-granular with a free list: freed pages (from dropped LSM runs)
+// are recycled before the file grows, so compaction churn does not leak
+// disk space. Reads validate the full page contract — magic, version,
+// self-id, CRC — and report corruption as a clean `false` instead of
+// handing garbage bytes to the caller.
+//
+// Thread-safety: ReadPage/WritePage are positional (pread/pwrite) and safe
+// from any thread; the allocator state is mutex-guarded. This is what the
+// background-compaction path needs: a pool worker writes new runs while
+// the client thread keeps reading old ones.
+class FileManager {
+ public:
+  explicit FileManager(const std::string& path) : path_(path) {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    LIDX_CHECK(fd_ >= 0);
+    struct stat st = {};
+    LIDX_CHECK(::fstat(fd_, &st) == 0);
+    next_page_id_ = static_cast<uint64_t>(st.st_size) / kPageSize;
+  }
+
+  ~FileManager() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  FileManager(const FileManager&) = delete;
+  FileManager& operator=(const FileManager&) = delete;
+
+  // Returns a page id to write to: a recycled page if any run was freed,
+  // otherwise one past the current end of file.
+  uint64_t Allocate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_list_.empty()) {
+      const uint64_t id = free_list_.back();
+      free_list_.pop_back();
+      return id;
+    }
+    return next_page_id_++;
+  }
+
+  // Returns a page to the allocator. The caller must guarantee no reader
+  // still needs the old contents (DiskRun does this by freeing only from
+  // its destructor, when the last shared_ptr reference has gone away).
+  void Free(uint64_t page_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    LIDX_DCHECK(page_id < next_page_id_);
+    free_list_.push_back(page_id);
+  }
+
+  // Reads and validates one page. False on short reads (truncated file),
+  // magic/version mismatch, a self-id that disagrees with `page_id`
+  // (misdirected I/O), or a CRC mismatch (torn write / bit rot).
+  bool ReadPage(uint64_t page_id, Page* page) const {
+    const ssize_t got =
+        ::pread(fd_, page->bytes.data(), kPageSize,
+                static_cast<off_t>(page_id * kPageSize));
+    pages_read_.fetch_add(1, std::memory_order_relaxed);
+    if (got != static_cast<ssize_t>(kPageSize)) return false;
+    const PageHeader h = page->header();
+    if (h.magic != kPageMagic || h.version != kPageFormatVersion) {
+      return false;
+    }
+    if (h.page_id != page_id) return false;
+    if (h.payload_bytes > kPagePayloadSize) return false;
+    return h.crc32 == PageChecksum(*page);
+  }
+
+  // Stamps the identity fields (magic, version, page_id, crc) into the
+  // header — the caller fills type, payload_bytes, and the payload — and
+  // writes the page at its offset. I/O failure is fatal: the engine has no
+  // story for a half-persisted run.
+  void WritePage(uint64_t page_id, Page* page) {
+    PageHeader h = page->header();
+    h.magic = kPageMagic;
+    h.version = kPageFormatVersion;
+    h.page_id = page_id;
+    h.crc32 = 0;
+    page->set_header(h);
+    h.crc32 = PageChecksum(*page);
+    page->set_header(h);
+    const ssize_t put =
+        ::pwrite(fd_, page->bytes.data(), kPageSize,
+                 static_cast<off_t>(page_id * kPageSize));
+    LIDX_CHECK(put == static_cast<ssize_t>(kPageSize));
+    pages_written_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Sync() { LIDX_CHECK(::fsync(fd_) == 0); }
+
+  // Pages ever allocated (allocated-and-freed pages count: they still
+  // occupy file space until recycled).
+  uint64_t NumPages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_page_id_;
+  }
+
+  size_t FreeListSize() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_list_.size();
+  }
+
+  uint64_t pages_read() const {
+    return pages_read_.load(std::memory_order_relaxed);
+  }
+  uint64_t pages_written() const {
+    return pages_written_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& path() const { return path_; }
+
+  // Allocator invariants: every free-listed page lies inside the file and
+  // appears at most once. Aborts on violation. Test hook.
+  void CheckInvariants() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uint64_t> sorted = free_list_;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      LIDX_INVARIANT(sorted[i] < next_page_id_,
+                     "filemanager: free page inside file");
+      if (i > 0) {
+        LIDX_INVARIANT(sorted[i - 1] != sorted[i],
+                       "filemanager: free list has no duplicates");
+      }
+    }
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  mutable std::mutex mu_;  // Guards free_list_ and next_page_id_.
+  std::vector<uint64_t> free_list_;
+  uint64_t next_page_id_ = 0;
+  mutable std::atomic<uint64_t> pages_read_{0};
+  std::atomic<uint64_t> pages_written_{0};
+};
+
+}  // namespace lidx::storage
+
+#endif  // LIDX_STORAGE_FILE_MANAGER_H_

@@ -1,0 +1,22 @@
+#ifndef LIDX_STORAGE_IO_STATS_H_
+#define LIDX_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace lidx::storage {
+
+// Per-query I/O accounting for the disk-resident structures. `pages_touched`
+// counts buffer-pool pins issued by queries — the I/O a lookup *requests*;
+// the pool's own hit/miss counters say how many of those actually reached
+// the disk. The remaining fields mirror LsmStats so the disk benches can
+// report the same in-run search metrics as the in-memory E6 experiment.
+struct DiskIoStats {
+  uint64_t pages_touched = 0;  // Buffer-pool pins from point/range queries.
+  uint64_t run_probes = 0;     // Runs actually searched.
+  uint64_t bloom_rejects = 0;  // Probes short-circuited by the filter.
+  uint64_t search_steps = 0;   // In-page binary-search iterations.
+};
+
+}  // namespace lidx::storage
+
+#endif  // LIDX_STORAGE_IO_STATS_H_

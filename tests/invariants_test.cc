@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "common/invariants.h"
+#include "common/serialize.h"
 #include "lsm/run.h"
 #include "one_d/pgm.h"
 #include "one_d/rmi.h"
@@ -36,6 +37,21 @@ std::vector<uint64_t> Ranks(size_t n) {
   std::vector<uint64_t> v(n);
   for (size_t i = 0; i < n; ++i) v[i] = i;
   return v;
+}
+
+// Serialized images are CRC-framed (see WriteImage in common/serialize.h):
+// [magic u32][version u32][crc32 u32][len u64][payload]. A plain byte flip
+// is rejected by LoadFrom, so the checker death tests forge a matching CRC
+// over the corrupted payload — modelling an adversary (or a wild in-memory
+// write) that framing validation cannot catch.
+std::string ForgeImageCrc(std::string bytes) {
+  constexpr size_t kCrcOffset = 8;
+  constexpr size_t kPayloadOffset = 20;
+  EXPECT_GE(bytes.size(), kPayloadOffset);
+  const uint32_t crc = Crc32(bytes.data() + kPayloadOffset,
+                             bytes.size() - kPayloadOffset);
+  std::memcpy(bytes.data() + kCrcOffset, &crc, sizeof(crc));
+  return bytes;
 }
 
 // Finds the unique adjacent pair (a, b) in the byte image and swaps it to
@@ -99,9 +115,14 @@ TEST(RmiCorruptionDeathTest, CheckerFiresOnUnsortedKeys) {
   index.SaveTo(out);
   const std::string corrupted = SwapAdjacentU64(out.str(), keys[0], keys[1]);
 
-  std::istringstream in(corrupted);
+  // Without a forged CRC the corruption is caught at load time.
+  std::istringstream rejected(corrupted);
+  Rmi<uint64_t, uint64_t> unloaded;
+  ASSERT_FALSE(unloaded.LoadFrom(rejected));
+
+  std::istringstream in(ForgeImageCrc(corrupted));
   Rmi<uint64_t, uint64_t> reloaded;
-  // LoadFrom validates framing, not ordering — the corruption slips through.
+  // A forged CRC slips past framing — only the checker catches ordering.
   ASSERT_TRUE(reloaded.LoadFrom(in));
   EXPECT_DEATH(reloaded.CheckInvariants(), "rmi: keys strictly sorted");
 }
@@ -130,7 +151,12 @@ TEST(PgmCorruptionDeathTest, CheckerFiresOnUnsortedKeys) {
   index.SaveTo(out);
   const std::string corrupted = SwapAdjacentU64(out.str(), keys[10], keys[11]);
 
-  std::istringstream in(corrupted);
+  // Without a forged CRC the corruption is caught at load time.
+  std::istringstream rejected(corrupted);
+  PgmIndex<uint64_t, uint64_t> unloaded;
+  ASSERT_FALSE(unloaded.LoadFrom(rejected));
+
+  std::istringstream in(ForgeImageCrc(corrupted));
   PgmIndex<uint64_t, uint64_t> reloaded;
   ASSERT_TRUE(reloaded.LoadFrom(in));
   EXPECT_DEATH(reloaded.CheckInvariants(), "pgm: keys strictly sorted");

@@ -1,0 +1,584 @@
+// Storage-engine tests: page file + checksum rejection, buffer-pool
+// replacement policy and counters, and content equality of the
+// disk-resident structures against their in-memory counterparts.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datasets/generators.h"
+#include "lsm/lsm_tree.h"
+#include "one_d/pgm.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_lsm_tree.h"
+#include "storage/disk_pgm_table.h"
+#include "storage/disk_run.h"
+#include "storage/file_manager.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace lidx::storage {
+namespace {
+
+// Fresh page-file path scoped to the gtest temp dir; removes any leftover
+// from a previous run of the same test.
+std::string FreshFile(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "lidx_storage_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// Flips one byte of the file at `offset` (torn write / bit rot).
+void FlipByteAt(const std::string& path, uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  ASSERT_TRUE(f.good());
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&byte, 1);
+  ASSERT_TRUE(f.good());
+}
+
+// ----- FileManager -----
+
+TEST(FileManagerTest, WriteReadRoundTrip) {
+  FileManager file(FreshFile("roundtrip"));
+  Page out{};
+  PageHeader h = out.header();
+  h.type = static_cast<uint16_t>(PageType::kData);
+  h.payload_bytes = 11;
+  out.set_header(h);
+  std::memcpy(out.payload(), "hello pages", 11);
+  const uint64_t id = file.Allocate();
+  file.WritePage(id, &out);
+  file.Sync();
+
+  Page in;
+  ASSERT_TRUE(file.ReadPage(id, &in));
+  EXPECT_EQ(in.header().page_id, id);
+  EXPECT_EQ(in.header().payload_bytes, 11u);
+  EXPECT_EQ(std::memcmp(in.payload(), "hello pages", 11), 0);
+  EXPECT_EQ(file.pages_written(), 1u);
+  file.CheckInvariants();
+}
+
+TEST(FileManagerTest, ReadPastEndOfFileFails) {
+  FileManager file(FreshFile("eof"));
+  Page page;
+  EXPECT_FALSE(file.ReadPage(0, &page));
+  EXPECT_FALSE(file.ReadPage(7, &page));
+}
+
+TEST(FileManagerTest, TornWriteIsRejectedWhereverTheBitFlips) {
+  const std::string path = FreshFile("torn");
+  // Offsets probing each part of the page: magic, self-id, the crc field
+  // itself, payload start, payload end.
+  const uint64_t offsets[] = {0, 8, 20, 24, kPageSize - 1};
+  for (const uint64_t off : offsets) {
+    std::remove(path.c_str());
+    uint64_t id = 0;
+    {
+      FileManager file(path);
+      Page page{};
+      PageHeader h = page.header();
+      h.type = static_cast<uint16_t>(PageType::kData);
+      h.payload_bytes = static_cast<uint32_t>(kPagePayloadSize);
+      page.set_header(h);
+      for (size_t i = 0; i < kPagePayloadSize; ++i) {
+        page.payload()[i] = static_cast<unsigned char>(i * 31 + 7);
+      }
+      id = file.Allocate();
+      file.WritePage(id, &page);
+      file.Sync();
+      Page check;
+      ASSERT_TRUE(file.ReadPage(id, &check));
+    }
+    FlipByteAt(path, off);
+    FileManager file(path);
+    Page page;
+    EXPECT_FALSE(file.ReadPage(id, &page)) << "flipped offset " << off;
+  }
+}
+
+TEST(FileManagerTest, MisdirectedPageIsRejectedBySelfId) {
+  const std::string path = FreshFile("misdirected");
+  {
+    FileManager file(path);
+    Page page{};
+    PageHeader h = page.header();
+    h.type = static_cast<uint16_t>(PageType::kData);
+    page.set_header(h);
+    file.WritePage(file.Allocate(), &page);  // Page 0.
+    file.WritePage(file.Allocate(), &page);  // Page 1.
+    file.Sync();
+  }
+  // Copy page 0's bytes over page 1: a valid page in the wrong slot.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  std::vector<char> bytes(kPageSize);
+  f.read(bytes.data(), static_cast<std::streamsize>(kPageSize));
+  f.seekp(static_cast<std::streamoff>(kPageSize));
+  f.write(bytes.data(), static_cast<std::streamsize>(kPageSize));
+  f.close();
+  FileManager file(path);
+  Page page;
+  EXPECT_TRUE(file.ReadPage(0, &page));
+  EXPECT_FALSE(file.ReadPage(1, &page));
+}
+
+TEST(FileManagerTest, FreedPagesAreRecycledBeforeGrowth) {
+  FileManager file(FreshFile("recycle"));
+  const uint64_t a = file.Allocate();
+  const uint64_t b = file.Allocate();
+  EXPECT_EQ(file.NumPages(), 2u);
+  file.Free(a);
+  EXPECT_EQ(file.FreeListSize(), 1u);
+  file.CheckInvariants();
+  EXPECT_EQ(file.Allocate(), a);  // Recycled, not grown.
+  EXPECT_EQ(file.Allocate(), b + 1);
+  EXPECT_EQ(file.NumPages(), 3u);
+}
+
+// ----- BufferPool -----
+
+// Writes `count` trivially distinguishable pages and returns their ids.
+std::vector<uint64_t> WritePages(FileManager* file, size_t count) {
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < count; ++i) {
+    Page page{};
+    PageHeader h = page.header();
+    h.type = static_cast<uint16_t>(PageType::kData);
+    h.payload_bytes = 1;
+    page.set_header(h);
+    page.payload()[0] = static_cast<unsigned char>(i);
+    const uint64_t id = file->Allocate();
+    file->WritePage(id, &page);
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+TEST(BufferPoolTest, HitAndMissCountersAreExact) {
+  FileManager file(FreshFile("pool_counters"));
+  const auto ids = WritePages(&file, 3);
+  BufferPool pool(&file, 4);
+  { const auto ref = pool.Pin(ids[0]); }  // Miss.
+  { const auto ref = pool.Pin(ids[0]); }  // Hit.
+  { const auto ref = pool.Pin(ids[1]); }  // Miss.
+  { const auto ref = pool.Pin(ids[0]); }  // Hit.
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  pool.CheckInvariants();
+  pool.ResetStats();
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+TEST(BufferPoolTest, ClockEvictsTheSweptUnreferencedFrame) {
+  FileManager file(FreshFile("pool_clock"));
+  const auto ids = WritePages(&file, 3);
+  BufferPool pool(&file, 2);
+  { const auto ref = pool.Pin(ids[0]); }
+  { const auto ref = pool.Pin(ids[1]); }
+  // Both frames referenced: the hand clears both and takes frame 0, so
+  // ids[0] is the victim.
+  { const auto ref = pool.Pin(ids[2]); }
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  { const auto ref = pool.Pin(ids[1]); }  // Still cached.
+  EXPECT_EQ(pool.stats().hits, 1u);
+  { const auto ref = pool.Pin(ids[0]); }  // Was evicted: a miss.
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  pool.CheckInvariants();
+}
+
+TEST(BufferPoolTest, PinnedPageIsNeverEvicted) {
+  FileManager file(FreshFile("pool_pinned"));
+  const auto ids = WritePages(&file, 4);
+  BufferPool pool(&file, 2);
+  const auto held = pool.Pin(ids[0]);
+  EXPECT_EQ((*held).header().page_id, ids[0]);
+  // Cycle several pages through the one remaining frame.
+  { const auto ref = pool.Pin(ids[1]); }
+  { const auto ref = pool.Pin(ids[2]); }
+  { const auto ref = pool.Pin(ids[3]); }
+  pool.CheckInvariants();
+  // The pinned page must still be cached.
+  { const auto ref = pool.Pin(ids[0]); }
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 4u);
+}
+
+TEST(BufferPoolTest, InvalidateForcesRefetch) {
+  FileManager file(FreshFile("pool_invalidate"));
+  const auto ids = WritePages(&file, 1);
+  BufferPool pool(&file, 2);
+  { const auto ref = pool.Pin(ids[0]); }
+  pool.Invalidate(ids[0]);
+  pool.CheckInvariants();
+  { const auto ref = pool.Pin(ids[0]); }
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST(BufferPoolTest, MovedFromRefReleasesOnlyOnce) {
+  FileManager file(FreshFile("pool_move"));
+  const auto ids = WritePages(&file, 1);
+  BufferPool pool(&file, 2);
+  {
+    BufferPool::PageRef a = pool.Pin(ids[0]);
+    BufferPool::PageRef b = std::move(a);
+    EXPECT_EQ(b->header().page_id, ids[0]);
+  }
+  pool.Invalidate(ids[0]);  // Would abort if a pin leaked.
+  pool.CheckInvariants();
+}
+
+TEST(BufferPoolDeathTest, AllFramesPinnedAborts) {
+  FileManager file(FreshFile("pool_allpinned"));
+  const auto ids = WritePages(&file, 3);
+  BufferPool pool(&file, 2);
+  const auto a = pool.Pin(ids[0]);
+  const auto b = pool.Pin(ids[1]);
+  EXPECT_DEATH((void)pool.Pin(ids[2]), "all frames pinned");
+}
+
+TEST(BufferPoolDeathTest, PinOfCorruptPageAborts) {
+  const std::string path = FreshFile("pool_corrupt");
+  uint64_t id = 0;
+  {
+    FileManager file(path);
+    id = WritePages(&file, 1)[0];
+    file.Sync();
+  }
+  FlipByteAt(path, 100);  // Payload byte: CRC now mismatches.
+  FileManager file(path);
+  BufferPool pool(&file, 2);
+  EXPECT_DEATH((void)pool.Pin(id), "page read failed");
+}
+
+// ----- DiskRun vs SortedRun -----
+
+using MemRun = SortedRun<uint64_t, uint64_t>;
+using DRun = DiskRun<uint64_t, uint64_t>;
+using Entry = RunEntry<uint64_t>;
+
+std::vector<std::pair<uint64_t, Entry>> MakeEntries(size_t n, uint64_t seed) {
+  const auto keys = GenerateKeys(KeyDistribution::kUniform, n, seed);
+  std::vector<std::pair<uint64_t, Entry>> entries;
+  entries.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    entries.emplace_back(keys[i], Entry{i * 3 + 1, i % 7 == 0});
+  }
+  return entries;
+}
+
+TEST(DiskRunTest, MatchesInMemoryRunOnGetScanAndDrain) {
+  const auto entries = MakeEntries(20000, 1801);
+  MemRun::Options mem_opts;
+  mem_opts.search_mode = RunSearchMode::kLearned;
+  MemRun mem(entries, mem_opts);
+
+  FileManager file(FreshFile("diskrun_equal"));
+  BufferPool pool(&file, 64);
+  DRun disk(entries, &file, &pool, DRun::Options{});
+  disk.CheckInvariants();
+
+  DiskIoStats io;
+  Rng rng(1811);
+  for (const auto& [key, entry] : entries) {
+    const auto got = disk.Get(key, &io);
+    ASSERT_TRUE(got.has_value()) << key;
+    EXPECT_EQ(got->value, entry.value);
+    EXPECT_EQ(got->deleted, entry.deleted);
+    // Misses probe near real keys.
+    const uint64_t miss = key + 1 + rng.NextBounded(3);
+    const auto mem_miss = mem.Get(miss, nullptr);
+    const auto disk_miss = disk.Get(miss, &io);
+    ASSERT_EQ(mem_miss.has_value(), disk_miss.has_value()) << miss;
+  }
+  // A present-key probe touches exactly one page.
+  DiskIoStats one;
+  disk.Get(entries[123].first, &one);
+  EXPECT_EQ(one.pages_touched, 1u);
+
+  // Range scans agree.
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint64_t lo = entries[rng.NextBounded(entries.size())].first;
+    const uint64_t hi = lo + rng.NextBounded(1u << 20);
+    const auto want = mem.Scan(lo, hi);
+    const auto got = disk.Scan(lo, hi, &io);
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i].first, got[i].first);
+      EXPECT_EQ(want[i].second.value, got[i].second.value);
+      EXPECT_EQ(want[i].second.deleted, got[i].second.deleted);
+    }
+  }
+  // Drain (the compaction path) returns the exact entry sequence.
+  const auto drained = disk.Drain();
+  ASSERT_EQ(drained.size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(drained[i].first, entries[i].first);
+    EXPECT_EQ(drained[i].second.value, entries[i].second.value);
+  }
+}
+
+TEST(DiskRunTest, DestructorFreesPagesForRecycling) {
+  FileManager file(FreshFile("diskrun_free"));
+  BufferPool pool(&file, 16);
+  size_t pages = 0;
+  {
+    DRun run(MakeEntries(5000, 1823), &file, &pool, DRun::Options{});
+    pages = run.NumPages();
+    EXPECT_GT(pages, 0u);
+    EXPECT_EQ(file.FreeListSize(), 0u);
+  }
+  EXPECT_EQ(file.FreeListSize(), pages);
+  file.CheckInvariants();
+  // A new run of the same size reuses the space: the file does not grow.
+  const uint64_t before = file.NumPages();
+  DRun run(MakeEntries(5000, 1831), &file, &pool, DRun::Options{});
+  EXPECT_EQ(file.NumPages(), before);
+}
+
+TEST(DiskRunDeathTest, CheckInvariantsCatchesOnDiskCorruption) {
+  const std::string path = FreshFile("diskrun_corrupt");
+  FileManager file(path);
+  BufferPool pool(&file, 16);
+  DRun run(MakeEntries(2000, 1847), &file, &pool, DRun::Options{});
+  run.CheckInvariants();
+  // Flip a payload byte of some middle page behind the run's back.
+  FlipByteAt(path, 2 * kPageSize + sizeof(PageHeader) + 5);
+  EXPECT_DEATH(run.CheckInvariants(), "page readable and checksummed");
+}
+
+// ----- DiskLsmTree vs LsmTree -----
+
+using MemLsm = LsmTree<uint64_t, uint64_t>;
+using DiskLsm = DiskLsmTree<uint64_t, uint64_t>;
+
+MemLsm::Options SmallMemOptions(bool background) {
+  MemLsm::Options opts;
+  opts.memtable_limit = 256;
+  opts.l0_run_limit = 3;
+  opts.level_size_factor = 4;
+  opts.background_compaction = background;
+  return opts;
+}
+
+DiskLsm::Options SmallDiskOptions(bool background) {
+  DiskLsm::Options opts;
+  opts.memtable_limit = 256;
+  opts.l0_run_limit = 3;
+  opts.level_size_factor = 4;
+  opts.pool_frames = 32;
+  opts.background_compaction = background;
+  return opts;
+}
+
+class DiskLsmModeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DiskLsmModeTest, MatchesInMemoryLsmUnderFuzz) {
+  const bool background = GetParam();
+  MemLsm mem(SmallMemOptions(background));
+  DiskLsm disk(FreshFile(background ? "disklsm_fuzz_bg" : "disklsm_fuzz"),
+               SmallDiskOptions(background));
+  Rng rng(1861);
+  for (int op = 0; op < 20000; ++op) {
+    const uint64_t key = rng.NextBounded(3000);
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {
+        const uint64_t value = rng.Next();
+        mem.Put(key, value);
+        disk.Put(key, value);
+        break;
+      }
+      case 2:
+        mem.Delete(key);
+        disk.Delete(key);
+        break;
+      default:
+        ASSERT_EQ(mem.Get(key), disk.Get(key)) << "op " << op;
+    }
+  }
+  mem.WaitForCompactions();
+  disk.WaitForCompactions();
+  disk.CheckInvariants();
+  // Full-content equality, point and range.
+  for (uint64_t key = 0; key < 3000; ++key) {
+    ASSERT_EQ(mem.Get(key), disk.Get(key)) << key;
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> want;
+  std::vector<std::pair<uint64_t, uint64_t>> got;
+  mem.RangeScan(0, 3000, &want);
+  disk.RangeScan(0, 3000, &got);
+  EXPECT_EQ(want, got);
+  // Partial ranges too.
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint64_t lo = rng.NextBounded(3000);
+    const uint64_t hi = lo + rng.NextBounded(500);
+    want.clear();
+    got.clear();
+    mem.RangeScan(lo, hi, &want);
+    disk.RangeScan(lo, hi, &got);
+    ASSERT_EQ(want, got) << lo << ".." << hi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SyncAndBackground, DiskLsmModeTest,
+                         ::testing::Values(false, true));
+
+TEST(DiskLsmTest, CompactionRecyclesPagesInsteadOfLeakingFile) {
+  DiskLsm disk(FreshFile("disklsm_recycle"), SmallDiskOptions(false));
+  // Overwrite the same small key range many times: dead versions must be
+  // reclaimed, so the file stays far smaller than total bytes written.
+  for (int round = 0; round < 40; ++round) {
+    for (uint64_t key = 0; key < 1000; ++key) {
+      disk.Put(key, key + static_cast<uint64_t>(round) * 1000000);
+    }
+  }
+  disk.Flush();
+  disk.CheckInvariants();
+  // 40k puts of 17-byte records is ~170 pages of live-ish data per
+  // snapshot; without recycling the file would hold every dead run.
+  const uint64_t live_pages = disk.file().NumPages();
+  EXPECT_LT(live_pages, 600u);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    ASSERT_EQ(disk.Get(key), std::optional<uint64_t>(key + 39 * 1000000u));
+  }
+}
+
+TEST(DiskLsmTest, StatsCountPagesAndBloomRejects) {
+  DiskLsm disk(FreshFile("disklsm_stats"), SmallDiskOptions(false));
+  for (uint64_t key = 0; key < 4000; ++key) disk.Put(key * 2, key);
+  disk.Flush();
+  disk.ResetStats();
+  for (uint64_t key = 0; key < 4000; ++key) {
+    ASSERT_TRUE(disk.Get(key * 2).has_value());
+  }
+  EXPECT_GT(disk.stats().pages_touched, 0u);
+  EXPECT_GT(disk.stats().run_probes, 0u);
+  // Misses are mostly absorbed by the Bloom filters, not disk reads.
+  disk.ResetStats();
+  for (uint64_t key = 0; key < 4000; ++key) {
+    ASSERT_FALSE(disk.Get(key * 2 + 1).has_value());
+  }
+  EXPECT_GT(disk.stats().bloom_rejects, 0u);
+  EXPECT_LT(disk.stats().pages_touched, 4000u);
+}
+
+// ----- DiskPgmTable vs PgmIndex -----
+
+using MemPgm = PgmIndex<uint64_t, uint64_t>;
+using DiskPgm = DiskPgmTable<uint64_t, uint64_t>;
+
+class DiskPgmModeTest : public ::testing::TestWithParam<DiskSearchMode> {};
+
+TEST_P(DiskPgmModeTest, MatchesInMemoryPgm) {
+  const auto keys = GenerateKeys(KeyDistribution::kUniform, 50000, 1901);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i * 2 + 1;
+
+  MemPgm mem;
+  mem.Build(keys, values);
+
+  FileManager file(FreshFile(GetParam() == DiskSearchMode::kLearned
+                                 ? "diskpgm_learned"
+                                 : "diskpgm_fence"));
+  BufferPool pool(&file, 64);
+  DiskPgm::Options opts;
+  opts.mode = GetParam();
+  DiskPgm disk(keys, values, &file, &pool, opts);
+  disk.CheckInvariants();
+
+  DiskIoStats io;
+  Rng rng(1907);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(disk.Find(keys[i], &io), mem.Find(keys[i])) << keys[i];
+  }
+  for (int probe = 0; probe < 2000; ++probe) {
+    const uint64_t miss = keys[rng.NextBounded(keys.size())] + 1;
+    if (!std::binary_search(keys.begin(), keys.end(), miss)) {
+      ASSERT_EQ(disk.Find(miss, &io), mem.Find(miss)) << miss;
+    }
+  }
+  // Range scans against a plain reference.
+  for (int trial = 0; trial < 30; ++trial) {
+    const uint64_t lo = keys[rng.NextBounded(keys.size())];
+    const uint64_t hi = lo + rng.NextBounded(1u << 18);
+    const auto got = disk.RangeScan(lo, hi, &io);
+    std::vector<std::pair<uint64_t, uint64_t>> want;
+    for (size_t i = std::lower_bound(keys.begin(), keys.end(), lo) -
+                    keys.begin();
+         i < keys.size() && keys[i] <= hi; ++i) {
+      want.emplace_back(keys[i], values[i]);
+    }
+    ASSERT_EQ(want, got);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FenceAndLearned, DiskPgmModeTest,
+                         ::testing::Values(DiskSearchMode::kFenceBinary,
+                                           DiskSearchMode::kLearned));
+
+TEST(DiskPgmTableTest, FenceModeReadsExactlyOnePagePerLookup) {
+  const auto keys = GenerateKeys(KeyDistribution::kUniform, 30000, 1913);
+  std::vector<uint64_t> values(keys.size(), 0);
+  FileManager file(FreshFile("diskpgm_onepage"));
+  BufferPool pool(&file, 16);
+  DiskPgm::Options opts;
+  opts.mode = DiskSearchMode::kFenceBinary;
+  DiskPgm disk(keys, values, &file, &pool, opts);
+  DiskIoStats io;
+  for (size_t i = 0; i < 1000; ++i) {
+    (void)disk.Find(keys[i * 7], &io);
+  }
+  EXPECT_EQ(io.pages_touched, 1000u);
+}
+
+TEST(DiskPgmTableTest, LearnedModePagesPerLookupShrinkWithEpsilon) {
+  const auto keys = GenerateKeys(KeyDistribution::kUniform, 50000, 1931);
+  std::vector<uint64_t> values(keys.size(), 0);
+  double prev_pages = 0.0;
+  bool first = true;
+  for (const size_t eps : {16u, 256u, 2048u}) {
+    FileManager file(FreshFile("diskpgm_eps_" + std::to_string(eps)));
+    BufferPool pool(&file, 256);
+    DiskPgm::Options opts;
+    opts.mode = DiskSearchMode::kLearned;
+    opts.epsilon = eps;
+    DiskPgm disk(keys, values, &file, &pool, opts);
+    DiskIoStats io;
+    for (size_t i = 0; i < keys.size(); i += 5) {
+      ASSERT_TRUE(disk.Find(keys[i], &io).has_value());
+    }
+    const double pages =
+        static_cast<double>(io.pages_touched) /
+        (static_cast<double>(keys.size()) / 5.0);
+    if (!first) EXPECT_GE(pages, prev_pages) << "eps " << eps;
+    first = false;
+    prev_pages = pages;
+  }
+  // The widest ε genuinely costs extra I/O over the tightest.
+  EXPECT_GT(prev_pages, 1.5);
+}
+
+}  // namespace
+}  // namespace lidx::storage
