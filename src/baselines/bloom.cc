@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/prefetch.h"
+#include "common/simd.h"
 
 namespace lidx {
 
@@ -59,6 +61,37 @@ bool BloomFilter::MayContain(uint64_t key) const {
     h += h2;
   }
   return true;
+}
+
+void BloomFilter::MayContainBatch(const uint64_t* keys, size_t count,
+                                  bool* out) const {
+  constexpr size_t kChunk = 32;
+  uint64_t h1[kChunk];
+  uint64_t h2[kChunk];
+  for (size_t base = 0; base < count; base += kChunk) {
+    const size_t m = std::min(kChunk, count - base);
+    simd::BloomHashBatch(keys + base, m, h1, h2);
+    // Kick off the first probe of every key in the chunk before testing
+    // any bit: the filter words are random cache lines, so this turns m
+    // dependent misses into m overlapped ones.
+    for (size_t i = 0; i < m; ++i) {
+      LIDX_PREFETCH_READ(&bits_[(h1[i] % num_bits_) / 64]);
+    }
+    for (size_t i = 0; i < m; ++i) {
+      const uint64_t step = h2[i] | 1;
+      uint64_t h = h1[i];
+      bool hit = true;
+      for (int j = 0; j < num_hashes_; ++j) {
+        const size_t bit = h % num_bits_;
+        if ((bits_[bit / 64] & (1ull << (bit % 64))) == 0) {
+          hit = false;
+          break;
+        }
+        h += step;
+      }
+      out[base + i] = hit;
+    }
+  }
 }
 
 }  // namespace lidx

@@ -21,6 +21,13 @@ class BloomFilter {
   // True if the key may be a member; false means definitely not.
   bool MayContain(uint64_t key) const;
 
+  // Batched membership test: out[i] = MayContain(keys[i]). Both hash
+  // functions are computed 4 keys per instruction through the SIMD kernel
+  // layer (common/simd.h), and each key's first probe word is prefetched
+  // before any bit is tested, so the random filter-word misses of a chunk
+  // overlap instead of serializing.
+  void MayContainBatch(const uint64_t* keys, size_t count, bool* out) const;
+
   size_t SizeBytes() const { return bits_.size() * sizeof(uint64_t) + 24; }
   size_t num_bits() const { return num_bits_; }
   int num_hashes() const { return num_hashes_; }

@@ -61,6 +61,8 @@ class LsmTree {
     // Threads for major compactions (range-partitioned merge + blocked
     // model training). 1 = fully serial, byte-identical by construction.
     size_t compaction_threads = 1;
+    // Passed through to every run (see SortedRun::Options::simd).
+    bool simd = true;
     // Off-thread flush-triggered merges (see class comment).
     bool background_compaction = false;
     // Backlog allowance in background mode: writers stall once L0 holds
@@ -258,6 +260,7 @@ class LsmTree {
     opts.learned_epsilon = options_.learned_epsilon;
     opts.bloom_bits_per_key = options_.bloom_bits_per_key;
     opts.build_threads = options_.compaction_threads;
+    opts.simd = options_.simd;
     return std::make_shared<SortedRun<Key, Value>>(std::move(entries), opts);
   }
 

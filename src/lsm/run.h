@@ -12,6 +12,8 @@
 #include "baselines/bloom.h"
 #include "common/invariants.h"
 #include "common/macros.h"
+#include "common/search.h"
+#include "common/simd.h"
 #include "models/plr.h"
 
 namespace lidx {
@@ -50,6 +52,12 @@ class SortedRun {
     // preserve ε). Large runs produced by deep compactions are where this
     // matters. 1 = fully serial.
     size_t build_threads = 1;
+    // Resolve learned-mode ε-windows with the SIMD kernel layer
+    // (common/simd.h) when the key type is eligible. The binary-search
+    // baseline mode deliberately stays scalar — it is the classic
+    // algorithm being compared against. The process-wide LIDX_SIMD env
+    // cap still applies.
+    bool simd = true;
   };
 
   SortedRun(std::vector<std::pair<Key, RunEntry<Value>>> entries,
@@ -91,8 +99,22 @@ class SortedRun {
       const size_t pred =
           segments_[seg].model.PredictClamped(k, keys_.size());
       const size_t eps = options_.learned_epsilon;
-      lo = (pred > eps + 1) ? pred - eps - 1 : 0;
-      hi = std::min(keys_.size(), pred + eps + 2);
+      const SearchWindow w =
+          ClampSearchWindow(pred, eps, eps, keys_.size());
+      lo = w.lo;
+      hi = w.hi;
+      // The ε-window is a handful of cache lines: one vectorized
+      // count-less-than pass resolves it (counted as a single search step
+      // in the E6 metric).
+      if constexpr (simd::kEligible<std::vector<Key>, Key>) {
+        if (options_.simd) {
+          if (stats != nullptr) ++stats->search_steps;
+          const size_t r =
+              lo + simd::CountLess(keys_.data() + lo, hi - lo, key);
+          if (r < keys_.size() && keys_[r] == key) return values_[r];
+          return std::nullopt;
+        }
+      }
     }
     // Counted binary search (the metric E6 reports).
     while (lo < hi) {

@@ -104,6 +104,34 @@ class LearnedBloomFilter {
     return backup_->MayContain(key);
   }
 
+  // Batched membership: out[i] = MayContain(keys[i]). The classifier runs
+  // per key (its harmonic features are not SIMD-kernel material), and the
+  // keys it rejects are compacted and forwarded to the backup filter's
+  // vectorized batch probe in one call instead of one probe per miss.
+  void MayContainBatch(const uint64_t* keys, size_t count, bool* out) const {
+    std::vector<uint64_t> misses;
+    std::vector<size_t> miss_idx;
+    misses.reserve(count);
+    miss_idx.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (model_->Predict(keys[i]) >= tau_) {
+        out[i] = true;
+      } else {
+        misses.push_back(keys[i]);
+        miss_idx.push_back(i);
+      }
+    }
+    constexpr size_t kChunk = 256;
+    bool backup_out[kChunk];
+    for (size_t base = 0; base < misses.size(); base += kChunk) {
+      const size_t m = std::min(kChunk, misses.size() - base);
+      backup_->MayContainBatch(misses.data() + base, m, backup_out);
+      for (size_t i = 0; i < m; ++i) {
+        out[miss_idx[base + i]] = backup_out[i];
+      }
+    }
+  }
+
   double tau() const { return tau_; }
   size_t num_backup_keys() const { return num_backup_keys_; }
 
@@ -147,6 +175,29 @@ class SandwichedLearnedBloomFilter {
   bool MayContain(uint64_t key) const {
     if (!initial_->MayContain(key)) return false;
     return learned_.MayContain(key);
+  }
+
+  // Batched membership: the front filter screens the whole batch with its
+  // vectorized probe; only survivors reach the learned stage.
+  void MayContainBatch(const uint64_t* keys, size_t count, bool* out) const {
+    initial_->MayContainBatch(keys, count, out);
+    std::vector<uint64_t> pass;
+    std::vector<size_t> pass_idx;
+    for (size_t i = 0; i < count; ++i) {
+      if (out[i]) {
+        pass.push_back(keys[i]);
+        pass_idx.push_back(i);
+      }
+    }
+    constexpr size_t kChunk = 256;
+    bool learned_out[kChunk];
+    for (size_t base = 0; base < pass.size(); base += kChunk) {
+      const size_t m = std::min(kChunk, pass.size() - base);
+      learned_.MayContainBatch(pass.data() + base, m, learned_out);
+      for (size_t i = 0; i < m; ++i) {
+        out[pass_idx[base + i]] = learned_out[i];
+      }
+    }
   }
 
   size_t SizeBytes() const {

@@ -18,6 +18,7 @@
 #include "common/prefetch.h"
 #include "common/search.h"
 #include "common/serialize.h"
+#include "common/simd.h"
 #include "models/linear_model.h"
 
 namespace lidx {
@@ -40,6 +41,10 @@ class Rmi {
     // threads, and each stage-2 model trains on exactly its serial
     // partition). 1 = fully serial.
     size_t build_threads = 1;
+    // Route lookups through the SIMD kernel layer (common/simd.h) when the
+    // key type is eligible. Results are identical either way; off = scalar
+    // A/B baseline. The process-wide LIDX_SIMD env cap still applies.
+    bool simd = true;
   };
 
   Rmi() = default;
@@ -51,6 +56,7 @@ class Rmi {
     LIDX_CHECK(options.num_models >= 1);
     keys_ = std::move(keys);
     values_ = std::move(values);
+    simd_ = options.simd;
     const size_t n = keys_.size();
     num_models_ = std::min(options.num_models, std::max<size_t>(1, n));
     models_.assign(num_models_, ModelWithBounds{});
@@ -104,7 +110,8 @@ class Rmi {
     if (n == 0) return 0;
     const ModelWithBounds& m = models_[RouteToModel(key)];
     const size_t pred = m.model.PredictClamped(static_cast<double>(key), n);
-    return WindowLowerBoundWithFixup(keys_, key, pred, m.err_lo, m.err_hi, n);
+    return WindowLowerBoundWithFixup(keys_, key, pred, m.err_lo, m.err_hi, n,
+                                     simd_);
   }
 
   std::optional<Value> Find(const Key& key) const {
@@ -138,13 +145,41 @@ class Rmi {
       int stage;
       WindowSearchCursor<Key> search;
     };
+    // Stage-1 routing is a pure per-key linear-model evaluation, so when
+    // the key type is SIMD-eligible it is computed 4 keys per instruction
+    // in chunks ahead of the scheduler (InterleavedRun hands out i in
+    // increasing order). RouteToModel(k) == PredictClamped(k, num_models_)
+    // by construction, so the batched routes match the scalar ones.
+    constexpr size_t kRouteChunk = 256;
+    size_t route_buf[kRouteChunk];
+    size_t route_end = 0;  // Keys [route_end - chunk, route_end) are cached.
+    size_t route_begin = 0;
+    const bool batch_route =
+        simd_ && simd::kEligible<std::vector<Key>, Key> &&
+        simd::ActiveLevel() != simd::Level::kScalar;
     InterleavedRun<G, Cursor>(
         count,
         [&](Cursor& c, size_t i) {
           c.idx = i;
           c.key = keys[i];
           c.stage = 0;
-          c.model = RouteToModel(c.key);
+          if constexpr (std::is_same_v<Key, uint64_t>) {
+            if (batch_route) {
+              if (i >= route_end) {
+                route_begin = i;
+                const size_t m = std::min(kRouteChunk, count - i);
+                simd::PredictClampedBatch(stage1_.slope, stage1_.intercept,
+                                          keys + i, m, num_models_,
+                                          route_buf);
+                route_end = i + m;
+              }
+              c.model = route_buf[i - route_begin];
+            } else {
+              c.model = RouteToModel(c.key);
+            }
+          } else {
+            c.model = RouteToModel(c.key);
+          }
           // The stage-2 model table is far larger than L1; fetch this
           // key's row while other lookups in the group execute.
           LIDX_PREFETCH_READ(&models_[c.model]);
@@ -155,7 +190,8 @@ class Rmi {
               const ModelWithBounds& m = models_[c.model];
               const size_t pred =
                   m.model.PredictClamped(static_cast<double>(c.key), n);
-              c.search.Begin(keys_, c.key, pred, m.err_lo, m.err_hi, n);
+              c.search.Begin(keys_, c.key, pred, m.err_lo, m.err_hi, n,
+                             simd_);
               c.stage = 1;
               return false;
             }
@@ -350,6 +386,7 @@ class Rmi {
   LinearModel stage1_;
   std::vector<ModelWithBounds> models_;
   size_t num_models_ = 0;
+  bool simd_ = true;
 };
 
 }  // namespace lidx

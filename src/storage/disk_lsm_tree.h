@@ -58,6 +58,8 @@ class DiskLsmTree {
     // Threads for major compactions (range-partitioned merge + blocked
     // model training). 1 = fully serial, byte-identical by construction.
     size_t compaction_threads = 1;
+    // Passed through to every run (see DiskRun::Options::simd).
+    bool simd = true;
     // Off-thread flush-triggered merges (see class comment).
     bool background_compaction = false;
     // Backlog allowance in background mode: writers stall once L0 holds
@@ -262,6 +264,7 @@ class DiskLsmTree {
     opts.learned_epsilon = options_.learned_epsilon;
     opts.bloom_bits_per_key = options_.bloom_bits_per_key;
     opts.build_threads = options_.compaction_threads;
+    opts.simd = options_.simd;
     return std::make_shared<DiskRun<Key, Value>>(std::move(entries), &file_,
                                                  &pool_, opts);
   }

@@ -6,11 +6,14 @@
 #include <cstdint>
 #include <cstring>
 #include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/invariants.h"
 #include "common/macros.h"
+#include "common/search.h"
+#include "common/simd.h"
 #include "models/plr.h"
 #include "storage/buffer_pool.h"
 #include "storage/file_manager.h"
@@ -49,6 +52,11 @@ class DiskPgmTable {
     DiskSearchMode mode = DiskSearchMode::kLearned;
     // Threads for model training (blocked PLA, seams preserve ε).
     size_t build_threads = 1;
+    // Resolve in-page searches with the SIMD kernel layer (common/simd.h):
+    // the window's packed keys are gathered into a stack buffer and counted
+    // in one vectorized pass. Results are identical either way. The
+    // process-wide LIDX_SIMD env cap still applies.
+    bool simd = true;
   };
 
   static constexpr size_t kRecordBytes = sizeof(Key) + sizeof(Value);
@@ -236,8 +244,9 @@ class DiskPgmTable {
     const double kd = static_cast<double>(key);
     const size_t pred = segments_[SegmentFor(kd)].model.PredictClamped(kd, n_);
     const size_t eps = options_.epsilon;
-    const size_t lo = (pred > eps + 1) ? pred - eps - 1 : 0;
-    const size_t hi = std::min(n_, pred + eps + 2);
+    const SearchWindow w = ClampSearchWindow(pred, eps, eps, n_);
+    const size_t lo = w.lo;
+    const size_t hi = w.hi;
     const size_t page_lo = lo / kRecordsPerPage;
     const size_t page_hi = (hi - 1) / kRecordsPerPage;
     for (size_t p = page_lo; p <= page_hi; ++p) {
@@ -266,6 +275,24 @@ class DiskPgmTable {
                                     size_t rhi, const Key& key,
                                     DiskIoStats* io) const {
     const size_t count = ref->header().payload_bytes / kRecordBytes;
+    // Packed records: gather the window's keys into a stack buffer and
+    // resolve it with one vectorized count-less-than pass (one search step
+    // in the I/O metric). Falls through to the counted binary search for
+    // windows past the linear-scan bound or non-SIMD key types.
+    if constexpr (std::is_same_v<Key, uint64_t> ||
+                  std::is_same_v<Key, double>) {
+      if (options_.simd && rlo < rhi && rhi - rlo <= simd::kLinearScanMax) {
+        const size_t len = rhi - rlo;
+        Key buf[simd::kLinearScanMax];
+        const unsigned char* src = ref->payload() + rlo * kRecordBytes;
+        for (size_t i = 0; i < len; ++i) {
+          std::memcpy(&buf[i], src + i * kRecordBytes, sizeof(Key));
+        }
+        if (io != nullptr) ++io->search_steps;
+        rlo += simd::CountLess(buf, len, key);
+        rhi = rlo;
+      }
+    }
     while (rlo < rhi) {
       if (io != nullptr) ++io->search_steps;
       const size_t mid = rlo + (rhi - rlo) / 2;

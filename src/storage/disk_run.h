@@ -6,12 +6,15 @@
 #include <cstdint>
 #include <cstring>
 #include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "baselines/bloom.h"
 #include "common/invariants.h"
 #include "common/macros.h"
+#include "common/search.h"
+#include "common/simd.h"
 #include "lsm/run.h"
 #include "models/plr.h"
 #include "storage/buffer_pool.h"
@@ -44,6 +47,11 @@ class DiskRun {
     double bloom_bits_per_key = 10.0;
     // Threads for the model-training pass (blocked PLA, seams preserve ε).
     size_t build_threads = 1;
+    // Resolve the in-page ε-window with the SIMD kernel layer
+    // (common/simd.h): the window's packed keys are gathered into a stack
+    // buffer and counted in one vectorized pass. Results are identical
+    // either way. The process-wide LIDX_SIMD env cap still applies.
+    bool simd = true;
   };
 
   // On-disk record layout inside a kData page payload.
@@ -124,8 +132,9 @@ class DiskRun {
     const size_t pred =
         segments_[SegmentFor(k)].model.PredictClamped(k, n_);
     const size_t eps = options_.learned_epsilon;
-    const size_t lo = (pred > eps + 1) ? pred - eps - 1 : 0;
-    const size_t hi = std::min(n_, pred + eps + 2);
+    const SearchWindow w = ClampSearchWindow(pred, eps, eps, n_);
+    const size_t lo = w.lo;
+    const size_t hi = w.hi;
     // Fences: the only page in the ε-window whose range covers the key is
     // the last one with fence <= key. If even the window's first fence
     // exceeds the key, the key would have to sit at a rank below the
@@ -144,6 +153,23 @@ class DiskRun {
     // In-page binary search over the model window ∩ this page's ranks.
     size_t rlo = std::max(lo, base) - base;
     size_t rhi = std::min(hi, base + count) - base;
+    // Records are packed (no padding), so the keys are not contiguous;
+    // gather the window's keys into a stack buffer and resolve it with one
+    // vectorized count-less-than pass (one search step in the I/O metric).
+    if constexpr (std::is_same_v<Key, uint64_t> ||
+                  std::is_same_v<Key, double>) {
+      if (options_.simd && rlo < rhi && rhi - rlo <= simd::kLinearScanMax) {
+        const size_t len = rhi - rlo;
+        Key buf[simd::kLinearScanMax];
+        const unsigned char* src = ref->payload() + rlo * kRecordBytes;
+        for (size_t i = 0; i < len; ++i) {
+          std::memcpy(&buf[i], src + i * kRecordBytes, sizeof(Key));
+        }
+        if (io != nullptr) ++io->search_steps;
+        rlo += simd::CountLess(buf, len, key);
+        rhi = rlo;
+      }
+    }
     while (rlo < rhi) {
       if (io != nullptr) ++io->search_steps;
       const size_t mid = rlo + (rhi - rlo) / 2;

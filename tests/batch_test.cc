@@ -254,6 +254,52 @@ TEST(BatchEquivalenceTest, EmptyIndexes) {
   for (uint64_t v : out) EXPECT_EQ(v, 0u);
 }
 
+// Group sizes at the scheduler's extremes: G == 1 degenerates to the
+// scalar loop, and a group far larger than the whole batch (and the whole
+// dataset) must clamp its in-flight width to the work available.
+TEST(BatchEquivalenceTest, GroupLargerThanBatchAndDataset) {
+  const std::vector<uint64_t> keys = RandomKeys(3, 17);
+  Rmi<uint64_t, uint64_t> rmi;
+  rmi.Build(keys, RankValues(keys.size()));
+  PgmIndex<uint64_t, uint64_t> pgm;
+  pgm.Build(keys, RankValues(keys.size()));
+  RadixSpline<uint64_t, uint64_t> rs;
+  rs.Build(keys, RankValues(keys.size()));
+
+  const std::vector<uint64_t> queries = {keys[0], keys[2] + 1, 0};
+  for (const auto* idx_name : {"rmi", "pgm", "rs"}) {
+    std::vector<uint64_t> expected(queries.size());
+    std::vector<uint64_t> got(queries.size(), ~uint64_t{0});
+    if (std::strcmp(idx_name, "rmi") == 0) {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        expected[i] = rmi.Find(queries[i]).value_or(0);
+      }
+      rmi.LookupBatch<128>(queries.data(), queries.size(), got.data());
+    } else if (std::strcmp(idx_name, "pgm") == 0) {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        expected[i] = pgm.Find(queries[i]).value_or(0);
+      }
+      pgm.LookupBatch<128>(queries.data(), queries.size(), got.data());
+    } else {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        expected[i] = rs.Find(queries[i]).value_or(0);
+      }
+      rs.LookupBatch<128>(queries.data(), queries.size(), got.data());
+    }
+    EXPECT_EQ(got, expected) << idx_name;
+  }
+}
+
+TEST(BatchEquivalenceTest, GroupOfOneSingleQuery) {
+  const std::vector<uint64_t> keys = RandomKeys(1000, 23);
+  Rmi<uint64_t, uint64_t> rmi;
+  rmi.Build(keys, RankValues(keys.size()));
+  const uint64_t q = keys[500];
+  uint64_t got = ~uint64_t{0};
+  rmi.LookupBatch<1>(&q, 1, &got);
+  EXPECT_EQ(got, rmi.Find(q).value_or(0));
+}
+
 // Zero-length batches must be a no-op on every index.
 TEST(BatchEquivalenceTest, ZeroCountBatch) {
   const std::vector<uint64_t> keys = RandomKeys(100, 5);

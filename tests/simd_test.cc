@@ -1,0 +1,696 @@
+// Equivalence tests for the SIMD kernel layer (common/simd.h).
+//
+// Every kernel must be result-identical to its scalar reference (and to
+// std::lower_bound where applicable) at every dispatch level this binary can
+// run — including the forced-scalar fallback — on random, adversarial, and
+// boundary inputs. The index-level tests then assert that flipping
+// Options::simd never changes a lookup result.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/bloom.h"
+#include "baselines/btree.h"
+#include "common/batch.h"
+#include "common/search.h"
+#include "common/simd.h"
+#include "lsm/run.h"
+#include "one_d/alex.h"
+#include "one_d/learned_bloom.h"
+#include "one_d/pgm.h"
+#include "one_d/radix_spline.h"
+#include "one_d/rmi.h"
+
+namespace lidx {
+namespace {
+
+constexpr size_t kMax = std::numeric_limits<size_t>::max();
+
+// Every dispatch level this binary + CPU can actually run (ClampLevel is a
+// no-op exactly for those), always including the scalar fallback.
+std::vector<simd::Level> RunnableLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  for (simd::Level cand : {simd::Level::kSse2, simd::Level::kAvx2,
+                           simd::Level::kNeon}) {
+    if (simd::ClampLevel(cand) == cand) levels.push_back(cand);
+  }
+  return levels;
+}
+
+// Restores the process-wide dispatch level on scope exit, so a failing test
+// cannot leak a forced level into later tests.
+class LevelGuard {
+ public:
+  LevelGuard() : saved_(simd::ActiveLevel()) {}
+  ~LevelGuard() { simd::SetLevel(saved_); }
+
+ private:
+  simd::Level saved_;
+};
+
+std::vector<uint64_t> SortedU64(size_t n, uint64_t seed, uint64_t spread) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint64_t> v(n);
+  uint64_t cur = rng() % 1000;
+  for (size_t i = 0; i < n; ++i) {
+    cur += rng() % spread;  // Duplicates allowed when spread includes 0.
+    v[i] = cur;
+  }
+  return v;
+}
+
+std::vector<double> SortedF64(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> step(0.0, 10.0);
+  std::vector<double> v(n);
+  double cur = -500.0;
+  for (size_t i = 0; i < n; ++i) {
+    cur += step(rng);
+    v[i] = cur;
+  }
+  return v;
+}
+
+// ----- Kernel-level fuzz: CountLess and LowerBound ------------------------
+
+TEST(SimdKernelTest, RunnableLevelsIncludeScalarAndDetected) {
+  const std::vector<simd::Level> levels = RunnableLevels();
+  EXPECT_EQ(levels.front(), simd::Level::kScalar);
+  // The detected-best level must itself be runnable.
+  EXPECT_NE(std::find(levels.begin(), levels.end(), simd::DetectBestLevel()),
+            levels.end());
+  LevelGuard guard;
+  for (simd::Level level : levels) {
+    simd::SetLevel(level);
+    EXPECT_EQ(simd::ActiveLevel(), level) << simd::LevelName(level);
+  }
+}
+
+TEST(SimdKernelTest, CountLessU64MatchesLowerBoundAtEveryLevel) {
+  LevelGuard guard;
+  std::mt19937_64 rng(7);
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                     size_t{8}, size_t{15}, size_t{16}, size_t{31}, size_t{63},
+                     size_t{64}, size_t{100}, size_t{255}, size_t{256},
+                     size_t{300}}) {
+      const std::vector<uint64_t> data = SortedU64(n, 100 + n, 5);
+      std::vector<uint64_t> probes = {0, std::numeric_limits<uint64_t>::max()};
+      for (uint64_t k : data) {
+        probes.push_back(k);
+        probes.push_back(k + 1);
+        if (k > 0) probes.push_back(k - 1);
+      }
+      for (int i = 0; i < 32; ++i) probes.push_back(rng() % 2000);
+      for (uint64_t key : probes) {
+        const size_t expect =
+            static_cast<size_t>(std::lower_bound(data.begin(), data.end(),
+                                                 key) -
+                                data.begin());
+        EXPECT_EQ(simd::CountLess(data.data(), n, key), expect)
+            << simd::LevelName(level) << " n=" << n << " key=" << key;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, CountLessF64MatchesLowerBoundAtEveryLevel) {
+  LevelGuard guard;
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> uni(-600.0, 600.0);
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{5}, size_t{16},
+                     size_t{17}, size_t{64}, size_t{129}, size_t{256}}) {
+      const std::vector<double> data = SortedF64(n, 200 + n);
+      std::vector<double> probes = {-std::numeric_limits<double>::infinity(),
+                                    std::numeric_limits<double>::infinity(),
+                                    -1e300, 1e300, 0.0};
+      for (double k : data) {
+        probes.push_back(k);
+        probes.push_back(std::nextafter(k, 1e308));
+        probes.push_back(std::nextafter(k, -1e308));
+      }
+      for (int i = 0; i < 32; ++i) probes.push_back(uni(rng));
+      for (double key : probes) {
+        const size_t expect =
+            static_cast<size_t>(std::lower_bound(data.begin(), data.end(),
+                                                 key) -
+                                data.begin());
+        EXPECT_EQ(simd::CountLess(data.data(), n, key), expect)
+            << simd::LevelName(level) << " n=" << n << " key=" << key;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, LowerBoundMatchesStdOnSubrangesAtEveryLevel) {
+  LevelGuard guard;
+  std::mt19937_64 rng(13);
+  const std::vector<uint64_t> u64 = SortedU64(2000, 42, 4);
+  const std::vector<double> f64 = SortedF64(2000, 43);
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    for (int iter = 0; iter < 400; ++iter) {
+      size_t lo = rng() % u64.size();
+      size_t hi = rng() % (u64.size() + 1);
+      if (lo > hi) std::swap(lo, hi);
+      const uint64_t ku = rng() % (u64.back() + 2);
+      const size_t eu = static_cast<size_t>(
+          std::lower_bound(u64.begin() + lo, u64.begin() + hi, ku) -
+          u64.begin());
+      EXPECT_EQ(simd::LowerBound(u64.data(), lo, hi, ku), eu)
+          << simd::LevelName(level) << " [" << lo << "," << hi << ") key="
+          << ku;
+      const double kf = f64[rng() % f64.size()] + (iter % 3) - 1;
+      const size_t ef = static_cast<size_t>(
+          std::lower_bound(f64.begin() + lo, f64.begin() + hi, kf) -
+          f64.begin());
+      EXPECT_EQ(simd::LowerBound(f64.data(), lo, hi, kf), ef)
+          << simd::LevelName(level) << " [" << lo << "," << hi << ") key="
+          << kf;
+    }
+  }
+}
+
+// Runs of equal keys: lower bound must land on the first duplicate on every
+// path (the SSE2/AVX2 kernels use unsigned-compare bias tricks that must not
+// miscount ties).
+TEST(SimdKernelTest, DuplicateHeavyDataAtEveryLevel) {
+  LevelGuard guard;
+  std::vector<uint64_t> data;
+  for (uint64_t v : {5ull, 5ull, 5ull, 9ull, 9ull, 9ull, 9ull, 12ull}) {
+    data.push_back(v);
+  }
+  while (data.size() < 200) data.push_back(100);  // Long tie run.
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    for (uint64_t key : {0ull, 5ull, 6ull, 9ull, 10ull, 12ull, 100ull,
+                         101ull}) {
+      const size_t expect = static_cast<size_t>(
+          std::lower_bound(data.begin(), data.end(), key) - data.begin());
+      EXPECT_EQ(simd::CountLess(data.data(), data.size(), key), expect)
+          << simd::LevelName(level) << " key=" << key;
+    }
+  }
+}
+
+// Signed-compare trap: uint64_t keys with the top bit set compare as
+// negative in the SSE2/AVX2 signed 64-bit comparators unless the kernel
+// applies the sign-flip bias.
+TEST(SimdKernelTest, HighBitKeysAtEveryLevel) {
+  LevelGuard guard;
+  std::vector<uint64_t> data;
+  const uint64_t top = 1ull << 63;
+  for (size_t i = 0; i < 64; ++i) data.push_back(i * 7);
+  for (size_t i = 0; i < 64; ++i) data.push_back(top + i * 11);
+  data.push_back(std::numeric_limits<uint64_t>::max());
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    for (uint64_t key :
+         {uint64_t{0}, uint64_t{63 * 7}, top - 1, top, top + 1, top + 63 * 11,
+          std::numeric_limits<uint64_t>::max()}) {
+      const size_t expect = static_cast<size_t>(
+          std::lower_bound(data.begin(), data.end(), key) - data.begin());
+      EXPECT_EQ(simd::CountLess(data.data(), data.size(), key), expect)
+          << simd::LevelName(level) << " key=" << key;
+      EXPECT_EQ(simd::LowerBound(data.data(), 0, data.size(), key), expect)
+          << simd::LevelName(level) << " key=" << key;
+    }
+  }
+}
+
+// ----- Kernel-level fuzz: batched model inference -------------------------
+
+TEST(SimdKernelTest, PredictClampedBatchMatchesScalarAtEveryLevel) {
+  LevelGuard guard;
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> slope_dist(-2.0, 2.0);
+  std::uniform_real_distribution<double> icpt_dist(-1e6, 1e6);
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    for (int iter = 0; iter < 50; ++iter) {
+      const double slope = (iter == 0) ? 0.0 : slope_dist(rng);
+      const double intercept = icpt_dist(rng);
+      const size_t n =
+          (iter % 5 == 0) ? 1 : (1 + rng() % (size_t{1} << (rng() % 40)));
+      const size_t count = rng() % 300;
+      std::vector<uint64_t> keys(count);
+      std::vector<double> xs(count);
+      for (size_t i = 0; i < count; ++i) {
+        // Mix small keys with > 2^53 keys (beyond exact double range) and
+        // the extremes.
+        switch (rng() % 4) {
+          case 0: keys[i] = rng() % 1000; break;
+          case 1: keys[i] = rng(); break;
+          case 2: keys[i] = std::numeric_limits<uint64_t>::max(); break;
+          default: keys[i] = (1ull << 53) + rng() % 1000; break;
+        }
+        xs[i] = static_cast<double>(keys[i]) * ((rng() % 2) ? 1.0 : -1.0);
+      }
+      std::vector<size_t> got(count, kMax), want(count, kMax);
+      simd::PredictClampedBatch(slope, intercept, keys.data(), count, n,
+                                got.data());
+      simd::PredictClampedU64Scalar(slope, intercept, keys.data(), count, n,
+                                    want.data());
+      EXPECT_EQ(got, want) << simd::LevelName(level) << " u64 iter=" << iter;
+      simd::PredictClampedBatch(slope, intercept, xs.data(), count, n,
+                                got.data());
+      simd::PredictClampedF64Scalar(slope, intercept, xs.data(), count, n,
+                                    want.data());
+      EXPECT_EQ(got, want) << simd::LevelName(level) << " f64 iter=" << iter;
+    }
+  }
+}
+
+// Positions at or beyond 2^31 must not be mangled by any 32-bit lane math.
+TEST(SimdKernelTest, PredictClampedBatchHugeN) {
+  LevelGuard guard;
+  const size_t n = (size_t{1} << 33) + 12345;
+  std::vector<uint64_t> keys = {0, 1ull << 20, 1ull << 32, 1ull << 40,
+                                std::numeric_limits<uint64_t>::max()};
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    std::vector<size_t> got(keys.size()), want(keys.size());
+    simd::PredictClampedBatch(1.0 / 128.0, 3.0, keys.data(), keys.size(), n,
+                              got.data());
+    simd::PredictClampedU64Scalar(1.0 / 128.0, 3.0, keys.data(), keys.size(),
+                                  n, want.data());
+    EXPECT_EQ(got, want) << simd::LevelName(level);
+  }
+}
+
+// ----- Kernel-level fuzz: Bloom hashing -----------------------------------
+
+TEST(SimdKernelTest, BloomHashBatchMatchesScalarAtEveryLevel) {
+  LevelGuard guard;
+  std::mt19937_64 rng(23);
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    for (size_t count : {size_t{0}, size_t{1}, size_t{3}, size_t{4},
+                         size_t{5}, size_t{31}, size_t{32}, size_t{100}}) {
+      std::vector<uint64_t> keys(count);
+      for (size_t i = 0; i < count; ++i) {
+        keys[i] = (i == 0) ? 0
+                  : (i == 1 && count > 1)
+                      ? std::numeric_limits<uint64_t>::max()
+                      : rng();
+      }
+      std::vector<uint64_t> h1(count), h2(count);
+      simd::BloomHashBatch(keys.data(), count, h1.data(), h2.data());
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(h1[i], simd::BloomMix1(keys[i]))
+            << simd::LevelName(level) << " i=" << i;
+        EXPECT_EQ(h2[i], simd::BloomMix2(keys[i]))
+            << simd::LevelName(level) << " i=" << i;
+      }
+    }
+  }
+}
+
+// ----- ClampSearchWindow ---------------------------------------------------
+
+TEST(ClampSearchWindowTest, MatchesUnpaddedFormulaOnNormalInputs) {
+  std::mt19937_64 rng(29);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const size_t n = 1 + rng() % 100000;
+    const size_t pred = rng() % n;
+    const size_t err_lo = rng() % 1000;
+    const size_t err_hi = rng() % 1000;
+    const SearchWindow w = ClampSearchWindow(pred, err_lo, err_hi, n);
+    // Reference: the clamp every index used to spell inline.
+    const size_t want_lo = (pred > err_lo + 1) ? pred - err_lo - 1 : 0;
+    const size_t want_hi = std::min(n, pred + err_hi + 2);
+    EXPECT_EQ(w.lo, want_lo) << "iter=" << iter;
+    EXPECT_EQ(w.hi, want_hi) << "iter=" << iter;
+    EXPECT_LE(w.lo, w.hi);
+  }
+}
+
+TEST(ClampSearchWindowTest, SaturatesOnExtremeInputs) {
+  // Huge errors must clamp to the full range, not wrap.
+  SearchWindow w = ClampSearchWindow(5, kMax, kMax, 100);
+  EXPECT_EQ(w.lo, 0u);
+  EXPECT_EQ(w.hi, 100u);
+  // Prediction past the end clamps to the last slot first.
+  w = ClampSearchWindow(kMax, 1, 1, 10);
+  EXPECT_EQ(w.lo, 7u);
+  EXPECT_EQ(w.hi, 10u);
+  // pred + err_hi + 2 would overflow size_t; hi must saturate at n.
+  w = ClampSearchWindow(kMax - 4, 0, kMax - 2, kMax);
+  EXPECT_EQ(w.hi, kMax);
+  // Tiny array.
+  w = ClampSearchWindow(0, 0, 0, 1);
+  EXPECT_EQ(w.lo, 0u);
+  EXPECT_EQ(w.hi, 1u);
+  w = ClampSearchWindow(3, 0, 0, 1);
+  EXPECT_EQ(w.lo, 0u);
+  EXPECT_EQ(w.hi, 1u);
+}
+
+// ----- ExponentialSearchLowerBound overflow regressions --------------------
+
+// Virtual sorted "array" with data[i] == i, usable at indexes near
+// SIZE_MAX without allocating. Not contiguous storage, so BoundedLowerBound
+// takes the scalar path — exactly the arithmetic under test.
+struct IdentityVec {
+  size_t operator[](size_t i) const { return i; }
+};
+
+TEST(ExponentialSearchTest, NoOverflowNearSizeMax) {
+  const IdentityVec data;
+  const size_t lo = kMax - 100;
+  const size_t hi = kMax - 2;
+  // The answer for any key in [lo, hi] is the key itself (clamped to hi).
+  for (size_t predicted : {lo, lo + 1, hi - 1, size_t{0}, kMax}) {
+    EXPECT_EQ(ExponentialSearchLowerBound(data, kMax - 50, predicted, lo, hi),
+              kMax - 50)
+        << "predicted=" << predicted;
+    EXPECT_EQ(ExponentialSearchLowerBound(data, lo, predicted, lo, hi), lo)
+        << "predicted=" << predicted;
+    EXPECT_EQ(ExponentialSearchLowerBound(data, hi - 1, predicted, lo, hi),
+              hi - 1)
+        << "predicted=" << predicted;
+    // Key above every element: result is hi.
+    EXPECT_EQ(ExponentialSearchLowerBound(data, kMax, predicted, lo, hi), hi)
+        << "predicted=" << predicted;
+    // Key below every element: result is lo.
+    EXPECT_EQ(ExponentialSearchLowerBound(data, size_t{3}, predicted, lo, hi),
+              lo)
+        << "predicted=" << predicted;
+  }
+}
+
+TEST(ExponentialSearchTest, FullAddressSpaceRange) {
+  const IdentityVec data;
+  // hi == SIZE_MAX itself; gallops from both ends of the range.
+  EXPECT_EQ(ExponentialSearchLowerBound(data, kMax - 1, size_t{0}, size_t{0},
+                                        kMax),
+            kMax - 1);
+  EXPECT_EQ(ExponentialSearchLowerBound(data, size_t{7}, kMax - 1, size_t{0},
+                                        kMax),
+            size_t{7});
+}
+
+TEST(ExponentialSearchTest, MatchesStdLowerBoundOnRealData) {
+  LevelGuard guard;
+  std::mt19937_64 rng(31);
+  const std::vector<uint64_t> data = SortedU64(5000, 57, 3);
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    for (bool use_simd : {false, true}) {
+      for (int iter = 0; iter < 500; ++iter) {
+        const uint64_t key = rng() % (data.back() + 2);
+        const size_t predicted = rng() % data.size();
+        const size_t expect = static_cast<size_t>(
+            std::lower_bound(data.begin(), data.end(), key) - data.begin());
+        EXPECT_EQ(ExponentialSearchLowerBound(data, key, predicted, size_t{0},
+                                              data.size(), use_simd),
+                  expect)
+            << simd::LevelName(level) << " simd=" << use_simd
+            << " key=" << key << " pred=" << predicted;
+      }
+    }
+  }
+}
+
+// ----- WindowLowerBoundWithFixup and the staged cursor ---------------------
+
+// Regardless of how wrong the prediction and error bounds are, the fixup
+// must return the global lower bound — on the scalar path, on every SIMD
+// level, and through the one-probe-per-Advance cursor.
+TEST(WindowSearchTest, FixupAndCursorAlwaysReturnGlobalLowerBound) {
+  LevelGuard guard;
+  std::mt19937_64 rng(37);
+  const std::vector<uint64_t> data = SortedU64(3000, 61, 3);
+  const size_t n = data.size();
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    for (bool use_simd : {false, true}) {
+      for (int iter = 0; iter < 400; ++iter) {
+        const uint64_t key = rng() % (data.back() + 2);
+        const size_t pred = rng() % (n + 10);  // Sometimes out of range.
+        const size_t err_lo = rng() % 64;
+        const size_t err_hi = rng() % 64;
+        const size_t expect = static_cast<size_t>(
+            std::lower_bound(data.begin(), data.end(), key) - data.begin());
+        EXPECT_EQ(WindowLowerBoundWithFixup(data, key, pred, err_lo, err_hi,
+                                            n, use_simd),
+                  expect)
+            << simd::LevelName(level) << " simd=" << use_simd;
+        WindowSearchCursor<uint64_t> cursor;
+        cursor.Begin(data, key, pred, err_lo, err_hi, n, use_simd);
+        int steps = 0;
+        while (!cursor.Advance(data, key)) {
+          ASSERT_LT(++steps, 200) << "cursor failed to converge";
+        }
+        EXPECT_EQ(cursor.result(), expect)
+            << simd::LevelName(level) << " simd=" << use_simd;
+      }
+    }
+  }
+}
+
+// ----- Bloom filter batch probes -------------------------------------------
+
+TEST(BloomBatchTest, MayContainBatchMatchesScalarAtEveryLevel) {
+  LevelGuard guard;
+  std::mt19937_64 rng(41);
+  BloomFilter filter(5000, 10.0);
+  std::vector<uint64_t> members(5000);
+  for (auto& k : members) {
+    k = rng();
+    filter.Add(k);
+  }
+  std::vector<uint64_t> queries;
+  for (size_t i = 0; i < 2000; ++i) queries.push_back(members[i]);
+  for (size_t i = 0; i < 2000; ++i) queries.push_back(rng());
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    for (size_t count : {size_t{0}, size_t{1}, size_t{31}, size_t{32},
+                         size_t{33}, queries.size()}) {
+      std::unique_ptr<bool[]> out(new bool[std::max<size_t>(1, count)]);
+      filter.MayContainBatch(queries.data(), count, out.get());
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(out[i], filter.MayContain(queries[i]))
+            << simd::LevelName(level) << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BloomBatchTest, LearnedAndSandwichedBatchMatchScalar) {
+  LevelGuard guard;
+  std::mt19937_64 rng(43);
+  std::vector<uint64_t> positives(3000), negatives(3000);
+  for (auto& k : positives) k = rng() % 500000;
+  for (auto& k : negatives) k = 500000 + rng() % 500000;
+  std::sort(positives.begin(), positives.end());
+  positives.erase(std::unique(positives.begin(), positives.end()),
+                  positives.end());
+
+  LearnedBloomFilter learned;
+  learned.Build(positives, negatives);
+  SandwichedLearnedBloomFilter sandwiched;
+  sandwiched.Build(positives, negatives);
+
+  std::vector<uint64_t> queries = positives;
+  for (size_t i = 0; i < 1000; ++i) queries.push_back(rng());
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    std::unique_ptr<bool[]> out(new bool[queries.size()]);
+    learned.MayContainBatch(queries.data(), queries.size(), out.get());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(out[i], learned.MayContain(queries[i]))
+          << simd::LevelName(level) << " learned i=" << i;
+    }
+    // No false negatives for members on any path.
+    for (size_t i = 0; i < positives.size(); ++i) {
+      EXPECT_TRUE(out[i]) << "false negative at i=" << i;
+    }
+    sandwiched.MayContainBatch(queries.data(), queries.size(), out.get());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(out[i], sandwiched.MayContain(queries[i]))
+          << simd::LevelName(level) << " sandwiched i=" << i;
+    }
+  }
+}
+
+// ----- Index-level: Options::simd must not change any result ---------------
+
+template <typename Index>
+void ExpectSameLookups(const Index& on, const Index& off,
+                       const std::vector<uint64_t>& queries) {
+  for (uint64_t q : queries) {
+    const std::optional<uint64_t> a = on.Find(q);
+    const std::optional<uint64_t> b = off.Find(q);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "key=" << q;
+    if (a) {
+      EXPECT_EQ(*a, *b) << "key=" << q;
+    }
+  }
+}
+
+std::vector<uint64_t> UniqueSortedKeys(size_t n, uint64_t seed) {
+  std::vector<uint64_t> keys = SortedU64(n, seed, 7);
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+std::vector<uint64_t> MixedQueries(const std::vector<uint64_t>& keys,
+                                   uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint64_t> q;
+  for (size_t i = 0; i < 1500; ++i) {
+    const uint64_t k = keys[rng() % keys.size()];
+    q.push_back(k);
+    q.push_back(k + 1);
+    q.push_back(rng() % (keys.back() + 100));
+  }
+  return q;
+}
+
+TEST(IndexSimdEquivalenceTest, RmiPgmRadixSpline) {
+  LevelGuard guard;
+  const std::vector<uint64_t> keys = UniqueSortedKeys(30000, 71);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = i * 3 + 1;
+  const std::vector<uint64_t> queries = MixedQueries(keys, 73);
+
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    {
+      Rmi<uint64_t, uint64_t>::Options on, off;
+      off.simd = false;
+      Rmi<uint64_t, uint64_t> a, b;
+      a.Build(keys, values, on);
+      b.Build(keys, values, off);
+      ExpectSameLookups(a, b, queries);
+    }
+    {
+      PgmIndex<uint64_t, uint64_t>::Options on, off;
+      off.simd = false;
+      PgmIndex<uint64_t, uint64_t> a, b;
+      a.Build(keys, values, on);
+      b.Build(keys, values, off);
+      ExpectSameLookups(a, b, queries);
+    }
+    {
+      RadixSpline<uint64_t, uint64_t>::Options on, off;
+      off.simd = false;
+      RadixSpline<uint64_t, uint64_t> a, b;
+      a.Build(keys, values, on);
+      b.Build(keys, values, off);
+      ExpectSameLookups(a, b, queries);
+    }
+  }
+}
+
+TEST(IndexSimdEquivalenceTest, AlexAndBTree) {
+  LevelGuard guard;
+  const std::vector<uint64_t> keys = UniqueSortedKeys(20000, 79);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = i + 7;
+  const std::vector<uint64_t> queries = MixedQueries(keys, 83);
+
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    {
+      AlexIndex<uint64_t, uint64_t>::Options on, off;
+      off.simd = false;
+      AlexIndex<uint64_t, uint64_t> a(on), b(off);
+      a.BulkLoad(keys, values);
+      b.BulkLoad(keys, values);
+      // Inserts exercise the exponential slot search on both paths.
+      for (uint64_t extra = 1; extra < 200; extra += 2) {
+        a.Insert(keys.back() + extra, extra);
+        b.Insert(keys.back() + extra, extra);
+      }
+      ExpectSameLookups(a, b, queries);
+    }
+    {
+      std::vector<std::pair<uint64_t, uint64_t>> sorted(keys.size());
+      for (size_t i = 0; i < keys.size(); ++i) sorted[i] = {keys[i], values[i]};
+      BPlusTree<uint64_t, uint64_t> a, b;
+      b.set_simd(false);
+      a.BulkLoad(sorted);
+      b.BulkLoad(sorted);
+      ExpectSameLookups(a, b, queries);
+    }
+  }
+}
+
+TEST(IndexSimdEquivalenceTest, SortedRunLearnedSearch) {
+  LevelGuard guard;
+  const std::vector<uint64_t> keys = UniqueSortedKeys(20000, 89);
+  std::vector<std::pair<uint64_t, RunEntry<uint64_t>>> entries;
+  entries.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    entries.push_back({keys[i], RunEntry<uint64_t>{keys[i] * 2, false}});
+  }
+  const std::vector<uint64_t> queries = MixedQueries(keys, 97);
+
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    SortedRun<uint64_t, uint64_t>::Options on, off;
+    off.simd = false;
+    SortedRun<uint64_t, uint64_t> a(entries, on), b(entries, off);
+    for (uint64_t q : queries) {
+      const auto ra = a.Get(q, nullptr);
+      const auto rb = b.Get(q, nullptr);
+      ASSERT_EQ(ra.has_value(), rb.has_value()) << "key=" << q;
+      if (ra) {
+        EXPECT_EQ(ra->value, rb->value) << "key=" << q;
+      }
+    }
+  }
+}
+
+TEST(IndexSimdEquivalenceTest, LookupBatchMatchesScalarFindAtEveryLevel) {
+  LevelGuard guard;
+  const std::vector<uint64_t> keys = UniqueSortedKeys(20000, 101);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = i + 1;  // Nonzero.
+  const std::vector<uint64_t> queries = MixedQueries(keys, 103);
+  std::vector<uint64_t> out(queries.size());
+
+  Rmi<uint64_t, uint64_t> rmi;
+  rmi.Build(keys, values);
+  PgmIndex<uint64_t, uint64_t> pgm;
+  pgm.Build(keys, values);
+  RadixSpline<uint64_t, uint64_t> rs;
+  rs.Build(keys, values);
+
+  // LookupBatch writes Value{} (= 0, distinct from every stored value) on a
+  // miss — the same contract Find expresses with nullopt.
+  for (simd::Level level : RunnableLevels()) {
+    simd::SetLevel(level);
+    rmi.LookupBatch(queries.data(), queries.size(), out.data());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(out[i], rmi.Find(queries[i]).value_or(0))
+          << simd::LevelName(level) << " rmi i=" << i;
+    }
+    pgm.LookupBatch(queries.data(), queries.size(), out.data());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(out[i], pgm.Find(queries[i]).value_or(0))
+          << simd::LevelName(level) << " pgm i=" << i;
+    }
+    rs.LookupBatch(queries.data(), queries.size(), out.data());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(out[i], rs.Find(queries[i]).value_or(0))
+          << simd::LevelName(level) << " rs i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lidx

@@ -21,6 +21,9 @@
 #include "datasets/generators.h"
 #include "lsm/lsm_tree.h"
 #include "one_d/concurrent_index.h"
+#include "one_d/pgm.h"
+#include "one_d/radix_spline.h"
+#include "one_d/rmi.h"
 
 namespace lidx {
 namespace {
@@ -188,6 +191,65 @@ TEST(StressTest, ThreadPoolConcurrentClients) {
   }
   for (auto& t : clients) t.join();
   EXPECT_EQ(failures.load(), 0u);
+}
+
+// Batched AMAC lookups racing structural invariant checkers on the
+// immutable learned indexes. Both sides are logically read-only, so any
+// TSan report means hidden shared mutable state — a stats counter, lazily
+// materialized structure, or the SIMD dispatch table's first-use
+// initialization (several threads hit the function-local static at once
+// here).
+TEST(StressTest, LookupBatchConcurrentWithInvariantCheckers) {
+  const auto keys = GenerateKeys(KeyDistribution::kLognormal, 50000, 953);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = i + 1;
+  Rmi<uint64_t, uint64_t> rmi;
+  rmi.Build(keys, values);
+  PgmIndex<uint64_t, uint64_t> pgm;
+  pgm.Build(keys, values);
+  RadixSpline<uint64_t, uint64_t> rs;
+  rs.Build(keys, values);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> bad_reads{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {  // Batched readers.
+      Rng rng(961 + t);
+      std::vector<uint64_t> queries(256);
+      std::vector<uint64_t> out(queries.size());
+      for (int round = 0; round < 200; ++round) {
+        for (auto& q : queries) {
+          const size_t j = rng.NextBounded(keys.size());
+          q = (rng.Next() % 4 == 0) ? keys[j] + 1 : keys[j];
+        }
+        rmi.LookupBatch(queries.data(), queries.size(), out.data());
+        for (size_t i = 0; i < queries.size(); ++i) {
+          if (out[i] != rmi.Find(queries[i]).value_or(0)) bad_reads.fetch_add(1);
+        }
+        pgm.LookupBatch(queries.data(), queries.size(), out.data());
+        for (size_t i = 0; i < queries.size(); ++i) {
+          if (out[i] != pgm.Find(queries[i]).value_or(0)) bad_reads.fetch_add(1);
+        }
+        rs.LookupBatch(queries.data(), queries.size(), out.data());
+        for (size_t i = 0; i < queries.size(); ++i) {
+          if (out[i] != rs.Find(queries[i]).value_or(0)) bad_reads.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {  // Structural checkers.
+    while (!stop.load(std::memory_order_relaxed)) {
+      rmi.CheckInvariants();
+      pgm.CheckInvariants();
+      rs.CheckInvariants();
+    }
+  });
+
+  for (int t = 0; t < 2; ++t) threads[t].join();
+  stop.store(true);
+  threads[2].join();
+  EXPECT_EQ(bad_reads.load(), 0u);
 }
 
 TEST(StressTest, LsmBackgroundCompactionChurn) {
