@@ -1,4 +1,5 @@
-// E13 — Concurrency: sharded learned index vs a mutex-wrapped B+-tree.
+// E13 — Concurrency: XIndex-style concurrent learned index vs a
+// mutex-wrapped B+-tree, on the shared YCSB driver.
 //
 // Tutorial claim (§6.5): concurrency is an open challenge for learned
 // indexes; XIndex-style designs show that a static learned top layer plus
@@ -6,105 +7,151 @@
 // contention, so read-mostly workloads scale with threads while a single
 // global lock does not. Note: on a single-core host the absolute scaling
 // is bounded by the hardware; the shape to check is the *relative* gap
-// between the sharded learned index and the globally locked baseline as
-// thread count grows.
+// between the concurrent learned index and the globally locked baseline
+// as thread count grows.
+//
+// E13 and E21 share src/serving/workload.h (mix definitions, per-op
+// latency capture) and the BENCH_* JSON row schema, so their numbers
+// compare directly: this experiment isolates the ConcurrentLearnedIndex
+// structure, E21 measures the full sharded serving layer.
+//
+// Usage: bench_e13_concurrency [n_keys] [ops_per_thread] [max_threads]
 
-#include <atomic>
+#include <algorithm>
 #include <cstdint>
-#include <mutex>
+#include <cstdlib>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "baselines/btree.h"
 #include "bench_util.h"
-#include "common/random.h"
 #include "common/stats.h"
-#include "common/timer.h"
-#include "datasets/generators.h"
 #include "one_d/concurrent_index.h"
+#include "serving/workload.h"
 
 namespace lidx {
 namespace {
 
-constexpr size_t kNumKeys = 1'000'000;
-constexpr size_t kOpsPerThread = 200'000;
+using bench::JsonField;
+using bench::JsonRow;
+using serving::GlobalLockIndex;
+using serving::RunYcsb;
+using serving::WorkloadOptions;
+using serving::WorkloadResult;
+using serving::YcsbMix;
+using serving::YcsbMixName;
 
-// Runs `threads` workers doing `read_fraction` reads / rest inserts.
-// Returns total Mops/s.
-template <typename ReadFn, typename InsertFn>
-double RunThreads(int threads, double read_fraction, ReadFn read,
-                  InsertFn insert, const std::vector<uint64_t>& keys) {
-  std::atomic<uint64_t> sink{0};
-  Timer timer;
-  std::vector<std::thread> workers;
-  for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      Rng rng(1919 + t);
-      uint64_t local = 0;
-      for (size_t i = 0; i < kOpsPerThread; ++i) {
-        if (rng.NextDouble() < read_fraction) {
-          local += read(keys[rng.NextBounded(keys.size())]);
-        } else {
-          insert((static_cast<uint64_t>(t) << 48) + i, i);
-        }
-      }
-      sink.fetch_add(local);
-    });
-  }
-  for (auto& w : workers) w.join();
-  const double seconds = timer.ElapsedSeconds();
-  DoNotOptimize(sink.load());
-  return static_cast<double>(kOpsPerThread) * threads / seconds / 1e6;
+std::string Us(double ns) { return TablePrinter::FormatDouble(ns / 1e3, 1); }
+
+JsonRow ResultRow(const std::string& engine, YcsbMix mix, size_t threads,
+                  const WorkloadResult& r) {
+  return JsonRow{
+      JsonField::Str("engine", engine),
+      JsonField::Str("mix", YcsbMixName(mix)),
+      JsonField::Str("dist", "uniform"),
+      JsonField::Num("threads", threads),
+      JsonField::Num("mops", r.mops),
+      JsonField::Num("read_p50_ns", r.read.p50_ns),
+      JsonField::Num("read_p99_ns", r.read.p99_ns),
+      JsonField::Num("read_p999_ns", r.read.p999_ns),
+      JsonField::Num("insert_p50_ns", r.insert.p50_ns),
+      JsonField::Num("insert_p99_ns", r.insert.p99_ns),
+      JsonField::Num("insert_p999_ns", r.insert.p999_ns),
+      JsonField::Num("found", r.found),
+  };
 }
 
 }  // namespace
 }  // namespace lidx
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lidx;
+  size_t n_keys = 1'000'000;
+  size_t ops_per_thread = 200'000;
+  size_t max_threads = std::max(1u, std::thread::hardware_concurrency());
+  if (argc > 1) n_keys = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) ops_per_thread = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 3) max_threads = std::strtoull(argv[3], nullptr, 10);
+
   bench::PrintHeader(
-      "E13: concurrent access (1M keys; XIndex-style sharded learned index "
-      "vs globally locked B+-tree)",
-      "lock-free learned routing + shard-local locks beat a global lock as "
-      "threads grow (relative gap; absolute scaling is hardware-bound)");
+      "E13 - Concurrency: concurrent learned index vs global-lock B+-tree",
+      "per-shard deltas + lock-free frozen reads scale with threads; a "
+      "global lock does not");
 
-  const bench::Dataset1D data =
-      bench::MakeDataset1D(KeyDistribution::kUniform, kNumKeys, 2020);
-  const std::vector<uint64_t>& keys = data.keys;
-  const std::vector<uint64_t>& values = data.values;
+  // Same data recipe as E21: lognormal keys, inserts interleaved in key
+  // space via a peeled-off pool.
+  const size_t pool_size = ops_per_thread * max_threads / 2 + 64 * max_threads;
+  bench::Dataset1D all =
+      bench::MakeDataset1D(KeyDistribution::kLognormal, n_keys + pool_size,
+                           42, bench::ValueScheme::kHashed);
+  std::vector<uint64_t> keys, values, pool;
+  keys.reserve(n_keys);
+  values.reserve(n_keys);
+  pool.reserve(pool_size);
+  const size_t stride = (n_keys + pool_size) / pool_size;
+  for (size_t i = 0; i < all.keys.size(); ++i) {
+    if (i % stride == stride - 1 && pool.size() < pool_size) {
+      pool.push_back(all.keys[i]);
+    } else {
+      keys.push_back(all.keys[i]);
+      values.push_back(all.values[i]);
+    }
+  }
+  std::printf("keys=%zu ops/thread=%zu max_threads=%zu\n", keys.size(),
+              ops_per_thread, max_threads);
 
-  TablePrinter table({"threads", "mix", "learned-sharded Mops/s",
-                      "locked-b+tree Mops/s"});
-  for (int threads : {1, 2, 4}) {
-    for (double read_fraction : {1.0, 0.9}) {
-      ConcurrentLearnedIndex<uint64_t, uint64_t> learned;
-      learned.BulkLoad(keys, values);
+  std::vector<size_t> sweep;
+  for (size_t t = 1; t < max_threads; t *= 2) sweep.push_back(t);
+  sweep.push_back(max_threads);
 
-      BPlusTree<uint64_t, uint64_t> tree;
-      tree.BulkLoad(bench::ToPairs(data));
-      std::mutex tree_mutex;
-
-      const double learned_mops = RunThreads(
-          threads, read_fraction,
-          [&](uint64_t k) -> uint64_t { return learned.Find(k).value_or(0); },
-          [&](uint64_t k, uint64_t v) { learned.Insert(k, v); }, keys);
-      const double locked_mops = RunThreads(
-          threads, read_fraction,
-          [&](uint64_t k) -> uint64_t {
-            std::lock_guard<std::mutex> lock(tree_mutex);
-            return tree.Find(k).value_or(0);
-          },
-          [&](uint64_t k, uint64_t v) {
-            std::lock_guard<std::mutex> lock(tree_mutex);
-            tree.Insert(k, v);
-          },
-          keys);
-      table.AddRow({std::to_string(threads),
-                    read_fraction == 1.0 ? "read-only" : "90/10",
-                    TablePrinter::FormatDouble(learned_mops, 2),
-                    TablePrinter::FormatDouble(locked_mops, 2)});
+  std::vector<JsonRow> rows;
+  TablePrinter table({"engine", "mix", "threads", "Mops/s", "read p50us",
+                      "read p999us", "ins p999us"});
+  // A = update-heavy (worst case for the global lock), B = read-mostly
+  // (the XIndex sweet spot), C = read-only (pure scaling).
+  for (const YcsbMix mix : {YcsbMix::kC, YcsbMix::kB, YcsbMix::kA}) {
+    for (const size_t threads : sweep) {
+      WorkloadOptions wopts;
+      wopts.mix = mix;
+      wopts.zipf_theta = 0.0;
+      wopts.n_threads = threads;
+      wopts.ops_per_thread = ops_per_thread;
+      {
+        ConcurrentLearnedIndex<uint64_t, uint64_t> index;
+        index.BulkLoad(keys, values);
+        const WorkloadResult r = RunYcsb(&index, keys, pool, wopts);
+        table.AddRow({"concurrent_learned", YcsbMixName(mix),
+                      std::to_string(threads),
+                      TablePrinter::FormatDouble(r.mops, 2),
+                      Us(r.read.p50_ns), Us(r.read.p999_ns),
+                      Us(r.insert.p999_ns)});
+        rows.push_back(ResultRow("concurrent_learned", mix, threads, r));
+      }
+      {
+        GlobalLockIndex<BPlusTree<uint64_t, uint64_t>> baseline;
+        std::vector<std::pair<uint64_t, uint64_t>> pairs(keys.size());
+        for (size_t i = 0; i < keys.size(); ++i) {
+          pairs[i] = {keys[i], values[i]};
+        }
+        baseline.underlying().BulkLoad(pairs);
+        const WorkloadResult r = RunYcsb(&baseline, keys, pool, wopts);
+        table.AddRow({"global_lock_btree", YcsbMixName(mix),
+                      std::to_string(threads),
+                      TablePrinter::FormatDouble(r.mops, 2),
+                      Us(r.read.p50_ns), Us(r.read.p999_ns),
+                      Us(r.insert.p999_ns)});
+        rows.push_back(ResultRow("global_lock_btree", mix, threads, r));
+      }
     }
   }
   table.Print();
+
+  bench::ReportJson("e13", rows,
+                    {JsonField::Str("experiment", "concurrency_ycsb"),
+                     JsonField::Num("n_keys", n_keys),
+                     JsonField::Num("ops_per_thread", ops_per_thread),
+                     JsonField::Num("max_threads", max_threads)});
   return 0;
 }

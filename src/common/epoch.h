@@ -1,0 +1,353 @@
+#ifndef LIDX_COMMON_EPOCH_H_
+#define LIDX_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace lidx {
+
+// Epoch-based memory reclamation (EBR) for read-mostly shared structures.
+//
+// The problem: a writer replaces a published pointer (an index snapshot, a
+// frozen model, a sealed buffer) and wants to free the old object, but
+// lock-free readers may still be dereferencing it. EBR solves this without
+// per-read reference counting: readers "pin" the current global epoch in a
+// per-thread slot for the duration of each operation, writers "retire"
+// unlinked objects tagged with the epoch at unlink time, and a reclaimer
+// frees a retired object only once every pinned thread has provably moved
+// past the epoch in which it was unlinked (quiescence).
+//
+// Protocol (the classic three-epoch scheme, cf. Fraser 2004 / Bonsai /
+// crossbeam):
+//
+//  * Pin: the reader writes the current global epoch E into its slot, then
+//    re-checks that the global epoch still equals E (retrying otherwise).
+//    Only after the pin is established may it load protected pointers.
+//  * Advance: the global epoch may move from E to E+1 only when every
+//    pinned slot equals E — i.e. every in-flight reader entered during the
+//    current epoch.
+//  * Free: an object retired (unlinked) during epoch E is freed once the
+//    global epoch reaches E+2. Two advances past E mean every reader that
+//    was pinned at the time of the unlink has since unpinned; any reader
+//    pinned after the unlink re-loaded the pointer and cannot hold the
+//    retired object. As a belt-and-braces check the reclaimer additionally
+//    requires E < min(currently pinned epochs).
+//
+// Memory-order contract (relied on by ShardedIndex and
+// ConcurrentLearnedIndex; keep in sync with their inline comments):
+//
+//  * The pin store is seq_cst and so is the validating re-load of the
+//    global epoch: the slot write must be globally visible before the
+//    reader's subsequent pointer loads, or a concurrent advance could miss
+//    the pin (the classic store->load ordering that plain release/acquire
+//    does not give).
+//  * Unpin is a release store: every read the guard protected
+//    happens-before the slot becoming idle, so a reclaimer that acquires
+//    the idle slot value and then frees cannot race those reads (this is
+//    what keeps the scheme TSan-clean).
+//  * Writers publish the replacement pointer with a release store *before*
+//    calling Retire; readers load it with acquire. Retire itself only tags
+//    garbage — it never synchronizes with readers.
+class EpochManager {
+ public:
+  static constexpr size_t kMaxThreads = 512;
+
+  EpochManager() : slots_(std::make_shared<Slots>()), instance_id_(NextId()) {}
+
+  ~EpochManager() {
+    // All guards must be gone by now (standard destruction contract); any
+    // garbage still queued is freed unconditionally.
+    LIDX_CHECK(PinnedThreads() == 0);
+    std::deque<Retired> leftover;
+    {
+      std::lock_guard<std::mutex> lock(retire_mu_);
+      leftover.swap(retired_);
+    }
+    for (Retired& r : leftover) r.deleter();
+  }
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // RAII epoch pin. Nested pins on the same thread and manager are counted
+  // and only the outermost one touches the slot, so helper code may pin
+  // without caring whether its caller already did. Guards must be
+  // destroyed in stack (LIFO) order.
+  class Guard {
+   public:
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    ~Guard() {
+      switch (mode_) {
+        case Mode::kNested:
+          --CacheForThread()->depth;
+          break;
+        case Mode::kCached:
+          // Release: all protected reads happen-before the slot going
+          // idle, so a reclaimer that observes the idle slot (acquire)
+          // cannot free memory out from under those reads.
+          CacheForThread()->depth = 0;
+          slot_->store(kIdle, std::memory_order_release);
+          break;
+        case Mode::kTransient:
+          slot_->store(kFree, std::memory_order_release);
+          break;
+      }
+    }
+
+   private:
+    friend class EpochManager;
+    enum class Mode { kNested, kCached, kTransient };
+    Guard(std::atomic<uint64_t>* slot, Mode mode) : slot_(slot), mode_(mode) {}
+    std::atomic<uint64_t>* slot_;  // nullptr for nested pins.
+    Mode mode_;
+  };
+
+  // Pins the calling thread in the current epoch. Protected pointers must
+  // only be loaded while a Guard is live. Cheap on the fast path: one
+  // seq_cst store + one load on a thread-private cache line.
+  Guard Pin() {
+    ThreadCache* cache = CacheForThread();
+    if (cache->mgr == this && cache->instance_id == instance_id_ &&
+        cache->depth > 0) {
+      ++cache->depth;
+      return Guard(nullptr, Guard::Mode::kNested);
+    }
+    std::atomic<uint64_t>* slot;
+    Guard::Mode mode;
+    if (cache->depth == 0) {
+      // Thread is quiescent: (re)bind its cached slot to this manager.
+      if (cache->mgr != this || cache->instance_id != instance_id_) {
+        cache->Release();
+        ClaimCachedSlot(cache);
+      }
+      slot = &(*cache->slots)[cache->slot_index];
+      mode = Guard::Mode::kCached;
+    } else {
+      // Pinned on a *different* manager: leave its cache alone and claim a
+      // one-shot slot (rare — cross-manager nesting).
+      slot = ClaimTransientSlot();
+      mode = Guard::Mode::kTransient;
+    }
+    // Publish the pin, then validate the epoch did not advance past us
+    // while the store was in flight. Both seq_cst: the slot store must be
+    // ordered before the validating load and before every subsequent
+    // protected pointer load.
+    for (;;) {
+      const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+      slot->store(e, std::memory_order_seq_cst);
+      if (global_epoch_.load(std::memory_order_seq_cst) == e) break;
+    }
+    if (mode == Guard::Mode::kCached) cache->depth = 1;
+    return Guard(slot, mode);
+  }
+
+  // Queues `deleter` to run once no reader can still hold the object it
+  // frees. Call *after* the object has been unlinked from every shared
+  // pointer (publish-then-retire). Safe from any thread, including pool
+  // workers; the deleter runs on whichever thread later reclaims.
+  void Retire(std::function<void()> deleter) {
+    const uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    {
+      std::lock_guard<std::mutex> lock(retire_mu_);
+      retired_.push_back(Retired{e, std::move(deleter)});
+    }
+    retired_count_.fetch_add(1, std::memory_order_relaxed);
+    // Amortized housekeeping so garbage cannot pile up unboundedly even if
+    // nobody calls ReclaimSome explicitly.
+    if (retired_count_.load(std::memory_order_relaxed) % 64 == 0) {
+      ReclaimSome();
+    }
+  }
+
+  template <typename T>
+  void RetireDelete(T* ptr) {
+    if (ptr != nullptr) Retire([ptr] { delete ptr; });
+  }
+
+  // Tries to advance the global epoch and frees every retired object that
+  // has reached quiescence. Returns the number of deleters run. Never
+  // blocks; safe to call concurrently with pins/retires.
+  size_t ReclaimSome() {
+    TryAdvance();
+    const uint64_t global = global_epoch_.load(std::memory_order_acquire);
+    const uint64_t min_pinned = MinPinnedEpoch();
+    std::deque<Retired> ready;
+    {
+      std::lock_guard<std::mutex> lock(retire_mu_);
+      while (!retired_.empty()) {
+        const Retired& r = retired_.front();
+        if (r.epoch + 2 > global || r.epoch >= min_pinned) break;
+        ready.push_back(std::move(retired_.front()));
+        retired_.pop_front();
+      }
+    }
+    // Deleters run outside the lock: they may retire further objects.
+    for (Retired& r : ready) r.deleter();
+    freed_count_.fetch_add(ready.size(), std::memory_order_relaxed);
+    return ready.size();
+  }
+
+  // Test/teardown helper: reclaims until the retire list is empty. Must
+  // not be called while any thread is pinned (it would spin forever).
+  void DrainRetired() {
+    while (RetiredCount() > 0) {
+      if (ReclaimSome() == 0) std::this_thread::yield();
+    }
+  }
+
+  uint64_t GlobalEpoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  size_t PinnedThreads() const {
+    size_t pinned = 0;
+    for (size_t i = 0; i < kMaxThreads; ++i) {
+      if ((*slots_)[i].load(std::memory_order_acquire) < kIdle) ++pinned;
+    }
+    return pinned;
+  }
+
+  size_t RetiredCount() const {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    return retired_.size();
+  }
+
+  uint64_t FreedCount() const {
+    return freed_count_.load(std::memory_order_relaxed);
+  }
+
+  // Process-wide manager: every serving-layer structure shares it so one
+  // reader community and one garbage pool cover the whole process.
+  static EpochManager& Shared() {
+    static EpochManager* manager = new EpochManager();  // Never destroyed.
+    return *manager;
+  }
+
+ private:
+  // Slot states; epochs occupy [0, kIdle).
+  static constexpr uint64_t kFree = ~uint64_t{0};
+  static constexpr uint64_t kIdle = ~uint64_t{0} - 1;
+
+  struct Slots {
+    // One cache line per slot: a pinning thread only dirties its own line.
+    struct alignas(64) PaddedAtomic {
+      std::atomic<uint64_t> v{kFree};
+    };
+    std::atomic<uint64_t>& operator[](size_t i) { return value[i].v; }
+    const std::atomic<uint64_t>& operator[](size_t i) const {
+      return value[i].v;
+    }
+    PaddedAtomic value[kMaxThreads];
+  };
+
+  struct Retired {
+    uint64_t epoch;
+    std::function<void()> deleter;
+  };
+
+  // Per-thread slot cache. A thread keeps its claimed slot across pins (no
+  // CAS on the fast path); the shared_ptr keeps the slot array alive past
+  // manager destruction so the thread-exit destructor can release safely.
+  struct ThreadCache {
+    EpochManager* mgr = nullptr;
+    uint64_t instance_id = 0;
+    std::shared_ptr<Slots> slots;
+    size_t slot_index = 0;
+    int depth = 0;
+
+    ~ThreadCache() { Release(); }
+
+    void Release() {
+      if (slots != nullptr) {
+        (*slots)[slot_index].store(kFree, std::memory_order_release);
+        slots.reset();
+      }
+      mgr = nullptr;
+      depth = 0;
+    }
+  };
+
+  static ThreadCache* CacheForThread() {
+    thread_local ThreadCache cache;
+    return &cache;
+  }
+
+  // Claims a free slot, starting at a thread-dependent offset so
+  // unrelated threads do not fight over slot 0.
+  size_t ClaimSlotIndex() {
+    const size_t start =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kMaxThreads;
+    for (size_t probe = 0; probe < kMaxThreads; ++probe) {
+      const size_t i = (start + probe) % kMaxThreads;
+      uint64_t expected = kFree;
+      if ((*slots_)[i].compare_exchange_strong(expected, kIdle,
+                                               std::memory_order_acq_rel)) {
+        return i;
+      }
+    }
+    LIDX_CHECK(false && "EpochManager: out of thread slots");
+    return 0;
+  }
+
+  void ClaimCachedSlot(ThreadCache* cache) {
+    cache->mgr = this;
+    cache->instance_id = instance_id_;
+    cache->slots = slots_;
+    cache->slot_index = ClaimSlotIndex();
+  }
+
+  std::atomic<uint64_t>* ClaimTransientSlot() {
+    return &(*slots_)[ClaimSlotIndex()];
+  }
+
+  // Advances the global epoch iff every pinned thread is pinned in the
+  // current epoch. Lagging pinned threads simply block the advance (and
+  // therefore reclamation) — they never see freed memory.
+  void TryAdvance() {
+    uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    for (size_t i = 0; i < kMaxThreads; ++i) {
+      const uint64_t v = (*slots_)[i].load(std::memory_order_acquire);
+      if (v < kIdle && v != e) return;  // Pinned in an older epoch.
+    }
+    global_epoch_.compare_exchange_strong(e, e + 1,
+                                          std::memory_order_acq_rel);
+  }
+
+  uint64_t MinPinnedEpoch() const {
+    uint64_t min_pinned = ~uint64_t{0};
+    for (size_t i = 0; i < kMaxThreads; ++i) {
+      const uint64_t v = (*slots_)[i].load(std::memory_order_acquire);
+      if (v < kIdle && v < min_pinned) min_pinned = v;
+    }
+    return min_pinned;
+  }
+
+  static uint64_t NextId() {
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::shared_ptr<Slots> slots_;
+  // Starts at 2 so `epoch + 2 <= global` arithmetic never underflows.
+  std::atomic<uint64_t> global_epoch_{2};
+  mutable std::mutex retire_mu_;
+  std::deque<Retired> retired_;
+  std::atomic<uint64_t> retired_count_{0};
+  std::atomic<uint64_t> freed_count_{0};
+  uint64_t instance_id_;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_COMMON_EPOCH_H_

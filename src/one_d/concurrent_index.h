@@ -2,6 +2,7 @@
 #define LIDX_ONE_D_CONCURRENT_INDEX_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -11,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/invariants.h"
 #include "common/macros.h"
 #include "common/search.h"
@@ -26,13 +28,32 @@ namespace lidx {
 //    chosen from a bulk-load sample); routing is lock-free because the
 //    boundary array is immutable between full rebuilds.
 //  * Each shard holds an immutable learned index (PGM) over its frozen
-//    data plus a small sorted delta buffer for fresh writes, protected by
-//    a per-shard reader-writer lock. When a delta exceeds its limit, the
-//    shard is compacted (merge + retrain) under its own lock — writers to
-//    other shards are unaffected.
+//    data plus a small sorted delta buffer for fresh writes. The delta is
+//    protected by a per-shard reader-writer lock; the frozen index hangs
+//    off an atomic pointer and is reclaimed through the shared
+//    epoch-based scheme (common/epoch.h). When a delta exceeds its limit,
+//    the shard is compacted (merge + retrain) under its own lock — writers
+//    to other shards are unaffected — and the *previous* frozen index is
+//    retired, not deleted: concurrent readers may still be probing it.
 //
-// Reads take a shared lock only on one shard, so read-mostly workloads
-// scale with shard count; this is exactly the scaling claim E13 measures.
+// Memory-order contract for the frozen pointer:
+//  * A compaction publishes the new index with a release exchange on
+//    Shard::frozen *while holding the shard's exclusive lock*, then hands
+//    the old pointer to EpochManager::Shared().RetireDelete. Unlink
+//    happens strictly before retire, so any reader that can still load
+//    the old pointer pinned an epoch <= the retire epoch and blocks its
+//    reclamation until it unpins.
+//  * A reader pins an epoch first, then acquire-loads Shard::frozen. The
+//    acquire pairs with the publisher's release: everything the PGM build
+//    wrote is visible. The reader may keep probing the loaded index after
+//    dropping the shard's shared lock — the epoch pin, not the lock, is
+//    what keeps the pointer alive.
+//  * The delta still needs the lock (it is a mutated-in-place vector);
+//    only the frozen index is lock-free on the read side.
+//
+// Reads take a shared lock only on one shard (and only for the delta
+// probe), so read-mostly workloads scale with shard count; this is exactly
+// the scaling claim E13 measures.
 template <typename Key, typename Value>
 class ConcurrentLearnedIndex {
  public:
@@ -42,11 +63,24 @@ class ConcurrentLearnedIndex {
     size_t pgm_epsilon = 64;
   };
 
-  explicit ConcurrentLearnedIndex(const Options& options = Options())
-      : options_(options) {
+  explicit ConcurrentLearnedIndex(const Options& options = Options(),
+                                  EpochManager* epoch =
+                                      &EpochManager::Shared())
+      : options_(options), epoch_(epoch) {
     LIDX_CHECK(options_.num_shards >= 1);
     shards_ = std::vector<Shard>(options_.num_shards);
     boundaries_.assign(options_.num_shards, Key{});
+  }
+
+  ~ConcurrentLearnedIndex() {
+    // Current frozen pointers are owned here; retired ones belong to the
+    // epoch manager and are freed at quiescence (possibly after this
+    // destructor — they are self-contained heap objects).
+    for (Shard& shard : shards_) {
+      delete shard.frozen.load(std::memory_order_relaxed);
+      shard.frozen.store(nullptr, std::memory_order_relaxed);
+    }
+    epoch_->ReclaimSome();
   }
 
   ConcurrentLearnedIndex(const ConcurrentLearnedIndex&) = delete;
@@ -66,31 +100,44 @@ class ConcurrentLearnedIndex {
     for (size_t s = 0; s < shard_count; ++s) {
       const size_t begin = std::min(n, s * per_shard);
       const size_t end = std::min(n, begin + per_shard);
-      boundaries_[s] = (begin < n) ? keys[begin] : keys.back();
+      // Trailing empty shards repeat the previous boundary; RouteShard
+      // resolves a duplicate-boundary run to its first (owning) shard.
+      boundaries_[s] = (begin < n) ? keys[begin] : boundaries_[s - 1];
       if (begin < end) {
         std::vector<Key> shard_keys(keys.begin() + begin, keys.begin() + end);
         std::vector<Value> shard_vals(values.begin() + begin,
                                       values.begin() + end);
         typename PgmIndex<Key, Value>::Options opts;
         opts.epsilon = options_.pgm_epsilon;
-        shards_[s].frozen.Build(std::move(shard_keys), std::move(shard_vals),
-                                opts);
+        auto* frozen = new PgmIndex<Key, Value>();
+        frozen->Build(std::move(shard_keys), std::move(shard_vals), opts);
+        // BulkLoad is not concurrent with readers by contract, so a
+        // relaxed store into the fresh shard is enough.
+        shards_[s].frozen.store(frozen, std::memory_order_relaxed);
       }
     }
   }
 
   std::optional<Value> Find(const Key& key) const {
     const Shard& shard = shards_[RouteShard(key)];
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
-    // Delta first (newer), then frozen.
-    const auto it = std::lower_bound(
-        shard.delta.begin(), shard.delta.end(), key,
-        [](const DeltaEntry& e, const Key& k) { return e.key < k; });
-    if (it != shard.delta.end() && it->key == key) {
-      if (it->deleted) return std::nullopt;
-      return it->value;
+    // Pin before loading the frozen pointer; the pin (not the lock) keeps
+    // the loaded index alive, so the PGM probe runs lock-free below.
+    EpochManager::Guard guard = epoch_->Pin();
+    const PgmIndex<Key, Value>* frozen;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      // Delta first (newer), then frozen.
+      const auto it = std::lower_bound(
+          shard.delta.begin(), shard.delta.end(), key,
+          [](const DeltaEntry& e, const Key& k) { return e.key < k; });
+      if (it != shard.delta.end() && it->key == key) {
+        if (it->deleted) return std::nullopt;
+        return it->value;
+      }
+      frozen = shard.frozen.load(std::memory_order_acquire);
     }
-    return shard.frozen.Find(key);
+    if (frozen == nullptr) return std::nullopt;
+    return frozen->Find(key);
   }
 
   bool Contains(const Key& key) const { return Find(key).has_value(); }
@@ -114,7 +161,9 @@ class ConcurrentLearnedIndex {
     if (it != shard.delta.end() && it->key == key) {
       existed = !it->deleted;
     } else {
-      existed = shard.frozen.Contains(key);
+      // Holding the exclusive lock: no compaction can swap the pointer.
+      const auto* frozen = shard.frozen.load(std::memory_order_acquire);
+      existed = frozen != nullptr && frozen->Contains(key);
     }
     UpsertDelta(&shard, key, Value{}, /*deleted=*/true);
     MaybeCompact(&shard);
@@ -128,9 +177,11 @@ class ConcurrentLearnedIndex {
     for (size_t s = first; s < shards_.size(); ++s) {
       if (s > first && boundaries_[s] > hi) break;
       const Shard& shard = shards_[s];
+      EpochManager::Guard guard = epoch_->Pin();
       std::shared_lock<std::shared_mutex> lock(shard.mutex);
       std::vector<std::pair<Key, Value>> frozen_part;
-      shard.frozen.RangeScan(lo, hi, &frozen_part);
+      const auto* frozen = shard.frozen.load(std::memory_order_acquire);
+      if (frozen != nullptr) frozen->RangeScan(lo, hi, &frozen_part);
       // Merge with delta.
       auto dit = std::lower_bound(
           shard.delta.begin(), shard.delta.end(), lo,
@@ -157,12 +208,14 @@ class ConcurrentLearnedIndex {
   size_t size() const {
     size_t total = 0;
     for (const Shard& shard : shards_) {
+      EpochManager::Guard guard = epoch_->Pin();
       std::shared_lock<std::shared_mutex> lock(shard.mutex);
-      total += shard.frozen.size();
+      const auto* frozen = shard.frozen.load(std::memory_order_acquire);
+      total += frozen != nullptr ? frozen->size() : 0;
       for (const DeltaEntry& e : shard.delta) {
         if (e.deleted) {
-          if (shard.frozen.Contains(e.key)) --total;
-        } else if (!shard.frozen.Contains(e.key)) {
+          if (frozen != nullptr && frozen->Contains(e.key)) --total;
+        } else if (frozen == nullptr || !frozen->Contains(e.key)) {
           ++total;
         }
       }
@@ -173,8 +226,10 @@ class ConcurrentLearnedIndex {
   size_t SizeBytes() const {
     size_t total = sizeof(*this) + boundaries_.capacity() * sizeof(Key);
     for (const Shard& shard : shards_) {
+      EpochManager::Guard guard = epoch_->Pin();
       std::shared_lock<std::shared_mutex> lock(shard.mutex);
-      total += shard.frozen.SizeBytes() +
+      const auto* frozen = shard.frozen.load(std::memory_order_acquire);
+      total += (frozen != nullptr ? frozen->SizeBytes() : 0) +
                shard.delta.capacity() * sizeof(DeltaEntry);
     }
     return total;
@@ -199,15 +254,19 @@ class ConcurrentLearnedIndex {
         LIDX_INVARIANT(shard.delta[i - 1].key < shard.delta[i].key,
                        "cidx: delta sorted unique");
       }
-      shard.frozen.CheckInvariants();
+      EpochManager::Guard guard = epoch_->Pin();
+      const auto* frozen = shard.frozen.load(std::memory_order_acquire);
+      if (frozen != nullptr) frozen->CheckInvariants();
       if (shards_.size() > 1) {
         for (const DeltaEntry& e : shard.delta) {
           LIDX_INVARIANT(RouteShard(e.key) == s,
                          "cidx: delta key routes to its shard");
         }
-        for (const Key& k : shard.frozen.keys()) {
-          LIDX_INVARIANT(RouteShard(k) == s,
-                         "cidx: frozen key routes to its shard");
+        if (frozen != nullptr) {
+          for (const Key& k : frozen->keys()) {
+            LIDX_INVARIANT(RouteShard(k) == s,
+                           "cidx: frozen key routes to its shard");
+          }
         }
       }
     }
@@ -222,21 +281,34 @@ class ConcurrentLearnedIndex {
 
   struct Shard {
     mutable std::shared_mutex mutex;
-    PgmIndex<Key, Value> frozen;
+    // Owned pointer to the current frozen index (null when empty).
+    // Published with release, read with acquire; superseded pointers are
+    // retired to the epoch manager, never deleted inline.
+    std::atomic<const PgmIndex<Key, Value>*> frozen{nullptr};
     std::vector<DeltaEntry> delta;  // Sorted by key, unique.
 
     Shard() = default;
     Shard(Shard&& other) noexcept
-        : frozen(std::move(other.frozen)), delta(std::move(other.delta)) {}
+        : frozen(other.frozen.exchange(nullptr, std::memory_order_relaxed)),
+          delta(std::move(other.delta)) {}
     Shard& operator=(Shard&&) = delete;
+    ~Shard() { delete frozen.load(std::memory_order_relaxed); }
   };
 
-  // Immutable between rebuilds: lock-free routing.
+  // Immutable between rebuilds: lock-free routing. Duplicate boundaries
+  // mark empty shards trailing their run; the run's first shard owns the
+  // whole range, so normalize to it.
   size_t RouteShard(const Key& key) const {
     const size_t lb =
         BinarySearchLowerBound(boundaries_, key, 0, boundaries_.size());
-    if (lb < boundaries_.size() && boundaries_[lb] == key) return lb;
-    return lb == 0 ? 0 : lb - 1;
+    size_t s;
+    if (lb < boundaries_.size() && boundaries_[lb] == key) {
+      s = lb;
+    } else {
+      s = lb == 0 ? 0 : lb - 1;
+    }
+    while (s > 0 && boundaries_[s] == boundaries_[s - 1]) --s;
+    return s;
   }
 
   static bool DeltaHasLive(const Shard& shard, const Key& key) {
@@ -259,13 +331,20 @@ class ConcurrentLearnedIndex {
     }
   }
 
+  // Called with the shard's exclusive lock held. Merges frozen + delta
+  // into a fresh frozen index, publishes it (release), and retires the old
+  // one to the shared epoch manager — readers that loaded the old pointer
+  // before the swap keep using it safely until they unpin.
   void MaybeCompact(Shard* shard) {
     if (shard->delta.size() < options_.delta_limit) return;
-    // Merge frozen + delta into a fresh frozen index.
     std::vector<Key> keys;
     std::vector<Value> values;
-    const auto& fkeys = shard->frozen.keys();
-    const auto& fvals = shard->frozen.values();
+    const auto* old_frozen = shard->frozen.load(std::memory_order_acquire);
+    static const std::vector<Key> kNoKeys;
+    static const std::vector<Value> kNoValues;
+    const auto& fkeys = old_frozen != nullptr ? old_frozen->keys() : kNoKeys;
+    const auto& fvals =
+        old_frozen != nullptr ? old_frozen->values() : kNoValues;
     size_t fi = 0, di = 0;
     while (fi < fkeys.size() || di < shard->delta.size()) {
       const bool take_delta =
@@ -286,14 +365,20 @@ class ConcurrentLearnedIndex {
     }
     typename PgmIndex<Key, Value>::Options opts;
     opts.epsilon = options_.pgm_epsilon;
-    shard->frozen = PgmIndex<Key, Value>();
-    shard->frozen.Build(std::move(keys), std::move(values), opts);
+    auto* rebuilt = new PgmIndex<Key, Value>();
+    rebuilt->Build(std::move(keys), std::move(values), opts);
+    // Publish-then-retire: after the exchange no new reader can reach
+    // old_frozen, so its reclamation is gated only by already-pinned
+    // readers.
+    shard->frozen.exchange(rebuilt, std::memory_order_acq_rel);
     shard->delta.clear();
+    if (old_frozen != nullptr) epoch_->RetireDelete(old_frozen);
   }
 
   Options options_;
   std::vector<Key> boundaries_;
   std::vector<Shard> shards_;
+  EpochManager* epoch_;
 };
 
 }  // namespace lidx

@@ -1,0 +1,827 @@
+#ifndef LIDX_SERVING_SHARDED_INDEX_H_
+#define LIDX_SERVING_SHARDED_INDEX_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/invariants.h"
+#include "common/macros.h"
+#include "common/parallel.h"
+#include "common/search.h"
+#include "lsm/merge.h"
+
+namespace lidx {
+
+namespace serving_detail {
+
+// Uniform bulk-load adapter over the heterogeneous index constructors:
+// (keys, values) BulkLoad (ALEX, LIPP, DynamicPgm, ConcurrentLearnedIndex),
+// (keys, values) Build (PgmIndex, RMI-style frozen indexes), and
+// pair-vector BulkLoad (B+-tree).
+template <typename Index, typename Key, typename Value>
+void BulkLoadInto(Index* index, std::vector<Key> keys,
+                  std::vector<Value> values) {
+  if constexpr (requires { index->BulkLoad(keys, values); }) {
+    index->BulkLoad(std::move(keys), std::move(values));
+  } else if constexpr (requires {
+                         index->Build(std::move(keys), std::move(values));
+                       }) {
+    index->Build(std::move(keys), std::move(values));
+  } else {
+    std::vector<std::pair<Key, Value>> pairs(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      pairs[i] = {keys[i], values[i]};
+    }
+    index->BulkLoad(pairs);
+  }
+}
+
+template <typename Index, typename Key, typename Value>
+concept HasLookupBatch = requires(const Index& index, const Key* k, size_t n,
+                                  Value* out) {
+  index.LookupBatch(k, n, out);
+};
+
+template <typename Index>
+concept HasSizeBytes = requires(const Index& index) {
+  { index.SizeBytes() } -> std::convertible_to<size_t>;
+};
+
+}  // namespace serving_detail
+
+// Range-sharded concurrent serving layer over any of the repo's 1-D
+// indexes (tutorial §6.5: concurrency as a first-class citizen; design
+// informed by *Are Updatable Learned Indexes Ready?*, PAPERS.md).
+//
+// Layout. Keys are range-partitioned across `num_shards` shards whose
+// boundaries are quantiles of a sample CDF taken at BulkLoad, so shards
+// stay balanced under skewed key distributions. Each shard is a small
+// multi-version structure:
+//
+//   active buffer  -> sealed buffers -> sorted delta -> snapshot index
+//   (append-only)     (immutable)       (immutable)     (immutable Index)
+//
+//  * Writers append {key, value, tombstone} entries to the shard's active
+//    buffer under a per-shard writer mutex (writers contend only within a
+//    shard). A full buffer is *sealed* — moved intact onto the sealed
+//    list, O(1) — and replaced by a fresh one, so writer latency has no
+//    rebuild cliff: the p999 insert is a seal, not a retrain.
+//  * A drain task on the shared ThreadPool merges sealed buffers into the
+//    sorted delta (newest-wins, tombstone-preserving, via lsm/merge.h
+//    MergeStreams — the shard-local memtable draining through shared
+//    compaction) and, when the delta outgrows `rebuild_fraction` of the
+//    snapshot, rebuilds the snapshot index from scratch via the index's
+//    own bulk load. All heavy work happens on immutable inputs, off the
+//    writer path.
+//  * Readers never block and take no locks. A read pins an epoch
+//    (common/epoch.h), loads the shard's current State pointer, and probes
+//    newest-to-oldest: active buffer (backwards linear scan), sealed
+//    buffers, delta (binary search), snapshot (learned lookup). Epoch
+//    reclamation guarantees the State and everything it references stays
+//    alive until the reader unpins.
+//
+// Memory-order contract (kept in sync with common/epoch.h):
+//  * Shard::state is published with a release store and read with acquire
+//    loads; States are immutable after publication.
+//  * Buffer entries are published by a release store of Buffer::size;
+//    readers acquire-load size and may then read slots [0, size). Slots
+//    are append-only — a published entry is never overwritten.
+//  * Old States are unlinked (state.store) *before* EpochManager::Retire,
+//    and freed only at quiescence; components shared between consecutive
+//    States (snapshot, delta, buffers) are refcounted via shared_ptr,
+//    whose count is only manipulated by writers/drainers, never readers.
+template <typename Index, typename Key = uint64_t, typename Value = uint64_t>
+class ShardedIndex {
+ public:
+  struct Options {
+    size_t num_shards = 16;
+    // Active write-buffer capacity (entries). Smaller buffers mean
+    // cheaper read-side scans but more frequent seals; keep >= 1000/x to
+    // hold seals (the slowest insert path) under the p999 mark.
+    size_t buffer_capacity = 128;
+    // CDF sample size used to learn shard boundaries at BulkLoad.
+    size_t sample_size = 8192;
+    // The snapshot is rebuilt when the merged delta exceeds
+    // max(rebuild_min_delta, rebuild_fraction * snapshot entries).
+    size_t rebuild_min_delta = 4096;
+    double rebuild_fraction = 0.25;
+    // Drain on the shared thread pool (true) or inline on the writer
+    // thread after each seal (false; deterministic, used by fuzz tests).
+    bool background_drain = true;
+    // Threads used to bulk-load the per-shard snapshots.
+    size_t build_threads = 1;
+  };
+
+  explicit ShardedIndex(const Options& options = Options(),
+                        EpochManager* epoch = &EpochManager::Shared())
+      : options_(options), epoch_(epoch) {
+    LIDX_CHECK(options_.num_shards >= 1);
+    LIDX_CHECK(options_.buffer_capacity >= 1);
+    num_shards_ = options_.num_shards;
+    boundaries_.assign(num_shards_, Key{});
+    shards_ = std::make_unique<Shard[]>(num_shards_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      shards_[s].state.store(EmptyState(), std::memory_order_relaxed);
+    }
+  }
+
+  ~ShardedIndex() {
+    WaitForDrains();
+    for (size_t s = 0; s < num_shards_; ++s) {
+      delete shards_[s].state.load(std::memory_order_relaxed);
+    }
+    // Retired States self-contain their payloads (shared_ptr), so they
+    // may outlive this index; nudge the collector anyway.
+    epoch_->ReclaimSome();
+  }
+
+  ShardedIndex(const ShardedIndex&) = delete;
+  ShardedIndex& operator=(const ShardedIndex&) = delete;
+
+  // Bulk-loads sorted strictly-increasing keys. Shard boundaries are the
+  // quantiles of an evenly spaced key sample (the empirical CDF), so each
+  // shard receives ~n/num_shards keys regardless of key-space skew. Not
+  // thread-safe; call before sharing the index.
+  void BulkLoad(const std::vector<Key>& keys,
+                const std::vector<Value>& values) {
+    LIDX_CHECK(keys.size() == values.size());
+    const size_t n = keys.size();
+    boundaries_.assign(num_shards_, n == 0 ? Key{} : keys.front());
+    if (n > 0) {
+      // Sample the CDF: up to sample_size evenly spaced (key, rank)
+      // points, then place boundary s at the sample's s/num_shards
+      // quantile. With sorted input the sample quantile converges on the
+      // exact rank quantile as the sample grows.
+      const size_t sample_n = std::min(options_.sample_size, n);
+      for (size_t s = 1; s < num_shards_; ++s) {
+        const size_t sample_rank = s * sample_n / num_shards_;
+        boundaries_[s] = keys[sample_rank * (n - 1) / (sample_n - 1 + (sample_n == 1))];
+      }
+    }
+    // Boundary keys must be strictly increasing for routing; collapse
+    // duplicate quantiles (tiny datasets) by leaving later shards empty.
+    for (size_t s = 1; s < num_shards_; ++s) {
+      if (boundaries_[s] < boundaries_[s - 1]) {
+        boundaries_[s] = boundaries_[s - 1];
+      }
+    }
+
+    // Per-shard key ranges, then parallel snapshot builds.
+    std::vector<size_t> starts(num_shards_ + 1, 0);
+    for (size_t s = 1; s < num_shards_; ++s) {
+      starts[s] = static_cast<size_t>(
+          std::lower_bound(keys.begin(), keys.end(), boundaries_[s]) -
+          keys.begin());
+    }
+    starts[num_shards_] = n;
+    ParallelForIndex(options_.build_threads, num_shards_, [&](size_t s) {
+      const size_t begin = starts[s];
+      const size_t end = starts[s + 1];
+      State* state = new State();
+      state->active = std::make_shared<Buffer>(options_.buffer_capacity);
+      if (begin < end) {
+        auto index = std::make_shared<Index>();
+        serving_detail::BulkLoadInto<Index, Key, Value>(
+            index.get(), std::vector<Key>(keys.begin() + begin,
+                                          keys.begin() + end),
+            std::vector<Value>(values.begin() + begin, values.begin() + end));
+        state->snapshot = std::move(index);
+        state->snapshot_size = end - begin;
+      }
+      State* old = shards_[s].state.exchange(state, std::memory_order_acq_rel);
+      delete old;  // BulkLoad is not concurrent with readers by contract.
+    });
+  }
+
+  // Lock-free point lookup; never blocks on writers or drains.
+  std::optional<Value> Find(const Key& key) const {
+    const Shard& shard = shards_[Route(key)];
+    EpochManager::Guard guard = epoch_->Pin();
+    const State* state = shard.state.load(std::memory_order_acquire);
+    // 1. Active buffer, newest entry first.
+    if (const Entry* e = ProbeBuffer(*state->active, key)) {
+      return e->tombstone ? std::nullopt : std::optional<Value>(e->value);
+    }
+    // 2. Sealed buffers, newest buffer first.
+    for (auto it = state->sealed.rbegin(); it != state->sealed.rend(); ++it) {
+      if (const Entry* e = ProbeBuffer(**it, key)) {
+        return e->tombstone ? std::nullopt : std::optional<Value>(e->value);
+      }
+    }
+    // 3. Sorted delta.
+    if (state->delta != nullptr) {
+      const Delta& d = *state->delta;
+      const size_t pos = static_cast<size_t>(
+          std::lower_bound(d.keys.begin(), d.keys.end(), key) -
+          d.keys.begin());
+      if (pos < d.keys.size() && d.keys[pos] == key) {
+        return d.tombstones[pos] ? std::nullopt
+                                 : std::optional<Value>(d.values[pos]);
+      }
+    }
+    // 4. Snapshot index.
+    if (state->snapshot != nullptr) return state->snapshot->Find(key);
+    return std::nullopt;
+  }
+
+  bool Contains(const Key& key) const { return Find(key).has_value(); }
+
+  // Batched lookups routed per shard under a single epoch pin. Keys that
+  // fall through every buffer level are resolved against the snapshot via
+  // its own LookupBatch (AMAC prefetch interleaving) when it has one.
+  // Contract matches the 1-D indexes: out[i] = Value{} for absent keys.
+  void FindBatch(const Key* keys, size_t count, Value* out) const {
+    EpochManager::Guard guard = epoch_->Pin();
+    std::vector<const State*> states(num_shards_, nullptr);
+    std::vector<std::vector<size_t>> snapshot_pending(num_shards_);
+    for (size_t i = 0; i < count; ++i) {
+      const size_t s = Route(keys[i]);
+      if (states[s] == nullptr) {
+        states[s] = shards_[s].state.load(std::memory_order_acquire);
+      }
+      const State* state = states[s];
+      if (std::optional<std::optional<Value>> hit =
+              ProbeBuffersAndDelta(*state, keys[i])) {
+        out[i] = hit->has_value() ? **hit : Value{};
+      } else if (state->snapshot != nullptr) {
+        snapshot_pending[s].push_back(i);
+      } else {
+        out[i] = Value{};
+      }
+    }
+    for (size_t s = 0; s < num_shards_; ++s) {
+      const std::vector<size_t>& pending = snapshot_pending[s];
+      if (pending.empty()) continue;
+      const Index& snapshot = *states[s]->snapshot;
+      if constexpr (serving_detail::HasLookupBatch<Index, Key, Value>) {
+        std::vector<Key> batch_keys(pending.size());
+        std::vector<Value> batch_out(pending.size());
+        for (size_t j = 0; j < pending.size(); ++j) {
+          batch_keys[j] = keys[pending[j]];
+        }
+        snapshot.LookupBatch(batch_keys.data(), batch_keys.size(),
+                             batch_out.data());
+        for (size_t j = 0; j < pending.size(); ++j) {
+          out[pending[j]] = batch_out[j];
+        }
+      } else {
+        for (const size_t i : pending) {
+          out[i] = snapshot.Find(keys[i]).value_or(Value{});
+        }
+      }
+    }
+  }
+
+  void Insert(const Key& key, const Value& value) {
+    Upsert(key, value, /*tombstone=*/false);
+  }
+
+  // Blind tombstone write plus a pre-read for the return value (the
+  // existence answer is racy under concurrent writers, like any
+  // check-then-act; the tombstone itself is always correct).
+  bool Erase(const Key& key) {
+    const bool existed = Find(key).has_value();
+    Upsert(key, Value{}, /*tombstone=*/true);
+    return existed;
+  }
+
+  // Merged scan across every level of every overlapping shard. Bounds are
+  // inclusive, matching the 1-D indexes.
+  void RangeScan(const Key& lo, const Key& hi,
+                 std::vector<std::pair<Key, Value>>* out) const {
+    if (hi < lo) return;
+    const size_t first = Route(lo);
+    for (size_t s = first; s < num_shards_; ++s) {
+      if (s > first && boundaries_[s] > hi) break;
+      CollectShardRange(s, lo, hi, out);
+    }
+  }
+
+  // Live entry count (full merge walk; O(n), intended for tests).
+  size_t size() const {
+    std::vector<std::pair<Key, Value>> all;
+    RangeScan(std::numeric_limits<Key>::lowest(),
+              std::numeric_limits<Key>::max(), &all);
+    return all.size();
+  }
+
+  size_t SizeBytes() const {
+    size_t total = sizeof(*this) + boundaries_.capacity() * sizeof(Key);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      EpochManager::Guard guard = epoch_->Pin();
+      const State* state = shards_[s].state.load(std::memory_order_acquire);
+      total += sizeof(State);
+      total += state->active->capacity * sizeof(Entry);
+      for (const auto& b : state->sealed) total += b->capacity * sizeof(Entry);
+      if (state->delta != nullptr) {
+        total += state->delta->keys.capacity() * sizeof(Key) +
+                 state->delta->values.capacity() * sizeof(Value) +
+                 state->delta->tombstones.capacity();
+      }
+      if (state->snapshot != nullptr) {
+        if constexpr (serving_detail::HasSizeBytes<Index>) {
+          total += state->snapshot->SizeBytes();
+        }
+      }
+    }
+    return total;
+  }
+
+  // Blocks until no drain task is queued or running. Writers should be
+  // quiesced first or drains may keep re-arming.
+  void WaitForDrains() const {
+    while (pending_drains_.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+  }
+
+  // Forces every shard's buffered writes down into delta/snapshot (used
+  // by tests to reach a deterministic fully-drained state).
+  void FlushAll() {
+    for (size_t s = 0; s < num_shards_; ++s) {
+      {
+        std::lock_guard<std::mutex> lock(shards_[s].write_mu);
+        State* state = shards_[s].state.load(std::memory_order_relaxed);
+        if (state->active->size.load(std::memory_order_relaxed) > 0) {
+          SealLocked(&shards_[s], state);
+        }
+      }
+      TryScheduleDrain(s, /*force_inline=*/true);
+    }
+    WaitForDrains();
+  }
+
+  struct Stats {
+    uint64_t seals;
+    uint64_t drains;
+    uint64_t rebuilds;
+  };
+  Stats GetStats() const {
+    return Stats{seal_count_.load(std::memory_order_relaxed),
+                 drain_count_.load(std::memory_order_relaxed),
+                 rebuild_count_.load(std::memory_order_relaxed)};
+  }
+
+  size_t num_shards() const { return num_shards_; }
+
+  // Structural invariants over every published shard state. Lock-free and
+  // safe to run concurrently with readers, writers, and drains. Aborts on
+  // violation.
+  void CheckInvariants() const {
+    LIDX_INVARIANT(boundaries_.size() == num_shards_,
+                   "sharded: boundary per shard");
+    invariants::CheckSorted(boundaries_, "sharded: boundaries non-decreasing");
+    for (size_t s = 0; s < num_shards_; ++s) {
+      EpochManager::Guard guard = epoch_->Pin();
+      const State* state = shards_[s].state.load(std::memory_order_acquire);
+      const size_t active_n =
+          state->active->size.load(std::memory_order_acquire);
+      LIDX_INVARIANT(active_n <= state->active->capacity,
+                     "sharded: active buffer within capacity");
+      const auto check_buffer = [&](const Buffer& b) {
+        const size_t n = b.size.load(std::memory_order_acquire);
+        LIDX_INVARIANT(n <= b.capacity, "sharded: buffer within capacity");
+        if (num_shards_ > 1) {
+          for (size_t i = 0; i < n; ++i) {
+            LIDX_INVARIANT(Route(b.slots[i].key) == s,
+                           "sharded: buffered key routes to its shard");
+          }
+        }
+      };
+      check_buffer(*state->active);
+      for (const auto& b : state->sealed) check_buffer(*b);
+      if (state->delta != nullptr) {
+        const Delta& d = *state->delta;
+        LIDX_INVARIANT(d.keys.size() == d.values.size() &&
+                           d.keys.size() == d.tombstones.size(),
+                       "sharded: delta arrays parallel");
+        invariants::CheckStrictlySorted(d.keys, "sharded: delta sorted unique");
+        if (num_shards_ > 1) {
+          for (const Key& k : d.keys) {
+            LIDX_INVARIANT(Route(k) == s,
+                           "sharded: delta key routes to its shard");
+          }
+        }
+      }
+      if (state->snapshot != nullptr) {
+        if constexpr (HasCheckInvariants<Index>) {
+          state->snapshot->CheckInvariants();
+        }
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    bool tombstone;
+  };
+
+  // Append-only write buffer. Entries [0, size) are immutable and
+  // published by the release store of `size`; see the class comment.
+  struct Buffer {
+    explicit Buffer(size_t cap)
+        : slots(std::make_unique<Entry[]>(cap)), capacity(cap) {}
+    std::unique_ptr<Entry[]> slots;
+    size_t capacity;
+    std::atomic<size_t> size{0};
+  };
+
+  // Sorted, unique, tombstone-carrying delta level (the drained form of
+  // sealed buffers). Immutable after construction.
+  struct Delta {
+    std::vector<Key> keys;
+    std::vector<Value> values;
+    std::vector<uint8_t> tombstones;
+  };
+
+  // One immutable version of a shard. Never mutated after its release
+  // publication (the active Buffer's append tail is the one exception,
+  // governed by Buffer::size).
+  struct State {
+    std::shared_ptr<const Index> snapshot;
+    size_t snapshot_size = 0;
+    std::shared_ptr<const Delta> delta;
+    std::vector<std::shared_ptr<Buffer>> sealed;  // Oldest -> newest.
+    std::shared_ptr<Buffer> active;
+  };
+
+  struct alignas(64) Shard {
+    std::atomic<State*> state{nullptr};
+    std::mutex write_mu;
+    std::atomic<bool> drain_scheduled{false};
+  };
+
+  // Payload carried through lsm/merge.h newest-wins merges.
+  struct Pending {
+    Value value;
+    uint8_t tombstone;
+  };
+  using Run = std::vector<std::pair<Key, Pending>>;
+
+  State* EmptyState() {
+    State* state = new State();
+    state->active = std::make_shared<Buffer>(options_.buffer_capacity);
+    return state;
+  }
+
+  // Immutable between BulkLoads: lock-free routing. Duplicate boundaries
+  // (collapsed quantiles on tiny datasets) mark empty shards; the first
+  // shard of a duplicate run owns the whole range, so normalize to it —
+  // otherwise keys above the duplicated boundary would route to a shard
+  // that never received the snapshot data.
+  size_t Route(const Key& key) const {
+    const size_t lb =
+        BinarySearchLowerBound(boundaries_, key, 0, boundaries_.size());
+    size_t s;
+    if (lb < boundaries_.size() && boundaries_[lb] == key) {
+      s = lb;
+    } else {
+      s = lb == 0 ? 0 : lb - 1;
+    }
+    while (s > 0 && boundaries_[s] == boundaries_[s - 1]) --s;
+    return s;
+  }
+
+  // Newest matching entry in a buffer, or nullptr. Backwards scan so a
+  // later upsert of the same key wins.
+  static const Entry* ProbeBuffer(const Buffer& buffer, const Key& key) {
+    const size_t n = buffer.size.load(std::memory_order_acquire);
+    for (size_t i = n; i-- > 0;) {
+      if (buffer.slots[i].key == key) return &buffer.slots[i];
+    }
+    return nullptr;
+  }
+
+  // Probes buffers + delta. Outer nullopt: not present at these levels
+  // (fall through to snapshot). Inner nullopt: tombstoned (definitely
+  // absent).
+  std::optional<std::optional<Value>> ProbeBuffersAndDelta(
+      const State& state, const Key& key) const {
+    if (const Entry* e = ProbeBuffer(*state.active, key)) {
+      return std::optional<std::optional<Value>>(
+          e->tombstone ? std::nullopt : std::optional<Value>(e->value));
+    }
+    for (auto it = state.sealed.rbegin(); it != state.sealed.rend(); ++it) {
+      if (const Entry* e = ProbeBuffer(**it, key)) {
+        return std::optional<std::optional<Value>>(
+            e->tombstone ? std::nullopt : std::optional<Value>(e->value));
+      }
+    }
+    if (state.delta != nullptr) {
+      const Delta& d = *state.delta;
+      const size_t pos = static_cast<size_t>(
+          std::lower_bound(d.keys.begin(), d.keys.end(), key) -
+          d.keys.begin());
+      if (pos < d.keys.size() && d.keys[pos] == key) {
+        return std::optional<std::optional<Value>>(
+            d.tombstones[pos] ? std::nullopt
+                              : std::optional<Value>(d.values[pos]));
+      }
+    }
+    return std::nullopt;
+  }
+
+  void Upsert(const Key& key, const Value& value, bool tombstone) {
+    const size_t s = Route(key);
+    Shard& shard = shards_[s];
+    bool sealed = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.write_mu);
+      // Writers are serialized by write_mu, so a relaxed load sees the
+      // latest state (any prior publisher held this mutex).
+      State* state = shard.state.load(std::memory_order_relaxed);
+      Buffer* buffer = state->active.get();
+      size_t n = buffer->size.load(std::memory_order_relaxed);
+      if (n == buffer->capacity) {
+        SealLocked(&shard, state);
+        state = shard.state.load(std::memory_order_relaxed);
+        buffer = state->active.get();
+        n = 0;
+        sealed = true;
+      }
+      buffer->slots[n] = Entry{key, value, tombstone};
+      // Release-publish the appended entry (paired with the acquire load
+      // in ProbeBuffer).
+      buffer->size.store(n + 1, std::memory_order_release);
+    }
+    if (sealed) TryScheduleDrain(s, /*force_inline=*/false);
+  }
+
+  // Moves the full active buffer onto the sealed list. O(1): no sort, no
+  // copy — this is the entire slow path a writer can hit, which is what
+  // keeps insert p999 within a small factor of p50.
+  void SealLocked(Shard* shard, State* state) {
+    State* next = new State(*state);
+    next->sealed.push_back(state->active);
+    next->active = std::make_shared<Buffer>(options_.buffer_capacity);
+    shard->state.store(next, std::memory_order_release);
+    // Unlink-then-retire: `state` is unreachable to new readers; epoch
+    // reclamation frees it once in-flight readers unpin.
+    epoch_->RetireDelete(state);
+    seal_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool NeedsDrain(const Shard& shard) const {
+    EpochManager::Guard guard = epoch_->Pin();
+    const State* state = shard.state.load(std::memory_order_acquire);
+    return !state->sealed.empty();
+  }
+
+  void TryScheduleDrain(size_t s, bool force_inline) {
+    Shard& shard = shards_[s];
+    if (!NeedsDrain(shard)) return;
+    if (shard.drain_scheduled.exchange(true, std::memory_order_acq_rel)) {
+      return;  // A drain is already queued or running; it will re-check.
+    }
+    pending_drains_.fetch_add(1, std::memory_order_acq_rel);
+    if (options_.background_drain && !force_inline) {
+      ThreadPool::Shared().Submit([this, s] { DrainShard(s); });
+    } else {
+      DrainShard(s);
+    }
+  }
+
+  // Runs on a pool worker (or inline). Merges sealed buffers into the
+  // delta and rebuilds the snapshot when the delta outgrows it. At most
+  // one drain per shard runs at a time (drain_scheduled), which is what
+  // makes the sealed-prefix removal in the publish step sound.
+  void DrainShard(size_t s) {
+    Shard& shard = shards_[s];
+    for (;;) {
+      DrainOnce(&shard);
+      shard.drain_scheduled.store(false, std::memory_order_release);
+      // Re-arm if writers sealed more buffers while we merged. The
+      // exchange closes the race with a concurrent TryScheduleDrain.
+      if (!NeedsDrain(shard)) break;
+      if (shard.drain_scheduled.exchange(true, std::memory_order_acq_rel)) {
+        break;  // Someone else claimed the next round.
+      }
+    }
+    epoch_->ReclaimSome();
+    pending_drains_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  void DrainOnce(Shard* shard) {
+    // Capture immutable inputs under an epoch pin; the shared_ptr copies
+    // keep them alive after unpinning, so the heavy merge below runs
+    // without blocking writers or readers.
+    std::shared_ptr<const Index> snapshot;
+    size_t snapshot_size = 0;
+    std::shared_ptr<const Delta> delta;
+    std::vector<std::shared_ptr<Buffer>> sealed;
+    {
+      EpochManager::Guard guard = epoch_->Pin();
+      const State* state = shard->state.load(std::memory_order_acquire);
+      snapshot = state->snapshot;
+      snapshot_size = state->snapshot_size;
+      delta = state->delta;
+      sealed = state->sealed;
+    }
+    const size_t merged_count = sealed.size();
+    if (merged_count == 0) return;
+
+    // Newest-first runs for the shared LSM merge: each sealed buffer
+    // becomes a sorted run (newest entry per key wins within a buffer),
+    // the existing delta is the oldest run.
+    std::vector<Run> runs;
+    runs.reserve(merged_count + 1);
+    for (auto it = sealed.rbegin(); it != sealed.rend(); ++it) {
+      runs.push_back(BufferToRun(**it));
+    }
+    if (delta != nullptr) runs.push_back(DeltaToRun(*delta));
+    Run merged = MergeStreams(std::move(runs), /*threads=*/1);
+
+    std::shared_ptr<const Index> new_snapshot = snapshot;
+    size_t new_snapshot_size = snapshot_size;
+    std::shared_ptr<const Delta> new_delta;
+    const size_t rebuild_threshold = std::max(
+        options_.rebuild_min_delta,
+        static_cast<size_t>(options_.rebuild_fraction *
+                            static_cast<double>(snapshot_size)));
+    if (merged.size() >= rebuild_threshold) {
+      RebuildSnapshot(snapshot.get(), merged, &new_snapshot,
+                      &new_snapshot_size);
+      rebuild_count_.fetch_add(1, std::memory_order_relaxed);
+    } else if (!merged.empty()) {
+      auto d = std::make_shared<Delta>();
+      d->keys.reserve(merged.size());
+      d->values.reserve(merged.size());
+      d->tombstones.reserve(merged.size());
+      for (const auto& [k, p] : merged) {
+        d->keys.push_back(k);
+        d->values.push_back(p.value);
+        d->tombstones.push_back(p.tombstone);
+      }
+      new_delta = std::move(d);
+    }
+
+    // Publish: splice the merged result in under the writer lock, keeping
+    // whatever sealed buffers and active appends arrived meanwhile.
+    {
+      std::lock_guard<std::mutex> lock(shard->write_mu);
+      State* current = shard->state.load(std::memory_order_relaxed);
+      State* next = new State();
+      next->snapshot = std::move(new_snapshot);
+      next->snapshot_size = new_snapshot_size;
+      next->delta = std::move(new_delta);
+      next->sealed.assign(current->sealed.begin() + merged_count,
+                          current->sealed.end());
+      next->active = current->active;
+      shard->state.store(next, std::memory_order_release);
+      epoch_->RetireDelete(current);
+    }
+    drain_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Sorted newest-wins run from an append-ordered buffer.
+  static Run BufferToRun(const Buffer& buffer) {
+    const size_t n = buffer.size.load(std::memory_order_acquire);
+    Run run;
+    run.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Entry& e = buffer.slots[i];
+      run.emplace_back(e.key, Pending{e.value, e.tombstone ? uint8_t{1}
+                                                           : uint8_t{0}});
+    }
+    std::stable_sort(run.begin(), run.end(), [](const auto& a, const auto& b) {
+      return a.first < b.first;
+    });
+    // Keep the last (newest) entry of each equal-key group.
+    Run deduped;
+    deduped.reserve(run.size());
+    for (size_t i = 0; i < run.size(); ++i) {
+      if (i + 1 == run.size() || run[i + 1].first != run[i].first) {
+        deduped.push_back(run[i]);
+      }
+    }
+    return deduped;
+  }
+
+  static Run DeltaToRun(const Delta& delta) {
+    Run run;
+    run.reserve(delta.keys.size());
+    for (size_t i = 0; i < delta.keys.size(); ++i) {
+      run.emplace_back(delta.keys[i],
+                       Pending{delta.values[i], delta.tombstones[i]});
+    }
+    return run;
+  }
+
+  // Merges the delta into a dump of the snapshot and bulk-loads a fresh
+  // index. Tombstones die here: the shard owns its whole key range, so a
+  // tombstone surviving to the bottom level deletes nothing below.
+  void RebuildSnapshot(const Index* snapshot, const Run& merged,
+                       std::shared_ptr<const Index>* out_snapshot,
+                       size_t* out_size) {
+    std::vector<std::pair<Key, Value>> base;
+    if (snapshot != nullptr) {
+      snapshot->RangeScan(std::numeric_limits<Key>::lowest(),
+                          std::numeric_limits<Key>::max(), &base);
+    }
+    std::vector<Key> keys;
+    std::vector<Value> values;
+    keys.reserve(base.size() + merged.size());
+    values.reserve(base.size() + merged.size());
+    size_t di = 0;
+    size_t bi = 0;
+    while (di < merged.size() || bi < base.size()) {
+      const bool take_delta =
+          di < merged.size() &&
+          (bi >= base.size() || merged[di].first <= base[bi].first);
+      if (take_delta) {
+        if (bi < base.size() && base[bi].first == merged[di].first) ++bi;
+        if (!merged[di].second.tombstone) {
+          keys.push_back(merged[di].first);
+          values.push_back(merged[di].second.value);
+        }
+        ++di;
+      } else {
+        keys.push_back(base[bi].first);
+        values.push_back(base[bi].second);
+        ++bi;
+      }
+    }
+    if (keys.empty()) {
+      out_snapshot->reset();
+      *out_size = 0;
+      return;
+    }
+    auto index = std::make_shared<Index>();
+    *out_size = keys.size();
+    serving_detail::BulkLoadInto<Index, Key, Value>(
+        index.get(), std::move(keys), std::move(values));
+    *out_snapshot = std::move(index);
+  }
+
+  void CollectShardRange(size_t s, const Key& lo, const Key& hi,
+                         std::vector<std::pair<Key, Value>>* out) const {
+    EpochManager::Guard guard = epoch_->Pin();
+    const State* state = shards_[s].state.load(std::memory_order_acquire);
+    // Newest-wins merge via try_emplace: levels are visited newest first,
+    // and the first emplace of a key sticks. nullopt marks a tombstone.
+    std::map<Key, std::optional<Value>> window;
+    const auto add_buffer = [&](const Buffer& b) {
+      const size_t n = b.size.load(std::memory_order_acquire);
+      for (size_t i = n; i-- > 0;) {
+        const Entry& e = b.slots[i];
+        if (e.key < lo || hi < e.key) continue;
+        window.try_emplace(e.key, e.tombstone
+                                      ? std::optional<Value>()
+                                      : std::optional<Value>(e.value));
+      }
+    };
+    add_buffer(*state->active);
+    for (auto it = state->sealed.rbegin(); it != state->sealed.rend(); ++it) {
+      add_buffer(**it);
+    }
+    if (state->delta != nullptr) {
+      const Delta& d = *state->delta;
+      size_t pos = static_cast<size_t>(
+          std::lower_bound(d.keys.begin(), d.keys.end(), lo) -
+          d.keys.begin());
+      for (; pos < d.keys.size() && d.keys[pos] <= hi; ++pos) {
+        window.try_emplace(d.keys[pos],
+                           d.tombstones[pos]
+                               ? std::optional<Value>()
+                               : std::optional<Value>(d.values[pos]));
+      }
+    }
+    if (state->snapshot != nullptr) {
+      std::vector<std::pair<Key, Value>> from_snapshot;
+      state->snapshot->RangeScan(lo, hi, &from_snapshot);
+      for (const auto& [k, v] : from_snapshot) {
+        window.try_emplace(k, std::optional<Value>(v));
+      }
+    }
+    for (const auto& [k, v] : window) {
+      if (v.has_value()) out->emplace_back(k, *v);
+    }
+  }
+
+  Options options_;
+  size_t num_shards_ = 1;
+  std::vector<Key> boundaries_;
+  std::unique_ptr<Shard[]> shards_;
+  EpochManager* epoch_;
+  std::atomic<size_t> pending_drains_{0};
+  std::atomic<uint64_t> seal_count_{0};
+  std::atomic<uint64_t> drain_count_{0};
+  std::atomic<uint64_t> rebuild_count_{0};
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_SERVING_SHARDED_INDEX_H_

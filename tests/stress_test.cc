@@ -19,11 +19,14 @@
 #include "common/parallel.h"
 #include "common/random.h"
 #include "datasets/generators.h"
+#include "common/epoch.h"
 #include "lsm/lsm_tree.h"
 #include "one_d/concurrent_index.h"
+#include "one_d/dynamic_pgm.h"
 #include "one_d/pgm.h"
 #include "one_d/radix_spline.h"
 #include "one_d/rmi.h"
+#include "serving/sharded_index.h"
 
 namespace lidx {
 namespace {
@@ -275,6 +278,87 @@ TEST(StressTest, LsmBackgroundCompactionChurn) {
   lsm.Flush();
   lsm.WaitForCompactions();
   lsm.CheckInvariants();
+}
+
+// Sharded serving engine under a full mixed load: writers, an eraser on a
+// private key range, point readers, a cross-shard range scanner, and a
+// structural checker, with background drains rebuilding snapshots on the
+// shared pool throughout. This is the TSan probe for the epoch pin/retire
+// protocol and the release-published append buffers.
+TEST(StressTest, ShardedIndexMixedOpsWithBackgroundDrains) {
+  using Sharded = ShardedIndex<DynamicPgm<uint64_t, uint64_t>>;
+  const auto keys = GenerateKeys(KeyDistribution::kLognormal, 20000, 907);
+  Sharded::Options opts;
+  opts.num_shards = 8;
+  opts.buffer_capacity = 32;     // Constant seal/drain churn.
+  opts.rebuild_min_delta = 512;  // Frequent snapshot rebuilds.
+  opts.background_drain = true;
+  Sharded index(opts);
+  index.BulkLoad(keys, Ranks(keys.size()));
+
+  constexpr int kOpsPerThread = 4000;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> bad_reads{0};
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {  // Writers over the bulk keys.
+      Rng rng(911 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t k = keys[rng.NextBounded(keys.size())];
+        index.Insert(k, k + 1);
+      }
+    });
+  }
+  threads.emplace_back([&] {  // Eraser over its own fresh key space.
+    Rng rng(919);
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const uint64_t k = keys.back() + 1 + rng.NextBounded(1u << 20);
+      index.Insert(k, k + 1);
+      index.Erase(k);
+    }
+  });
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {  // Point readers over bulk keys.
+      Rng rng(929 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t j = rng.NextBounded(keys.size());
+        const auto got = index.Find(keys[j]);
+        // Bulk keys are overwritten (k -> k+1) but never erased here, so
+        // a miss or an unexpected value is a torn read.
+        if (!got.has_value() || (*got != j && *got != keys[j] + 1)) {
+          bad_reads.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {  // Cross-shard range scanner.
+    Rng rng(937);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t lo = keys[rng.NextBounded(keys.size())];
+      std::vector<std::pair<uint64_t, uint64_t>> out;
+      index.RangeScan(lo, lo + (1ull << 40), &out);
+      for (size_t i = 1; i < out.size(); ++i) {
+        if (out[i - 1].first >= out[i].first) bad_reads.fetch_add(1);
+      }
+    }
+  });
+  threads.emplace_back([&] {  // Concurrent structural checker.
+    while (!stop.load(std::memory_order_relaxed)) {
+      index.CheckInvariants();
+    }
+  });
+
+  // First three threads are the bounded writers/eraser; join them, then
+  // stop the unbounded readers/scanner/checker.
+  for (int t = 0; t < 3; ++t) threads[t].join();
+  stop.store(true);
+  for (size_t t = 3; t < threads.size(); ++t) threads[t].join();
+
+  index.WaitForDrains();
+  EXPECT_EQ(bad_reads.load(), 0u);
+  index.CheckInvariants();
+  EpochManager::Shared().ReclaimSome();
 }
 
 }  // namespace
