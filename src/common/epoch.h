@@ -7,11 +7,19 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#ifdef LIDX_EPOCH_VALIDATE
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+#endif
+
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace lidx {
 
@@ -57,6 +65,19 @@ namespace lidx {
 //  * Writers publish the replacement pointer with a release store *before*
 //    calling Retire; readers load it with acquire. Retire itself only tags
 //    garbage — it never synchronizes with readers.
+//
+// Debug protocol validator (LIDX_EPOCH_VALIDATE): when compiled with
+// -DLIDX_EPOCH_VALIDATE (CMake option of the same name; also set
+// per-target by tests/epoch_validate_test), the manager additionally
+// tracks, per thread, the depth and epoch of its live pins, and keeps a
+// registry of retired-but-not-yet-freed pointers. The read paths of the
+// epoch-protected structures call AssertPinned()/AssertProtected(ptr),
+// which abort with a diagnostic on the two protocol violations the static
+// rules cannot see at runtime: dereferencing a protected pointer with no
+// live pin, and holding a pointer that was already retired before the
+// current pin began (a stale pointer cached across an unpin). Both hooks
+// compile to empty inline functions when the macro is off, so release
+// builds pay nothing.
 class EpochManager {
  public:
   static constexpr size_t kMaxThreads = 512;
@@ -69,8 +90,11 @@ class EpochManager {
     LIDX_CHECK(PinnedThreads() == 0);
     std::deque<Retired> leftover;
     {
-      std::lock_guard<std::mutex> lock(retire_mu_);
+      MutexLock lock(retire_mu_);
       leftover.swap(retired_);
+#ifdef LIDX_EPOCH_VALIDATE
+      retired_live_.clear();
+#endif
     }
     for (Retired& r : leftover) r.deleter();
   }
@@ -88,6 +112,9 @@ class EpochManager {
     Guard& operator=(const Guard&) = delete;
 
     ~Guard() {
+#ifdef LIDX_EPOCH_VALIDATE
+      mgr_->ValidateUnpin();
+#endif
       switch (mode_) {
         case Mode::kNested:
           --CacheForThread()->depth;
@@ -108,9 +135,19 @@ class EpochManager {
    private:
     friend class EpochManager;
     enum class Mode { kNested, kCached, kTransient };
-    Guard(std::atomic<uint64_t>* slot, Mode mode) : slot_(slot), mode_(mode) {}
+    Guard(std::atomic<uint64_t>* slot, Mode mode, EpochManager* mgr)
+        : slot_(slot), mode_(mode) {
+#ifdef LIDX_EPOCH_VALIDATE
+      mgr_ = mgr;
+#else
+      (void)mgr;
+#endif
+    }
     std::atomic<uint64_t>* slot_;  // nullptr for nested pins.
     Mode mode_;
+#ifdef LIDX_EPOCH_VALIDATE
+    EpochManager* mgr_ = nullptr;
+#endif
   };
 
   // Pins the calling thread in the current epoch. Protected pointers must
@@ -121,7 +158,10 @@ class EpochManager {
     if (cache->mgr == this && cache->instance_id == instance_id_ &&
         cache->depth > 0) {
       ++cache->depth;
-      return Guard(nullptr, Guard::Mode::kNested);
+#ifdef LIDX_EPOCH_VALIDATE
+      ValidatePin(/*epoch=*/0, /*nested=*/true);
+#endif
+      return Guard(nullptr, Guard::Mode::kNested, this);
     }
     std::atomic<uint64_t>* slot;
     Guard::Mode mode;
@@ -143,24 +183,39 @@ class EpochManager {
     // while the store was in flight. Both seq_cst: the slot store must be
     // ordered before the validating load and before every subsequent
     // protected pointer load.
+    uint64_t pinned_epoch;
     for (;;) {
       const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
       slot->store(e, std::memory_order_seq_cst);
-      if (global_epoch_.load(std::memory_order_seq_cst) == e) break;
+      if (global_epoch_.load(std::memory_order_seq_cst) == e) {
+        pinned_epoch = e;
+        break;
+      }
     }
     if (mode == Guard::Mode::kCached) cache->depth = 1;
-    return Guard(slot, mode);
+#ifdef LIDX_EPOCH_VALIDATE
+    ValidatePin(pinned_epoch, /*nested=*/false);
+#else
+    (void)pinned_epoch;
+#endif
+    return Guard(slot, mode, this);
   }
 
   // Queues `deleter` to run once no reader can still hold the object it
   // frees. Call *after* the object has been unlinked from every shared
   // pointer (publish-then-retire). Safe from any thread, including pool
-  // workers; the deleter runs on whichever thread later reclaims.
-  void Retire(std::function<void()> deleter) {
+  // workers; the deleter runs on whichever thread later reclaims. `ptr`,
+  // when given, identifies the object being freed for the
+  // LIDX_EPOCH_VALIDATE registry; it is unused otherwise.
+  void Retire(std::function<void()> deleter, const void* ptr = nullptr)
+      LIDX_EXCLUDES(retire_mu_) {
     const uint64_t e = global_epoch_.load(std::memory_order_acquire);
     {
-      std::lock_guard<std::mutex> lock(retire_mu_);
-      retired_.push_back(Retired{e, std::move(deleter)});
+      MutexLock lock(retire_mu_);
+      retired_.push_back(Retired{e, std::move(deleter), ptr});
+#ifdef LIDX_EPOCH_VALIDATE
+      if (ptr != nullptr) retired_live_.emplace(ptr, e);
+#endif
     }
     retired_count_.fetch_add(1, std::memory_order_relaxed);
     // Amortized housekeeping so garbage cannot pile up unboundedly even if
@@ -172,22 +227,27 @@ class EpochManager {
 
   template <typename T>
   void RetireDelete(T* ptr) {
-    if (ptr != nullptr) Retire([ptr] { delete ptr; });
+    if (ptr != nullptr) Retire([ptr] { delete ptr; }, ptr);
   }
 
   // Tries to advance the global epoch and frees every retired object that
   // has reached quiescence. Returns the number of deleters run. Never
   // blocks; safe to call concurrently with pins/retires.
-  size_t ReclaimSome() {
+  size_t ReclaimSome() LIDX_EXCLUDES(retire_mu_) {
     TryAdvance();
     const uint64_t global = global_epoch_.load(std::memory_order_acquire);
     const uint64_t min_pinned = MinPinnedEpoch();
     std::deque<Retired> ready;
     {
-      std::lock_guard<std::mutex> lock(retire_mu_);
+      MutexLock lock(retire_mu_);
       while (!retired_.empty()) {
         const Retired& r = retired_.front();
         if (r.epoch + 2 > global || r.epoch >= min_pinned) break;
+#ifdef LIDX_EPOCH_VALIDATE
+        if (retired_.front().ptr != nullptr) {
+          retired_live_.erase(retired_.front().ptr);
+        }
+#endif
         ready.push_back(std::move(retired_.front()));
         retired_.pop_front();
       }
@@ -218,14 +278,65 @@ class EpochManager {
     return pinned;
   }
 
-  size_t RetiredCount() const {
-    std::lock_guard<std::mutex> lock(retire_mu_);
+  size_t RetiredCount() const LIDX_EXCLUDES(retire_mu_) {
+    MutexLock lock(retire_mu_);
     return retired_.size();
   }
 
   uint64_t FreedCount() const {
     return freed_count_.load(std::memory_order_relaxed);
   }
+
+  // ---- LIDX_EPOCH_VALIDATE hooks -----------------------------------------
+  // The epoch-protected read paths (ShardedIndex, ConcurrentLearnedIndex)
+  // call these after loading a protected pointer. Both are free no-ops
+  // unless the validator is compiled in.
+
+#ifdef LIDX_EPOCH_VALIDATE
+  // Aborts unless the calling thread holds a live pin on this manager.
+  void AssertPinned() const {
+    if (FindValidateRecord() == nullptr) {
+      ValidateFail("thread touches an epoch-protected structure with no "
+                   "live pin on this manager");
+    }
+  }
+
+  // Aborts unless the calling thread is pinned AND `ptr` is not a pointer
+  // that was retired before the pin began. A pointer retired in epoch E is
+  // unreachable to any reader that pinned at epoch P > E (publish-then-
+  // retire: the unlink precedes the retire), so observing one means the
+  // reader cached it across an unpin — the exact bug class epoch
+  // reclamation exists to prevent, caught here before the free.
+  void AssertProtected(const void* ptr) const {
+    const ValidateRecord* rec = FindValidateRecord();
+    if (rec == nullptr) {
+      ValidateFail("thread dereferences an epoch-protected pointer with no "
+                   "live pin on this manager");
+      return;
+    }
+    if (ptr == nullptr) return;
+    MutexLock lock(retire_mu_);
+    const auto it = retired_live_.find(ptr);
+    if (it != retired_live_.end() && it->second < rec->epoch) {
+      std::fprintf(stderr,
+                   "LIDX_EPOCH_VALIDATE: stale pointer %p — retired in epoch "
+                   "%llu, but the current pin began in epoch %llu; the "
+                   "pointer was cached across an unpin\n",
+                   ptr, static_cast<unsigned long long>(it->second),
+                   static_cast<unsigned long long>(rec->epoch));
+      std::abort();
+    }
+  }
+
+  // Live pin depth of the calling thread on this manager (test hook).
+  int ValidatePinDepth() const {
+    const ValidateRecord* rec = FindValidateRecord();
+    return rec == nullptr ? 0 : rec->depth;
+  }
+#else
+  void AssertPinned() const {}
+  void AssertProtected(const void* /*ptr*/) const {}
+#endif
 
   // Process-wide manager: every serving-layer structure shares it so one
   // reader community and one garbage pool cover the whole process.
@@ -254,6 +365,10 @@ class EpochManager {
   struct Retired {
     uint64_t epoch;
     std::function<void()> deleter;
+    // Identity of the object the deleter frees (validator registry key);
+    // nullptr for opaque deleters. Carried unconditionally so the struct
+    // layout does not depend on LIDX_EPOCH_VALIDATE.
+    const void* ptr = nullptr;
   };
 
   // Per-thread slot cache. A thread keeps its claimed slot across pins (no
@@ -282,6 +397,59 @@ class EpochManager {
     thread_local ThreadCache cache;
     return &cache;
   }
+
+#ifdef LIDX_EPOCH_VALIDATE
+  // One record per (thread, manager) with a live pin: outermost pin epoch
+  // plus nesting depth. A plain vector — cross-manager nesting is rare and
+  // shallow, so linear scans beat a map.
+  struct ValidateRecord {
+    const EpochManager* mgr;
+    uint64_t epoch;
+    int depth;
+  };
+
+  static std::vector<ValidateRecord>& ValidateRecords() {
+    thread_local std::vector<ValidateRecord> records;
+    return records;
+  }
+
+  const ValidateRecord* FindValidateRecord() const {
+    for (const ValidateRecord& rec : ValidateRecords()) {
+      if (rec.mgr == this && rec.depth > 0) return &rec;
+    }
+    return nullptr;
+  }
+
+  void ValidatePin(uint64_t epoch, bool nested) {
+    for (ValidateRecord& rec : ValidateRecords()) {
+      if (rec.mgr == this) {
+        if (!nested && rec.depth == 0) rec.epoch = epoch;
+        ++rec.depth;
+        return;
+      }
+    }
+    LIDX_CHECK(!nested);  // A nested pin implies an existing record.
+    ValidateRecords().push_back(ValidateRecord{this, epoch, 1});
+  }
+
+  void ValidateUnpin() {
+    for (ValidateRecord& rec : ValidateRecords()) {
+      if (rec.mgr == this) {
+        LIDX_CHECK(rec.depth > 0);
+        --rec.depth;
+        return;
+      }
+    }
+    ValidateFail("guard destroyed on a thread with no pin record");
+  }
+
+  [[noreturn]] void ValidateFail(const char* what) const {
+    std::fprintf(stderr, "LIDX_EPOCH_VALIDATE: %s (manager %p, thread %zu)\n",
+                 what, static_cast<const void*>(this),
+                 std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    std::abort();
+  }
+#endif
 
   // Claims a free slot, starting at a thread-dependent offset so
   // unrelated threads do not fight over slot 0.
@@ -341,8 +509,14 @@ class EpochManager {
   std::shared_ptr<Slots> slots_;
   // Starts at 2 so `epoch + 2 <= global` arithmetic never underflows.
   std::atomic<uint64_t> global_epoch_{2};
-  mutable std::mutex retire_mu_;
-  std::deque<Retired> retired_;
+  mutable Mutex retire_mu_;
+  std::deque<Retired> retired_ LIDX_GUARDED_BY(retire_mu_);
+#ifdef LIDX_EPOCH_VALIDATE
+  // Retired-but-not-yet-freed objects keyed by identity, tagged with their
+  // retire epoch. AssertProtected consults this to catch stale pointers.
+  mutable std::unordered_map<const void*, uint64_t> retired_live_
+      LIDX_GUARDED_BY(retire_mu_);
+#endif
   std::atomic<uint64_t> retired_count_{0};
   std::atomic<uint64_t> freed_count_{0};
   uint64_t instance_id_;

@@ -3,19 +3,19 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace lidx {
 
@@ -46,10 +46,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (std::thread& w : workers_) w.join();
   }
 
@@ -68,11 +68,11 @@ class ThreadPool {
         std::forward<Fn>(fn));
     std::future<Result> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       LIDX_CHECK(!stop_);
       queue_.emplace_back([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return future;
   }
 
@@ -95,8 +95,8 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        while (!stop_ && queue_.empty()) cv_.Wait(mu_);
         if (queue_.empty()) return;  // stop_ set and drained.
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -105,10 +105,10 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ LIDX_GUARDED_BY(mu_);
+  bool stop_ LIDX_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 
@@ -125,8 +125,8 @@ struct ForState {
   std::function<void(size_t, size_t)> body;
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
 
   void RunChunks() {
     for (;;) {
@@ -138,8 +138,8 @@ struct ForState {
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
         // Last chunk: wake the owner. Lock ordering: take mu so the wake
         // cannot slot between the owner's predicate check and its wait.
-        std::lock_guard<std::mutex> lock(mu);
-        cv.notify_all();
+        MutexLock lock(mu);
+        cv.NotifyAll();
       }
     }
   }
@@ -180,10 +180,10 @@ inline void ParallelFor(size_t threads, size_t n, size_t grain,
   }
   state->RunChunks();
   if (state->done.load(std::memory_order_acquire) != num_chunks) {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->cv.wait(lock, [&] {
-      return state->done.load(std::memory_order_acquire) == num_chunks;
-    });
+    MutexLock lock(state->mu);
+    while (state->done.load(std::memory_order_acquire) != num_chunks) {
+      state->cv.Wait(state->mu);
+    }
   }
 }
 

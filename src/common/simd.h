@@ -555,7 +555,10 @@ inline Level ClampLevel(Level requested) {
 }
 
 inline Level EnvLevelCap() {
-  const char* e = std::getenv("LIDX_SIMD");
+  // getenv is not thread-safe against concurrent setenv, but the cap is
+  // read exactly once (magic-static init in MutableTable) before any worker
+  // threads exist, and nothing in the library calls setenv.
+  const char* e = std::getenv("LIDX_SIMD");  // NOLINT(concurrency-mt-unsafe)
   if (e == nullptr) return DetectBestLevel();
   if (std::strcmp(e, "0") == 0 || std::strcmp(e, "off") == 0 ||
       std::strcmp(e, "scalar") == 0) {

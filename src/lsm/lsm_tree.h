@@ -2,11 +2,9 @@
 #define LIDX_LSM_LSM_TREE_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -15,7 +13,9 @@
 #include "baselines/skiplist.h"
 #include "common/invariants.h"
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/parallel.h"
+#include "common/thread_annotations.h"
 #include "lsm/merge.h"
 #include "lsm/run.h"
 
@@ -95,7 +95,7 @@ class LsmTree {
       return hit->value;
     }
     if (!options_.background_compaction) {
-      return GetFromRuns(l0_, levels_, key);
+      return GetSingleThreaded(key);
     }
     // Snapshot the run pointers under the lock; the runs themselves are
     // immutable, so probing outside the lock is safe even while a worker
@@ -114,8 +114,7 @@ class LsmTree {
     if (options_.background_compaction) {
       SnapshotComponents(&l0, &levels);
     } else {
-      l0 = l0_;
-      levels = levels_;
+      CopyComponentsSingleThreaded(&l0, &levels);
     }
     // Gather per-component sorted streams; newest stream wins per key.
     std::vector<std::vector<KV>> streams;
@@ -146,13 +145,12 @@ class LsmTree {
     RunPtr run = MakeRun(std::move(entries));
     memtable_ = SkipList<Key, RunEntry<Value>>();
     if (!options_.background_compaction) {
-      l0_.push_back(std::move(run));
-      MaybeCompact();
+      InstallFlushSingleThreaded(std::move(run));
       return;
     }
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     l0_.push_back(std::move(run));
-    if (l0_.size() > options_.l0_run_limit) ScheduleCompactionLocked(lock);
+    if (l0_.size() > options_.l0_run_limit) ScheduleCompactionLocked();
   }
 
   // Blocks until no background compaction is in flight (no-op in
@@ -160,12 +158,12 @@ class LsmTree {
   // while a pool worker still references it.
   void WaitForCompactions() {
     if (!options_.background_compaction) return;
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !compaction_inflight_; });
+    MutexLock lock(mu_);
+    while (compaction_inflight_) cv_.Wait(mu_);
   }
 
   size_t NumRuns() const {
-    const auto lock = MaybeLock();
+    MutexLockMaybe lock(&mu_, options_.background_compaction);
     size_t n = l0_.size();
     for (const auto& run : levels_) {
       if (run != nullptr) ++n;
@@ -174,18 +172,18 @@ class LsmTree {
   }
 
   size_t NumLevels() const {
-    const auto lock = MaybeLock();
+    MutexLockMaybe lock(&mu_, options_.background_compaction);
     return levels_.size();
   }
 
   // Compaction passes merged inline on the writer thread vs. on the pool.
   // Deterministic test hooks for the two modes.
   size_t inline_compactions() const {
-    const auto lock = MaybeLock();
+    MutexLockMaybe lock(&mu_, options_.background_compaction);
     return inline_compactions_;
   }
   size_t background_compactions() const {
-    const auto lock = MaybeLock();
+    MutexLockMaybe lock(&mu_, options_.background_compaction);
     return background_compactions_;
   }
 
@@ -193,7 +191,7 @@ class LsmTree {
   void ResetStats() const { stats_ = LsmStats{}; }
 
   size_t SizeBytes() const {
-    const auto lock = MaybeLock();
+    MutexLockMaybe lock(&mu_, options_.background_compaction);
     size_t total = sizeof(*this) + memtable_.SizeBytes();
     for (const auto& run : l0_) total += run->SizeBytes();
     for (const auto& run : levels_) {
@@ -210,7 +208,7 @@ class LsmTree {
   // fits its capacity except the deepest, which absorbs overflow when the
   // tree is full. Aborts on violation. Test hook.
   void CheckInvariants() const {
-    const auto lock = MaybeLock();
+    MutexLockMaybe lock(&mu_, options_.background_compaction);
     memtable_.CheckInvariants();
     LIDX_INVARIANT(memtable_.size() < options_.memtable_limit ||
                        options_.memtable_limit == 0,
@@ -239,7 +237,7 @@ class LsmTree {
 
   // Total learned-model bytes across runs (0 in binary-search mode).
   size_t ModelSizeBytes() const {
-    const auto lock = MaybeLock();
+    MutexLockMaybe lock(&mu_, options_.background_compaction);
     size_t total = 0;
     for (const auto& run : l0_) total += run->ModelSizeBytes();
     for (const auto& run : levels_) {
@@ -278,18 +276,34 @@ class LsmTree {
     return options_.l0_run_limit * (options_.max_pending_compactions + 1);
   }
 
-  // Locks the component mutex in background mode; a no-op handle in
-  // synchronous mode, where only the client thread ever touches state.
-  std::unique_lock<std::mutex> MaybeLock() const {
-    return options_.background_compaction ? std::unique_lock<std::mutex>(mu_)
-                                          : std::unique_lock<std::mutex>();
-  }
-
   void SnapshotComponents(std::vector<RunPtr>* l0,
                           std::vector<RunPtr>* levels) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     *l0 = l0_;
     *levels = levels_;
+  }
+
+  // Synchronous-mode fast paths: the class contract says one client thread
+  // and no background workers, so the component fields cannot be contended
+  // and the lock is skipped. AssertHeld() tells the analysis the guarded
+  // fields are safe here; both sites are allowlisted in
+  // docs/STATIC_ANALYSIS.md.
+  std::optional<Value> GetSingleThreaded(const Key& key) const {
+    mu_.AssertHeld();
+    return GetFromRuns(l0_, levels_, key);
+  }
+
+  void CopyComponentsSingleThreaded(std::vector<RunPtr>* l0,
+                                    std::vector<RunPtr>* levels) const {
+    mu_.AssertHeld();
+    *l0 = l0_;
+    *levels = levels_;
+  }
+
+  void InstallFlushSingleThreaded(RunPtr run) {
+    mu_.AssertHeld();
+    l0_.push_back(std::move(run));
+    MaybeCompact();
   }
 
   std::optional<Value> GetFromRuns(const std::vector<RunPtr>& l0,
@@ -313,7 +327,7 @@ class LsmTree {
   }
 
   // Synchronous-mode compaction: merge inline on the caller's thread.
-  void MaybeCompact() {
+  void MaybeCompact() LIDX_REQUIRES(mu_) {
     if (l0_.size() <= options_.l0_run_limit) return;
     std::vector<RunPtr> batch = std::move(l0_);
     l0_.clear();
@@ -322,8 +336,9 @@ class LsmTree {
   }
 
   // Schedules (or piggybacks on) the single background worker. Called with
-  // mu_ held; may release it while waiting out the backlog bound.
-  void ScheduleCompactionLocked(std::unique_lock<std::mutex>& lock) {
+  // mu_ held; may release it (inside cv_.Wait) while waiting out the
+  // backlog bound.
+  void ScheduleCompactionLocked() LIDX_REQUIRES(mu_) {
     if (!compaction_inflight_) {
       compaction_inflight_ = true;
       ThreadPool::Shared().Submit([this] { BackgroundCompact(); });
@@ -333,9 +348,7 @@ class LsmTree {
     // back under the trigger; only stall the writer when it has outrun
     // compaction by the whole backlog allowance (the bounded queue).
     const size_t bound = BacklogBound();
-    cv_.wait(lock, [&] {
-      return l0_.size() <= bound || !compaction_inflight_;
-    });
+    while (l0_.size() > bound && compaction_inflight_) cv_.Wait(mu_);
     if (!compaction_inflight_ && l0_.size() > options_.l0_run_limit) {
       compaction_inflight_ = true;
       ThreadPool::Shared().Submit([this] { BackgroundCompact(); });
@@ -347,21 +360,22 @@ class LsmTree {
   // the result. New runs flushed while merging append behind the snapshot,
   // so erasing the batch prefix afterwards is exact.
   void BackgroundCompact() {
-    std::unique_lock<std::mutex> lock(mu_);
+    mu_.Lock();
     while (l0_.size() > options_.l0_run_limit) {
       const std::vector<RunPtr> batch(l0_.begin(), l0_.end());
       std::vector<RunPtr> levels = levels_;
-      lock.unlock();
+      mu_.Unlock();
       std::vector<RunPtr> next = CompactIntoLevels(batch, std::move(levels));
-      lock.lock();
+      mu_.Lock();
       l0_.erase(l0_.begin(),
                 l0_.begin() + static_cast<std::ptrdiff_t>(batch.size()));
       levels_ = std::move(next);
       ++background_compactions_;
-      cv_.notify_all();  // Writers stalled on the backlog bound.
+      cv_.NotifyAll();  // Writers stalled on the backlog bound.
     }
     compaction_inflight_ = false;
-    cv_.notify_all();  // WaitForCompactions / re-schedulers.
+    cv_.NotifyAll();  // WaitForCompactions / re-schedulers.
+    mu_.Unlock();
   }
 
   // Merges an L0 batch into a copy of the levels and returns the new
@@ -413,15 +427,18 @@ class LsmTree {
 
   Options options_;
   SkipList<Key, RunEntry<Value>> memtable_;
-  // In background mode mu_ guards l0_, levels_, and the counters; the
-  // memtable and stats stay client-thread-only in both modes.
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  bool compaction_inflight_ = false;
-  size_t inline_compactions_ = 0;
-  size_t background_compactions_ = 0;
-  std::vector<RunPtr> l0_;
-  std::vector<RunPtr> levels_;  // levels_[i] = L(i+1), single run each.
+  // mu_ guards the components and counters (in synchronous mode it is
+  // skipped at runtime via MutexLockMaybe/AssertHeld — single client
+  // thread by contract); the memtable and stats stay client-thread-only in
+  // both modes.
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  bool compaction_inflight_ LIDX_GUARDED_BY(mu_) = false;
+  size_t inline_compactions_ LIDX_GUARDED_BY(mu_) = 0;
+  size_t background_compactions_ LIDX_GUARDED_BY(mu_) = 0;
+  std::vector<RunPtr> l0_ LIDX_GUARDED_BY(mu_);
+  // levels_[i] = L(i+1), single run each.
+  std::vector<RunPtr> levels_ LIDX_GUARDED_BY(mu_);
   mutable LsmStats stats_;
 };
 

@@ -6,16 +6,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <utility>
 #include <vector>
 
 #include "common/epoch.h"
 #include "common/invariants.h"
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/search.h"
+#include "common/thread_annotations.h"
 #include "one_d/pgm.h"
 
 namespace lidx {
@@ -77,6 +77,7 @@ class ConcurrentLearnedIndex {
     // epoch manager and are freed at quiescence (possibly after this
     // destructor — they are self-contained heap objects).
     for (Shard& shard : shards_) {
+      // lidx-lint: allow(epoch-guard): destructor — readers are gone.
       delete shard.frozen.load(std::memory_order_relaxed);
       shard.frozen.store(nullptr, std::memory_order_relaxed);
     }
@@ -125,7 +126,7 @@ class ConcurrentLearnedIndex {
     EpochManager::Guard guard = epoch_->Pin();
     const PgmIndex<Key, Value>* frozen;
     {
-      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      ReaderMutexLock lock(shard.mutex);
       // Delta first (newer), then frozen.
       const auto it = std::lower_bound(
           shard.delta.begin(), shard.delta.end(), key,
@@ -137,6 +138,7 @@ class ConcurrentLearnedIndex {
       frozen = shard.frozen.load(std::memory_order_acquire);
     }
     if (frozen == nullptr) return std::nullopt;
+    epoch_->AssertProtected(frozen);
     return frozen->Find(key);
   }
 
@@ -144,14 +146,14 @@ class ConcurrentLearnedIndex {
 
   void Insert(const Key& key, const Value& value) {
     Shard& shard = shards_[RouteShard(key)];
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    WriterMutexLock lock(shard.mutex);
     UpsertDelta(&shard, key, value, /*deleted=*/false);
     MaybeCompact(&shard);
   }
 
   bool Erase(const Key& key) {
     Shard& shard = shards_[RouteShard(key)];
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    WriterMutexLock lock(shard.mutex);
     // The delta is newer than the frozen index: a tombstone there means the
     // key is already gone even if the frozen index still stores it.
     bool existed;
@@ -178,9 +180,10 @@ class ConcurrentLearnedIndex {
       if (s > first && boundaries_[s] > hi) break;
       const Shard& shard = shards_[s];
       EpochManager::Guard guard = epoch_->Pin();
-      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      ReaderMutexLock lock(shard.mutex);
       std::vector<std::pair<Key, Value>> frozen_part;
       const auto* frozen = shard.frozen.load(std::memory_order_acquire);
+      epoch_->AssertProtected(frozen);
       if (frozen != nullptr) frozen->RangeScan(lo, hi, &frozen_part);
       // Merge with delta.
       auto dit = std::lower_bound(
@@ -209,7 +212,7 @@ class ConcurrentLearnedIndex {
     size_t total = 0;
     for (const Shard& shard : shards_) {
       EpochManager::Guard guard = epoch_->Pin();
-      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      ReaderMutexLock lock(shard.mutex);
       const auto* frozen = shard.frozen.load(std::memory_order_acquire);
       total += frozen != nullptr ? frozen->size() : 0;
       for (const DeltaEntry& e : shard.delta) {
@@ -227,7 +230,7 @@ class ConcurrentLearnedIndex {
     size_t total = sizeof(*this) + boundaries_.capacity() * sizeof(Key);
     for (const Shard& shard : shards_) {
       EpochManager::Guard guard = epoch_->Pin();
-      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      ReaderMutexLock lock(shard.mutex);
       const auto* frozen = shard.frozen.load(std::memory_order_acquire);
       total += (frozen != nullptr ? frozen->SizeBytes() : 0) +
                shard.delta.capacity() * sizeof(DeltaEntry);
@@ -246,7 +249,7 @@ class ConcurrentLearnedIndex {
     invariants::CheckSorted(boundaries_, "cidx: boundaries non-decreasing");
     for (size_t s = 0; s < shards_.size(); ++s) {
       const Shard& shard = shards_[s];
-      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      ReaderMutexLock lock(shard.mutex);
       LIDX_INVARIANT(shard.delta.size() < options_.delta_limit ||
                          options_.delta_limit == 0,
                      "cidx: delta below compaction threshold");
@@ -280,19 +283,27 @@ class ConcurrentLearnedIndex {
   };
 
   struct Shard {
-    mutable std::shared_mutex mutex;
+    mutable SharedMutex mutex;
     // Owned pointer to the current frozen index (null when empty).
     // Published with release, read with acquire; superseded pointers are
-    // retired to the epoch manager, never deleted inline.
-    std::atomic<const PgmIndex<Key, Value>*> frozen{nullptr};
-    std::vector<DeltaEntry> delta;  // Sorted by key, unique.
+    // retired to the epoch manager, never deleted inline. Readers must
+    // hold an EpochManager::Guard to dereference the loaded pointer.
+    std::atomic<const PgmIndex<Key, Value>*> frozen{nullptr};  // lidx: epoch-protected
+    std::vector<DeltaEntry> delta LIDX_GUARDED_BY(mutex);  // Sorted, unique.
 
     Shard() = default;
-    Shard(Shard&& other) noexcept
+    // Moves happen only during single-threaded (re)construction of the
+    // shard vector, before the index is shared; the analysis cannot see
+    // `other`'s lock, so it is disabled here (allowlisted in
+    // docs/STATIC_ANALYSIS.md).
+    Shard(Shard&& other) noexcept LIDX_NO_THREAD_SAFETY_ANALYSIS
         : frozen(other.frozen.exchange(nullptr, std::memory_order_relaxed)),
           delta(std::move(other.delta)) {}
     Shard& operator=(Shard&&) = delete;
-    ~Shard() { delete frozen.load(std::memory_order_relaxed); }
+    ~Shard() {
+      // lidx-lint: allow(epoch-guard): destructor — readers are gone.
+      delete frozen.load(std::memory_order_relaxed);
+    }
   };
 
   // Immutable between rebuilds: lock-free routing. Duplicate boundaries
@@ -311,7 +322,8 @@ class ConcurrentLearnedIndex {
     return s;
   }
 
-  static bool DeltaHasLive(const Shard& shard, const Key& key) {
+  static bool DeltaHasLive(const Shard& shard, const Key& key)
+      LIDX_REQUIRES_SHARED(shard.mutex) {
     const auto it = std::lower_bound(
         shard.delta.begin(), shard.delta.end(), key,
         [](const DeltaEntry& e, const Key& k) { return e.key < k; });
@@ -319,7 +331,7 @@ class ConcurrentLearnedIndex {
   }
 
   static void UpsertDelta(Shard* shard, const Key& key, const Value& value,
-                          bool deleted) {
+                          bool deleted) LIDX_REQUIRES(shard->mutex) {
     auto it = std::lower_bound(
         shard->delta.begin(), shard->delta.end(), key,
         [](const DeltaEntry& e, const Key& k) { return e.key < k; });
@@ -335,7 +347,7 @@ class ConcurrentLearnedIndex {
   // into a fresh frozen index, publishes it (release), and retires the old
   // one to the shared epoch manager — readers that loaded the old pointer
   // before the swap keep using it safely until they unpin.
-  void MaybeCompact(Shard* shard) {
+  void MaybeCompact(Shard* shard) LIDX_REQUIRES(shard->mutex) {
     if (shard->delta.size() < options_.delta_limit) return;
     std::vector<Key> keys;
     std::vector<Value> values;

@@ -8,7 +8,6 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -17,8 +16,10 @@
 #include "common/epoch.h"
 #include "common/invariants.h"
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/parallel.h"
 #include "common/search.h"
+#include "common/thread_annotations.h"
 #include "lsm/merge.h"
 
 namespace lidx {
@@ -139,6 +140,7 @@ class ShardedIndex {
   ~ShardedIndex() {
     WaitForDrains();
     for (size_t s = 0; s < num_shards_; ++s) {
+      // lidx-lint: allow(epoch-guard): destructor — readers are gone.
       delete shards_[s].state.load(std::memory_order_relaxed);
     }
     // Retired States self-contain their payloads (shared_ptr), so they
@@ -209,6 +211,7 @@ class ShardedIndex {
     const Shard& shard = shards_[Route(key)];
     EpochManager::Guard guard = epoch_->Pin();
     const State* state = shard.state.load(std::memory_order_acquire);
+    epoch_->AssertProtected(state);
     // 1. Active buffer, newest entry first.
     if (const Entry* e = ProbeBuffer(*state->active, key)) {
       return e->tombstone ? std::nullopt : std::optional<Value>(e->value);
@@ -249,6 +252,7 @@ class ShardedIndex {
       const size_t s = Route(keys[i]);
       if (states[s] == nullptr) {
         states[s] = shards_[s].state.load(std::memory_order_acquire);
+        epoch_->AssertProtected(states[s]);
       }
       const State* state = states[s];
       if (std::optional<std::optional<Value>> hit =
@@ -321,6 +325,7 @@ class ShardedIndex {
     for (size_t s = 0; s < num_shards_; ++s) {
       EpochManager::Guard guard = epoch_->Pin();
       const State* state = shards_[s].state.load(std::memory_order_acquire);
+      epoch_->AssertProtected(state);
       total += sizeof(State);
       total += state->active->capacity * sizeof(Entry);
       for (const auto& b : state->sealed) total += b->capacity * sizeof(Entry);
@@ -351,7 +356,7 @@ class ShardedIndex {
   void FlushAll() {
     for (size_t s = 0; s < num_shards_; ++s) {
       {
-        std::lock_guard<std::mutex> lock(shards_[s].write_mu);
+        MutexLock lock(shards_[s].write_mu);
         State* state = shards_[s].state.load(std::memory_order_relaxed);
         if (state->active->size.load(std::memory_order_relaxed) > 0) {
           SealLocked(&shards_[s], state);
@@ -385,6 +390,7 @@ class ShardedIndex {
     for (size_t s = 0; s < num_shards_; ++s) {
       EpochManager::Guard guard = epoch_->Pin();
       const State* state = shards_[s].state.load(std::memory_order_acquire);
+      epoch_->AssertProtected(state);
       const size_t active_n =
           state->active->size.load(std::memory_order_acquire);
       LIDX_INVARIANT(active_n <= state->active->capacity,
@@ -459,8 +465,10 @@ class ShardedIndex {
   };
 
   struct alignas(64) Shard {
-    std::atomic<State*> state{nullptr};
-    std::mutex write_mu;
+    // Readers must hold an EpochManager::Guard to dereference the loaded
+    // pointer; writers load/publish it under write_mu.
+    std::atomic<State*> state{nullptr};  // lidx: epoch-protected
+    Mutex write_mu;
     std::atomic<bool> drain_scheduled{false};
   };
 
@@ -539,7 +547,7 @@ class ShardedIndex {
     Shard& shard = shards_[s];
     bool sealed = false;
     {
-      std::lock_guard<std::mutex> lock(shard.write_mu);
+      MutexLock lock(shard.write_mu);
       // Writers are serialized by write_mu, so a relaxed load sees the
       // latest state (any prior publisher held this mutex).
       State* state = shard.state.load(std::memory_order_relaxed);
@@ -563,7 +571,8 @@ class ShardedIndex {
   // Moves the full active buffer onto the sealed list. O(1): no sort, no
   // copy — this is the entire slow path a writer can hit, which is what
   // keeps insert p999 within a small factor of p50.
-  void SealLocked(Shard* shard, State* state) {
+  void SealLocked(Shard* shard, State* state)
+      LIDX_REQUIRES(shard->write_mu) {
     State* next = new State(*state);
     next->sealed.push_back(state->active);
     next->active = std::make_shared<Buffer>(options_.buffer_capacity);
@@ -577,6 +586,7 @@ class ShardedIndex {
   bool NeedsDrain(const Shard& shard) const {
     EpochManager::Guard guard = epoch_->Pin();
     const State* state = shard.state.load(std::memory_order_acquire);
+    epoch_->AssertProtected(state);
     return !state->sealed.empty();
   }
 
@@ -625,6 +635,7 @@ class ShardedIndex {
     {
       EpochManager::Guard guard = epoch_->Pin();
       const State* state = shard->state.load(std::memory_order_acquire);
+      epoch_->AssertProtected(state);
       snapshot = state->snapshot;
       snapshot_size = state->snapshot_size;
       delta = state->delta;
@@ -671,7 +682,7 @@ class ShardedIndex {
     // Publish: splice the merged result in under the writer lock, keeping
     // whatever sealed buffers and active appends arrived meanwhile.
     {
-      std::lock_guard<std::mutex> lock(shard->write_mu);
+      MutexLock lock(shard->write_mu);
       State* current = shard->state.load(std::memory_order_relaxed);
       State* next = new State();
       next->snapshot = std::move(new_snapshot);
@@ -770,6 +781,7 @@ class ShardedIndex {
                          std::vector<std::pair<Key, Value>>* out) const {
     EpochManager::Guard guard = epoch_->Pin();
     const State* state = shards_[s].state.load(std::memory_order_acquire);
+    epoch_->AssertProtected(state);
     // Newest-wins merge via try_emplace: levels are visited newest first,
     // and the first emplace of a key sticks. nullopt marks a tombstone.
     std::map<Key, std::optional<Value>> window;

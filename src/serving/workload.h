@@ -5,7 +5,6 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -13,6 +12,8 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "datasets/workload.h"
 
@@ -316,29 +317,31 @@ class GlobalLockIndex {
   explicit GlobalLockIndex(Args&&... args)
       : index_(std::forward<Args>(args)...) {}
 
-  Index& underlying() { return index_; }
+  // Unlocked access for single-threaded setup (bulk load before the driver
+  // starts its worker threads). Allowlisted in docs/STATIC_ANALYSIS.md.
+  Index& underlying() LIDX_NO_THREAD_SAFETY_ANALYSIS { return index_; }
 
   std::optional<Value> Find(const Key& key) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return index_.Find(key);
   }
   void Insert(const Key& key, const Value& value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     index_.Insert(key, value);
   }
   bool Erase(const Key& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return index_.Erase(key);
   }
   void RangeScan(const Key& lo, const Key& hi,
                  std::vector<std::pair<Key, Value>>* out) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     index_.RangeScan(lo, hi, out);
   }
 
  private:
-  mutable std::mutex mu_;
-  Index index_;
+  mutable Mutex mu_;
+  Index index_ LIDX_GUARDED_BY(mu_);
 };
 
 }  // namespace lidx::serving

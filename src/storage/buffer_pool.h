@@ -3,13 +3,14 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/invariants.h"
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/file_manager.h"
 #include "storage/page.h"
 
@@ -93,7 +94,7 @@ class BufferPool {
   // working set of concurrently held guards) or if the page fails
   // validation on read.
   PageRef Pin(uint64_t page_id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (const auto it = table_.find(page_id); it != table_.end()) {
       Frame& frame = frames_[it->second];
       ++frame.pins;
@@ -123,7 +124,7 @@ class BufferPool {
   // page is freed and its id recycled, so a later Pin of the reused id
   // cannot serve the dead run's bytes.
   void Invalidate(uint64_t page_id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = table_.find(page_id);
     if (it == table_.end()) return;
     Frame& frame = frames_[it->second];
@@ -135,17 +136,18 @@ class BufferPool {
   }
 
   BufferPoolStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_ = BufferPoolStats{};
   }
 
   size_t num_frames() const { return frames_.size(); }
 
   size_t SizeBytes() const {
+    MutexLock lock(mu_);
     return sizeof(*this) + frames_.capacity() * sizeof(Frame) +
            table_.size() * (sizeof(uint64_t) + sizeof(size_t));
   }
@@ -154,7 +156,7 @@ class BufferPool {
   // every cached frame holds the page it is indexed under, and pin counts
   // are sane (no pins on invalid frames). Aborts on violation. Test hook.
   void CheckInvariants() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     size_t valid_frames = 0;
     for (size_t i = 0; i < frames_.size(); ++i) {
       const Frame& frame = frames_[i];
@@ -183,7 +185,7 @@ class BufferPool {
   };
 
   void Unpin(size_t frame) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     LIDX_DCHECK(frames_[frame].pins > 0);
     --frames_[frame].pins;
   }
@@ -191,7 +193,7 @@ class BufferPool {
   // CLOCK sweep. Invalid frames are taken immediately; otherwise the hand
   // gives each referenced frame a second chance. Two full sweeps with no
   // victim means every frame is pinned.
-  size_t FindVictimLocked() {
+  size_t FindVictimLocked() LIDX_REQUIRES(mu_) {
     for (size_t step = 0; step < 2 * frames_.size(); ++step) {
       const size_t i = clock_hand_;
       clock_hand_ = (clock_hand_ + 1) % frames_.size();
@@ -208,12 +210,17 @@ class BufferPool {
     return 0;  // Unreachable.
   }
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   FileManager* file_;
+  // frames_ is deliberately *not* GUARDED_BY(mu_): the vector itself never
+  // resizes after construction, and a PageRef dereferences its frame's page
+  // without the lock — safe because the non-zero pin count (written under
+  // mu_) forbids eviction, so the bytes cannot change while the guard
+  // lives. Mutation of frame metadata always happens under mu_.
   std::vector<Frame> frames_;
-  std::unordered_map<uint64_t, size_t> table_;
-  size_t clock_hand_ = 0;
-  BufferPoolStats stats_;
+  std::unordered_map<uint64_t, size_t> table_ LIDX_GUARDED_BY(mu_);
+  size_t clock_hand_ LIDX_GUARDED_BY(mu_) = 0;
+  BufferPoolStats stats_ LIDX_GUARDED_BY(mu_);
 };
 
 }  // namespace lidx::storage

@@ -9,12 +9,13 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/invariants.h"
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 
 namespace lidx::storage {
@@ -50,7 +51,7 @@ class FileManager {
   // Returns a page id to write to: a recycled page if any run was freed,
   // otherwise one past the current end of file.
   uint64_t Allocate() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!free_list_.empty()) {
       const uint64_t id = free_list_.back();
       free_list_.pop_back();
@@ -63,7 +64,7 @@ class FileManager {
   // still needs the old contents (DiskRun does this by freeing only from
   // its destructor, when the last shared_ptr reference has gone away).
   void Free(uint64_t page_id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     LIDX_DCHECK(page_id < next_page_id_);
     free_list_.push_back(page_id);
   }
@@ -111,12 +112,12 @@ class FileManager {
   // Pages ever allocated (allocated-and-freed pages count: they still
   // occupy file space until recycled).
   uint64_t NumPages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return next_page_id_;
   }
 
   size_t FreeListSize() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return free_list_.size();
   }
 
@@ -132,7 +133,7 @@ class FileManager {
   // Allocator invariants: every free-listed page lies inside the file and
   // appears at most once. Aborts on violation. Test hook.
   void CheckInvariants() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<uint64_t> sorted = free_list_;
     std::sort(sorted.begin(), sorted.end());
     for (size_t i = 0; i < sorted.size(); ++i) {
@@ -148,9 +149,9 @@ class FileManager {
  private:
   std::string path_;
   int fd_ = -1;
-  mutable std::mutex mu_;  // Guards free_list_ and next_page_id_.
-  std::vector<uint64_t> free_list_;
-  uint64_t next_page_id_ = 0;
+  mutable Mutex mu_;
+  std::vector<uint64_t> free_list_ LIDX_GUARDED_BY(mu_);
+  uint64_t next_page_id_ LIDX_GUARDED_BY(mu_) = 0;
   mutable std::atomic<uint64_t> pages_read_{0};
   std::atomic<uint64_t> pages_written_{0};
 };

@@ -1,0 +1,146 @@
+// Tests for the LIDX_EPOCH_VALIDATE protocol validator (common/epoch.h).
+//
+// This binary is compiled with -DLIDX_EPOCH_VALIDATE=1 (see CMakeLists.txt),
+// so AssertPinned/AssertProtected are live and abort on protocol violations.
+// The rest of the test suite runs against the production epoch.h where both
+// hooks are empty inlines; MacroIsCompiledIn pins down that this binary is
+// actually exercising the validating build.
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/epoch.h"
+
+namespace lidx {
+namespace {
+
+#ifndef LIDX_EPOCH_VALIDATE
+#error "epoch_validate_test must be built with LIDX_EPOCH_VALIDATE"
+#endif
+
+TEST(EpochValidateTest, MacroIsCompiledIn) {
+  // Compile-time guard above is the real assertion; keep a runtime witness
+  // so the test count reflects it.
+  SUCCEED();
+}
+
+TEST(EpochValidateTest, PinDepthTracksNesting) {
+  EpochManager mgr;
+  EXPECT_EQ(mgr.ValidatePinDepth(), 0);
+  {
+    auto outer = mgr.Pin();
+    EXPECT_EQ(mgr.ValidatePinDepth(), 1);
+    {
+      auto inner = mgr.Pin();
+      EXPECT_EQ(mgr.ValidatePinDepth(), 2);
+    }
+    EXPECT_EQ(mgr.ValidatePinDepth(), 1);
+  }
+  EXPECT_EQ(mgr.ValidatePinDepth(), 0);
+}
+
+TEST(EpochValidateTest, PinDepthIsPerManager) {
+  EpochManager a;
+  EpochManager b;
+  auto guard_a = a.Pin();
+  EXPECT_EQ(a.ValidatePinDepth(), 1);
+  EXPECT_EQ(b.ValidatePinDepth(), 0);
+  {
+    auto guard_b = b.Pin();
+    EXPECT_EQ(a.ValidatePinDepth(), 1);
+    EXPECT_EQ(b.ValidatePinDepth(), 1);
+  }
+  EXPECT_EQ(b.ValidatePinDepth(), 0);
+}
+
+TEST(EpochValidateTest, PinDepthIsPerThread) {
+  EpochManager mgr;
+  auto guard = mgr.Pin();
+  EXPECT_EQ(mgr.ValidatePinDepth(), 1);
+  int other_depth = -1;
+  std::thread([&] { other_depth = mgr.ValidatePinDepth(); }).join();
+  EXPECT_EQ(other_depth, 0);
+}
+
+TEST(EpochValidateTest, AssertionsPassUnderPin) {
+  EpochManager mgr;
+  auto* obj = new uint64_t{42};
+  auto guard = mgr.Pin();
+  mgr.AssertPinned();
+  // Live (never retired) pointer: fine.
+  mgr.AssertProtected(obj);
+  // Retired *during* this pin: still fine — the pin predates the retire, so
+  // the reader legitimately loaded the pointer before the unlink.
+  mgr.RetireDelete(obj);
+  mgr.AssertProtected(obj);
+  // nullptr is always fine (a reader that found an empty slot).
+  mgr.AssertProtected(nullptr);
+}
+
+TEST(EpochValidateTest, RetiredRegistryDrainsOnReclaim) {
+  EpochManager mgr;
+  auto* obj = new uint64_t{7};
+  mgr.RetireDelete(obj);
+  mgr.DrainRetired();
+  EXPECT_EQ(mgr.RetiredCount(), 0u);
+  // After the free the registry entry is gone: a fresh pin may legally see
+  // the same address again (allocator reuse), so no abort.
+  auto guard = mgr.Pin();
+  mgr.AssertProtected(obj);
+}
+
+TEST(EpochValidateDeathTest, UnpinnedAssertPinnedAborts) {
+  EpochManager mgr;
+  EXPECT_DEATH(mgr.AssertPinned(), "no live pin");
+}
+
+TEST(EpochValidateDeathTest, UnpinnedAssertProtectedAborts) {
+  EpochManager mgr;
+  uint64_t obj = 1;
+  EXPECT_DEATH(mgr.AssertProtected(&obj), "no live pin");
+}
+
+TEST(EpochValidateDeathTest, PinOnOtherManagerDoesNotCount) {
+  EpochManager a;
+  EpochManager b;
+  auto guard = a.Pin();
+  EXPECT_DEATH(b.AssertPinned(), "no live pin");
+}
+
+TEST(EpochValidateDeathTest, StalePointerCachedAcrossUnpinAborts) {
+  EpochManager mgr;
+  auto* obj = new uint64_t{9};
+  // Writer unlinks and retires `obj` in the current epoch E...
+  mgr.RetireDelete(obj);
+  // ...the epoch advances past E (no pins outstanding, so one ReclaimSome
+  // moves the global epoch to E+1; `obj` itself needs E+2 to be freed and
+  // therefore stays in the retired registry)...
+  mgr.ReclaimSome();
+  // ...and a reader that pins NOW (epoch E+1) must re-load every protected
+  // pointer. Presenting `obj` means it was cached across an unpin.
+  auto guard = mgr.Pin();
+  EXPECT_DEATH(mgr.AssertProtected(obj), "stale pointer");
+}
+
+TEST(EpochValidateDeathTest, StalePointerOnAnotherThreadAborts) {
+  EpochManager mgr;
+  auto* obj = new uint64_t{11};
+  mgr.RetireDelete(obj);
+  mgr.ReclaimSome();
+  // Same staleness bug, but the late pin happens on a different thread —
+  // the registry is shared while the pin records are thread-local.
+  EXPECT_DEATH(
+      {
+        std::thread([&] {
+          auto guard = mgr.Pin();
+          mgr.AssertProtected(obj);
+        }).join();
+      },
+      "stale pointer");
+}
+
+}  // namespace
+}  // namespace lidx

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Build (if needed) and run lidx-lint: self-test first, then the src/ gate.
+#
+#   tools/lint/run_lint.sh [build-dir]
+#
+# Defaults to ./build. Exits non-zero on any finding or self-test failure.
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)
+BUILD_DIR=${1:-"$REPO_ROOT/build"}
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DLIDX_BUILD_BENCHMARKS=OFF \
+        -DLIDX_BUILD_EXAMPLES=OFF
+fi
+cmake --build "$BUILD_DIR" --target lidx_lint -j
+
+LINT="$BUILD_DIR/tools/lint/lidx_lint"
+
+echo "== lidx-lint self-test =="
+"$LINT" --self-test "$REPO_ROOT/tools/lint/testdata"
+
+echo "== lidx-lint src/ =="
+"$LINT" "$REPO_ROOT/src"

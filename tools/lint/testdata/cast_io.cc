@@ -1,0 +1,50 @@
+// Fixture for the cast-io rule: a reinterpret_cast feeding a read/write
+// call in the same statement is type-punned I/O; object bytes must stage
+// through the serialize.h memcpy helpers. Never compiled — self-test data.
+
+#include <iosfwd>
+
+struct Header {
+  unsigned magic;
+  unsigned version;
+};
+
+void SaveBad(std::ostream& out, const Header& h) {
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));  // lidx-lint-expect: cast-io
+}
+
+void LoadBad(std::istream& in, Header* h) {
+  in.read(reinterpret_cast<char*>(h), sizeof(*h));  // lidx-lint-expect: cast-io
+}
+
+void SaveBadStdio(void* f, const Header& h) {
+  fwrite(reinterpret_cast<const char*>(&h),  // lidx-lint-expect: cast-io
+         sizeof(h), 1, static_cast<FILE*>(f));
+}
+
+// Negative: the blessed pattern — bytes staged through a char buffer with
+// memcpy (this is what serialize.h's WritePod does); no cast in the I/O
+// statement.
+void SaveGood(std::ostream& out, const Header& h) {
+  char buf[sizeof(Header)];
+  __builtin_memcpy(buf, &h, sizeof(h));
+  out.write(buf, sizeof(buf));
+}
+
+// Negative: reinterpret_cast with no I/O in the statement (SIMD-style
+// pointer reinterpretation) is out of scope for this rule.
+const char* AsBytes(const Header* h) {
+  const char* p = reinterpret_cast<const char*>(h);
+  return p;
+}
+
+// Negative: `WritePod(...)` contains the letters "write" but is not a
+// member I/O call; helper invocations stay clean even with a cast nearby
+// in an adjacent statement.
+template <typename T>
+void WritePod(std::ostream& out, const T& v);
+void SaveViaHelper(std::ostream& out, const Header& h) {
+  const void* tag = reinterpret_cast<const void*>(&h);
+  (void)tag;
+  WritePod(out, h);
+}

@@ -1,0 +1,60 @@
+// Near-miss fixture: code that skirts every rule's pattern without
+// violating any of them. The self-test requires this file to produce zero
+// findings. Never compiled — self-test data.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+// raw-io near-miss: `Spread2` / `spread` contain "pread" as a substring
+// but are not the syscall (word boundaries).
+uint64_t Spread2(uint64_t v);
+uint64_t Morton(uint64_t x, uint64_t y) {
+  return Spread2(x) | (Spread2(y) << 1);
+}
+
+// raw-io near-miss: the word only appearing in comments and strings is
+// invisible to the checker — pread(fd, ...) right here proves it.
+const char* kDoc = "use pwrite(fd, buf, n, off) for positioned writes";
+
+// cast-io near-miss: cast and I/O in *separate* statements (the cast
+// result is not what is being written).
+struct Blob {
+  const char* data;
+  uint64_t size;
+};
+void WriteBlob(std::ostream& out, const Blob& b, const void* ctx) {
+  const auto* tag = reinterpret_cast<const uint64_t*>(ctx);
+  (void)tag;
+  out.write(b.data, static_cast<long>(b.size));
+}
+
+// pool-blocking-get near-miss: .get() on an unrelated future, and a
+// Submit whose future is dropped.
+struct ThreadPool {
+  static ThreadPool& Shared();
+  template <typename F>
+  std::future<void> Submit(F&& f);
+};
+void Tick();
+void Drive(std::future<void>& done) {
+  ThreadPool::Shared().Submit([] { Tick(); });
+  done.get();
+}
+
+// epoch-guard near-miss: an unmarked atomic field loads freely.
+struct Counter {
+  std::atomic<uint64_t> value{0};
+};
+uint64_t ReadCounter(const Counter& c) {
+  return c.value.load(std::memory_order_relaxed);
+}
+
+// pageref-escape near-miss: a type whose name merely contains "PageRef"
+// is a different type (word boundaries), and vectors of plain pages are
+// fine.
+struct PageRefCount {
+  int count;
+};
+std::vector<PageRefCount> MakeCounts();

@@ -1,0 +1,73 @@
+// Fixture for the epoch-guard rule: fields marked `// lidx: epoch-protected`
+// may only be .load()ed inside a region that establishes protection — an
+// EpochManager pin, a scoped lock, or a LIDX_REQUIRES contract. Never
+// compiled — self-test data.
+
+#include <atomic>
+
+struct State;
+struct EpochManager {
+  struct Guard {};
+  Guard Pin();
+};
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&);
+};
+
+struct Shard {
+  Mutex mu;
+  std::atomic<State*> state{nullptr};  // lidx: epoch-protected
+};
+
+// Unprotected read: nothing in the enclosing function pins an epoch or
+// takes a lock, so the loaded pointer may be reclaimed mid-use.
+State* BadRead(Shard& s) {
+  return s.state.load(std::memory_order_acquire);  // lidx-lint-expect: epoch-guard
+}
+
+// Unprotected read inside a loop body: inner control-flow regions do not
+// launder the missing guard.
+State* BadReadInLoop(Shard* shards, int n) {
+  State* last = nullptr;
+  for (int i = 0; i < n; ++i) {
+    last = shards[i].state.load(std::memory_order_acquire);  // lidx-lint-expect: epoch-guard
+  }
+  return last;
+}
+
+// Negative: read under an epoch pin.
+State* GoodPinnedRead(EpochManager& epoch, Shard& s) {
+  EpochManager::Guard guard = epoch.Pin();
+  return s.state.load(std::memory_order_acquire);
+}
+
+// Negative: read under a scoped lock (writer side — serialized by the
+// shard mutex, so a relaxed load is current).
+State* GoodLockedRead(Shard& s) {
+  MutexLock lock(s.mu);
+  return s.state.load(std::memory_order_relaxed);
+}
+
+// Negative: the lock requirement is a contract of the enclosing function;
+// the annotation in the signature marks the region protected.
+#define LIDX_REQUIRES(...)
+State* GoodContractRead(Shard& s) LIDX_REQUIRES(s.mu) {
+  return s.state.load(std::memory_order_relaxed);
+}
+
+// Negative: writer-side exchange — covered by the lock annotations, not
+// this rule.
+void Swap(Shard& s, State* next) {
+  MutexLock lock(s.mu);
+  s.state.exchange(next, std::memory_order_acq_rel);
+}
+
+// Negative: reasoned suppression for teardown, when no reader can exist.
+struct Owner {
+  Shard shard;
+  ~Owner() {
+    // lidx-lint: allow(epoch-guard): destructor — readers are gone.
+    delete shard.state.load(std::memory_order_relaxed);
+  }
+};

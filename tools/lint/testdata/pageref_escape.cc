@@ -1,0 +1,38 @@
+// Fixture for the pageref-escape rule: BufferPool::PageRef is a pin
+// guard; returning one by value, storing one in a member, or keeping a
+// container of them lets the pin outlive its scope. Never compiled —
+// self-test data.
+
+#include <cstdint>
+#include <vector>
+
+class BufferPool {
+ public:
+  class PageRef {};
+};
+
+// Escape by return value: the caller now owns a pin with no visible scope.
+BufferPool::PageRef LookupPage(uint64_t id);  // lidx-lint-expect: pageref-escape
+
+class PageCache {
+ private:
+  BufferPool::PageRef cached_;  // lidx-lint-expect: pageref-escape
+  std::vector<BufferPool::PageRef> hot_refs_;  // lidx-lint-expect: pageref-escape
+};
+
+// Negative: the blessed shape — a ref minted by Pin, held as a local for
+// exactly the duration of the page access.
+void ScanPage(BufferPool* pool, uint64_t id);
+void UseLocal(BufferPool* pool, uint64_t id) {
+  (void)pool;
+  (void)id;
+  // const BufferPool::PageRef ref = pool->Pin(id); stays in this scope.
+}
+
+// Negative: passing a ref *down* by const reference keeps the pin owned
+// by the caller's scope.
+void SearchInPage(const BufferPool::PageRef& ref, uint64_t lo);
+
+// Negative: default-constructed empty local (no trailing underscore, not
+// a member).
+void Scratch() { BufferPool::PageRef tmp; (void)tmp; }

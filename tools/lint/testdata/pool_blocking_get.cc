@@ -1,0 +1,42 @@
+// Fixture for the pool-blocking-get rule: Submit(...).get() on the shared
+// ThreadPool blocks the calling thread on pool capacity — if the caller is
+// itself pool-reachable, every worker can end up waiting on queued work
+// that will never run. Never compiled — self-test data.
+
+#include <future>
+
+struct ThreadPool {
+  static ThreadPool& Shared();
+  template <typename F>
+  std::future<void> Submit(F&& f);
+};
+
+void Work();
+
+void BlockingJoin() {
+  ThreadPool::Shared().Submit([] { Work(); }).get();  // lidx-lint-expect: pool-blocking-get
+}
+
+void BlockingJoinMultiline() {
+  ThreadPool::Shared()
+      .Submit([] {  // lidx-lint-expect: pool-blocking-get
+        Work();
+        Work();
+      })
+      .get();
+}
+
+// Negative: fire-and-forget submission (the repo's idiom — completion is
+// observed via counters/condvars, never by joining the future inline).
+void FireAndForget() {
+  ThreadPool::Shared().Submit([] { Work(); });
+}
+
+// Negative: .get() on a non-pool future is out of scope for this rule.
+void PlainFuture(std::future<void>& f) { f.get(); }
+
+// Negative: keeping the future without joining it.
+void KeepFuture() {
+  auto pending = ThreadPool::Shared().Submit([] { Work(); });
+  (void)pending;
+}

@@ -1,0 +1,30 @@
+// Fixture for the raw-io rule: pread/pwrite anywhere but
+// storage/file_manager.h must be flagged. Never compiled — data for
+// `lidx_lint --self-test` only.
+
+void ReadBlock(int fd, char* buf) {
+  ::pread(fd, buf, 4096, 0);  // lidx-lint-expect: raw-io
+}
+
+void WriteBlock(int fd, const char* buf) {
+  pwrite(fd, buf, 4096, 0);  // lidx-lint-expect: raw-io
+}
+
+// Negative: word-boundary check — `Spread2` and `spread_` contain the
+// letters but are not the syscall.
+unsigned long Spread2(unsigned long v);
+void Morton(unsigned long x) {
+  (void)Spread2(x);
+  int spread_factor = 2;
+  (void)spread_factor;
+}
+
+// Negative: the name without a call (e.g. taking its address in a table)
+// is not flagged — the rule targets call sites.
+using IoFn = long (*)(int, void*, unsigned long, long);
+
+// Suppression: an explicit, reasoned opt-out silences the rule.
+void MeasureRawSyscall(int fd, char* buf) {
+  // lidx-lint: allow(raw-io): microbenchmark measures the bare syscall.
+  ::pread(fd, buf, 4096, 0);
+}
