@@ -1,0 +1,297 @@
+// E22 — Async batched disk I/O: io_uring / thread-pool read engines under
+// the AMAC-on-storage scheduler.
+//
+// Claim under test (tutorial §4.2 disk-based systems + "Updatable Learned
+// Indexes Meet Disk-Resident DBMS"): once the model navigates in memory
+// and each lookup costs ~one page read, a *sync* read path is limited by
+// one-request-at-a-time latency, not by what the device can deliver.
+// Keeping a queue depth D of page reads in flight (DiskRun::GetBatch over
+// an AsyncReadEngine) must scale cold random-read throughput toward the
+// device's IOPS limit, while warm lookups — pool and page-cache hits —
+// measure the scheduler's fixed overhead instead. Results are checked
+// byte-identical against the scalar path for every configuration.
+//
+// Sections:
+//   1. Sync baseline: scalar DiskRun::Get, cold and warm.
+//   2. Depth sweep: backend × queue depth {1, 8, 32, 64} × cold/warm;
+//      throughput, read IOPS, and p50/p99 per-lookup latency.
+//   3. Acceptance: best cold speedup at depth >= 8 vs the sync baseline
+//      (the ISSUE-8 bar is >= 2x on at least one backend).
+//
+// Cold passes drop the file's OS page cache (posix_fadvise DONTNEED) and
+// invalidate the buffer pool, so every page read reaches the device.
+//
+// Usage: bench_e22_async_disk_io [num_keys]  (default 2M; CI smoke: 20000)
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/invariants.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "datasets/generators.h"
+#include "lsm/run.h"
+#include "storage/async_io.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_run.h"
+#include "storage/file_manager.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace lidx::storage {
+namespace {
+
+std::vector<bench::JsonRow> g_json;
+
+using Run = DiskRun<uint64_t, uint64_t>;
+using Out = std::optional<RunEntry<uint64_t>>;
+
+// Evicts every cached copy of the run's pages: buffer-pool frames first
+// (ids are dense from a fresh FileManager), then the kernel page cache.
+// Returns false when the fadvise hint is unsupported (cold ≈ warm then;
+// reported, not fatal).
+bool MakeCold(const FileManager& file, BufferPool* pool) {
+  for (uint64_t id = 0; id < file.NumPages(); ++id) pool->Invalidate(id);
+  return file.DropOsCache();
+}
+
+struct PassResult {
+  double ops_per_sec = 0;
+  double iops = 0;  // Device/page reads per second during the pass.
+  double p50_us = 0;
+  double p99_us = 0;
+  double pages_per_lookup = 0;
+};
+
+void AddRow(TablePrinter* table, const char* path,
+            const char* backend, size_t depth, const char* temp,
+            const PassResult& r) {
+  table->AddRow({path, backend, depth == 0 ? "-" : std::to_string(depth),
+                 temp, TablePrinter::FormatDouble(r.ops_per_sec, 0),
+                 TablePrinter::FormatDouble(r.iops, 0),
+                 TablePrinter::FormatDouble(r.p50_us, 1),
+                 TablePrinter::FormatDouble(r.p99_us, 1)});
+  g_json.push_back(
+      {bench::JsonField::Str("path", path),
+       bench::JsonField::Str("backend", backend),
+       bench::JsonField::Num("queue_depth", depth),
+       bench::JsonField::Str("temp", temp),
+       bench::JsonField::Num("ops_per_sec", r.ops_per_sec),
+       bench::JsonField::Num("iops", r.iops),
+       bench::JsonField::Num("p50_us", r.p50_us),
+       bench::JsonField::Num("p99_us", r.p99_us),
+       bench::JsonField::Num("pages_per_lookup", r.pages_per_lookup)});
+}
+
+// Scalar pass: per-lookup latency sampled around each Get.
+PassResult RunScalar(const Run& run, const std::vector<uint64_t>& probes,
+                     const FileManager& file, std::vector<Out>* out) {
+  std::vector<double> lat_us;
+  lat_us.reserve(probes.size());
+  DiskIoStats io;
+  const uint64_t reads_before = file.pages_read();
+  Timer pass;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    Timer one;
+    (*out)[i] = run.Get(probes[i], &io);
+    lat_us.push_back(static_cast<double>(one.ElapsedNanos()) / 1e3);
+  }
+  const double secs = pass.ElapsedSeconds();
+  PassResult r;
+  r.ops_per_sec = static_cast<double>(probes.size()) / secs;
+  r.iops = static_cast<double>(file.pages_read() - reads_before) / secs;
+  r.p50_us = bench::Percentile(&lat_us, 50);
+  r.p99_us = bench::Percentile(&lat_us, 99);
+  r.pages_per_lookup =
+      static_cast<double>(io.pages_touched) / static_cast<double>(probes.size());
+  return r;
+}
+
+// Batched pass: GetBatch in fixed-size groups; per-lookup latency is the
+// amortized per-batch wall time (individual completions interleave inside
+// the scheduler, so the batch is the schedulable unit).
+PassResult RunBatched(const Run& run, const std::vector<uint64_t>& probes,
+                      AsyncReadEngine* engine, std::vector<Out>* out) {
+  constexpr size_t kBatch = 512;
+  std::vector<double> lat_us;
+  lat_us.reserve(probes.size() / kBatch + 1);
+  DiskIoStats io;
+  const uint64_t reads_before = engine->stats().reads_submitted;
+  Timer pass;
+  for (size_t begin = 0; begin < probes.size(); begin += kBatch) {
+    const size_t len = std::min(kBatch, probes.size() - begin);
+    Timer one;
+    run.GetBatch(probes.data() + begin, len, engine, out->data() + begin,
+                 &io);
+    lat_us.push_back(static_cast<double>(one.ElapsedNanos()) / 1e3 /
+                     static_cast<double>(len));
+  }
+  const double secs = pass.ElapsedSeconds();
+  PassResult r;
+  r.ops_per_sec = static_cast<double>(probes.size()) / secs;
+  r.iops = static_cast<double>(engine->stats().reads_submitted -
+                               reads_before) /
+           secs;
+  r.p50_us = bench::Percentile(&lat_us, 50);
+  r.p99_us = bench::Percentile(&lat_us, 99);
+  r.pages_per_lookup =
+      static_cast<double>(io.pages_touched) / static_cast<double>(probes.size());
+  return r;
+}
+
+void CheckIdentical(const std::vector<Out>& got, const std::vector<Out>& want,
+                    const char* what) {
+  LIDX_CHECK(got.size() == want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    LIDX_CHECK(got[i].has_value() == want[i].has_value());
+    if (got[i].has_value()) {
+      LIDX_CHECK(got[i]->value == want[i]->value &&
+                 got[i]->deleted == want[i]->deleted);
+    }
+  }
+  (void)what;
+}
+
+}  // namespace
+}  // namespace lidx::storage
+
+int main(int argc, char** argv) {
+  using namespace lidx;
+  using namespace lidx::storage;
+  const size_t n =
+      argc > 1 ? static_cast<size_t>(std::strtoull(argv[1], nullptr, 10))
+               : 2'000'000;
+  bench::PrintHeader(
+      "E22: async batched disk I/O (" + std::to_string(n) +
+          " lognormal keys, 4 KiB pages)",
+      "a queue depth D of in-flight page reads lifts cold random-read "
+      "throughput toward device IOPS; sync reads pay full latency per "
+      "lookup");
+
+  const bench::Dataset1D data =
+      bench::MakeDataset1D(KeyDistribution::kLognormal, n, 2222,
+                           bench::ValueScheme::kHashed);
+  const std::string path = "bench_e22_run.pagefile";
+  std::remove(path.c_str());
+  FileManager file(path);
+  // Pool far smaller than the table: uniform random probes miss ~always,
+  // so cold passes measure the read path, not replacement policy.
+  BufferPool pool(&file, 64);
+  std::vector<std::pair<uint64_t, RunEntry<uint64_t>>> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries.emplace_back(data.keys[i], RunEntry<uint64_t>{data.values[i],
+                                                          false});
+  }
+  Run run(std::move(entries), &file, &pool, {});
+  std::printf("run: %zu pages (%.1f MiB), pool %zu frames\n", run.NumPages(),
+              static_cast<double>(run.NumPages() * kPageSize) / (1 << 20),
+              pool.num_frames());
+
+  // Uniform random present keys: every lookup survives the Bloom filter
+  // and reads exactly one random page — the IOPS-bound regime.
+  Rng rng(77);
+  const size_t cold_probes = std::min<size_t>(n, 4000);
+  const size_t warm_probes = std::min<size_t>(n, 40000);
+  std::vector<uint64_t> probes(std::max(cold_probes, warm_probes));
+  for (uint64_t& k : probes) k = data.keys[rng.NextBounded(n)];
+  const std::vector<uint64_t> cold(probes.begin(),
+                                   probes.begin() +
+                                       static_cast<std::ptrdiff_t>(cold_probes));
+  const std::vector<uint64_t> warm(probes.begin(),
+                                   probes.begin() +
+                                       static_cast<std::ptrdiff_t>(warm_probes));
+
+  TablePrinter table({"path", "backend", "depth", "temp", "ops/s",
+                             "iops", "p50_us", "p99_us"});
+
+  // Reference results (correctness is temperature-independent).
+  std::vector<Out> want_cold(cold.size());
+  std::vector<Out> want_warm(warm.size());
+  for (size_t i = 0; i < warm.size(); ++i) {
+    want_warm[i] = run.Get(warm[i], nullptr);
+  }
+  for (size_t i = 0; i < cold.size(); ++i) want_cold[i] = want_warm[i];
+
+  // ----- Section 1: sync baseline -----
+  const bool cold_real = MakeCold(file, &pool);
+  if (!cold_real) {
+    std::printf("note: posix_fadvise(DONTNEED) unsupported here — 'cold' "
+                "passes run against a warm page cache\n");
+  }
+  std::vector<Out> scalar_cold(cold.size());
+  const PassResult sync_cold = RunScalar(run, cold, file, &scalar_cold);
+  CheckIdentical(scalar_cold, want_cold, "scalar cold");
+  AddRow(&table, "scalar", "sync", 0, "cold", sync_cold);
+  std::vector<Out> scalar_warm(warm.size());
+  const PassResult sync_warm = RunScalar(run, warm, file, &scalar_warm);
+  CheckIdentical(scalar_warm, want_warm, "scalar warm");
+  AddRow(&table, "scalar", "sync", 0, "warm", sync_warm);
+
+  // ----- Section 2: backend × depth × cold/warm -----
+  double best_speedup = 0;
+  std::string best_config;
+  for (const IoBackend requested :
+       {IoBackend::kIoUring, IoBackend::kThreadPool}) {
+    for (const size_t depth : {1u, 8u, 32u, 64u}) {
+      auto engine = AsyncReadEngine::Create(requested, depth);
+      if (engine->backend() != requested) {
+        // io_uring unavailable (or LIDX_IO_BACKEND forced the fallback):
+        // measuring the substitute under the wrong label would lie.
+        std::printf("note: backend %s unavailable, skipping (resolved to "
+                    "%s)\n",
+                    IoBackendName(requested), engine->name());
+        break;
+      }
+      MakeCold(file, &pool);
+      std::vector<Out> got_cold(cold.size());
+      const PassResult batched_cold =
+          RunBatched(run, cold, engine.get(), &got_cold);
+      CheckIdentical(got_cold, want_cold, "batched cold");
+      AddRow(&table, "batched", engine->name(), depth, "cold", batched_cold);
+      std::vector<Out> got_warm(warm.size());
+      const PassResult batched_warm =
+          RunBatched(run, warm, engine.get(), &got_warm);
+      CheckIdentical(got_warm, want_warm, "batched warm");
+      AddRow(&table, "batched", engine->name(), depth, "warm", batched_warm);
+      if (depth >= 8) {
+        const double speedup = batched_cold.ops_per_sec /
+                               sync_cold.ops_per_sec;
+        if (speedup > best_speedup) {
+          best_speedup = speedup;
+          best_config = std::string(engine->name()) + " depth " +
+                        std::to_string(depth);
+        }
+      }
+    }
+  }
+  table.Print();
+
+  // ----- Section 3: acceptance -----
+  const bool pass = best_speedup >= 2.0;
+  std::printf("\nacceptance: best cold speedup at depth >= 8 is %.2fx (%s) "
+              "vs sync — %s (bar: >= 2x; results byte-identical in every "
+              "configuration)\n",
+              best_speedup, best_config.empty() ? "none" : best_config.c_str(),
+              pass ? "PASS" : "FAIL");
+
+  bench::ReportJson(
+      "e22_async_disk_io", g_json,
+      {bench::JsonField::Num("num_keys", n),
+       bench::JsonField::Num("num_pages", run.NumPages()),
+       bench::JsonField::Num("cold_probes", cold.size()),
+       bench::JsonField::Num("warm_probes", warm.size()),
+       bench::JsonField::Num("cold_is_real", cold_real ? 1.0 : 0.0),
+       bench::JsonField::Num("best_cold_speedup_depth_ge8", best_speedup),
+       bench::JsonField::Str("best_config", best_config),
+       bench::JsonField::Num("acceptance_pass", pass ? 1.0 : 0.0)});
+  std::remove(path.c_str());
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <iterator>
 #include <utility>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/prefetch.h"
@@ -75,6 +76,57 @@ inline void InterleavedRun(size_t n, InitFn&& init, StepFn&& step) {
         }
       }
     }
+  }
+}
+
+// InterleavedRun extended to storage: the same group scheduler, but the
+// latency being hidden is a page read in flight on an AsyncReadEngine
+// rather than a DRAM miss, so three things change. The group size is a
+// runtime queue depth (tuned per device, not per cache), a stalled cursor
+// cannot be busy-spun (a pending page read completes via the engine, not
+// by re-executing a load), and so the scheduler needs a third hook:
+//
+//   init(Cursor&, size_t i)  starts lookup i; typically resolves the
+//                            model/fence stage and submits the page read
+//                            (a PagePinStream ticket) before returning.
+//   step(Cursor&) -> bool    retires the lookup if its page has landed
+//                            (or it needs no I/O); false = still waiting.
+//   drain()                  called when a full pass over the group
+//                            retires nothing — every live cursor is
+//                            waiting on I/O, so block until at least one
+//                            completion arrives (PagePinStream::WaitAny).
+//
+// drain() may wake with work for only some cursors; the scheduler simply
+// passes again. group == 1 degenerates to submit-then-wait per lookup,
+// which is the sync baseline with extra steps — benchmarks use the true
+// scalar path for that.
+template <typename Cursor, typename InitFn, typename StepFn,
+          typename DrainFn>
+inline void InterleavedIoRun(size_t n, size_t group, InitFn&& init,
+                             StepFn&& step, DrainFn&& drain) {
+  if (n == 0) return;
+  if (group < 1) group = 1;
+  const size_t width = n < group ? n : group;
+  std::vector<Cursor> cursors(width);
+  std::vector<unsigned char> live(width, 1);
+  size_t next = 0;
+  for (size_t s = 0; s < width; ++s) init(cursors[s], next++);
+  size_t in_flight = width;
+  while (in_flight > 0) {
+    bool retired = false;
+    for (size_t s = 0; s < width; ++s) {
+      if (!live[s]) continue;
+      if (step(cursors[s])) {
+        retired = true;
+        if (next < n) {
+          init(cursors[s], next++);
+        } else {
+          live[s] = 0;
+          --in_flight;
+        }
+      }
+    }
+    if (!retired && in_flight > 0) drain();
   }
 }
 

@@ -1,0 +1,608 @@
+#ifndef LIDX_STORAGE_ASYNC_IO_H_
+#define LIDX_STORAGE_ASYNC_IO_H_
+
+// Asynchronous read engine for the disk-resident structures: many page
+// reads in flight per lookup thread, so a batch of cold lookups is limited
+// by device IOPS instead of one blocking pread at a time. Two backends
+// behind one interface:
+//
+//   IoUringReadEngine    raw-syscall io_uring (no liburing dependency).
+//                        Feature-detected at build time (Linux +
+//                        <linux/io_uring.h>) and at runtime (the setup
+//                        syscall itself plus an IORING_REGISTER_PROBE for
+//                        IORING_OP_READ) — kernels without io_uring, or
+//                        seccomp policies that block it, fall back cleanly.
+//   ThreadPoolReadEngine portable fallback: blocking positional reads
+//                        dispatched to ThreadPool::Shared(). Same
+//                        submit/harvest contract, so callers never branch
+//                        on the backend.
+//
+// Selection: AsyncReadEngine::Create(backend, depth) resolves
+// Options::io_backend, then the LIDX_IO_BACKEND environment variable
+// (values: io_uring | threadpool | auto; env wins, mirroring the
+// LIDX_SIMD cap), then availability. kAuto prefers io_uring.
+//
+// Contract (single client thread per engine — engines are not
+// thread-safe; share a FileManager across threads, not an engine):
+//
+//   1. SubmitRead(fd, buf, len, off, tag) queues one read. At most
+//      queue_depth() reads may be in flight; the caller tracks this via
+//      inflight(). `buf` must stay valid until the tag is harvested.
+//   2. Harvest(out, max, min_complete) returns finished reads. With
+//      min_complete == 0 it polls; otherwise it blocks until that many
+//      (capped at inflight()) are done. A harvested completion with
+//      ok == false means the read failed or hit EOF — the buffer contents
+//      are unspecified and the caller decides whether that is corruption
+//      (pool paths abort) or a clean per-request error (ReadPagesAsync
+//      reports it).
+//   3. Short reads and EINTR are invisible to callers: both backends
+//      resubmit the remainder internally and only complete a tag when all
+//      `len` bytes arrived (or the file ended, which completes as
+//      ok == false). AsyncIoStats counts the retries.
+//
+// The submission side is lazily batched on io_uring: SubmitRead only
+// writes an SQE; the io_uring_enter syscall happens in Harvest, so a batch
+// of B misses costs one kernel round-trip, not B. stats().submit_syscalls
+// divides this out.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/invariants.h"
+#include "common/macros.h"
+#include "common/mutex.h"
+#include "common/parallel.h"
+#include "common/thread_annotations.h"
+#include "storage/io_stats.h"
+
+#if !defined(LIDX_IO_URING_DISABLED) && defined(__linux__) && \
+    __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+// IORING_OP_READ and IORING_REGISTER_PROBE are enum constants, so they
+// cannot be probed with #ifdef; gate instead on a feature *macro* the
+// same 5.6 uapi header introduced. Kernels older than the build header
+// are handled at runtime by TryCreate (setup/probe syscalls fail clean).
+#if defined(IORING_FEAT_CUR_PERSONALITY) && defined(IORING_ENTER_GETEVENTS)
+#define LIDX_HAS_IO_URING 1
+#endif
+#endif
+
+namespace lidx::storage {
+
+// Which async backend to use. kAuto prefers io_uring and falls back to the
+// thread pool when the build lacks <linux/io_uring.h> or the kernel
+// refuses the setup/probe syscalls.
+enum class IoBackend : uint8_t { kAuto, kIoUring, kThreadPool };
+
+inline const char* IoBackendName(IoBackend b) {
+  switch (b) {
+    case IoBackend::kIoUring:
+      return "io_uring";
+    case IoBackend::kThreadPool:
+      return "threadpool";
+    case IoBackend::kAuto:
+      return "auto";
+  }
+  return "auto";
+}
+
+// One finished read. `tag` is the caller's SubmitRead identifier; `ok` is
+// true iff every requested byte was read.
+struct IoCompletion {
+  uint64_t tag = 0;
+  bool ok = false;
+};
+
+// Test hook: caps the byte count of every positional-read/write syscall
+// issued through PReadFull/PWriteFull and every io_uring SQE, forcing the
+// short-I/O retry paths that real devices exercise only rarely. 0 = off.
+inline std::atomic<size_t>& IoChunkLimitForTest() {
+  static std::atomic<size_t> limit{0};
+  return limit;
+}
+
+inline size_t IoChunkCap(size_t len) {
+  const size_t limit = IoChunkLimitForTest().load(std::memory_order_relaxed);
+  return (limit != 0 && limit < len) ? limit : len;
+}
+
+// pread that retries EINTR and short reads until `len` bytes arrived or
+// the file ended. Returns bytes read (< len only at EOF), or -1 on error.
+// Optional counters feed AsyncIoStats / FileManager accounting.
+inline ssize_t PReadFull(int fd, void* buf, size_t len, uint64_t off,
+                         uint64_t* syscalls = nullptr,
+                         uint64_t* short_retries = nullptr,
+                         uint64_t* eintr_retries = nullptr) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t got =
+        ::pread(fd, static_cast<char*>(buf) + done, IoChunkCap(len - done),
+                static_cast<off_t>(off + done));
+    if (syscalls != nullptr) ++*syscalls;
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN) {
+        if (eintr_retries != nullptr) ++*eintr_retries;
+        continue;
+      }
+      return -1;
+    }
+    if (got == 0) break;  // EOF: report the bytes we did get.
+    done += static_cast<size_t>(got);
+    if (done < len && short_retries != nullptr) ++*short_retries;
+  }
+  return static_cast<ssize_t>(done);
+}
+
+// pwrite that retries EINTR and short writes until all `len` bytes are
+// durable in the page cache. Returns bytes written (== len) or -1.
+inline ssize_t PWriteFull(int fd, const void* buf, size_t len, uint64_t off,
+                          uint64_t* syscalls = nullptr,
+                          uint64_t* short_retries = nullptr,
+                          uint64_t* eintr_retries = nullptr) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t put = ::pwrite(fd, static_cast<const char*>(buf) + done,
+                                 IoChunkCap(len - done),
+                                 static_cast<off_t>(off + done));
+    if (syscalls != nullptr) ++*syscalls;
+    if (put < 0) {
+      if (errno == EINTR || errno == EAGAIN) {
+        if (eintr_retries != nullptr) ++*eintr_retries;
+        continue;
+      }
+      return -1;
+    }
+    // pwrite never returns 0 for len > 0 on regular files; a short write
+    // (ENOSPC mid-write aside) is retried for the remainder.
+    done += static_cast<size_t>(put);
+    if (done < len && short_retries != nullptr) ++*short_retries;
+  }
+  return static_cast<ssize_t>(done);
+}
+
+// Abstract submit/harvest engine. One instance per lookup thread; see the
+// file comment for the full contract.
+class AsyncReadEngine {
+ public:
+  virtual ~AsyncReadEngine() = default;
+
+  AsyncReadEngine(const AsyncReadEngine&) = delete;
+  AsyncReadEngine& operator=(const AsyncReadEngine&) = delete;
+
+  // Queues one read of `len` bytes at absolute file offset `off` into
+  // `buf`. Requires inflight() < queue_depth().
+  virtual void SubmitRead(int fd, void* buf, size_t len, uint64_t off,
+                          uint64_t tag) = 0;
+
+  // Appends up to `max` finished reads to `out` and returns how many.
+  // Blocks until at least min(min_complete, inflight()) are available.
+  virtual size_t Harvest(std::vector<IoCompletion>* out, size_t max,
+                         size_t min_complete) = 0;
+
+  size_t queue_depth() const { return queue_depth_; }
+  size_t inflight() const { return inflight_; }
+  IoBackend backend() const { return backend_; }
+  const char* name() const { return IoBackendName(backend_); }
+  const AsyncIoStats& stats() const { return stats_; }
+
+  // Resolves the requested backend against the LIDX_IO_BACKEND environment
+  // override and runtime availability, then constructs the engine. Never
+  // fails: io_uring being unavailable degrades to the thread pool. `depth`
+  // is clamped to [1, 1024].
+  static std::unique_ptr<AsyncReadEngine> Create(IoBackend requested,
+                                                 size_t depth);
+
+  // Parses io_uring | uring | threadpool | pool | auto (anything else and
+  // empty mean auto). Exposed for the env-override tests.
+  static IoBackend ParseBackend(const char* s) {
+    if (s == nullptr) return IoBackend::kAuto;
+    const std::string v(s);
+    if (v == "io_uring" || v == "uring") return IoBackend::kIoUring;
+    if (v == "threadpool" || v == "thread_pool" || v == "pool") {
+      return IoBackend::kThreadPool;
+    }
+    return IoBackend::kAuto;
+  }
+
+ protected:
+  AsyncReadEngine(IoBackend backend, size_t depth)
+      : backend_(backend), queue_depth_(depth) {}
+
+  void NoteSubmitted() {
+    ++inflight_;
+    ++stats_.reads_submitted;
+    if (inflight_ > stats_.max_inflight) stats_.max_inflight = inflight_;
+  }
+
+  void NoteCompleted(bool ok) {
+    LIDX_DCHECK(inflight_ > 0);
+    --inflight_;
+    ++stats_.reads_completed;
+    if (!ok) ++stats_.reads_failed;
+  }
+
+  IoBackend backend_;
+  size_t queue_depth_;
+  size_t inflight_ = 0;
+  AsyncIoStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Thread-pool backend: each SubmitRead dispatches a blocking PReadFull to
+// ThreadPool::Shared(). Completions flow back through a mutex-guarded
+// queue owned by a shared_ptr, so pool tasks stay safe even if the engine
+// dies first (the destructor drains anyway — caller buffers must not be
+// written after ~AsyncReadEngine returns). Never blocks on task futures:
+// pool tasks queue behind each other on small pools and a future .get()
+// here could deadlock behind our own submissions.
+// ---------------------------------------------------------------------------
+class ThreadPoolReadEngine final : public AsyncReadEngine {
+ public:
+  explicit ThreadPoolReadEngine(size_t depth)
+      : AsyncReadEngine(IoBackend::kThreadPool, depth),
+        shared_(std::make_shared<SharedQueue>()) {}
+
+  ~ThreadPoolReadEngine() override {
+    std::vector<IoCompletion> drain;
+    while (inflight_ > 0) Harvest(&drain, inflight_, 1);
+  }
+
+  void SubmitRead(int fd, void* buf, size_t len, uint64_t off,
+                  uint64_t tag) override {
+    LIDX_CHECK(inflight_ < queue_depth_);
+    NoteSubmitted();
+    std::shared_ptr<SharedQueue> q = shared_;
+    // The future is intentionally dropped: results come back through the
+    // queue. Submit's future would be unsafe to wait on here anyway (see
+    // class comment).
+    ThreadPool::Shared().Submit([q, fd, buf, len, off, tag] {
+      Done d;
+      d.tag = tag;
+      const ssize_t got = PReadFull(fd, buf, len, off, &d.syscalls,
+                                    &d.short_retries, &d.eintr_retries);
+      d.ok = got == static_cast<ssize_t>(len);
+      {
+        MutexLock lock(q->mu);
+        q->done.push_back(d);
+      }
+      q->cv.NotifyOne();
+    });
+  }
+
+  size_t Harvest(std::vector<IoCompletion>* out, size_t max,
+                 size_t min_complete) override {
+    if (max == 0 || inflight_ == 0) return 0;
+    if (min_complete > inflight_) min_complete = inflight_;
+    if (min_complete > max) min_complete = max;
+    size_t n = 0;
+    MutexLock lock(shared_->mu);
+    if (min_complete > 0 && shared_->done.size() < min_complete) {
+      ++stats_.wait_blocks;
+    }
+    while (shared_->done.size() < min_complete) shared_->cv.Wait(shared_->mu);
+    while (n < max && !shared_->done.empty()) {
+      const Done d = shared_->done.front();
+      shared_->done.pop_front();
+      stats_.submit_syscalls += d.syscalls;
+      stats_.short_read_retries += d.short_retries;
+      stats_.eintr_retries += d.eintr_retries;
+      NoteCompleted(d.ok);
+      out->push_back(IoCompletion{d.tag, d.ok});
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Done {
+    uint64_t tag = 0;
+    bool ok = false;
+    uint64_t syscalls = 0;
+    uint64_t short_retries = 0;
+    uint64_t eintr_retries = 0;
+  };
+
+  struct SharedQueue {
+    Mutex mu;
+    CondVar cv;
+    std::deque<Done> done LIDX_GUARDED_BY(mu);
+  };
+
+  std::shared_ptr<SharedQueue> shared_;
+};
+
+#if defined(LIDX_HAS_IO_URING)
+
+// ---------------------------------------------------------------------------
+// io_uring backend over raw syscalls (the container and many minimal
+// images ship <linux/io_uring.h> but not liburing). Single-threaded by the
+// engine contract, so ring head/tail accesses need fences only against the
+// kernel, not other user threads — release before publishing the SQ tail,
+// acquire before reading CQEs behind the CQ tail.
+// ---------------------------------------------------------------------------
+class IoUringReadEngine final : public AsyncReadEngine {
+ public:
+  // Builds the ring or returns null (kernel without io_uring, seccomp
+  // denial, or a kernel too old for IORING_OP_READ — added in 5.6).
+  static std::unique_ptr<IoUringReadEngine> TryCreate(size_t depth) {
+    std::unique_ptr<IoUringReadEngine> e(new IoUringReadEngine(depth));
+    if (!e->Init()) return nullptr;
+    return e;
+  }
+
+  ~IoUringReadEngine() override {
+    // Kernel-side reads write caller buffers; drain before unmapping.
+    std::vector<IoCompletion> drain;
+    while (inflight_ > 0) Harvest(&drain, inflight_, 1);
+    if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+    if (cq_ptr_ != nullptr && cq_ptr_ != sq_ptr_) ::munmap(cq_ptr_, cq_bytes_);
+    if (sq_ptr_ != nullptr) ::munmap(sq_ptr_, sq_bytes_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  void SubmitRead(int fd, void* buf, size_t len, uint64_t off,
+                  uint64_t tag) override {
+    LIDX_CHECK(inflight_ < queue_depth_);
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    Op& op = ops_[slot];
+    op.tag = tag;
+    op.fd = fd;
+    op.buf = static_cast<char*>(buf);
+    op.len = len;
+    op.off = off;
+    op.done = 0;
+    PushSqe(slot);
+    NoteSubmitted();
+  }
+
+  size_t Harvest(std::vector<IoCompletion>* out, size_t max,
+                 size_t min_complete) override {
+    if (max == 0 || inflight_ == 0) return 0;
+    if (min_complete > inflight_) min_complete = inflight_;
+    if (min_complete > max) min_complete = max;
+    size_t n = 0;
+    bool blocked = false;
+    for (;;) {
+      n += PopCqes(out, max - n);
+      if (n >= min_complete) {
+        // Push any resubmissions (and still-unsubmitted SQEs) to the
+        // kernel without waiting; they complete on a later Harvest.
+        if (to_submit_ > 0) Enter(0);
+        return n;
+      }
+      if (!blocked) {
+        blocked = true;
+        ++stats_.wait_blocks;
+      }
+      Enter(1);  // Flush pending SQEs and wait for >= 1 completion.
+    }
+  }
+
+ private:
+  // In-flight read bookkeeping: user_data on the SQE is the slot index, so
+  // a short read can resubmit the remainder under the same slot/tag.
+  struct Op {
+    uint64_t tag = 0;
+    int fd = -1;
+    char* buf = nullptr;
+    size_t len = 0;
+    uint64_t off = 0;  // Absolute base file offset of the read.
+    size_t done = 0;   // Bytes already landed (short-read resubmissions).
+  };
+
+  explicit IoUringReadEngine(size_t depth)
+      : AsyncReadEngine(IoBackend::kIoUring, depth) {}
+
+  bool Init() {
+    io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    ring_fd_ = static_cast<int>(
+        ::syscall(__NR_io_uring_setup, static_cast<unsigned>(queue_depth_),
+                  &p));
+    if (ring_fd_ < 0) return false;
+
+    sq_bytes_ = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    cq_bytes_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) {
+      sq_bytes_ = sq_bytes_ > cq_bytes_ ? sq_bytes_ : cq_bytes_;
+      cq_bytes_ = sq_bytes_;
+    }
+    sq_ptr_ = ::mmap(nullptr, sq_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ptr_ == MAP_FAILED) {
+      sq_ptr_ = nullptr;
+      return false;
+    }
+    cq_ptr_ = single_mmap ? sq_ptr_
+                          : ::mmap(nullptr, cq_bytes_, PROT_READ | PROT_WRITE,
+                                   MAP_SHARED | MAP_POPULATE, ring_fd_,
+                                   IORING_OFF_CQ_RING);
+    if (cq_ptr_ == MAP_FAILED) {
+      cq_ptr_ = nullptr;
+      return false;
+    }
+    char* sqb = static_cast<char*>(sq_ptr_);
+    char* cqb = static_cast<char*>(cq_ptr_);
+    sq_head_ = reinterpret_cast<unsigned*>(sqb + p.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sqb + p.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sqb + p.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sqb + p.sq_off.array);
+    cq_head_ = reinterpret_cast<unsigned*>(cqb + p.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cqb + p.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cqb + p.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cqb + p.cq_off.cqes);
+    sqes_bytes_ = p.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      return false;
+    }
+    if (!ProbeSupportsRead()) return false;
+
+    ops_.resize(queue_depth_);
+    free_slots_.reserve(queue_depth_);
+    for (size_t i = queue_depth_; i > 0; --i) {
+      free_slots_.push_back(static_cast<uint32_t>(i - 1));
+    }
+    return true;
+  }
+
+  // IORING_OP_READ landed in 5.6; ask the kernel instead of trusting the
+  // version. A kernel too old for IORING_REGISTER_PROBE would fail the
+  // register call, which we also treat as "no".
+  bool ProbeSupportsRead() const {
+    constexpr size_t kOps = 256;
+    std::vector<uint8_t> raw(sizeof(io_uring_probe) +
+                             kOps * sizeof(io_uring_probe_op));
+    std::memset(raw.data(), 0, raw.size());
+    auto* probe = reinterpret_cast<io_uring_probe*>(raw.data());
+    const long rc = ::syscall(__NR_io_uring_register, ring_fd_,
+                              IORING_REGISTER_PROBE, probe, kOps);
+    if (rc < 0) return false;
+    if (probe->last_op < IORING_OP_READ) return false;
+    return (probe->ops[IORING_OP_READ].flags & IO_URING_OP_SUPPORTED) != 0;
+  }
+
+  // Writes one SQE for the unread remainder of `slot`. SQ capacity equals
+  // queue_depth_ and unflushed SQEs never exceed in-flight ops, so there
+  // is always a free ring entry.
+  void PushSqe(uint32_t slot) {
+    Op& op = ops_[slot];
+    // Ring head/tail words are shared with the kernel: std::atomic_ref
+    // gives the release/acquire edges the io_uring ABI requires without a
+    // bare fence (which TSan's -Wtsan rejects).
+    const unsigned tail =
+        std::atomic_ref<unsigned>(*sq_tail_).load(std::memory_order_relaxed);
+    const unsigned idx = tail & sq_mask_;
+    io_uring_sqe* sqe = &sqes_[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_READ;
+    sqe->fd = op.fd;
+    sqe->addr = reinterpret_cast<uint64_t>(op.buf + op.done);
+    sqe->len = static_cast<unsigned>(IoChunkCap(op.len - op.done));
+    sqe->off = op.off + op.done;
+    sqe->user_data = slot;
+    sq_array_[idx] = idx;
+    std::atomic_ref<unsigned>(*sq_tail_)
+        .store(tail + 1, std::memory_order_release);
+    ++to_submit_;
+  }
+
+  void Enter(unsigned min_complete) {
+    for (;;) {
+      const long rc = ::syscall(
+          __NR_io_uring_enter, ring_fd_, to_submit_, min_complete,
+          min_complete > 0 ? IORING_ENTER_GETEVENTS : 0U, nullptr, 0);
+      ++stats_.submit_syscalls;
+      if (rc >= 0) {
+        to_submit_ -= static_cast<unsigned>(rc);
+        return;
+      }
+      if (errno == EINTR || errno == EAGAIN || errno == EBUSY) {
+        ++stats_.eintr_retries;
+        continue;
+      }
+      LIDX_INVARIANT(false, "io_uring_enter failed");
+    }
+  }
+
+  // Drains the CQ ring: finished ops complete, short reads resubmit the
+  // remainder under the same slot.
+  size_t PopCqes(std::vector<IoCompletion>* out, size_t max) {
+    size_t n = 0;
+    unsigned head =
+        std::atomic_ref<unsigned>(*cq_head_).load(std::memory_order_relaxed);
+    const unsigned tail =
+        std::atomic_ref<unsigned>(*cq_tail_).load(std::memory_order_acquire);
+    while (head != tail && n < max) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      const uint32_t slot = static_cast<uint32_t>(cqe.user_data);
+      const int32_t res = cqe.res;
+      ++head;
+      Op& op = ops_[slot];
+      if (res == -EINTR || res == -EAGAIN) {
+        ++stats_.eintr_retries;
+        PushSqe(slot);
+        continue;
+      }
+      if (res > 0 &&
+          op.done + static_cast<size_t>(res) < op.len) {
+        op.done += static_cast<size_t>(res);
+        ++stats_.short_read_retries;
+        PushSqe(slot);
+        continue;
+      }
+      const bool ok =
+          res > 0 && op.done + static_cast<size_t>(res) == op.len;
+      out->push_back(IoCompletion{op.tag, ok});
+      NoteCompleted(ok);
+      free_slots_.push_back(slot);
+      ++n;
+    }
+    std::atomic_ref<unsigned>(*cq_head_)
+        .store(head, std::memory_order_release);
+    return n;
+  }
+
+  int ring_fd_ = -1;
+  void* sq_ptr_ = nullptr;
+  void* cq_ptr_ = nullptr;
+  size_t sq_bytes_ = 0;
+  size_t cq_bytes_ = 0;
+  size_t sqes_bytes_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  unsigned to_submit_ = 0;
+  std::vector<Op> ops_;
+  std::vector<uint32_t> free_slots_;
+};
+
+#endif  // LIDX_HAS_IO_URING
+
+inline std::unique_ptr<AsyncReadEngine> AsyncReadEngine::Create(
+    IoBackend requested, size_t depth) {
+  if (depth < 1) depth = 1;
+  if (depth > 1024) depth = 1024;
+  // Env override beats Options: CI's forced-fallback leg and local
+  // experiments flip backends without recompiling.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* env = std::getenv("LIDX_IO_BACKEND");
+  if (env != nullptr && *env != '\0') requested = ParseBackend(env);
+#if defined(LIDX_HAS_IO_URING)
+  if (requested != IoBackend::kThreadPool) {
+    auto uring = IoUringReadEngine::TryCreate(depth);
+    if (uring != nullptr) return uring;
+    // kIoUring explicitly requested but unavailable at runtime: degrade
+    // rather than fail — the contract everywhere is "async reads work".
+  }
+#endif
+  return std::make_unique<ThreadPoolReadEngine>(depth);
+}
+
+}  // namespace lidx::storage
+
+#endif  // LIDX_STORAGE_ASYNC_IO_H_

@@ -11,6 +11,7 @@
 #include "common/macros.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "storage/async_io.h"
 #include "storage/file_manager.h"
 #include "storage/page.h"
 
@@ -23,6 +24,9 @@ struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  // Misses whose disk read went through an AsyncReadEngine (PagePinStream)
+  // instead of a blocking in-lock pread. Subset of `misses`.
+  uint64_t async_loads = 0;
 };
 
 // Fixed-size page cache in front of a FileManager. Frames are replaced
@@ -92,15 +96,19 @@ class BufferPool {
   // Returns a pinned reference to the page, fetching it from disk on a
   // miss. Aborts if every frame is pinned (the pool is undersized for the
   // working set of concurrently held guards) or if the page fails
-  // validation on read.
+  // validation on read. If another thread's PagePinStream is already
+  // loading the page, this blocks until that load lands — the pin taken
+  // up front keeps the frame from going anywhere while we wait.
   PageRef Pin(uint64_t page_id) {
     MutexLock lock(mu_);
     if (const auto it = table_.find(page_id); it != table_.end()) {
-      Frame& frame = frames_[it->second];
+      const size_t idx = it->second;
+      Frame& frame = frames_[idx];
       ++frame.pins;
       frame.referenced = true;
       ++stats_.hits;
-      return PageRef(this, it->second);
+      while (frame.loading) cv_.Wait(mu_);
+      return PageRef(this, idx);
     }
     ++stats_.misses;
     const size_t victim = FindVictimLocked();
@@ -119,6 +127,179 @@ class BufferPool {
     table_.emplace(page_id, victim);
     return PageRef(this, victim);
   }
+
+  // Asynchronous multi-pin front end over one AsyncReadEngine. A batch of
+  // lookups Begin()s the pages it wants; hits (and joins of loads already
+  // in flight) cost no I/O, misses reserve a frame up front — pinned,
+  // marked loading, indexed in the table — and go to the engine as one
+  // submission stream, so completions can never evict each other's
+  // targets and concurrent pins of the same page share one read. The
+  // caller polls Ready(), blocks in WaitAny() when no cursor can advance,
+  // and Take()s a pinned PageRef per ticket (blocking if needed).
+  //
+  // Contract: one stream per engine at a time, driven by one thread (the
+  // engine's client thread). Each ticket holds its own pin from Begin
+  // until Take hands it to the returned PageRef — duplicate page ids in a
+  // batch are safe. Tickets not taken are released by the destructor,
+  // which also waits out any loads still in flight (frame bytes belong to
+  // the engine until then). Like Pin, a failed or invalid page read
+  // aborts: pages reaching this path are already part of the database.
+  class PagePinStream {
+   public:
+    PagePinStream(BufferPool* pool, AsyncReadEngine* engine)
+        : pool_(pool), engine_(engine) {
+      LIDX_CHECK(engine_->inflight() == 0);
+    }
+
+    PagePinStream(const PagePinStream&) = delete;
+    PagePinStream& operator=(const PagePinStream&) = delete;
+
+    ~PagePinStream() {
+      for (size_t t = 0; t < tickets_.size(); ++t) {
+        if (tickets_[t].taken) continue;
+        while (!Ready(t)) WaitAny();
+        tickets_[t].taken = true;
+        pool_->Unpin(tickets_[t].frame);
+      }
+    }
+
+    // Requests a pin of `page_id`; returns a ticket for Ready/Take.
+    // Blocks only when the engine's queue is full (harvests a completion
+    // to make room) — with batch fan-out capped at the queue depth, never.
+    uint64_t Begin(uint64_t page_id) {
+      for (;;) {
+        {
+          MutexLock lock(pool_->mu_);
+          if (const auto it = pool_->table_.find(page_id);
+              it != pool_->table_.end()) {
+            Frame& frame = pool_->frames_[it->second];
+            ++frame.pins;
+            frame.referenced = true;
+            ++pool_->stats_.hits;
+            return NewTicket(page_id, it->second);
+          }
+          if (engine_->inflight() < engine_->queue_depth()) {
+            ++pool_->stats_.misses;
+            ++pool_->stats_.async_loads;
+            const size_t victim = pool_->FindVictimLocked();
+            Frame& frame = pool_->frames_[victim];
+            if (frame.valid) {
+              pool_->table_.erase(frame.page_id);
+              ++pool_->stats_.evictions;
+            }
+            frame.page_id = page_id;
+            frame.pins = 1;
+            frame.referenced = true;
+            frame.valid = false;
+            frame.loading = true;
+            pool_->table_.emplace(page_id, victim);
+            // Submission is non-blocking (an SQE write or a pool enqueue),
+            // so issuing it under the pool lock is fine and keeps the
+            // reserve-then-submit step atomic against other threads.
+            pool_->file_->ReadPageAsync(engine_, page_id, &frame.page,
+                                        victim);
+            ++engine_pending_;
+            return NewTicket(page_id, victim);
+          }
+        }
+        HarvestCompletions(1);
+      }
+    }
+
+    // True when the ticket's page is resident (Take will not block).
+    // Polls the engine first so completed reads retire promptly.
+    bool Ready(uint64_t ticket) {
+      LIDX_DCHECK(!tickets_[ticket].taken);
+      if (engine_pending_ > 0) HarvestCompletions(0);
+      MutexLock lock(pool_->mu_);
+      return !pool_->frames_[tickets_[ticket].frame].loading;
+    }
+
+    // Blocks until at least one pending ticket can make progress: harvests
+    // the engine when this stream owns in-flight reads, otherwise sleeps
+    // on the pool broadcast (every pending ticket aliases a load owned by
+    // some other stream).
+    void WaitAny() {
+      if (engine_pending_ > 0) {
+        HarvestCompletions(1);
+        return;
+      }
+      MutexLock lock(pool_->mu_);
+      for (;;) {
+        bool any_pending = false;
+        for (const Ticket& t : tickets_) {
+          if (t.taken) continue;
+          if (!pool_->frames_[t.frame].loading) return;
+          any_pending = true;
+        }
+        if (!any_pending) return;
+        pool_->cv_.Wait(pool_->mu_);
+      }
+    }
+
+    // Consumes the ticket and returns its pinned page, blocking until the
+    // read lands if necessary.
+    PageRef Take(uint64_t ticket) {
+      while (!Ready(ticket)) WaitAny();
+      Ticket& t = tickets_[ticket];
+      t.taken = true;
+      free_.push_back(ticket);
+      return PageRef(pool_, t.frame);
+    }
+
+    AsyncReadEngine* engine() const { return engine_; }
+
+   private:
+    struct Ticket {
+      uint64_t page_id = 0;
+      size_t frame = 0;
+      bool taken = true;
+    };
+
+    uint64_t NewTicket(uint64_t page_id, size_t frame) {
+      size_t t;
+      if (!free_.empty()) {
+        t = free_.back();
+        free_.pop_back();
+      } else {
+        t = tickets_.size();
+        tickets_.emplace_back();
+      }
+      tickets_[t] = Ticket{page_id, frame, false};
+      return t;
+    }
+
+    // Retires >= `min_complete` of this stream's in-flight reads (0 =
+    // poll). Runs without the pool lock while the engine blocks; frame
+    // identity fields of loading frames are stable (only this stream can
+    // clear `loading`), so the validation read outside the lock is safe.
+    void HarvestCompletions(size_t min_complete) {
+      comps_.clear();
+      engine_->Harvest(&comps_, engine_->queue_depth(), min_complete);
+      for (const IoCompletion& c : comps_) {
+        const size_t idx = static_cast<size_t>(c.tag);
+        Frame& frame = pool_->frames_[idx];
+        LIDX_INVARIANT(
+            c.ok && FileManager::ValidateLoadedPage(frame.page_id,
+                                                    frame.page),
+            "bufferpool: async page read failed (corrupt, truncated, or "
+            "missing page)");
+        LIDX_DCHECK(engine_pending_ > 0);
+        --engine_pending_;
+        MutexLock lock(pool_->mu_);
+        frame.loading = false;
+        frame.valid = true;
+        pool_->cv_.NotifyAll();
+      }
+    }
+
+    BufferPool* pool_;
+    AsyncReadEngine* engine_;
+    std::vector<Ticket> tickets_;
+    std::vector<size_t> free_;
+    std::vector<IoCompletion> comps_;
+    size_t engine_pending_ = 0;
+  };
 
   // Drops an unpinned cached copy of `page_id`, if any. Called before a
   // page is freed and its id recycled, so a later Pin of the reused id
@@ -158,8 +339,19 @@ class BufferPool {
   void CheckInvariants() const {
     MutexLock lock(mu_);
     size_t valid_frames = 0;
+    size_t loading_frames = 0;
     for (size_t i = 0; i < frames_.size(); ++i) {
       const Frame& frame = frames_[i];
+      if (frame.loading) {
+        // A loading frame is reserved: indexed, pinned, not yet valid.
+        ++loading_frames;
+        LIDX_INVARIANT(!frame.valid && frame.pins > 0,
+                       "bufferpool: loading frame pinned and not valid");
+        const auto it = table_.find(frame.page_id);
+        LIDX_INVARIANT(it != table_.end() && it->second == i,
+                       "bufferpool: loading frame indexed under its page id");
+        continue;
+      }
       if (!frame.valid) {
         LIDX_INVARIANT(frame.pins == 0, "bufferpool: invalid frame unpinned");
         continue;
@@ -171,8 +363,8 @@ class BufferPool {
       LIDX_INVARIANT(frame.page.header().page_id == frame.page_id,
                      "bufferpool: cached page self-id matches frame");
     }
-    LIDX_INVARIANT(table_.size() == valid_frames,
-                   "bufferpool: table size matches valid frames");
+    LIDX_INVARIANT(table_.size() == valid_frames + loading_frames,
+                   "bufferpool: table size matches valid + loading frames");
   }
 
  private:
@@ -182,6 +374,12 @@ class BufferPool {
     uint32_t pins = 0;
     bool referenced = false;
     bool valid = false;
+    // An async read for this frame is in flight: the frame is reserved in
+    // the table under page_id (so concurrent pins of the same page join
+    // the load instead of double-reading), pinned (so no completion can
+    // evict another completion's target), and its bytes are owned by the
+    // engine until the loader marks it valid and broadcasts cv_.
+    bool loading = false;
   };
 
   void Unpin(size_t frame) {
@@ -198,7 +396,9 @@ class BufferPool {
       const size_t i = clock_hand_;
       clock_hand_ = (clock_hand_ + 1) % frames_.size();
       Frame& frame = frames_[i];
-      if (!frame.valid) return i;
+      // An invalid frame is free — unless it is a loading reservation,
+      // whose pin (like any pin) makes it untouchable.
+      if (!frame.valid && frame.pins == 0) return i;
       if (frame.pins > 0) continue;
       if (frame.referenced) {
         frame.referenced = false;
@@ -211,6 +411,10 @@ class BufferPool {
   }
 
   mutable Mutex mu_;
+  // Broadcast whenever a loading frame becomes valid; waited on by Pin
+  // (join a load in progress) and PagePinStream::WaitAny (a ticket aliases
+  // a load owned by some other stream).
+  CondVar cv_;
   FileManager* file_;
   // frames_ is deliberately *not* GUARDED_BY(mu_): the vector itself never
   // resizes after construction, and a PageRef dereferences its frame's page

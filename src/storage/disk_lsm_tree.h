@@ -16,8 +16,10 @@
 #include "common/mutex.h"
 #include "common/parallel.h"
 #include "common/thread_annotations.h"
+#include "common/batch.h"
 #include "lsm/merge.h"
 #include "lsm/run.h"
+#include "storage/async_io.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_run.h"
 #include "storage/file_manager.h"
@@ -65,6 +67,11 @@ class DiskLsmTree {
     // Backlog allowance in background mode: writers stall once L0 holds
     // more than l0_run_limit * (max_pending_compactions + 1) runs.
     size_t max_pending_compactions = 2;
+    // Async batched reads (GetBatch): backend and queue depth of the
+    // lazily created read engine. The LIDX_IO_BACKEND env var overrides
+    // the backend at runtime (see storage/async_io.h).
+    IoBackend io_backend = IoBackend::kAuto;
+    size_t io_queue_depth = 32;
   };
 
   // `path` names the page file; it is created if absent and extended as
@@ -105,6 +112,114 @@ class DiskLsmTree {
     SnapshotComponents(&l0, &levels);
     return GetFromRuns(l0, levels, key);
   }
+
+  // Batched point lookups with up to the engine's queue depth of page
+  // reads in flight across the whole component stack: the AMAC group
+  // scheduler (InterleavedIoRun) drives one cursor per key, and each
+  // cursor probes the memtable synchronously, then chains through the
+  // runs newest-first — the same order as Get — parking on a
+  // PagePinStream ticket whenever a run's filter + model admit a page.
+  // Results are identical to calling Get per key (both paths share
+  // DiskRun's ResolveTarget/SearchPage, and a cursor advances to the next
+  // run only after the current run's page search misses). This overload
+  // lazily creates one engine from Options::io_backend / io_queue_depth,
+  // owned by the client thread per the class's one-client contract;
+  // out[] must hold n slots.
+  void GetBatch(const Key* keys, size_t n, std::optional<Value>* out) const {
+    GetBatch(EnsureEngine(), keys, n, out);
+  }
+
+  // Explicit-engine overload: concurrent readers give each thread its own
+  // engine (engines are not thread-safe). `engine` must be idle.
+  void GetBatch(AsyncReadEngine* engine, const Key* keys, size_t n,
+                std::optional<Value>* out) const {
+    // One component snapshot serves the whole batch; the runs themselves
+    // are immutable, so cursors probe them lock-free even while a worker
+    // installs a new layout.
+    std::vector<RunPtr> l0;
+    std::vector<RunPtr> levels;
+    if (options_.background_compaction) {
+      SnapshotComponents(&l0, &levels);
+    } else {
+      CopyComponentsSingleThreaded(&l0, &levels);
+    }
+    // Probe order: L0 newest-first, then deeper levels (matches Get).
+    using Run = DiskRun<Key, Value>;
+    std::vector<const Run*> runs;
+    runs.reserve(l0.size() + levels.size());
+    for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
+      runs.push_back(it->get());
+    }
+    for (const auto& run : levels) {
+      if (run != nullptr) runs.push_back(run.get());
+    }
+    BufferPool::PagePinStream stream(&pool_, engine);
+    const uint64_t reads_before = engine->stats().reads_submitted;
+    struct Cursor {
+      size_t i = 0;
+      size_t run = 0;        // Component currently probed.
+      uint64_t ticket = 0;
+      bool pending = false;  // Ticket in flight for runs[run].
+      typename Run::Target t;
+    };
+    // Walks runs[c.run..] until one admits a page (read submitted) or the
+    // chain is exhausted (miss recorded).
+    const auto submit_next = [&](Cursor& c, const Key& key) {
+      for (; c.run < runs.size(); ++c.run) {
+        const auto t = runs[c.run]->ResolveTarget(key, &stats_);
+        if (!t.has_value()) continue;
+        c.t = *t;
+        ++stats_.pages_touched;
+        c.ticket = stream.Begin(runs[c.run]->pages_[c.t.page]);
+        c.pending = true;
+        return;
+      }
+      out[c.i] = std::nullopt;
+      c.pending = false;
+    };
+    InterleavedIoRun<Cursor>(
+        n, engine->queue_depth(),
+        [&](Cursor& c, size_t i) {
+          c.i = i;
+          c.run = 0;
+          c.pending = false;
+          if (const auto hit = memtable_.Find(keys[i]); hit.has_value()) {
+            if (hit->deleted) {
+              out[i] = std::nullopt;
+            } else {
+              out[i] = hit->value;
+            }
+            return;
+          }
+          submit_next(c, keys[i]);
+        },
+        [&](Cursor& c) {
+          if (!c.pending) return true;
+          if (!stream.Ready(c.ticket)) return false;
+          const BufferPool::PageRef ref = stream.Take(c.ticket);
+          const auto found =
+              runs[c.run]->SearchPage(*ref, c.t, keys[c.i], &stats_);
+          if (found.has_value()) {
+            if (found->deleted) {
+              out[c.i] = std::nullopt;
+            } else {
+              out[c.i] = found->value;
+            }
+            c.pending = false;
+            return true;
+          }
+          ++c.run;
+          submit_next(c, keys[c.i]);
+          return !c.pending;
+        },
+        [&] { stream.WaitAny(); });
+    stats_.batched_lookups += n;
+    stats_.async_page_reads += engine->stats().reads_submitted - reads_before;
+  }
+
+  // Backend actually serving the engine-less GetBatch overload (resolved
+  // lazily on first use; nullptr before that).
+  const AsyncReadEngine* io_engine() const { return engine_.get(); }
 
   // Live entries with lo <= key <= hi, merged across all components.
   void RangeScan(const Key& lo, const Key& hi,
@@ -269,6 +384,14 @@ class DiskLsmTree {
 
   void MaybeFlush() {
     if (memtable_.size() >= options_.memtable_limit) Flush();
+  }
+
+  AsyncReadEngine* EnsureEngine() const {
+    if (engine_ == nullptr) {
+      engine_ = AsyncReadEngine::Create(options_.io_backend,
+                                        options_.io_queue_depth);
+    }
+    return engine_.get();
   }
 
   size_t LevelCapacity(size_t level) const {
@@ -445,6 +568,10 @@ class DiskLsmTree {
   // levels_[i] = L(i+1), single run each.
   std::vector<RunPtr> levels_ LIDX_GUARDED_BY(mu_);
   mutable DiskIoStats stats_;
+  // Lazily created for the engine-less GetBatch overload. Client-thread
+  // only (not guarded by mu_): the one-client contract makes all reads
+  // single-threaded, and background compaction never reads through it.
+  mutable std::unique_ptr<AsyncReadEngine> engine_;
 };
 
 }  // namespace lidx::storage

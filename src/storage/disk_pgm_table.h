@@ -5,16 +5,19 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/batch.h"
 #include "common/invariants.h"
 #include "common/macros.h"
 #include "common/search.h"
 #include "common/simd.h"
 #include "models/plr.h"
+#include "storage/async_io.h"
 #include "storage/buffer_pool.h"
 #include "storage/file_manager.h"
 #include "storage/io_stats.h"
@@ -57,6 +60,11 @@ class DiskPgmTable {
     // in one vectorized pass. Results are identical either way. The
     // process-wide LIDX_SIMD env cap still applies.
     bool simd = true;
+    // Async backend for FindBatch's internal engine (storage/async_io.h).
+    // The LIDX_IO_BACKEND env var overrides this; kAuto prefers io_uring.
+    IoBackend io_backend = IoBackend::kAuto;
+    // Page reads kept in flight per FindBatch call (clamped to [1, 1024]).
+    size_t io_queue_depth = 32;
   };
 
   static constexpr size_t kRecordBytes = sizeof(Key) + sizeof(Value);
@@ -118,6 +126,107 @@ class DiskPgmTable {
     }
     return FindViaModel(key, io);
   }
+
+  // Batched point lookups on the table's lazily created engine
+  // (Options::io_backend / io_queue_depth). Same single-client contract as
+  // Find: one thread drives this table's lookups. Multi-threaded readers
+  // share the table by passing per-thread engines to the overload below.
+  void FindBatch(const Key* keys, size_t n, std::optional<Value>* out,
+                 DiskIoStats* io) const {
+    if (engine_ == nullptr) {
+      engine_ =
+          AsyncReadEngine::Create(options_.io_backend, options_.io_queue_depth);
+    }
+    FindBatch(engine_.get(), keys, n, out, io);
+  }
+
+  // Batched point lookups with up to the engine's queue depth of page
+  // reads in flight. Fence-mode lookups pin one page; model-mode lookups
+  // walk their ε-window's pages as a state machine, submitting the next
+  // page only after the previous one ruled the key out — identical page
+  // visits, in the same order, as scalar Find (both share StepModelPage /
+  // SearchInPage), so results match byte for byte. The engine must be idle
+  // and owned by the calling thread.
+  void FindBatch(AsyncReadEngine* engine, const Key* keys, size_t n,
+                 std::optional<Value>* out, DiskIoStats* io) const {
+    BufferPool::PagePinStream stream(pool_, engine);
+    const uint64_t reads_before = engine->stats().reads_submitted;
+    struct Cursor {
+      size_t i = 0;
+      uint64_t ticket = 0;
+      bool pending = false;
+      bool fence_mode = false;
+      size_t page = 0;     // Current page of the walk.
+      size_t page_hi = 0;  // Last page the ε-window overlaps.
+      size_t lo = 0;       // Global rank window [lo, hi) from the model.
+      size_t hi = 0;
+    };
+    InterleavedIoRun<Cursor>(
+        n, engine->queue_depth(),
+        [&](Cursor& c, size_t i) {
+          c.i = i;
+          c.pending = false;
+          if (n_ == 0) {
+            out[i] = std::nullopt;
+            return;
+          }
+          if (io != nullptr) ++io->run_probes;
+          if (options_.mode == DiskSearchMode::kFenceBinary) {
+            const auto it = std::upper_bound(fence_keys_.begin(),
+                                             fence_keys_.end(), keys[i]);
+            if (it == fence_keys_.begin()) {
+              out[i] = std::nullopt;
+              return;
+            }
+            c.fence_mode = true;
+            c.page = static_cast<size_t>(it - fence_keys_.begin()) - 1;
+          } else {
+            const double kd = static_cast<double>(keys[i]);
+            const size_t pred =
+                segments_[SegmentFor(kd)].model.PredictClamped(kd, n_);
+            const size_t eps = options_.epsilon;
+            const SearchWindow w = ClampSearchWindow(pred, eps, eps, n_);
+            c.fence_mode = false;
+            c.lo = w.lo;
+            c.hi = w.hi;
+            c.page = w.lo / kRecordsPerPage;
+            c.page_hi = (w.hi - 1) / kRecordsPerPage;
+          }
+          if (io != nullptr) ++io->pages_touched;
+          c.ticket = stream.Begin(pages_[c.page]);
+          c.pending = true;
+        },
+        [&](Cursor& c) {
+          if (!c.pending) return true;
+          if (!stream.Ready(c.ticket)) return false;
+          const BufferPool::PageRef ref = stream.Take(c.ticket);
+          if (c.fence_mode) {
+            const size_t count = ref->header().payload_bytes / kRecordBytes;
+            out[c.i] = SearchInPage(*ref, 0, count, keys[c.i], io);
+            return true;
+          }
+          std::optional<Value> result;
+          if (StepModelPage(*ref, c.page, c.lo, c.hi, keys[c.i], io,
+                            &result) ||
+              c.page == c.page_hi) {
+            out[c.i] = result;
+            return true;
+          }
+          ++c.page;
+          if (io != nullptr) ++io->pages_touched;
+          c.ticket = stream.Begin(pages_[c.page]);
+          return false;
+        },
+        [&] { stream.WaitAny(); });
+    if (io != nullptr) {
+      io->batched_lookups += n;
+      io->async_page_reads += engine->stats().reads_submitted - reads_before;
+    }
+  }
+
+  // The lazily created internal engine (null until the first FindBatch
+  // without an explicit engine). Exposes the resolved backend to tests.
+  AsyncReadEngine* io_engine() const { return engine_.get(); }
 
   // Sorted (key, value) pairs with lo <= key <= hi. Scans are fence-guided
   // in both modes: a range scan reads every overlapping page regardless of
@@ -234,7 +343,7 @@ class DiskPgmTable {
     if (io != nullptr) ++io->pages_touched;
     const BufferPool::PageRef ref = pool_->Pin(pages_[p]);
     const size_t count = ref->header().payload_bytes / kRecordBytes;
-    return SearchInPage(ref, 0, count, key, io);
+    return SearchInPage(*ref, 0, count, key, io);
   }
 
   // Model-only: no fence directory consulted. The rank window maps to a
@@ -245,36 +354,49 @@ class DiskPgmTable {
     const size_t pred = segments_[SegmentFor(kd)].model.PredictClamped(kd, n_);
     const size_t eps = options_.epsilon;
     const SearchWindow w = ClampSearchWindow(pred, eps, eps, n_);
-    const size_t lo = w.lo;
-    const size_t hi = w.hi;
-    const size_t page_lo = lo / kRecordsPerPage;
-    const size_t page_hi = (hi - 1) / kRecordsPerPage;
+    const size_t page_lo = w.lo / kRecordsPerPage;
+    const size_t page_hi = (w.hi - 1) / kRecordsPerPage;
     for (size_t p = page_lo; p <= page_hi; ++p) {
       if (io != nullptr) ++io->pages_touched;
       const BufferPool::PageRef ref = pool_->Pin(pages_[p]);
-      const size_t count = ref->header().payload_bytes / kRecordBytes;
-      Key first;
-      std::memcpy(&first, ref->payload(), sizeof(Key));
-      if (key < first) return std::nullopt;  // Early exit: passed the key.
-      Key last;
-      std::memcpy(&last, ref->payload() + (count - 1) * kRecordBytes,
-                  sizeof(Key));
-      if (last < key) continue;  // Key, if present, is in a later page.
-      // The page brackets the key: search the model window ∩ page ranks.
-      const size_t base = p * kRecordsPerPage;
-      const size_t rlo = std::max(lo, base) - base;
-      const size_t rhi = std::min(hi, base + count) - base;
-      return SearchInPage(ref, rlo, rhi, key, io);
+      std::optional<Value> result;
+      if (StepModelPage(*ref, p, w.lo, w.hi, key, io, &result)) return result;
     }
     return std::nullopt;
   }
 
+  // One page of the model walk: true when the lookup resolved on this page
+  // (result — possibly absent — in *out), false when the key, if present,
+  // lies in a later page of the window. Shared by scalar FindViaModel and
+  // the FindBatch cursor so both walk identical pages.
+  bool StepModelPage(const Page& page, size_t p, size_t lo, size_t hi,
+                     const Key& key, DiskIoStats* io,
+                     std::optional<Value>* out) const {
+    const size_t count = page.header().payload_bytes / kRecordBytes;
+    Key first;
+    std::memcpy(&first, page.payload(), sizeof(Key));
+    if (key < first) {  // Early exit: passed the key.
+      *out = std::nullopt;
+      return true;
+    }
+    Key last;
+    std::memcpy(&last, page.payload() + (count - 1) * kRecordBytes,
+                sizeof(Key));
+    if (last < key) return false;  // Key, if present, is in a later page.
+    // The page brackets the key: search the model window ∩ page ranks.
+    const size_t base = p * kRecordsPerPage;
+    const size_t rlo = std::max(lo, base) - base;
+    const size_t rhi = std::min(hi, base + count) - base;
+    *out = SearchInPage(page, rlo, rhi, key, io);
+    return true;
+  }
+
   // Counted binary search for `key` over record slots [rlo, rhi) of a
-  // pinned page.
-  std::optional<Value> SearchInPage(const BufferPool::PageRef& ref, size_t rlo,
+  // resident page.
+  std::optional<Value> SearchInPage(const Page& page, size_t rlo,
                                     size_t rhi, const Key& key,
                                     DiskIoStats* io) const {
-    const size_t count = ref->header().payload_bytes / kRecordBytes;
+    const size_t count = page.header().payload_bytes / kRecordBytes;
     // Packed records: gather the window's keys into a stack buffer and
     // resolve it with one vectorized count-less-than pass (one search step
     // in the I/O metric). Falls through to the counted binary search for
@@ -284,7 +406,7 @@ class DiskPgmTable {
       if (options_.simd && rlo < rhi && rhi - rlo <= simd::kLinearScanMax) {
         const size_t len = rhi - rlo;
         Key buf[simd::kLinearScanMax];
-        const unsigned char* src = ref->payload() + rlo * kRecordBytes;
+        const unsigned char* src = page.payload() + rlo * kRecordBytes;
         for (size_t i = 0; i < len; ++i) {
           std::memcpy(&buf[i], src + i * kRecordBytes, sizeof(Key));
         }
@@ -297,7 +419,7 @@ class DiskPgmTable {
       if (io != nullptr) ++io->search_steps;
       const size_t mid = rlo + (rhi - rlo) / 2;
       Key k;
-      std::memcpy(&k, ref->payload() + mid * kRecordBytes, sizeof(Key));
+      std::memcpy(&k, page.payload() + mid * kRecordBytes, sizeof(Key));
       if (k < key) {
         rlo = mid + 1;
       } else {
@@ -307,7 +429,7 @@ class DiskPgmTable {
     if (rlo < count) {
       Key k;
       Value v;
-      LoadRecord(ref->payload() + rlo * kRecordBytes, &k, &v);
+      LoadRecord(page.payload() + rlo * kRecordBytes, &k, &v);
       if (!(k < key) && !(key < k)) return v;
     }
     return std::nullopt;
@@ -329,6 +451,10 @@ class DiskPgmTable {
   std::vector<Key> fence_keys_;   // First key of each page.
   std::vector<PlaSegment> segments_;
   std::vector<double> segment_first_keys_;
+  // Lazy engine for the no-engine FindBatch overload. Not mutex-guarded:
+  // the table's read contract is single-client (one thread drives Find /
+  // FindBatch); concurrent readers pass their own engines explicitly.
+  mutable std::unique_ptr<AsyncReadEngine> engine_;
 };
 
 }  // namespace lidx::storage

@@ -11,18 +11,23 @@
 #include <vector>
 
 #include "baselines/bloom.h"
+#include "common/batch.h"
 #include "common/invariants.h"
 #include "common/macros.h"
 #include "common/search.h"
 #include "common/simd.h"
 #include "lsm/run.h"
 #include "models/plr.h"
+#include "storage/async_io.h"
 #include "storage/buffer_pool.h"
 #include "storage/file_manager.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 
 namespace lidx::storage {
+
+template <typename Key, typename Value>
+class DiskLsmTree;
 
 // Disk-resident immutable sorted run: the on-disk counterpart of SortedRun
 // and the core of the model-in-memory / data-on-disk regime the paper's
@@ -121,73 +126,57 @@ class DiskRun {
   DiskRun& operator=(const DiskRun&) = delete;
 
   std::optional<RunEntry<Value>> Get(const Key& key, DiskIoStats* io) const {
-    if (n_ == 0) return std::nullopt;
-    if (!bloom_.MayContain(static_cast<uint64_t>(key))) {
-      if (io != nullptr) ++io->bloom_rejects;
-      return std::nullopt;
-    }
-    if (io != nullptr) ++io->run_probes;
-    // Model: rank window [lo, hi) that must contain the key if present.
-    const double k = static_cast<double>(key);
-    const size_t pred =
-        segments_[SegmentFor(k)].model.PredictClamped(k, n_);
-    const size_t eps = options_.learned_epsilon;
-    const SearchWindow w = ClampSearchWindow(pred, eps, eps, n_);
-    const size_t lo = w.lo;
-    const size_t hi = w.hi;
-    // Fences: the only page in the ε-window whose range covers the key is
-    // the last one with fence <= key. If even the window's first fence
-    // exceeds the key, the key would have to sit at a rank below the
-    // window — impossible if present — so conclude absence with zero I/O.
-    const size_t page_lo = lo / kRecordsPerPage;
-    const size_t page_hi = (hi - 1) / kRecordsPerPage;
-    const auto fence_begin = fence_keys_.begin();
-    const auto it = std::upper_bound(fence_begin + page_lo,
-                                     fence_begin + (page_hi + 1), key);
-    if (it == fence_begin + page_lo) return std::nullopt;
-    const size_t p = static_cast<size_t>(it - fence_begin) - 1;
+    const std::optional<Target> t = ResolveTarget(key, io);
+    if (!t.has_value()) return std::nullopt;
     if (io != nullptr) ++io->pages_touched;
-    const BufferPool::PageRef ref = pool_->Pin(pages_[p]);
-    const size_t base = p * kRecordsPerPage;
-    const size_t count = ref->header().payload_bytes / kRecordBytes;
-    // In-page binary search over the model window ∩ this page's ranks.
-    size_t rlo = std::max(lo, base) - base;
-    size_t rhi = std::min(hi, base + count) - base;
-    // Records are packed (no padding), so the keys are not contiguous;
-    // gather the window's keys into a stack buffer and resolve it with one
-    // vectorized count-less-than pass (one search step in the I/O metric).
-    if constexpr (std::is_same_v<Key, uint64_t> ||
-                  std::is_same_v<Key, double>) {
-      if (options_.simd && rlo < rhi && rhi - rlo <= simd::kLinearScanMax) {
-        const size_t len = rhi - rlo;
-        Key buf[simd::kLinearScanMax];
-        const unsigned char* src = ref->payload() + rlo * kRecordBytes;
-        for (size_t i = 0; i < len; ++i) {
-          std::memcpy(&buf[i], src + i * kRecordBytes, sizeof(Key));
-        }
-        if (io != nullptr) ++io->search_steps;
-        rlo += simd::CountLess(buf, len, key);
-        rhi = rlo;
-      }
+    const BufferPool::PageRef ref = pool_->Pin(pages_[t->page]);
+    return SearchPage(*ref, *t, key, io);
+  }
+
+  // Batched point lookups with up to the engine's queue depth of page
+  // reads in flight: the AMAC group scheduler (InterleavedIoRun) drives
+  // one cursor per lookup — model predict + fence resolve at init, then
+  // the cursor parks on a PagePinStream ticket and the in-page SIMD/binary
+  // search runs as each page lands. Results are identical to calling Get
+  // per key (both paths share ResolveTarget/SearchPage). The engine must
+  // be idle and owned by this thread; out[] must hold n slots.
+  void GetBatch(const Key* keys, size_t n, AsyncReadEngine* engine,
+                std::optional<RunEntry<Value>>* out, DiskIoStats* io) const {
+    BufferPool::PagePinStream stream(pool_, engine);
+    const uint64_t reads_before = engine->stats().reads_submitted;
+    struct Cursor {
+      size_t i = 0;
+      uint64_t ticket = 0;
+      bool pending = false;
+      Target t;
+    };
+    InterleavedIoRun<Cursor>(
+        n, engine->queue_depth(),
+        [&](Cursor& c, size_t i) {
+          c.i = i;
+          const std::optional<Target> t = ResolveTarget(keys[i], io);
+          if (!t.has_value()) {
+            out[i] = std::nullopt;
+            c.pending = false;
+            return;
+          }
+          c.t = *t;
+          if (io != nullptr) ++io->pages_touched;
+          c.ticket = stream.Begin(pages_[c.t.page]);
+          c.pending = true;
+        },
+        [&](Cursor& c) {
+          if (!c.pending) return true;
+          if (!stream.Ready(c.ticket)) return false;
+          const BufferPool::PageRef ref = stream.Take(c.ticket);
+          out[c.i] = SearchPage(*ref, c.t, keys[c.i], io);
+          return true;
+        },
+        [&] { stream.WaitAny(); });
+    if (io != nullptr) {
+      io->batched_lookups += n;
+      io->async_page_reads += engine->stats().reads_submitted - reads_before;
     }
-    while (rlo < rhi) {
-      if (io != nullptr) ++io->search_steps;
-      const size_t mid = rlo + (rhi - rlo) / 2;
-      Key rk;
-      std::memcpy(&rk, ref->payload() + mid * kRecordBytes, sizeof(Key));
-      if (rk < key) {
-        rlo = mid + 1;
-      } else {
-        rhi = mid;
-      }
-    }
-    if (rlo < count) {
-      Key rk;
-      RunEntry<Value> entry;
-      LoadRecord(ref->payload() + rlo * kRecordBytes, &rk, &entry);
-      if (rk == key) return entry;
-    }
-    return std::nullopt;
   }
 
   // Sorted entries with lo <= key <= hi, read through the buffer pool.
@@ -324,6 +313,94 @@ class DiskRun {
   }
 
  private:
+  // DiskLsmTree::GetBatch chains one cursor across many runs, so it drives
+  // the probe pieces (ResolveTarget / page id / SearchPage) directly with
+  // its own PagePinStream instead of calling GetBatch per run.
+  friend class DiskLsmTree<Key, Value>;
+
+  // The single page a present key can live on, plus the model's global
+  // rank window bounding the in-page search. nullopt = provably absent
+  // with zero I/O (Bloom reject or fence below the ε-window).
+  struct Target {
+    size_t page = 0;
+    size_t lo = 0;  // Global rank window [lo, hi) from the model.
+    size_t hi = 0;
+  };
+
+  std::optional<Target> ResolveTarget(const Key& key, DiskIoStats* io) const {
+    if (n_ == 0) return std::nullopt;
+    if (!bloom_.MayContain(static_cast<uint64_t>(key))) {
+      if (io != nullptr) ++io->bloom_rejects;
+      return std::nullopt;
+    }
+    if (io != nullptr) ++io->run_probes;
+    // Model: rank window [lo, hi) that must contain the key if present.
+    const double k = static_cast<double>(key);
+    const size_t pred =
+        segments_[SegmentFor(k)].model.PredictClamped(k, n_);
+    const size_t eps = options_.learned_epsilon;
+    const SearchWindow w = ClampSearchWindow(pred, eps, eps, n_);
+    // Fences: the only page in the ε-window whose range covers the key is
+    // the last one with fence <= key. If even the window's first fence
+    // exceeds the key, the key would have to sit at a rank below the
+    // window — impossible if present — so conclude absence with zero I/O.
+    const size_t page_lo = w.lo / kRecordsPerPage;
+    const size_t page_hi = (w.hi - 1) / kRecordsPerPage;
+    const auto fence_begin = fence_keys_.begin();
+    const auto it = std::upper_bound(fence_begin + page_lo,
+                                     fence_begin + (page_hi + 1), key);
+    if (it == fence_begin + page_lo) return std::nullopt;
+    const size_t p = static_cast<size_t>(it - fence_begin) - 1;
+    return Target{p, w.lo, w.hi};
+  }
+
+  // In-page search over the model window ∩ the page's ranks; shared by the
+  // scalar (Get) and batched (GetBatch) paths so they agree by
+  // construction.
+  std::optional<RunEntry<Value>> SearchPage(const Page& page, const Target& t,
+                                            const Key& key,
+                                            DiskIoStats* io) const {
+    const size_t base = t.page * kRecordsPerPage;
+    const size_t count = page.header().payload_bytes / kRecordBytes;
+    size_t rlo = std::max(t.lo, base) - base;
+    size_t rhi = std::min(t.hi, base + count) - base;
+    // Records are packed (no padding), so the keys are not contiguous;
+    // gather the window's keys into a stack buffer and resolve it with one
+    // vectorized count-less-than pass (one search step in the I/O metric).
+    if constexpr (std::is_same_v<Key, uint64_t> ||
+                  std::is_same_v<Key, double>) {
+      if (options_.simd && rlo < rhi && rhi - rlo <= simd::kLinearScanMax) {
+        const size_t len = rhi - rlo;
+        Key buf[simd::kLinearScanMax];
+        const unsigned char* src = page.payload() + rlo * kRecordBytes;
+        for (size_t i = 0; i < len; ++i) {
+          std::memcpy(&buf[i], src + i * kRecordBytes, sizeof(Key));
+        }
+        if (io != nullptr) ++io->search_steps;
+        rlo += simd::CountLess(buf, len, key);
+        rhi = rlo;
+      }
+    }
+    while (rlo < rhi) {
+      if (io != nullptr) ++io->search_steps;
+      const size_t mid = rlo + (rhi - rlo) / 2;
+      Key rk;
+      std::memcpy(&rk, page.payload() + mid * kRecordBytes, sizeof(Key));
+      if (rk < key) {
+        rlo = mid + 1;
+      } else {
+        rhi = mid;
+      }
+    }
+    if (rlo < count) {
+      Key rk;
+      RunEntry<Value> entry;
+      LoadRecord(page.payload() + rlo * kRecordBytes, &rk, &entry);
+      if (rk == key) return entry;
+    }
+    return std::nullopt;
+  }
+
   static void StoreRecord(unsigned char* dst, const Key& key,
                           const RunEntry<Value>& entry) {
     std::memcpy(dst, &key, sizeof(Key));

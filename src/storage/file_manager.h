@@ -16,6 +16,7 @@
 #include "common/macros.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "storage/async_io.h"
 #include "storage/page.h"
 
 namespace lidx::storage {
@@ -69,22 +70,83 @@ class FileManager {
     free_list_.push_back(page_id);
   }
 
-  // Reads and validates one page. False on short reads (truncated file),
-  // magic/version mismatch, a self-id that disagrees with `page_id`
-  // (misdirected I/O), or a CRC mismatch (torn write / bit rot).
-  bool ReadPage(uint64_t page_id, Page* page) const {
-    const ssize_t got =
-        ::pread(fd_, page->bytes.data(), kPageSize,
-                static_cast<off_t>(page_id * kPageSize));
-    pages_read_.fetch_add(1, std::memory_order_relaxed);
-    if (got != static_cast<ssize_t>(kPageSize)) return false;
-    const PageHeader h = page->header();
+  // Validates a page image already in memory against the full page
+  // contract: magic, version, self-id vs `page_id` (misdirected I/O),
+  // payload bound, CRC (torn write / bit rot). Shared by the sync read
+  // path and the async completion path.
+  static bool ValidateLoadedPage(uint64_t page_id, const Page& page) {
+    const PageHeader h = page.header();
     if (h.magic != kPageMagic || h.version != kPageFormatVersion) {
       return false;
     }
     if (h.page_id != page_id) return false;
     if (h.payload_bytes > kPagePayloadSize) return false;
-    return h.crc32 == PageChecksum(*page);
+    return h.crc32 == PageChecksum(page);
+  }
+
+  // Reads and validates one page. EINTR and short positional reads are
+  // retried for the remainder (PReadFull) — a genuinely truncated file
+  // still reads short at EOF and returns false, but a signal or a
+  // filesystem that chunks large reads no longer masquerades as
+  // corruption. False also on any header/CRC validation failure.
+  bool ReadPage(uint64_t page_id, Page* page) const {
+    uint64_t syscalls = 0;
+    const ssize_t got =
+        PReadFull(fd_, page->bytes.data(), kPageSize, page_id * kPageSize,
+                  &syscalls);
+    pages_read_.fetch_add(1, std::memory_order_relaxed);
+    read_syscalls_.fetch_add(syscalls, std::memory_order_relaxed);
+    if (got != static_cast<ssize_t>(kPageSize)) return false;
+    return ValidateLoadedPage(page_id, *page);
+  }
+
+  // Submits one page read on `engine` without blocking; the caller
+  // harvests the completion (tag) and then validates via
+  // ValidateLoadedPage. This is the only place a page id turns into a file
+  // offset for the async path, and the fd never escapes the FileManager.
+  void ReadPageAsync(AsyncReadEngine* engine, uint64_t page_id, Page* page,
+                     uint64_t tag) const {
+    pages_read_.fetch_add(1, std::memory_order_relaxed);
+    engine->SubmitRead(fd_, page->bytes.data(), kPageSize,
+                       page_id * kPageSize, tag);
+  }
+
+  // Completion-driven bulk read: keeps up to the engine's queue depth in
+  // flight until every requested page has landed and validated. ok[i] is
+  // false for pages that failed I/O or validation (the clean per-request
+  // error story — callers that treat any failure as corruption can abort
+  // on a false). Returns the number of pages read successfully. Requires
+  // the engine idle (nothing else in flight) and ids/pages/ok the same
+  // length; pages must stay valid for the duration.
+  size_t ReadPagesAsync(AsyncReadEngine* engine,
+                        const std::vector<uint64_t>& ids,
+                        std::vector<Page>* pages,
+                        std::vector<bool>* ok) const {
+    LIDX_CHECK(pages->size() == ids.size());
+    LIDX_CHECK(engine->inflight() == 0);
+    ok->assign(ids.size(), false);
+    size_t next = 0;
+    size_t landed = 0;
+    size_t good = 0;
+    std::vector<IoCompletion> comps;
+    while (landed < ids.size()) {
+      while (engine->inflight() < engine->queue_depth() &&
+             next < ids.size()) {
+        ReadPageAsync(engine, ids[next], &(*pages)[next], next);
+        ++next;
+      }
+      comps.clear();
+      engine->Harvest(&comps, ids.size(), 1);
+      for (const IoCompletion& c : comps) {
+        const size_t i = static_cast<size_t>(c.tag);
+        const bool valid =
+            c.ok && ValidateLoadedPage(ids[i], (*pages)[i]);
+        (*ok)[i] = valid;
+        good += valid ? 1 : 0;
+        ++landed;
+      }
+    }
+    return good;
   }
 
   // Stamps the identity fields (magic, version, page_id, crc) into the
@@ -100,14 +162,24 @@ class FileManager {
     page->set_header(h);
     h.crc32 = PageChecksum(*page);
     page->set_header(h);
-    const ssize_t put =
-        ::pwrite(fd_, page->bytes.data(), kPageSize,
-                 static_cast<off_t>(page_id * kPageSize));
+    uint64_t syscalls = 0;
+    const ssize_t put = PWriteFull(fd_, page->bytes.data(), kPageSize,
+                                   page_id * kPageSize, &syscalls);
     LIDX_CHECK(put == static_cast<ssize_t>(kPageSize));
     pages_written_.fetch_add(1, std::memory_order_relaxed);
+    write_syscalls_.fetch_add(syscalls, std::memory_order_relaxed);
   }
 
   void Sync() { LIDX_CHECK(::fsync(fd_) == 0); }
+
+  // Asks the kernel to evict this file's cached pages, so benchmarks can
+  // measure genuinely cold reads without root or a global cache drop.
+  // Advisory: returns false where unsupported (callers should report,
+  // not fail).
+  bool DropOsCache() const {
+    ::fsync(fd_);
+    return ::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED) == 0;
+  }
 
   // Pages ever allocated (allocated-and-freed pages count: they still
   // occupy file space until recycled).
@@ -126,6 +198,14 @@ class FileManager {
   }
   uint64_t pages_written() const {
     return pages_written_.load(std::memory_order_relaxed);
+  }
+  // Kernel round-trips spent on the *sync* read path (async reads go
+  // through an engine, whose AsyncIoStats counts its own syscalls).
+  uint64_t read_syscalls() const {
+    return read_syscalls_.load(std::memory_order_relaxed);
+  }
+  uint64_t write_syscalls() const {
+    return write_syscalls_.load(std::memory_order_relaxed);
   }
 
   const std::string& path() const { return path_; }
@@ -154,6 +234,8 @@ class FileManager {
   uint64_t next_page_id_ LIDX_GUARDED_BY(mu_) = 0;
   mutable std::atomic<uint64_t> pages_read_{0};
   std::atomic<uint64_t> pages_written_{0};
+  mutable std::atomic<uint64_t> read_syscalls_{0};
+  std::atomic<uint64_t> write_syscalls_{0};
 };
 
 }  // namespace lidx::storage

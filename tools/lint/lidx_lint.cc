@@ -1,11 +1,18 @@
 // lidx-lint — repo-specific lexical checks for the lidx codebase.
 //
-// Five rules encode invariants of this repo that generic tooling cannot
+// Six rules encode invariants of this repo that generic tooling cannot
 // know (docs/STATIC_ANALYSIS.md has the full catalog with rationale):
 //
 //   raw-io             pread/pwrite must not appear outside
-//                      storage/file_manager.h — FileManager is the single
-//                      syscall boundary (I/O accounting, page alignment).
+//                      storage/file_manager.h and storage/async_io.h —
+//                      FileManager is the syscall boundary for page I/O
+//                      and async_io.h defines the retrying positional
+//                      helpers it routes through.
+//   raw-uring          io_uring_* / IORING_* identifiers (the raw ring
+//                      protocol: setup/enter/register syscalls, SQE/CQE
+//                      structs, opcode flags) are confined to
+//                      storage/async_io.h — everything else talks to
+//                      AsyncReadEngine, never to the ring.
 //   cast-io            serialization must stage object bytes through the
 //                      serialize.h memcpy helpers; a reinterpret_cast fed
 //                      straight into a read/write call is type-punned I/O.
@@ -55,8 +62,9 @@ namespace {
 
 namespace fs = std::filesystem;
 
-const char* const kAllRules[] = {"raw-io", "cast-io", "pageref-escape",
-                                 "pool-blocking-get", "epoch-guard"};
+const char* const kAllRules[] = {"raw-io", "raw-uring", "cast-io",
+                                 "pageref-escape", "pool-blocking-get",
+                                 "epoch-guard"};
 
 struct Finding {
   std::string file;
@@ -328,7 +336,11 @@ void Report(const Source& src, size_t offset, const char* rule,
 // ---- raw-io ---------------------------------------------------------------
 
 void CheckRawIo(const Source& src, std::vector<Finding>* out) {
-  if (src.Basename() == "file_manager.h") return;  // The syscall boundary.
+  // The two syscall boundaries: FileManager owns page I/O, async_io.h
+  // defines the retrying PReadFull/PWriteFull helpers it routes through.
+  if (src.Basename() == "file_manager.h" || src.Basename() == "async_io.h") {
+    return;
+  }
   const std::string& text = src.clean();
   for (const char* fn : {"pread", "pwrite"}) {
     const std::string name(fn);
@@ -338,8 +350,42 @@ void CheckRawIo(const Source& src, std::vector<Finding>* out) {
       const size_t after = SkipSpace(text, pos + name.size());
       if (after >= text.size() || text[after] != '(') continue;
       Report(src, pos, "raw-io",
-             "raw " + name + "() call outside storage/file_manager.h — "
-             "route I/O through FileManager",
+             "raw " + name + "() call outside storage/file_manager.h and "
+             "storage/async_io.h — route I/O through FileManager or an "
+             "AsyncReadEngine",
+             out);
+    }
+  }
+}
+
+// ---- raw-uring ------------------------------------------------------------
+
+void CheckRawUring(const Source& src, std::vector<Finding>* out) {
+  if (src.Basename() == "async_io.h") return;  // The ring lives here.
+  const std::string& text = src.clean();
+  // Any identifier containing io_uring_ or IORING_ is part of the raw ring
+  // protocol: the setup/enter/register syscalls (__NR_io_uring_*), the
+  // SQE/CQE/params structs (io_uring_sqe, ...), and the flag/opcode
+  // namespace (IORING_OP_*, IORING_ENTER_*). The portable spelling for
+  // everything outside async_io.h is AsyncReadEngine / IoBackend.
+  for (const char* stem : {"io_uring_", "IORING_"}) {
+    const std::string name(stem);
+    for (size_t pos = text.find(name); pos != std::string::npos;
+         pos = text.find(name, pos + 1)) {
+      // Expand to the identifier containing the stem and report it once:
+      // a match whose identifier prefix already holds the stem (the
+      // io_uring_ inside __NR_io_uring_setup, say) was reported when the
+      // earlier occurrence expanded to the same identifier.
+      size_t begin = pos;
+      while (begin > 0 && IsIdentChar(text[begin - 1])) --begin;
+      if (begin != pos &&
+          text.substr(begin, pos - begin).find(name) != std::string::npos) {
+        continue;
+      }
+      Report(src, begin, "raw-uring",
+             "raw io_uring identifier outside storage/async_io.h — the "
+             "ring protocol is an implementation detail of "
+             "IoUringReadEngine; use AsyncReadEngine / IoBackend",
              out);
     }
   }
@@ -531,6 +577,7 @@ void CheckEpochGuard(const Source& src, std::vector<Finding>* out) {
 
 void LintFile(Source* src, std::vector<Finding>* out) {
   CheckRawIo(*src, out);
+  CheckRawUring(*src, out);
   CheckCastIo(*src, out);
   CheckPageRefEscape(*src, out);
   CheckPoolBlockingGet(*src, out);

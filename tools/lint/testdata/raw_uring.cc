@@ -1,0 +1,36 @@
+// Fixture for the raw-uring rule: io_uring_* / IORING_* identifiers
+// anywhere but storage/async_io.h must be flagged — the ring protocol is
+// an implementation detail of IoUringReadEngine. Never compiled — data
+// for `lidx_lint --self-test` only.
+
+struct io_uring_params;  // lidx-lint-expect: raw-uring
+
+void SetupRing(unsigned depth, io_uring_params* p) {  // lidx-lint-expect: raw-uring
+  (void)syscall(__NR_io_uring_setup, depth, p);  // lidx-lint-expect: raw-uring
+}
+
+void SubmitDirect(int ring_fd, unsigned n) {
+  (void)syscall(__NR_io_uring_enter, ring_fd, n, 1,  // lidx-lint-expect: raw-uring
+                IORING_ENTER_GETEVENTS, nullptr, 0);  // lidx-lint-expect: raw-uring
+}
+
+void FillSqe(void* raw) {
+  auto* sqe = static_cast<io_uring_sqe*>(raw);  // lidx-lint-expect: raw-uring
+  (void)sqe;
+}
+
+// Negative: the portable spellings — engine interface, backend enum,
+// backend-name strings — are exactly what the rule steers code toward.
+enum class IoBackend { kAuto, kIoUring, kThreadPool };
+const char* Spelling() { return "io_uring";  /* string literal: blanked */ }
+
+// Negative: mixed-case identifiers that merely mention the feature
+// (LIDX_HAS_IO_URING is a build macro, kIoUring an enumerator) have
+// neither stem.
+void UseBackend(IoBackend b) { (void)b; }
+
+// Suppression: an explicit, reasoned opt-out silences the rule.
+void ProbeKernel() {
+  // lidx-lint: allow(raw-uring): kernel-feature probe documents the ABI.
+  (void)sizeof(io_uring_params*);
+}
