@@ -1,9 +1,10 @@
 // Operating a learned index in production: the two lifecycle concerns the
 // tutorial's challenges section raises, demonstrated end to end.
 //
-//  1. Model re-training (§6.3): an under-provisioned model is detected by
-//     the Page-Hinkley drift monitor from its own lookup errors, and the
-//     index retrains itself with a larger budget — no operator involved.
+//  1. Model re-training (§6.3): an under-provisioned model is detected
+//     from its own observed lookup errors, and the adaptation loop
+//     (src/adapt/) retrains it with a larger budget on a background pool
+//     worker — no operator involved, no lookup ever blocks on training.
 //  2. Build-offline / serve-online: the tuned index's immutable core is
 //     serialized, "shipped", and restored byte-exactly on the serving
 //     side.
@@ -48,6 +49,9 @@ int main() {
     for (int i = 0; i < kPhaseOps; ++i) {
       sink += index.Find(keys[rng.NextBounded(keys.size())]).value_or(0);
     }
+    // Let in-flight background maintenance settle so the phase report is
+    // stable (the lookups above never waited on it).
+    index.WaitForMaintenance();
     std::printf(
         "phase %d: %.0f ns/lookup | %zu models, mean error %.1f, "
         "%zu rebuild(s) so far\n",

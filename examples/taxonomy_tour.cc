@@ -180,7 +180,7 @@ int main() {
     adaptive.Find(keys[42]);
     std::snprintf(proof, sizeof(proof),
                   "drift monitor armed (mean err %.1f)",
-                  adaptive.detector().mean_error());
+                  adaptive.MeanErrorWindow());
     Stop("Adaptive RMI", "1-D / model re-training loop (challenge 6.3)",
          proof);
   }

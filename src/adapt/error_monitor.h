@@ -1,0 +1,199 @@
+#ifndef LIDX_ADAPT_ERROR_MONITOR_H_
+#define LIDX_ADAPT_ERROR_MONITOR_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace lidx {
+
+// Sensing layer of the adaptation subsystem (tutorial §6.3: observe the
+// live workload, not the training set). An ErrorMonitor is a bank of
+// per-segment counters fed from last-mile search paths: each observation is
+// the *observed* prediction error of one lookup (|predicted - actual|
+// positions for a learned model, read-amplification for a layered store).
+//
+// Design constraints, in order:
+//  * The record path runs on every lookup of every reader thread, so each
+//    segment's counters live on their own cache line (no false sharing with
+//    neighbours) and all updates are relaxed atomics — the monitor imposes
+//    no ordering on the structure it watches.
+//  * Zero cost when disabled: `Record` is a single predictable branch.
+//  * Lossy by design. Counters are statistically consistent, not
+//    linearizable: a snapshot taken concurrently with records may split a
+//    single observation across two windows. The decide layer only ever
+//    looks at window aggregates, where this is noise.
+//
+// Errors are bucketed into a log2 histogram so the controller can read
+// error quantiles (for ε / fanout tuning) without the monitor storing
+// samples.
+class ErrorMonitor {
+ public:
+  static constexpr size_t kHistogramBuckets = 16;
+
+  struct SegmentSnapshot {
+    uint64_t ops = 0;
+    uint64_t error_sum = 0;
+    uint64_t error_max = 0;
+    std::array<uint64_t, kHistogramBuckets> histogram{};
+
+    double MeanError() const {
+      return ops == 0 ? 0.0
+                      : static_cast<double>(error_sum) /
+                            static_cast<double>(ops);
+    }
+
+    // Upper bound of the smallest histogram bucket that covers quantile
+    // `q` of the observations. The top bucket is clamped to the observed
+    // max so a single outlier does not report as 2^15.
+    double QuantileError(double q) const {
+      if (ops == 0) return 0.0;
+      const uint64_t rank = static_cast<uint64_t>(
+          std::ceil(q * static_cast<double>(ops)));
+      uint64_t seen = 0;
+      for (size_t b = 0; b < kHistogramBuckets; ++b) {
+        seen += histogram[b];
+        if (seen >= rank) {
+          const uint64_t upper = b == 0 ? 1 : (uint64_t{1} << b);
+          return static_cast<double>(std::min(upper, std::max<uint64_t>(
+                                                         error_max, 1)));
+        }
+      }
+      return static_cast<double>(error_max);
+    }
+  };
+
+  struct Snapshot {
+    std::vector<SegmentSnapshot> segments;
+
+    uint64_t TotalOps() const {
+      uint64_t total = 0;
+      for (const auto& s : segments) total += s.ops;
+      return total;
+    }
+
+    // Segment-wise difference against an earlier snapshot of the same
+    // monitor — the controller reasons about one window, not all history.
+    // Counters are monotone between resets, so saturating subtraction
+    // also absorbs a reset that happened in between.
+    Snapshot DeltaSince(const Snapshot& prev) const {
+      Snapshot out = *this;
+      const size_t common = std::min(out.segments.size(),
+                                     prev.segments.size());
+      for (size_t i = 0; i < common; ++i) {
+        SegmentSnapshot& cur = out.segments[i];
+        const SegmentSnapshot& old = prev.segments[i];
+        if (cur.ops < old.ops) continue;  // reset in between: keep cur as-is
+        cur.ops -= old.ops;
+        cur.error_sum -= std::min(cur.error_sum, old.error_sum);
+        for (size_t b = 0; b < kHistogramBuckets; ++b) {
+          cur.histogram[b] -= std::min(cur.histogram[b], old.histogram[b]);
+        }
+        // error_max is a high-water mark, not a window statistic; leave it.
+      }
+      return out;
+    }
+  };
+
+  explicit ErrorMonitor(size_t segments, bool enabled = true)
+      : num_segments_(segments == 0 ? 1 : segments),
+        enabled_(enabled),
+        slots_(new Slot[num_segments_]) {}
+
+  ErrorMonitor(const ErrorMonitor&) = delete;
+  ErrorMonitor& operator=(const ErrorMonitor&) = delete;
+
+  bool enabled() const { return enabled_; }
+  size_t segments() const { return num_segments_; }
+
+  // Maps a position in [0, n) onto a monitor segment. Convenience for
+  // clients whose natural segment count (e.g. RMI leaf models) exceeds the
+  // monitor's resolution.
+  size_t SegmentOf(size_t position, size_t n) const {
+    if (n == 0) return 0;
+    const size_t seg = position * num_segments_ / n;
+    return seg < num_segments_ ? seg : num_segments_ - 1;
+  }
+
+  // Records one observation. Callable concurrently from any number of
+  // reader threads; `const` because sensing is logically read-only for the
+  // owner of the monitor.
+  void Record(size_t segment, double error) const {
+    if (LIDX_LIKELY(!enabled_)) return;
+    LIDX_DCHECK(segment < num_segments_);
+    Slot& slot = slots_[segment];
+    const uint64_t e =
+        error <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(error));
+    slot.ops.fetch_add(1, std::memory_order_relaxed);
+    slot.error_sum.fetch_add(e, std::memory_order_relaxed);
+    slot.histogram[BucketOf(e)].fetch_add(1, std::memory_order_relaxed);
+    uint64_t prev_max = slot.error_max.load(std::memory_order_relaxed);
+    while (e > prev_max &&
+           !slot.error_max.compare_exchange_weak(
+               prev_max, e, std::memory_order_relaxed)) {
+    }
+  }
+
+  Snapshot TakeSnapshot() const {
+    Snapshot snap;
+    snap.segments.resize(num_segments_);
+    for (size_t i = 0; i < num_segments_; ++i) {
+      const Slot& slot = slots_[i];
+      SegmentSnapshot& out = snap.segments[i];
+      out.ops = slot.ops.load(std::memory_order_relaxed);
+      out.error_sum = slot.error_sum.load(std::memory_order_relaxed);
+      out.error_max = slot.error_max.load(std::memory_order_relaxed);
+      for (size_t b = 0; b < kHistogramBuckets; ++b) {
+        out.histogram[b] = slot.histogram[b].load(std::memory_order_relaxed);
+      }
+    }
+    return snap;
+  }
+
+  // Zeroes every counter. Racy against concurrent Record by design — a few
+  // observations land in the old or new era; both are statistically fine.
+  void Reset() {
+    for (size_t i = 0; i < num_segments_; ++i) {
+      Slot& slot = slots_[i];
+      slot.ops.store(0, std::memory_order_relaxed);
+      slot.error_sum.store(0, std::memory_order_relaxed);
+      slot.error_max.store(0, std::memory_order_relaxed);
+      for (size_t b = 0; b < kHistogramBuckets; ++b) {
+        slot.histogram[b].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  // One cache line (and change) per segment: the hot triple shares a line,
+  // the histogram spills onto its own lines, and alignas keeps neighbouring
+  // segments from sharing either.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> ops{0};
+    std::atomic<uint64_t> error_sum{0};
+    std::atomic<uint64_t> error_max{0};
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> histogram{};
+  };
+
+  static size_t BucketOf(uint64_t e) {
+    if (e == 0) return 0;
+    const size_t b = static_cast<size_t>(std::bit_width(e));
+    return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+  }
+
+  size_t num_segments_;
+  bool enabled_;
+  // `Record` is const (stats are not logical state); the counters mutate.
+  mutable std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace lidx
+
+#endif  // LIDX_ADAPT_ERROR_MONITOR_H_

@@ -1,6 +1,7 @@
 #ifndef LIDX_COMMON_MUTEX_H_
 #define LIDX_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -159,6 +160,14 @@ class CondVar {
   // Atomically releases `mu`, blocks, and reacquires `mu` before
   // returning. Spurious wakeups possible; always wait in a loop.
   void Wait(Mutex& mu) LIDX_REQUIRES(mu) { cv_.wait(mu); }
+
+  // Timed variant; returns true if woken by a notify before the timeout.
+  // Same loop discipline as Wait — the predicate decides, not the return.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      LIDX_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

@@ -76,6 +76,25 @@ class ThreadPool {
     return future;
   }
 
+  // Pops one queued task and runs it on the calling thread. Returns false
+  // if the queue was empty. The escape hatch for waits that are not
+  // ParallelFor-shaped: a thread that must wait for pool-side progress
+  // (ShardedIndex::WaitForDrains, AdaptiveRmi::WaitForMaintenance) calls
+  // this in its spin loop so the work it waits on cannot sit queued behind
+  // the waiter itself on a small pool — the same caller-participates rule
+  // that makes nested ParallelFor deadlock-free.
+  bool TryRunOne() {
+    std::function<void()> task;
+    {
+      MutexLock lock(mu_);
+      if (queue_.empty()) return false;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    return true;
+  }
+
   // Process-wide pool sized to the hardware, created on first use. Index
   // builds borrow workers from here instead of spawning threads per build.
   static ThreadPool& Shared() {

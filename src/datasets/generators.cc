@@ -101,30 +101,88 @@ std::vector<uint64_t> SequentialKeys(size_t n, Rng* rng) {
 }
 
 std::vector<uint64_t> AdversarialKeys(size_t n, Rng* rng) {
-  // Poisoning-style construction (cf. Kornaropoulos et al., SIGMOD'22):
-  // exponentially growing gaps interleaved with dense bursts make every
-  // linear segment either over- or under-shoot, maximizing model error for
-  // indexes without an error bound.
-  std::vector<uint64_t> keys;
-  keys.reserve(n + n / 8);
-  uint64_t cur = 1u << 16;
-  uint64_t gap = 1;
-  while (keys.size() < n + n / 8) {
-    // Dense burst.
-    const size_t burst = 16 + rng->NextBounded(32);
-    for (size_t i = 0; i < burst && keys.size() < n + n / 8; ++i) {
-      cur += 1;
-      keys.push_back(cur);
-    }
-    // Exponential gap, cycled so keys do not overflow.
-    cur += gap;
-    gap <<= 1;
-    if (gap > (1ull << 34)) gap = 1;
-  }
-  return keys;
+  // The poisoning construction lives in AdversarialStream (shared with
+  // bench_e14/e23 and the drift tests); this batch spelling just drains it.
+  AdversarialStream::Options opt;
+  opt.seed = rng->Next();
+  AdversarialStream stream(opt);
+  return stream.Take(n + n / 8);
 }
 
 }  // namespace
+
+AdversarialStream::AdversarialStream() : AdversarialStream(Options()) {}
+
+AdversarialStream::AdversarialStream(const Options& options)
+    : options_(options), rng_(options.seed), cur_(options.start) {}
+
+uint64_t AdversarialStream::Next() {
+  // Dense bursts of consecutive keys separated by exponentially growing
+  // gaps (cycled so keys never overflow): every linear segment either
+  // over- or under-shoots, maximizing model error for indexes without an
+  // error bound.
+  if (burst_left_ == 0) {
+    if (!first_burst_) {
+      cur_ += gap_;
+      gap_ <<= 1;
+      if (gap_ > (uint64_t{1} << options_.max_gap_log2)) gap_ = 1;
+    }
+    first_burst_ = false;
+    burst_left_ = 16 + rng_.NextBounded(32);
+  }
+  --burst_left_;
+  cur_ += 1;
+  return cur_;
+}
+
+std::vector<uint64_t> AdversarialStream::Take(size_t n) {
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back(Next());
+  return keys;
+}
+
+ShiftingStream::ShiftingStream(std::vector<uint64_t> keys,
+                               const Options& options)
+    : keys_(std::move(keys)), options_(options), rng_(options.seed) {
+  LIDX_CHECK(!keys_.empty());
+  if (options_.phases.empty()) options_.phases.push_back(Phase{});
+  if (options_.ops_per_phase == 0) options_.ops_per_phase = 1;
+  EnterPhase(0);
+}
+
+void ShiftingStream::EnterPhase(size_t phase) {
+  phase_ = phase % options_.phases.size();
+  ops_in_phase_ = 0;
+  const Phase& p = options_.phases[phase_];
+  const double lo = std::min(std::max(p.lo, 0.0), 1.0);
+  const double hi = std::min(std::max(p.hi, lo), 1.0);
+  const double n = static_cast<double>(keys_.size());
+  slice_begin_ = static_cast<size_t>(lo * n);
+  if (slice_begin_ >= keys_.size()) slice_begin_ = keys_.size() - 1;
+  const size_t slice_end =
+      std::max(slice_begin_ + 1, static_cast<size_t>(hi * n));
+  slice_size_ = std::min(slice_end, keys_.size()) - slice_begin_;
+  if (p.zipf_theta > 0.0) {
+    zipf_ = std::make_unique<ZipfGenerator>(
+        slice_size_, p.zipf_theta, options_.seed ^ (0x9E37 + phase_));
+  } else {
+    zipf_.reset();
+  }
+}
+
+uint64_t ShiftingStream::Next() {
+  if (ops_in_phase_ >= options_.ops_per_phase) {
+    EnterPhase(phase_ + 1);
+  }
+  ++ops_in_phase_;
+  ++ops_;
+  size_t offset = zipf_ != nullptr
+                      ? static_cast<size_t>(zipf_->Next())
+                      : static_cast<size_t>(rng_.NextBounded(slice_size_));
+  if (offset >= slice_size_) offset = slice_size_ - 1;
+  return keys_[slice_begin_ + offset];
+}
 
 std::string KeyDistributionName(KeyDistribution d) {
   switch (d) {

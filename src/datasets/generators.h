@@ -1,9 +1,13 @@
 #ifndef LIDX_DATASETS_GENERATORS_H_
 #define LIDX_DATASETS_GENERATORS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "common/random.h"
 
 namespace lidx {
 
@@ -32,6 +36,88 @@ std::vector<uint64_t> GenerateKeys(KeyDistribution dist, size_t n,
 
 // All distributions, for parameterized sweeps.
 std::vector<KeyDistribution> AllKeyDistributions();
+
+// ----- Drift / poisoning streams -----
+//
+// Streaming counterparts to the batch generators above, shared by
+// bench_e14 (poisoning), bench_e23 (adaptation) and the drift tests so the
+// attack and shift constructions live in exactly one place.
+
+// Unbounded generator of the poisoning-style key sequence behind
+// KeyDistribution::kAdversarial (cf. Kornaropoulos et al., SIGMOD'22):
+// dense bursts of consecutive keys separated by exponentially growing
+// gaps, so every linear segment either over- or under-shoots. Next() is
+// strictly increasing, which makes the stream directly usable as an
+// insert-time attack against a live index.
+class AdversarialStream {
+ public:
+  struct Options {
+    uint64_t start = 1u << 16;   // First burst begins just above this.
+    uint64_t max_gap_log2 = 34;  // Gap cycles back to 1 beyond 2^this.
+    uint64_t seed = 42;
+  };
+
+  AdversarialStream();
+  explicit AdversarialStream(const Options& options);
+
+  // Next key; strictly greater than every key returned before it.
+  uint64_t Next();
+
+  // Convenience: the next `n` keys (ascending, distinct by construction).
+  std::vector<uint64_t> Take(size_t n);
+
+ private:
+  Options options_;
+  Rng rng_;
+  uint64_t cur_;
+  uint64_t gap_ = 1;
+  size_t burst_left_ = 0;
+  bool first_burst_ = true;
+};
+
+// Models workload distribution shift: lookup keys are drawn from a sorted
+// key population, but *which slice* of the population (and how skewed the
+// draw is) changes from phase to phase. Each phase covers the fractional
+// rank range [lo, hi) of the population; zipf_theta > 0 skews draws toward
+// the slice start. After ops_per_phase draws the stream advances to the
+// next phase, wrapping around — a step change in the query distribution,
+// which is exactly the signal a drift detector must separate from noise.
+class ShiftingStream {
+ public:
+  struct Phase {
+    double lo = 0.0;
+    double hi = 1.0;
+    double zipf_theta = 0.0;  // 0 = uniform within the slice.
+  };
+
+  struct Options {
+    std::vector<Phase> phases;   // Empty = one uniform phase over all keys.
+    size_t ops_per_phase = 100000;
+    uint64_t seed = 42;
+  };
+
+  ShiftingStream(std::vector<uint64_t> keys, const Options& options);
+
+  // Next lookup key, drawn from the current phase's slice.
+  uint64_t Next();
+
+  size_t phase() const { return phase_; }
+  size_t num_phases() const { return options_.phases.size(); }
+  size_t ops_drawn() const { return ops_; }
+
+ private:
+  void EnterPhase(size_t phase);
+
+  std::vector<uint64_t> keys_;
+  Options options_;
+  Rng rng_;
+  size_t phase_ = 0;
+  size_t ops_ = 0;
+  size_t ops_in_phase_ = 0;
+  size_t slice_begin_ = 0;
+  size_t slice_size_ = 1;
+  std::unique_ptr<ZipfGenerator> zipf_;
+};
 
 // ----- String key sets (sorted, deduplicated) -----
 

@@ -2,35 +2,53 @@
 #define LIDX_ONE_D_ADAPTIVE_RMI_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "adapt/controller.h"
+#include "adapt/error_monitor.h"
+#include "adapt/shadow.h"
+#include "common/epoch.h"
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/parallel.h"
+#include "common/thread_annotations.h"
 #include "models/drift.h"
 #include "one_d/rmi.h"
 
 namespace lidx {
 
-// Self-retraining RMI: an immutable RMI plus a sorted delta buffer, with a
-// Page-Hinkley drift detector watching the *observed* prediction error of
-// every lookup (tutorial §6.3: detect distribution change, trigger
-// retraining). Two signals force a rebuild:
+// Self-retraining RMI — the first client of the adaptation subsystem
+// (src/adapt/). An immutable, epoch-protected frozen RMI absorbs lookups
+// lock-free; inserts go to a small sorted buffer behind a reader/writer
+// lock. The adaptation loop closes around it (tutorial §6.3):
 //
-//  * drift: lookups systematically land far from the model's prediction —
-//    the model is under-provisioned for the observed key/query
-//    distribution. A drift rebuild *grows the model budget* (x4, capped),
-//    so the index self-tunes its capacity to the workload (§6.2's model
-//    choice problem, answered online).
-//  * buffer pressure: the delta exceeds its configured fraction of the
-//    indexed data (a plain merge-retrain at the current budget).
+//  * sense  — every lookup records its *observed* prediction error
+//             (|predicted - actual| positions) into the frozen model's
+//             per-segment ErrorMonitor: relaxed counters, no ordering, no
+//             contention with other readers.
+//  * decide — maintenance (a pool task, never the lookup path) diffs
+//             monitor snapshots into a window, feeds per-segment
+//             Page-Hinkley detectors, and runs AdaptController: drift ->
+//             retrain, tail-error inflation -> grow the model budget,
+//             sustained calm -> shrink it back. Buffer pressure (delta
+//             beyond its configured fraction) forces a merge regardless.
+//  * act    — the rebuild is a shadow build: merge frozen + sealed buffer,
+//             train a fresh RMI at the chosen budget on the pool worker,
+//             then Publish() it through a ShadowCell (atomic swap +
+//             epoch-retire). Readers never block and never see a torn
+//             model; the lookup path never trains anything (PR9 — the old
+//             inline-rebuild-on-lookup is gone).
 //
-// Rebuilds merge the buffer into the array and retrain from scratch; the
-// detector resets. This is deliberately the simplest complete instance of
-// the monitor->retrain loop the tutorial calls for — the detector is
-// reusable by any other index in the library.
+// Concurrency contract: any number of concurrent Find/Contains callers;
+// Insert is internally serialized and may run concurrently with lookups
+// and maintenance. BulkLoad is exclusive (no concurrent ops).
 template <typename Key, typename Value>
 class AdaptiveRmi {
  public:
@@ -40,120 +58,454 @@ class AdaptiveRmi {
     // Rebuild when buffer exceeds this fraction of indexed keys.
     double max_buffer_fraction = 0.25;
     size_t min_buffer_before_rebuild = 1024;
+
+    // --- adaptation plumbing ---
+    AdaptController::Options controller;
+    // Monitor resolution: leaf models map many-to-one onto this many
+    // padded counter segments.
+    size_t monitor_segments = 64;
+    // Lookups between maintenance checks (one monitor window).
+    size_t maintenance_period = 1024;
+    // Record observed errors into the monitor (the zero-cost-off switch).
+    bool sense = true;
+    // Schedule maintenance automatically from the op paths. Off = the
+    // no-adaptation baseline, or an external AdaptationEngine drives
+    // RunMaintenanceNow() ticks.
+    bool auto_maintain = true;
+    // Run maintenance on ThreadPool::Shared() (true) or inline on the
+    // triggering Insert / explicit call (false; deterministic tests).
+    bool background = true;
+    // Budget growth per kGrow decision and its cap.
+    double budget_growth = 4.0;
+    size_t max_model_budget = size_t{1} << 20;
   };
 
   explicit AdaptiveRmi(const Options& options = Options())
-      : options_(options), detector_(options.drift) {}
+      : options_(options),
+        epoch_(&EpochManager::Shared()),
+        pool_(&ThreadPool::Shared()),
+        frozen_cell_(&EpochManager::Shared()),
+        bank_(options.monitor_segments, options.drift),
+        controller_(options.controller),
+        model_budget_(options.rmi.num_models) {
+    // kRebalance is a sharded-serving action; a single RMI cannot re-cut
+    // shard boundaries.
+    AdaptController::Options copt = options_.controller;
+    copt.allow_rebalance = false;
+    controller_ = AdaptController(copt);
+    frozen_cell_.Publish(NewFrozen());
+  }
 
+  ~AdaptiveRmi() {
+    WaitForMaintenance();
+    // frozen_cell_ retires through the shared epoch manager; nudge the
+    // reclaimer so long-lived processes do not accumulate our garbage.
+    epoch_->ReclaimSome();
+  }
+
+  AdaptiveRmi(const AdaptiveRmi&) = delete;
+  AdaptiveRmi& operator=(const AdaptiveRmi&) = delete;
+
+  // Exclusive: no concurrent operations during a bulk load.
   void BulkLoad(std::vector<Key> keys, std::vector<Value> values) {
-    rmi_.Build(std::move(keys), std::move(values), options_.rmi);
-    buffer_.clear();
-    detector_.Reset();
-    rebuilds_ = 0;
+    WaitForMaintenance();
+    Frozen* next = NewFrozen();
+    typename Rmi<Key, Value>::Options ropt = options_.rmi;
+    ropt.num_models = model_budget_.load(std::memory_order_relaxed);
+    next->rmi.Build(std::move(keys), std::move(values), ropt);
+    {
+      WriterMutexLock lock(buffer_mu_);
+      frozen_cell_.Publish(next);
+      buffer_.clear();
+      sealed_.clear();
+    }
+    bank_.ResetAll();
+    prev_window_valid_ = false;
+    rebuilds_.store(0, std::memory_order_relaxed);
   }
 
   // Inserts go to the delta buffer; the frozen RMI is untouched until the
-  // next retraining.
+  // next shadow rebuild merges it in.
   bool Insert(const Key& key, const Value& value) {
-    const bool existed = Contains(key);
-    const auto it = std::lower_bound(
-        buffer_.begin(), buffer_.end(), key,
-        [](const std::pair<Key, Value>& e, const Key& k) {
-          return e.first < k;
-        });
-    if (it != buffer_.end() && it->first == key) {
-      it->second = value;
-    } else {
-      buffer_.insert(it, {key, value});
+    bool existed;
+    bool pressure = false;
+    {
+      WriterMutexLock lock(buffer_mu_);
+      existed = UpsertSorted(&buffer_, key, value);
+      if (!existed) existed = SortedContains(sealed_, key);
+      size_t frozen_size = 0;
+      {
+        auto guard = epoch_->Pin();
+        const Frozen* f = frozen_cell_.Acquire();
+        frozen_size = f->rmi.size();
+        if (!existed && frozen_size > 0) {
+          const size_t pos = f->rmi.LowerBound(key);
+          existed = pos < frozen_size && f->rmi.keys()[pos] == key;
+        }
+      }
+      pressure =
+          buffer_.size() >= options_.min_buffer_before_rebuild &&
+          static_cast<double>(buffer_.size()) >
+              options_.max_buffer_fraction *
+                  static_cast<double>(std::max<size_t>(1, frozen_size));
     }
-    MaybeRebuild();
+    if (pressure && options_.auto_maintain) TriggerMaintenance();
     return !existed;
   }
 
   std::optional<Value> Find(const Key& key) {
-    // Buffer shadows the frozen index.
-    const auto it = std::lower_bound(
-        buffer_.begin(), buffer_.end(), key,
-        [](const std::pair<Key, Value>& e, const Key& k) {
-          return e.first < k;
-        });
-    if (it != buffer_.end() && it->first == key) return it->second;
-    // Observed error feeds the drift detector.
-    const size_t predicted = rmi_.PredictPosition(key);
-    const size_t actual = rmi_.LowerBound(key);
-    const double error = predicted > actual
-                             ? static_cast<double>(predicted - actual)
-                             : static_cast<double>(actual - predicted);
-    size_t pos = actual;
-    if (detector_.Observe(error) && MaybeRebuild()) {
-      // The rebuild invalidated `actual`: search the fresh index.
-      pos = rmi_.LowerBound(key);
+    // Buffer and sealed delta shadow the frozen index.
+    {
+      ReaderMutexLock lock(buffer_mu_);
+      if (auto v = SortedFind(buffer_, key)) return v;
+      if (auto v = SortedFind(sealed_, key)) return v;
     }
-    if (pos < rmi_.size() && rmi_.keys()[pos] == key) {
-      return rmi_.values()[pos];
+    std::optional<Value> result;
+    {
+      auto guard = epoch_->Pin();
+      const Frozen* f = frozen_cell_.Acquire();
+      if (f->rmi.size() > 0) {
+        const size_t predicted = f->rmi.PredictPosition(key);
+        const size_t actual = f->rmi.LowerBound(key);
+        if (options_.sense) {
+          const double error =
+              predicted > actual ? static_cast<double>(predicted - actual)
+                                 : static_cast<double>(actual - predicted);
+          f->monitor.Record(f->monitor.SegmentOf(actual, f->rmi.size()),
+                            error);
+        }
+        if (actual < f->rmi.size() && f->rmi.keys()[actual] == key) {
+          result = f->rmi.values()[actual];
+        }
+      }
     }
-    return std::nullopt;
+    if (options_.auto_maintain) {
+      const uint64_t ops = lookup_ops_.fetch_add(1, std::memory_order_relaxed);
+      if ((ops + 1) % options_.maintenance_period == 0) TriggerMaintenance();
+    }
+    return result;
   }
 
   bool Contains(const Key& key) { return Find(key).has_value(); }
 
-  size_t size() const { return rmi_.size() + buffer_.size(); }
-  size_t rebuilds() const { return rebuilds_; }
-  size_t buffered() const { return buffer_.size(); }
-  size_t current_model_budget() const { return options_.rmi.num_models; }
-  double MeanErrorWindow() const { return rmi_.MeanErrorWindow(); }
-  const ModelDriftDetector& detector() const { return detector_; }
+  // ---- maintenance --------------------------------------------------------
 
- private:
-  // Returns true if a rebuild actually happened.
-  bool MaybeRebuild() {
-    const bool buffer_pressure =
-        buffer_.size() >= options_.min_buffer_before_rebuild &&
-        static_cast<double>(buffer_.size()) >
-            options_.max_buffer_fraction *
-                static_cast<double>(std::max<size_t>(1, rmi_.size()));
-    if (!detector_.drifted() && !buffer_pressure) return false;
-    if (detector_.drifted()) {
-      // Self-tuning: the observed errors say the model budget is too
-      // small for this workload.
-      options_.rmi.num_models =
-          std::min<size_t>(options_.rmi.num_models * 4, 1u << 20);
+  // Schedules one maintenance pass (sense-window -> decide -> maybe shadow
+  // rebuild). Single-flight: a no-op while a pass is already queued or
+  // running. Background mode hands the pass to a pool worker; otherwise it
+  // runs inline on the caller.
+  void TriggerMaintenance() {
+    if (maintenance_latch_.exchange(true, std::memory_order_acq_rel)) return;
+    pending_maintenance_.fetch_add(1, std::memory_order_acq_rel);
+    if (options_.background) {
+      pool_->Submit([this] {
+        DoMaintenance();
+        maintenance_latch_.store(false, std::memory_order_release);
+        pending_maintenance_.fetch_sub(1, std::memory_order_acq_rel);
+      });
+    } else {
+      DoMaintenance();
+      maintenance_latch_.store(false, std::memory_order_release);
+      pending_maintenance_.fetch_sub(1, std::memory_order_acq_rel);
     }
+  }
 
-    // Merge frozen + buffer, retrain.
-    std::vector<Key> keys;
-    std::vector<Value> values;
-    keys.reserve(rmi_.size() + buffer_.size());
-    values.reserve(rmi_.size() + buffer_.size());
-    const auto& fkeys = rmi_.keys();
-    size_t fi = 0, bi = 0;
-    while (fi < fkeys.size() || bi < buffer_.size()) {
-      const bool take_buffer =
-          bi < buffer_.size() &&
-          (fi >= fkeys.size() || buffer_[bi].first <= fkeys[fi]);
-      if (take_buffer) {
-        if (fi < fkeys.size() && fkeys[fi] == buffer_[bi].first) ++fi;
-        keys.push_back(buffer_[bi].first);
-        values.push_back(buffer_[bi].second);
-        ++bi;
-      } else {
-        values.push_back(*rmi_.Find(fkeys[fi]));
-        keys.push_back(fkeys[fi]);
-        ++fi;
-      }
+  // Runs one maintenance pass synchronously on the caller (waits out any
+  // in-flight pass first). The deterministic spelling used by tests and by
+  // AdaptationEngine tick callbacks.
+  void RunMaintenanceNow() {
+    while (maintenance_latch_.exchange(true, std::memory_order_acq_rel)) {
+      // The in-flight pass may be queued behind us on a small pool; lend
+      // this thread to the pool rather than spinning it out.
+      if (!pool_->TryRunOne()) std::this_thread::yield();
     }
-    rmi_.Build(std::move(keys), std::move(values), options_.rmi);
-    buffer_.clear();
-    detector_.Reset();
-    ++rebuilds_;
+    DoMaintenance();
+    maintenance_latch_.store(false, std::memory_order_release);
+  }
+
+  // Blocks until no maintenance pass is queued or running, lending the
+  // calling thread to the pool meanwhile. Test/teardown helper.
+  void WaitForMaintenance() const {
+    while (pending_maintenance_.load(std::memory_order_acquire) != 0 ||
+           maintenance_latch_.load(std::memory_order_acquire)) {
+      if (!pool_->TryRunOne()) std::this_thread::yield();
+    }
+  }
+
+  // ---- introspection ------------------------------------------------------
+
+  size_t size() const {
+    size_t buffered_now;
+    {
+      ReaderMutexLock lock(buffer_mu_);
+      buffered_now = buffer_.size() + sealed_.size();
+    }
+    auto guard = epoch_->Pin();
+    return frozen_cell_.Acquire()->rmi.size() + buffered_now;
+  }
+
+  size_t rebuilds() const { return rebuilds_.load(std::memory_order_acquire); }
+  size_t maintenance_runs() const {
+    return maintenance_runs_.load(std::memory_order_acquire);
+  }
+  size_t buffered() const {
+    ReaderMutexLock lock(buffer_mu_);
+    return buffer_.size() + sealed_.size();
+  }
+  size_t current_model_budget() const {
+    return model_budget_.load(std::memory_order_acquire);
+  }
+  double MeanErrorWindow() const {
+    auto guard = epoch_->Pin();
+    return frozen_cell_.Acquire()->rmi.MeanErrorWindow();
+  }
+  // Hash of the thread that ran the last shadow rebuild (regression hook:
+  // with background maintenance this must never be a lookup thread).
+  size_t last_rebuild_thread() const {
+    return last_rebuild_thread_.load(std::memory_order_acquire);
+  }
+  const AdaptDecision& last_decision() const { return last_decision_; }
+
+  // One window's observed-error stats, straight from the live monitor.
+  ErrorMonitor::Snapshot ObservedErrors() const {
+    auto guard = epoch_->Pin();
+    return frozen_cell_.Acquire()->monitor.TakeSnapshot();
+  }
+
+  bool CheckInvariants() const {
+    auto guard = epoch_->Pin();
+    frozen_cell_.Acquire()->rmi.CheckInvariants();  // Aborts on violation.
     return true;
   }
 
+ private:
+  // The epoch-protected unit of publication: the trained model plus the
+  // monitor that watches it. Swapping them together means a fresh model
+  // always starts with a fresh error window — observations of the old
+  // model can never trigger retraining of the new one.
+  struct Frozen {
+    Rmi<Key, Value> rmi;
+    ErrorMonitor monitor;
+    uint64_t version;
+
+    Frozen(size_t segments, bool enabled, uint64_t ver)
+        : monitor(segments, enabled), version(ver) {}
+  };
+
+  Frozen* NewFrozen() {
+    return new Frozen(options_.monitor_segments, options_.sense,
+                      frozen_version_.fetch_add(1, std::memory_order_relaxed));
+  }
+
+  static bool SortedContains(const std::vector<std::pair<Key, Value>>& vec,
+                             const Key& key) {
+    const auto it = std::lower_bound(
+        vec.begin(), vec.end(), key,
+        [](const std::pair<Key, Value>& e, const Key& k) {
+          return e.first < k;
+        });
+    return it != vec.end() && it->first == key;
+  }
+
+  static std::optional<Value> SortedFind(
+      const std::vector<std::pair<Key, Value>>& vec, const Key& key) {
+    const auto it = std::lower_bound(
+        vec.begin(), vec.end(), key,
+        [](const std::pair<Key, Value>& e, const Key& k) {
+          return e.first < k;
+        });
+    if (it != vec.end() && it->first == key) return it->second;
+    return std::nullopt;
+  }
+
+  // Returns true if the key was already present (value overwritten).
+  static bool UpsertSorted(std::vector<std::pair<Key, Value>>* vec,
+                           const Key& key, const Value& value) {
+    const auto it = std::lower_bound(
+        vec->begin(), vec->end(), key,
+        [](const std::pair<Key, Value>& e, const Key& k) {
+          return e.first < k;
+        });
+    if (it != vec->end() && it->first == key) {
+      it->second = value;
+      return true;
+    }
+    vec->insert(it, {key, value});
+    return false;
+  }
+
+  // One full sense -> decide -> act pass. Runs under the single-flight
+  // latch (never concurrently with itself); everything here may block,
+  // nothing here runs on a lookup path.
+  void DoMaintenance() {
+    maintenance_runs_.fetch_add(1, std::memory_order_relaxed);
+
+    // Sense: diff the monitor into one window.
+    ErrorMonitor::Snapshot cur;
+    uint64_t version;
+    {
+      auto guard = epoch_->Pin();
+      const Frozen* f = frozen_cell_.Acquire();
+      cur = f->monitor.TakeSnapshot();
+      version = f->version;
+    }
+    ErrorMonitor::Snapshot window =
+        (prev_window_valid_ && version == prev_version_)
+            ? cur.DeltaSince(prev_window_)
+            : cur;
+    prev_window_ = std::move(cur);
+    prev_version_ = version;
+    prev_window_valid_ = true;
+
+    // Decide: per-segment drift detectors + the shared controller policy.
+    std::vector<SegmentSignal> signals(window.segments.size());
+    for (size_t i = 0; i < window.segments.size(); ++i) {
+      const ErrorMonitor::SegmentSnapshot& seg = window.segments[i];
+      SegmentSignal& sig = signals[i];
+      sig.ops = seg.ops;
+      sig.mean_error = seg.MeanError();
+      sig.tail_error = seg.QuantileError(0.99);
+      if (seg.ops > 0) sig.drifted = bank_.Observe(i, sig.mean_error);
+    }
+    AdaptDecision decision = controller_.Decide(signals);
+
+    bool pressure;
+    {
+      ReaderMutexLock lock(buffer_mu_);
+      size_t frozen_size;
+      {
+        auto guard = epoch_->Pin();
+        frozen_size = frozen_cell_.Acquire()->rmi.size();
+      }
+      pressure =
+          buffer_.size() >= options_.min_buffer_before_rebuild &&
+          static_cast<double>(buffer_.size()) >
+              options_.max_buffer_fraction *
+                  static_cast<double>(std::max<size_t>(1, frozen_size));
+    }
+
+    const size_t budget = model_budget_.load(std::memory_order_relaxed);
+    size_t new_budget = budget;
+    bool rebuild = pressure;
+    switch (decision.action) {
+      case AdaptDecision::Action::kGrow:
+        new_budget = std::min<size_t>(
+            options_.max_model_budget,
+            std::max<size_t>(budget + 1,
+                             static_cast<size_t>(
+                                 static_cast<double>(budget) *
+                                 options_.budget_growth)));
+        rebuild = true;
+        break;
+      case AdaptDecision::Action::kRetrain:
+        rebuild = true;
+        break;
+      case AdaptDecision::Action::kShrink:
+        new_budget = std::max<size_t>(
+            options_.rmi.num_models,
+            static_cast<size_t>(static_cast<double>(budget) /
+                                options_.budget_growth));
+        rebuild = rebuild || new_budget != budget;
+        break;
+      default:
+        break;
+    }
+    last_decision_ = decision;
+    if (!rebuild) return;
+    RebuildShadow(new_budget);
+  }
+
+  // Shadow rebuild: seal the buffer, merge frozen + sealed off to the
+  // side, train at `budget`, publish-then-retire. Lookups proceed
+  // lock-free against the old frozen model throughout; Insert blocks only
+  // for the two O(1)/O(sort) critical sections at the seams.
+  void RebuildShadow(size_t budget) {
+    {
+      WriterMutexLock lock(buffer_mu_);
+      LIDX_DCHECK(sealed_.empty());
+      sealed_.swap(buffer_);
+    }
+
+    std::vector<Key> keys;
+    std::vector<Value> values;
+    {
+      // Shared lock: sealed_ is stable (only maintenance writes it, and
+      // maintenance is single-flight), but the annotation-visible lock
+      // keeps the access pattern honest and readers are not excluded.
+      ReaderMutexLock lock(buffer_mu_);
+      auto guard = epoch_->Pin();
+      const Frozen* f = frozen_cell_.Acquire();
+      const auto& fkeys = f->rmi.keys();
+      const auto& fvalues = f->rmi.values();
+      keys.reserve(fkeys.size() + sealed_.size());
+      values.reserve(fkeys.size() + sealed_.size());
+      size_t fi = 0, bi = 0;
+      while (fi < fkeys.size() || bi < sealed_.size()) {
+        const bool take_buffer =
+            bi < sealed_.size() &&
+            (fi >= fkeys.size() || sealed_[bi].first <= fkeys[fi]);
+        if (take_buffer) {
+          if (fi < fkeys.size() && fkeys[fi] == sealed_[bi].first) ++fi;
+          keys.push_back(sealed_[bi].first);
+          values.push_back(sealed_[bi].second);
+          ++bi;
+        } else {
+          keys.push_back(fkeys[fi]);
+          values.push_back(fvalues[fi]);
+          ++fi;
+        }
+      }
+    }
+
+    Frozen* next = NewFrozen();
+    typename Rmi<Key, Value>::Options ropt = options_.rmi;
+    ropt.num_models = budget;
+    next->rmi.Build(std::move(keys), std::move(values), ropt);
+
+    {
+      // Publish before clearing the sealed delta: between the two, a key
+      // may be visible in both places with the same value — never in
+      // neither.
+      WriterMutexLock lock(buffer_mu_);
+      frozen_cell_.Publish(next);
+      sealed_.clear();
+    }
+    model_budget_.store(budget, std::memory_order_release);
+    bank_.ResetAll();
+    prev_window_valid_ = false;
+    last_rebuild_thread_.store(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()),
+        std::memory_order_release);
+    rebuilds_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   Options options_;
-  Rmi<Key, Value> rmi_;
-  std::vector<std::pair<Key, Value>> buffer_;  // Sorted by key.
-  ModelDriftDetector detector_;
-  size_t rebuilds_ = 0;
+  EpochManager* epoch_;
+  ThreadPool* pool_;
+
+  ShadowCell<Frozen> frozen_cell_;  // lidx: epoch-protected
+
+  mutable SharedMutex buffer_mu_;
+  std::vector<std::pair<Key, Value>> buffer_ LIDX_GUARDED_BY(buffer_mu_);
+  std::vector<std::pair<Key, Value>> sealed_ LIDX_GUARDED_BY(buffer_mu_);
+
+  // Decide-layer state. Touched only under the maintenance latch (one
+  // pass at a time), never from op paths.
+  DriftDetectorBank bank_;
+  AdaptController controller_;
+  ErrorMonitor::Snapshot prev_window_;
+  uint64_t prev_version_ = 0;
+  bool prev_window_valid_ = false;
+  AdaptDecision last_decision_;
+
+  std::atomic<uint64_t> frozen_version_{1};
+  std::atomic<uint64_t> lookup_ops_{0};
+  std::atomic<bool> maintenance_latch_{false};
+  mutable std::atomic<uint64_t> pending_maintenance_{0};
+  std::atomic<size_t> model_budget_;
+  std::atomic<size_t> rebuilds_{0};
+  std::atomic<size_t> maintenance_runs_{0};
+  std::atomic<size_t> last_rebuild_thread_{0};
 };
 
 }  // namespace lidx

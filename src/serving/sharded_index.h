@@ -65,10 +65,12 @@ concept HasSizeBytes = requires(const Index& index) {
 // indexes (tutorial §6.5: concurrency as a first-class citizen; design
 // informed by *Are Updatable Learned Indexes Ready?*, PAPERS.md).
 //
-// Layout. Keys are range-partitioned across `num_shards` shards whose
-// boundaries are quantiles of a sample CDF taken at BulkLoad, so shards
-// stay balanced under skewed key distributions. Each shard is a small
-// multi-version structure:
+// Layout. Keys are range-partitioned across shards whose boundaries are
+// quantiles of a sample CDF taken at BulkLoad, so shards stay balanced
+// under skewed key distributions. The shard array and its boundaries live
+// in an immutable, epoch-protected Table so the partitioning itself can be
+// re-learned at runtime (Rebalance) without ever blocking readers. Each
+// shard is a small multi-version structure:
 //
 //   active buffer  -> sealed buffers -> sorted delta -> snapshot index
 //   (append-only)     (immutable)       (immutable)     (immutable Index)
@@ -86,22 +88,48 @@ concept HasSizeBytes = requires(const Index& index) {
 //    own bulk load. All heavy work happens on immutable inputs, off the
 //    writer path.
 //  * Readers never block and take no locks. A read pins an epoch
-//    (common/epoch.h), loads the shard's current State pointer, and probes
-//    newest-to-oldest: active buffer (backwards linear scan), sealed
-//    buffers, delta (binary search), snapshot (learned lookup). Epoch
-//    reclamation guarantees the State and everything it references stays
-//    alive until the reader unpins.
+//    (common/epoch.h), loads the table, routes, loads the shard's current
+//    State pointer, and probes newest-to-oldest: active buffer (backwards
+//    linear scan), sealed buffers, delta (binary search), snapshot
+//    (learned lookup). Epoch reclamation guarantees the Table, the State
+//    and everything they reference stay alive until the reader unpins.
+//
+// Adaptation hooks (the serving-side "sense" and "act" surface used by
+// src/adapt/):
+//  * With Options::collect_shard_stats, readers bump per-shard lookup and
+//    probe-depth counters (own cache line; relaxed). TakeShardStats()
+//    snapshots them together with per-level entry counts — the signal a
+//    controller turns into skew / staleness decisions.
+//  * Rebalance(new_num_shards) re-learns the partitioning online: it
+//    collects every live entry, recomputes boundaries as *traffic-weighted*
+//    quantiles (pure data quantiles when stats are off), bulk-loads fresh
+//    per-shard snapshots, and release-publishes a new Table; the old one
+//    is epoch-retired. Readers keep probing the old table under their
+//    pins; writers stall on the shard mutexes and retry against the new
+//    table.
+//  * RequestShardRebuild(s) force-drains one shard down to a freshly
+//    bulk-loaded snapshot even when the delta is below the rebuild
+//    threshold — the "retrain this model now" action.
 //
 // Memory-order contract (kept in sync with common/epoch.h):
-//  * Shard::state is published with a release store and read with acquire
-//    loads; States are immutable after publication.
+//  * `table_` and Shard::state are published with release stores and read
+//    with acquire loads; Tables and States are immutable after publication
+//    (the active Buffer's append tail and the shard stat counters are the
+//    exceptions, governed by Buffer::size and relaxed atomics).
 //  * Buffer entries are published by a release store of Buffer::size;
 //    readers acquire-load size and may then read slots [0, size). Slots
 //    are append-only — a published entry is never overwritten.
-//  * Old States are unlinked (state.store) *before* EpochManager::Retire,
+//  * Old Tables/States are unlinked (store) *before* EpochManager::Retire,
 //    and freed only at quiescence; components shared between consecutive
 //    States (snapshot, delta, buffers) are refcounted via shared_ptr,
 //    whose count is only manipulated by writers/drainers, never readers.
+//  * The drain/rebalance handshake (drains_paused_, pending_drains_) uses
+//    seq_cst: TryScheduleDrain registers in pending_drains_ and *then*
+//    re-checks drains_paused_ and the table identity, while Rebalance
+//    stores drains_paused_ and *then* reads pending_drains_. The seq_cst
+//    total order makes the classic store/load (Dekker) race impossible:
+//    either the drain backs off, or the rebalance waits for it — so no
+//    drain task ever holds a Table pointer across that table's retirement.
 template <typename Index, typename Key = uint64_t, typename Value = uint64_t>
 class ShardedIndex {
  public:
@@ -122,6 +150,11 @@ class ShardedIndex {
     bool background_drain = true;
     // Threads used to bulk-load the per-shard snapshots.
     size_t build_threads = 1;
+    // Count per-shard lookups and probe depth on the read path (two
+    // relaxed fetch_adds per lookup on a shard-private cache line). Off
+    // by default so read scaling benchmarks are unaffected; the
+    // adaptation layer turns it on to sense skew and read amplification.
+    bool collect_shard_stats = false;
   };
 
   explicit ShardedIndex(const Options& options = Options(),
@@ -129,22 +162,23 @@ class ShardedIndex {
       : options_(options), epoch_(epoch) {
     LIDX_CHECK(options_.num_shards >= 1);
     LIDX_CHECK(options_.buffer_capacity >= 1);
-    num_shards_ = options_.num_shards;
-    boundaries_.assign(num_shards_, Key{});
-    shards_ = std::make_unique<Shard[]>(num_shards_);
-    for (size_t s = 0; s < num_shards_; ++s) {
-      shards_[s].state.store(EmptyState(), std::memory_order_relaxed);
+    Table* table = new Table();
+    table->version = next_table_version_.fetch_add(1, std::memory_order_relaxed);
+    table->num_shards = options_.num_shards;
+    table->boundaries.assign(options_.num_shards, Key{});
+    table->shards = std::make_unique<Shard[]>(options_.num_shards);
+    for (size_t s = 0; s < options_.num_shards; ++s) {
+      table->shards[s].state.store(EmptyState(), std::memory_order_relaxed);
     }
+    table_.store(table, std::memory_order_release);
   }
 
   ~ShardedIndex() {
     WaitForDrains();
-    for (size_t s = 0; s < num_shards_; ++s) {
-      // lidx-lint: allow(epoch-guard): destructor — readers are gone.
-      delete shards_[s].state.load(std::memory_order_relaxed);
-    }
-    // Retired States self-contain their payloads (shared_ptr), so they
-    // may outlive this index; nudge the collector anyway.
+    // lidx-lint: allow(epoch-guard): destructor — readers are gone.
+    delete table_.load(std::memory_order_relaxed);
+    // Retired Tables/States self-contain their payloads (shared_ptr), so
+    // they may outlive this index; nudge the collector anyway.
     epoch_->ReclaimSome();
   }
 
@@ -154,88 +188,55 @@ class ShardedIndex {
   // Bulk-loads sorted strictly-increasing keys. Shard boundaries are the
   // quantiles of an evenly spaced key sample (the empirical CDF), so each
   // shard receives ~n/num_shards keys regardless of key-space skew. Not
-  // thread-safe; call before sharing the index.
+  // thread-safe; call before sharing the index. Resets the shard count to
+  // Options::num_shards and the stat counters to zero.
   void BulkLoad(const std::vector<Key>& keys,
                 const std::vector<Value>& values) {
     LIDX_CHECK(keys.size() == values.size());
+    WaitForDrains();
     const size_t n = keys.size();
-    boundaries_.assign(num_shards_, n == 0 ? Key{} : keys.front());
+    const size_t shards_n = options_.num_shards;
+    std::vector<Key> boundaries(shards_n, n == 0 ? Key{} : keys.front());
     if (n > 0) {
       // Sample the CDF: up to sample_size evenly spaced (key, rank)
       // points, then place boundary s at the sample's s/num_shards
       // quantile. With sorted input the sample quantile converges on the
       // exact rank quantile as the sample grows.
       const size_t sample_n = std::min(options_.sample_size, n);
-      for (size_t s = 1; s < num_shards_; ++s) {
-        const size_t sample_rank = s * sample_n / num_shards_;
-        boundaries_[s] = keys[sample_rank * (n - 1) / (sample_n - 1 + (sample_n == 1))];
+      for (size_t s = 1; s < shards_n; ++s) {
+        const size_t sample_rank = s * sample_n / shards_n;
+        boundaries[s] =
+            keys[sample_rank * (n - 1) / (sample_n - 1 + (sample_n == 1))];
       }
     }
-    // Boundary keys must be strictly increasing for routing; collapse
-    // duplicate quantiles (tiny datasets) by leaving later shards empty.
-    for (size_t s = 1; s < num_shards_; ++s) {
-      if (boundaries_[s] < boundaries_[s - 1]) {
-        boundaries_[s] = boundaries_[s - 1];
-      }
-    }
-
-    // Per-shard key ranges, then parallel snapshot builds.
-    std::vector<size_t> starts(num_shards_ + 1, 0);
-    for (size_t s = 1; s < num_shards_; ++s) {
-      starts[s] = static_cast<size_t>(
-          std::lower_bound(keys.begin(), keys.end(), boundaries_[s]) -
-          keys.begin());
-    }
-    starts[num_shards_] = n;
-    ParallelForIndex(options_.build_threads, num_shards_, [&](size_t s) {
-      const size_t begin = starts[s];
-      const size_t end = starts[s + 1];
-      State* state = new State();
-      state->active = std::make_shared<Buffer>(options_.buffer_capacity);
-      if (begin < end) {
-        auto index = std::make_shared<Index>();
-        serving_detail::BulkLoadInto<Index, Key, Value>(
-            index.get(), std::vector<Key>(keys.begin() + begin,
-                                          keys.begin() + end),
-            std::vector<Value>(values.begin() + begin, values.begin() + end));
-        state->snapshot = std::move(index);
-        state->snapshot_size = end - begin;
-      }
-      State* old = shards_[s].state.exchange(state, std::memory_order_acq_rel);
-      delete old;  // BulkLoad is not concurrent with readers by contract.
-    });
+    NormalizeBoundaries(&boundaries);
+    Table* table = BuildTable(keys, values, std::move(boundaries));
+    Table* old = table_.exchange(table, std::memory_order_acq_rel);
+    delete old;  // BulkLoad is not concurrent with readers by contract.
   }
 
-  // Lock-free point lookup; never blocks on writers or drains.
+  // Lock-free point lookup; never blocks on writers, drains or rebalances.
   std::optional<Value> Find(const Key& key) const {
-    const Shard& shard = shards_[Route(key)];
     EpochManager::Guard guard = epoch_->Pin();
+    const Table* table = table_.load(std::memory_order_acquire);
+    epoch_->AssertProtected(table);
+    const Shard& shard = table->shards[Route(*table, key)];
     const State* state = shard.state.load(std::memory_order_acquire);
     epoch_->AssertProtected(state);
-    // 1. Active buffer, newest entry first.
-    if (const Entry* e = ProbeBuffer(*state->active, key)) {
-      return e->tombstone ? std::nullopt : std::optional<Value>(e->value);
+    size_t depth = 0;
+    std::optional<Value> result;
+    if (std::optional<std::optional<Value>> hit =
+            ProbeBuffersAndDelta(*state, key, &depth)) {
+      result = *hit;
+    } else if (state->snapshot != nullptr) {
+      depth += 2;  // Model traversal plus last-mile search.
+      result = state->snapshot->Find(key);
     }
-    // 2. Sealed buffers, newest buffer first.
-    for (auto it = state->sealed.rbegin(); it != state->sealed.rend(); ++it) {
-      if (const Entry* e = ProbeBuffer(**it, key)) {
-        return e->tombstone ? std::nullopt : std::optional<Value>(e->value);
-      }
+    if (options_.collect_shard_stats) {
+      shard.lookups.fetch_add(1, std::memory_order_relaxed);
+      shard.probe_depth.fetch_add(depth, std::memory_order_relaxed);
     }
-    // 3. Sorted delta.
-    if (state->delta != nullptr) {
-      const Delta& d = *state->delta;
-      const size_t pos = static_cast<size_t>(
-          std::lower_bound(d.keys.begin(), d.keys.end(), key) -
-          d.keys.begin());
-      if (pos < d.keys.size() && d.keys[pos] == key) {
-        return d.tombstones[pos] ? std::nullopt
-                                 : std::optional<Value>(d.values[pos]);
-      }
-    }
-    // 4. Snapshot index.
-    if (state->snapshot != nullptr) return state->snapshot->Find(key);
-    return std::nullopt;
+    return result;
   }
 
   bool Contains(const Key& key) const { return Find(key).has_value(); }
@@ -246,25 +247,36 @@ class ShardedIndex {
   // Contract matches the 1-D indexes: out[i] = Value{} for absent keys.
   void FindBatch(const Key* keys, size_t count, Value* out) const {
     EpochManager::Guard guard = epoch_->Pin();
-    std::vector<const State*> states(num_shards_, nullptr);
-    std::vector<std::vector<size_t>> snapshot_pending(num_shards_);
+    const Table* table = table_.load(std::memory_order_acquire);
+    epoch_->AssertProtected(table);
+    const size_t num_shards = table->num_shards;
+    std::vector<const State*> states(num_shards, nullptr);
+    std::vector<std::vector<size_t>> snapshot_pending(num_shards);
+    const bool stats = options_.collect_shard_stats;
     for (size_t i = 0; i < count; ++i) {
-      const size_t s = Route(keys[i]);
+      const size_t s = Route(*table, keys[i]);
+      const Shard& shard = table->shards[s];
       if (states[s] == nullptr) {
-        states[s] = shards_[s].state.load(std::memory_order_acquire);
+        states[s] = shard.state.load(std::memory_order_acquire);
         epoch_->AssertProtected(states[s]);
       }
       const State* state = states[s];
+      size_t depth = 0;
       if (std::optional<std::optional<Value>> hit =
-              ProbeBuffersAndDelta(*state, keys[i])) {
+              ProbeBuffersAndDelta(*state, keys[i], &depth)) {
         out[i] = hit->has_value() ? **hit : Value{};
       } else if (state->snapshot != nullptr) {
         snapshot_pending[s].push_back(i);
+        depth += 2;
       } else {
         out[i] = Value{};
       }
+      if (stats) {
+        shard.lookups.fetch_add(1, std::memory_order_relaxed);
+        shard.probe_depth.fetch_add(depth, std::memory_order_relaxed);
+      }
     }
-    for (size_t s = 0; s < num_shards_; ++s) {
+    for (size_t s = 0; s < num_shards; ++s) {
       const std::vector<size_t>& pending = snapshot_pending[s];
       if (pending.empty()) continue;
       const Index& snapshot = *states[s]->snapshot;
@@ -305,10 +317,13 @@ class ShardedIndex {
   void RangeScan(const Key& lo, const Key& hi,
                  std::vector<std::pair<Key, Value>>* out) const {
     if (hi < lo) return;
-    const size_t first = Route(lo);
-    for (size_t s = first; s < num_shards_; ++s) {
-      if (s > first && boundaries_[s] > hi) break;
-      CollectShardRange(s, lo, hi, out);
+    EpochManager::Guard guard = epoch_->Pin();
+    const Table* table = table_.load(std::memory_order_acquire);
+    epoch_->AssertProtected(table);
+    const size_t first = Route(*table, lo);
+    for (size_t s = first; s < table->num_shards; ++s) {
+      if (s > first && table->boundaries[s] > hi) break;
+      CollectShardRange(*table, s, lo, hi, out);
     }
   }
 
@@ -321,10 +336,15 @@ class ShardedIndex {
   }
 
   size_t SizeBytes() const {
-    size_t total = sizeof(*this) + boundaries_.capacity() * sizeof(Key);
-    for (size_t s = 0; s < num_shards_; ++s) {
-      EpochManager::Guard guard = epoch_->Pin();
-      const State* state = shards_[s].state.load(std::memory_order_acquire);
+    EpochManager::Guard guard = epoch_->Pin();
+    const Table* table = table_.load(std::memory_order_acquire);
+    epoch_->AssertProtected(table);
+    size_t total = sizeof(*this) + sizeof(Table) +
+                   table->boundaries.capacity() * sizeof(Key) +
+                   table->num_shards * sizeof(Shard);
+    for (size_t s = 0; s < table->num_shards; ++s) {
+      const State* state =
+          table->shards[s].state.load(std::memory_order_acquire);
       epoch_->AssertProtected(state);
       total += sizeof(State);
       total += state->active->capacity * sizeof(Entry);
@@ -343,53 +363,210 @@ class ShardedIndex {
     return total;
   }
 
-  // Blocks until no drain task is queued or running. Writers should be
-  // quiesced first or drains may keep re-arming.
+  // Blocks until no drain task is queued or running, lending the calling
+  // thread to the shared pool meanwhile (so a wait on a small pool cannot
+  // deadlock behind its own queued drain). Writers should be quiesced
+  // first or drains may keep re-arming.
   void WaitForDrains() const {
-    while (pending_drains_.load(std::memory_order_acquire) != 0) {
-      std::this_thread::yield();
+    while (pending_drains_.load() != 0) {
+      if (!ThreadPool::Shared().TryRunOne()) std::this_thread::yield();
     }
   }
 
   // Forces every shard's buffered writes down into delta/snapshot (used
-  // by tests to reach a deterministic fully-drained state).
+  // by tests to reach a deterministic fully-drained state). Retries if a
+  // concurrent Rebalance swaps the table mid-flush.
   void FlushAll() {
-    for (size_t s = 0; s < num_shards_; ++s) {
-      {
-        MutexLock lock(shards_[s].write_mu);
-        State* state = shards_[s].state.load(std::memory_order_relaxed);
-        if (state->active->size.load(std::memory_order_relaxed) > 0) {
-          SealLocked(&shards_[s], state);
+    for (;;) {
+      while (drains_paused_.load()) std::this_thread::yield();
+      EpochManager::Guard guard = epoch_->Pin();
+      Table* table = table_.load(std::memory_order_acquire);
+      epoch_->AssertProtected(table);
+      bool retry = false;
+      for (size_t s = 0; s < table->num_shards; ++s) {
+        Shard& shard = table->shards[s];
+        {
+          MutexLock lock(shard.write_mu);
+          if (table_.load(std::memory_order_acquire) != table) {
+            retry = true;
+            break;
+          }
+          State* state = shard.state.load(std::memory_order_relaxed);
+          if (state->active->size.load(std::memory_order_relaxed) > 0) {
+            SealLocked(&shard, state);
+          }
         }
+        TryScheduleDrain(table, s, /*force_inline=*/true);
       }
-      TryScheduleDrain(s, /*force_inline=*/true);
+      WaitForDrains();
+      if (!retry && !drains_paused_.load() &&
+          table_.load(std::memory_order_acquire) == table) {
+        return;
+      }
     }
+  }
+
+  // Rebuilds the entire shard table online: collects every live entry
+  // under the shard writer locks, recomputes boundaries as
+  // traffic-weighted quantiles of the observed per-shard lookup counts
+  // (pure data quantiles when collect_shard_stats is off or counters are
+  // flat), bulk-loads fresh per-shard snapshots and atomically publishes
+  // the new table. `new_num_shards == 0` keeps the current shard count.
+  //
+  // Readers are never blocked: in-flight readers finish against the old
+  // table under their epoch pins, and the old table is retired, not
+  // freed. Writers block on the shard mutexes for the duration and then
+  // retry against the new table. Returns false if another rebalance was
+  // already in flight. Safe to call from a pool worker (the drain wait
+  // participates in the pool).
+  bool Rebalance(size_t new_num_shards = 0) {
+    if (rebalance_inflight_.exchange(true, std::memory_order_acq_rel)) {
+      return false;
+    }
+    // Stop new drains from registering, then wait out (or run) the ones
+    // already registered — after this, no drain task holds a pointer into
+    // the live table. See the seq_cst handshake note in the class comment.
+    drains_paused_.store(true);
     WaitForDrains();
+    {
+      EpochManager::Guard guard = epoch_->Pin();
+      Table* table = table_.load(std::memory_order_acquire);
+      epoch_->AssertProtected(table);
+      const size_t old_n = table->num_shards;
+      const size_t new_n = new_num_shards == 0 ? old_n : new_num_shards;
+      LockAllShards(table);
+      // With every writer lock held the shard contents are frozen.
+      // Collect per-shard live entries (shards are key-ordered, so their
+      // concatenation is globally sorted) plus per-shard traffic weights.
+      std::vector<Key> keys;
+      std::vector<Value> values;
+      std::vector<size_t> shard_ends(old_n, 0);
+      std::vector<uint64_t> weights(old_n, 0);
+      std::vector<std::pair<Key, Value>> pairs;
+      for (size_t s = 0; s < old_n; ++s) {
+        pairs.clear();
+        CollectShardRange(*table, s, std::numeric_limits<Key>::lowest(),
+                          std::numeric_limits<Key>::max(), &pairs);
+        for (const auto& [k, v] : pairs) {
+          keys.push_back(k);
+          values.push_back(v);
+        }
+        shard_ends[s] = keys.size();
+        // +1 smoothing: with stats disabled every shard weighs the same
+        // and the boundaries fall back to pure data quantiles.
+        weights[s] = table->shards[s].lookups.load(std::memory_order_relaxed) + 1;
+      }
+      std::vector<Key> boundaries =
+          WeightedBoundaries(keys, shard_ends, weights, new_n);
+      Table* next = BuildTable(keys, values, std::move(boundaries));
+      table_.store(next, std::memory_order_release);
+      UnlockAllShards(table);
+      // Unlink-then-retire: blocked writers still hold references to the
+      // old table's mutexes, so it must stay alive until they (and any
+      // pinned readers) move on — exactly what epoch retirement gives us.
+      epoch_->RetireDelete(table);
+      rebalance_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    drains_paused_.store(false);
+    rebalance_inflight_.store(false, std::memory_order_release);
+    return true;
+  }
+
+  // Forces shard `s` of the current table through a drain that rebuilds
+  // its snapshot even when the delta is below the rebuild threshold — the
+  // "retrain this shard's model now" adaptation action. No-op if `s` is
+  // out of range or a rebalance swallows the request (the rebalance
+  // rebuilds every snapshot anyway).
+  void RequestShardRebuild(size_t s) {
+    EpochManager::Guard guard = epoch_->Pin();
+    Table* table = table_.load(std::memory_order_acquire);
+    epoch_->AssertProtected(table);
+    if (s >= table->num_shards) return;
+    table->shards[s].force_rebuild.store(true, std::memory_order_release);
+    TryScheduleDrain(table, s, /*force_inline=*/false);
   }
 
   struct Stats {
     uint64_t seals;
     uint64_t drains;
     uint64_t rebuilds;
+    uint64_t rebalances;
   };
   Stats GetStats() const {
     return Stats{seal_count_.load(std::memory_order_relaxed),
                  drain_count_.load(std::memory_order_relaxed),
-                 rebuild_count_.load(std::memory_order_relaxed)};
+                 rebuild_count_.load(std::memory_order_relaxed),
+                 rebalance_count_.load(std::memory_order_relaxed)};
   }
 
-  size_t num_shards() const { return num_shards_; }
+  // Per-shard sensing snapshot for the adaptation layer. Lookup/probe
+  // counters are cumulative for the lifetime of the current table (they
+  // restart at zero after a Rebalance — the table version tells consumers
+  // when that happened).
+  struct ShardStat {
+    uint64_t lookups = 0;      // Reads routed to this shard.
+    uint64_t probe_depth = 0;  // Total structures probed across those reads.
+    size_t buffered = 0;       // Entries in active + sealed buffers.
+    size_t delta = 0;          // Entries in the sorted delta.
+    size_t snapshot = 0;       // Entries in the snapshot index.
+  };
+  struct ShardStatsSnapshot {
+    uint64_t table_version = 0;
+    std::vector<ShardStat> shards;
+  };
+  ShardStatsSnapshot TakeShardStats() const {
+    ShardStatsSnapshot out;
+    EpochManager::Guard guard = epoch_->Pin();
+    const Table* table = table_.load(std::memory_order_acquire);
+    epoch_->AssertProtected(table);
+    out.table_version = table->version;
+    out.shards.resize(table->num_shards);
+    for (size_t s = 0; s < table->num_shards; ++s) {
+      const Shard& shard = table->shards[s];
+      ShardStat& stat = out.shards[s];
+      stat.lookups = shard.lookups.load(std::memory_order_relaxed);
+      stat.probe_depth = shard.probe_depth.load(std::memory_order_relaxed);
+      const State* state = shard.state.load(std::memory_order_acquire);
+      epoch_->AssertProtected(state);
+      stat.buffered = state->active->size.load(std::memory_order_acquire);
+      for (const auto& b : state->sealed) {
+        stat.buffered += b->size.load(std::memory_order_acquire);
+      }
+      if (state->delta != nullptr) stat.delta = state->delta->keys.size();
+      stat.snapshot = state->snapshot_size;
+    }
+    return out;
+  }
+
+  size_t num_shards() const {
+    EpochManager::Guard guard = epoch_->Pin();
+    const Table* table = table_.load(std::memory_order_acquire);
+    epoch_->AssertProtected(table);
+    return table->num_shards;
+  }
+
+  uint64_t table_version() const {
+    EpochManager::Guard guard = epoch_->Pin();
+    const Table* table = table_.load(std::memory_order_acquire);
+    epoch_->AssertProtected(table);
+    return table->version;
+  }
 
   // Structural invariants over every published shard state. Lock-free and
-  // safe to run concurrently with readers, writers, and drains. Aborts on
-  // violation.
+  // safe to run concurrently with readers, writers, drains and
+  // rebalances. Aborts on violation.
   void CheckInvariants() const {
-    LIDX_INVARIANT(boundaries_.size() == num_shards_,
+    EpochManager::Guard guard = epoch_->Pin();
+    const Table* table = table_.load(std::memory_order_acquire);
+    epoch_->AssertProtected(table);
+    const size_t num_shards = table->num_shards;
+    LIDX_INVARIANT(table->boundaries.size() == num_shards,
                    "sharded: boundary per shard");
-    invariants::CheckSorted(boundaries_, "sharded: boundaries non-decreasing");
-    for (size_t s = 0; s < num_shards_; ++s) {
-      EpochManager::Guard guard = epoch_->Pin();
-      const State* state = shards_[s].state.load(std::memory_order_acquire);
+    invariants::CheckSorted(table->boundaries,
+                            "sharded: boundaries non-decreasing");
+    for (size_t s = 0; s < num_shards; ++s) {
+      const State* state =
+          table->shards[s].state.load(std::memory_order_acquire);
       epoch_->AssertProtected(state);
       const size_t active_n =
           state->active->size.load(std::memory_order_acquire);
@@ -398,9 +575,9 @@ class ShardedIndex {
       const auto check_buffer = [&](const Buffer& b) {
         const size_t n = b.size.load(std::memory_order_acquire);
         LIDX_INVARIANT(n <= b.capacity, "sharded: buffer within capacity");
-        if (num_shards_ > 1) {
+        if (num_shards > 1) {
           for (size_t i = 0; i < n; ++i) {
-            LIDX_INVARIANT(Route(b.slots[i].key) == s,
+            LIDX_INVARIANT(Route(*table, b.slots[i].key) == s,
                            "sharded: buffered key routes to its shard");
           }
         }
@@ -413,9 +590,9 @@ class ShardedIndex {
                            d.keys.size() == d.tombstones.size(),
                        "sharded: delta arrays parallel");
         invariants::CheckStrictlySorted(d.keys, "sharded: delta sorted unique");
-        if (num_shards_ > 1) {
+        if (num_shards > 1) {
           for (const Key& k : d.keys) {
-            LIDX_INVARIANT(Route(k) == s,
+            LIDX_INVARIANT(Route(*table, k) == s,
                            "sharded: delta key routes to its shard");
           }
         }
@@ -470,6 +647,27 @@ class ShardedIndex {
     std::atomic<State*> state{nullptr};  // lidx: epoch-protected
     Mutex write_mu;
     std::atomic<bool> drain_scheduled{false};
+    std::atomic<bool> force_rebuild{false};
+    // Sensing counters (Options::collect_shard_stats). On their own cache
+    // line so reader stat bumps never invalidate the line other readers
+    // use to load `state`.
+    alignas(64) mutable std::atomic<uint64_t> lookups{0};
+    mutable std::atomic<uint64_t> probe_depth{0};
+
+    ~Shard() {
+      // lidx-lint: allow(epoch-guard): table/shard teardown runs at
+      // epoch quiescence (or single-threaded) — readers are gone.
+      delete state.load(std::memory_order_relaxed);
+    }
+  };
+
+  // The whole partitioning — boundaries plus the shard array — as one
+  // immutable, epoch-protected unit, so Rebalance can swap it atomically.
+  struct Table {
+    uint64_t version = 0;
+    size_t num_shards = 0;
+    std::vector<Key> boundaries;  // boundaries[s] = first key of shard s.
+    std::unique_ptr<Shard[]> shards;
   };
 
   // Payload carried through lsm/merge.h newest-wins merges.
@@ -485,22 +683,126 @@ class ShardedIndex {
     return state;
   }
 
-  // Immutable between BulkLoads: lock-free routing. Duplicate boundaries
-  // (collapsed quantiles on tiny datasets) mark empty shards; the first
-  // shard of a duplicate run owns the whole range, so normalize to it —
+  // Duplicate boundaries (collapsed quantiles on tiny datasets) mark
+  // empty shards; keep them non-decreasing so Route can normalize.
+  static void NormalizeBoundaries(std::vector<Key>* boundaries) {
+    for (size_t s = 1; s < boundaries->size(); ++s) {
+      if ((*boundaries)[s] < (*boundaries)[s - 1]) {
+        (*boundaries)[s] = (*boundaries)[s - 1];
+      }
+    }
+  }
+
+  // Routing within one immutable table: lock-free. The first shard of a
+  // duplicate-boundary run owns the whole range, so normalize to it —
   // otherwise keys above the duplicated boundary would route to a shard
   // that never received the snapshot data.
-  size_t Route(const Key& key) const {
+  static size_t Route(const Table& table, const Key& key) {
+    const std::vector<Key>& boundaries = table.boundaries;
     const size_t lb =
-        BinarySearchLowerBound(boundaries_, key, 0, boundaries_.size());
+        BinarySearchLowerBound(boundaries, key, 0, boundaries.size());
     size_t s;
-    if (lb < boundaries_.size() && boundaries_[lb] == key) {
+    if (lb < boundaries.size() && boundaries[lb] == key) {
       s = lb;
     } else {
       s = lb == 0 ? 0 : lb - 1;
     }
-    while (s > 0 && boundaries_[s] == boundaries_[s - 1]) --s;
+    while (s > 0 && boundaries[s] == boundaries[s - 1]) --s;
     return s;
+  }
+
+  // Builds a fully-loaded table from globally sorted (keys, values) and
+  // normalized boundaries. The result is private to the caller until it
+  // publishes the pointer.
+  Table* BuildTable(const std::vector<Key>& keys,
+                    const std::vector<Value>& values,
+                    std::vector<Key> boundaries) {
+    Table* table = new Table();
+    table->version = next_table_version_.fetch_add(1, std::memory_order_relaxed);
+    table->num_shards = boundaries.size();
+    table->boundaries = std::move(boundaries);
+    table->shards = std::make_unique<Shard[]>(table->num_shards);
+    const size_t n = keys.size();
+    std::vector<size_t> starts(table->num_shards + 1, 0);
+    for (size_t s = 1; s < table->num_shards; ++s) {
+      starts[s] = static_cast<size_t>(
+          std::lower_bound(keys.begin(), keys.end(), table->boundaries[s]) -
+          keys.begin());
+    }
+    starts[table->num_shards] = n;
+    ParallelForIndex(options_.build_threads, table->num_shards, [&](size_t s) {
+      const size_t begin = starts[s];
+      const size_t end = starts[s + 1];
+      State* state = new State();
+      state->active = std::make_shared<Buffer>(options_.buffer_capacity);
+      if (begin < end) {
+        auto index = std::make_shared<Index>();
+        serving_detail::BulkLoadInto<Index, Key, Value>(
+            index.get(),
+            std::vector<Key>(keys.begin() + begin, keys.begin() + end),
+            std::vector<Value>(values.begin() + begin, values.begin() + end));
+        state->snapshot = std::move(index);
+        state->snapshot_size = end - begin;
+      }
+      table->shards[s].state.store(state, std::memory_order_relaxed);
+    });
+    return table;
+  }
+
+  // Boundaries for `new_n` shards over globally sorted `keys`, weighting
+  // each source shard's key range by its observed lookup traffic so hot
+  // ranges get narrower shards. `shard_ends[s]` is the exclusive end of
+  // shard s's slice of `keys`; flat weights reduce to data quantiles.
+  static std::vector<Key> WeightedBoundaries(
+      const std::vector<Key>& keys, const std::vector<size_t>& shard_ends,
+      const std::vector<uint64_t>& weights, size_t new_n) {
+    std::vector<Key> boundaries(new_n, keys.empty() ? Key{} : keys.front());
+    if (keys.empty() || new_n <= 1) return boundaries;
+    // Per-key weight = the source shard's traffic spread evenly over its
+    // keys; empty source shards contribute nothing.
+    std::vector<double> per_key(keys.size(), 0.0);
+    double total = 0.0;
+    size_t begin = 0;
+    for (size_t s = 0; s < shard_ends.size(); ++s) {
+      const size_t end = shard_ends[s];
+      if (end > begin) {
+        const double w = static_cast<double>(weights[s]) /
+                         static_cast<double>(end - begin);
+        for (size_t i = begin; i < end; ++i) per_key[i] = w;
+        total += static_cast<double>(weights[s]);
+      }
+      begin = end;
+    }
+    // Boundary j starts where cumulative traffic crosses j/new_n of the
+    // total. A single scorching key can absorb several quantiles; the
+    // resulting duplicate boundaries collapse into empty shards, which
+    // Route handles.
+    double acc = 0.0;
+    size_t j = 1;
+    for (size_t i = 0; i + 1 < keys.size() && j < new_n; ++i) {
+      acc += per_key[i];
+      while (j < new_n &&
+             acc >= total * static_cast<double>(j) / static_cast<double>(new_n)) {
+        boundaries[j++] = keys[i + 1];
+      }
+    }
+    NormalizeBoundaries(&boundaries);
+    return boundaries;
+  }
+
+  static void LockAllShards(Table* table) LIDX_NO_THREAD_SAFETY_ANALYSIS {
+    // Runtime-sized lock set; always acquired in shard order and only by
+    // the single-flight Rebalance, so there is no ordering cycle.
+    // Allowlisted in docs/STATIC_ANALYSIS.md.
+    for (size_t s = 0; s < table->num_shards; ++s) {
+      table->shards[s].write_mu.Lock();
+    }
+  }
+
+  static void UnlockAllShards(Table* table) LIDX_NO_THREAD_SAFETY_ANALYSIS {
+    for (size_t s = 0; s < table->num_shards; ++s) {
+      table->shards[s].write_mu.Unlock();
+    }
   }
 
   // Newest matching entry in a buffer, or nullptr. Backwards scan so a
@@ -513,22 +815,26 @@ class ShardedIndex {
     return nullptr;
   }
 
-  // Probes buffers + delta. Outer nullopt: not present at these levels
-  // (fall through to snapshot). Inner nullopt: tombstoned (definitely
-  // absent).
+  // Probes buffers + delta, counting probed structures into *depth (the
+  // read-amplification signal). Outer nullopt: not present at these
+  // levels (fall through to snapshot). Inner nullopt: tombstoned
+  // (definitely absent).
   std::optional<std::optional<Value>> ProbeBuffersAndDelta(
-      const State& state, const Key& key) const {
+      const State& state, const Key& key, size_t* depth) const {
+    ++*depth;
     if (const Entry* e = ProbeBuffer(*state.active, key)) {
       return std::optional<std::optional<Value>>(
           e->tombstone ? std::nullopt : std::optional<Value>(e->value));
     }
     for (auto it = state.sealed.rbegin(); it != state.sealed.rend(); ++it) {
+      ++*depth;
       if (const Entry* e = ProbeBuffer(**it, key)) {
         return std::optional<std::optional<Value>>(
             e->tombstone ? std::nullopt : std::optional<Value>(e->value));
       }
     }
     if (state.delta != nullptr) {
+      ++*depth;
       const Delta& d = *state.delta;
       const size_t pos = static_cast<size_t>(
           std::lower_bound(d.keys.begin(), d.keys.end(), key) -
@@ -543,29 +849,43 @@ class ShardedIndex {
   }
 
   void Upsert(const Key& key, const Value& value, bool tombstone) {
-    const size_t s = Route(key);
-    Shard& shard = shards_[s];
-    bool sealed = false;
-    {
-      MutexLock lock(shard.write_mu);
-      // Writers are serialized by write_mu, so a relaxed load sees the
-      // latest state (any prior publisher held this mutex).
-      State* state = shard.state.load(std::memory_order_relaxed);
-      Buffer* buffer = state->active.get();
-      size_t n = buffer->size.load(std::memory_order_relaxed);
-      if (n == buffer->capacity) {
-        SealLocked(&shard, state);
-        state = shard.state.load(std::memory_order_relaxed);
-        buffer = state->active.get();
-        n = 0;
-        sealed = true;
+    for (;;) {
+      EpochManager::Guard guard = epoch_->Pin();
+      Table* table = table_.load(std::memory_order_acquire);
+      epoch_->AssertProtected(table);
+      const size_t s = Route(*table, key);
+      Shard& shard = table->shards[s];
+      bool sealed = false;
+      bool done = false;
+      {
+        MutexLock lock(shard.write_mu);
+        // A Rebalance may have swapped the table while we waited for the
+        // lock; the pin keeps `table` alive, but its shards are no longer
+        // the live ones. Re-check and retry against the new table.
+        if (table_.load(std::memory_order_acquire) == table) {
+          // Writers are serialized by write_mu, so a relaxed load sees
+          // the latest state (any prior publisher held this mutex).
+          State* state = shard.state.load(std::memory_order_relaxed);
+          Buffer* buffer = state->active.get();
+          size_t n = buffer->size.load(std::memory_order_relaxed);
+          if (n == buffer->capacity) {
+            SealLocked(&shard, state);
+            state = shard.state.load(std::memory_order_relaxed);
+            buffer = state->active.get();
+            n = 0;
+            sealed = true;
+          }
+          buffer->slots[n] = Entry{key, value, tombstone};
+          // Release-publish the appended entry (paired with the acquire
+          // load in ProbeBuffer).
+          buffer->size.store(n + 1, std::memory_order_release);
+          done = true;
+        }
       }
-      buffer->slots[n] = Entry{key, value, tombstone};
-      // Release-publish the appended entry (paired with the acquire load
-      // in ProbeBuffer).
-      buffer->size.store(n + 1, std::memory_order_release);
+      if (!done) continue;
+      if (sealed) TryScheduleDrain(table, s, /*force_inline=*/false);
+      return;
     }
-    if (sealed) TryScheduleDrain(s, /*force_inline=*/false);
   }
 
   // Moves the full active buffer onto the sealed list. O(1): no sort, no
@@ -590,41 +910,69 @@ class ShardedIndex {
     return !state->sealed.empty();
   }
 
-  void TryScheduleDrain(size_t s, bool force_inline) {
-    Shard& shard = shards_[s];
-    if (!NeedsDrain(shard)) return;
+  bool WantsDrain(const Shard& shard) const {
+    return shard.force_rebuild.load(std::memory_order_acquire) ||
+           NeedsDrain(shard);
+  }
+
+  // REQUIRES: the caller holds an epoch Guard protecting `table` (every
+  // call site pins before loading the table it passes here).
+  void TryScheduleDrain(Table* table, size_t s, bool force_inline) {
+    epoch_->AssertPinned();
+    Shard& shard = table->shards[s];
+    if (!WantsDrain(shard)) return;
+    if (drains_paused_.load()) return;  // Rebalance folds the buffers in.
     if (shard.drain_scheduled.exchange(true, std::memory_order_acq_rel)) {
       return;  // A drain is already queued or running; it will re-check.
     }
-    pending_drains_.fetch_add(1, std::memory_order_acq_rel);
+    // Register, then re-check (seq_cst, see class comment): if a
+    // rebalance started after the pause check above, either we observe
+    // its pause/swap here and back off — its collect subsumes the drain —
+    // or it observes our registration and waits for this drain. Without
+    // this, a drain task could outlive the table it points into.
+    pending_drains_.fetch_add(1);
+    if (drains_paused_.load() ||
+        table_.load(std::memory_order_acquire) != table) {
+      shard.drain_scheduled.store(false, std::memory_order_release);
+      pending_drains_.fetch_sub(1);
+      return;
+    }
     if (options_.background_drain && !force_inline) {
-      ThreadPool::Shared().Submit([this, s] { DrainShard(s); });
+      ThreadPool::Shared().Submit(
+          [this, shard_ptr = &shard] { DrainShard(shard_ptr); });
     } else {
-      DrainShard(s);
+      DrainShard(&shard);
     }
   }
 
   // Runs on a pool worker (or inline). Merges sealed buffers into the
-  // delta and rebuilds the snapshot when the delta outgrows it. At most
-  // one drain per shard runs at a time (drain_scheduled), which is what
-  // makes the sealed-prefix removal in the publish step sound.
-  void DrainShard(size_t s) {
-    Shard& shard = shards_[s];
+  // delta and rebuilds the snapshot when the delta outgrows it (or a
+  // rebuild was forced). At most one drain per shard runs at a time
+  // (drain_scheduled), which is what makes the sealed-prefix removal in
+  // the publish step sound. The shard (and its table) stay alive for the
+  // whole call: pending_drains_ was incremented before scheduling, and
+  // Rebalance waits for it to hit zero before retiring the table.
+  void DrainShard(Shard* shard) {
     for (;;) {
-      DrainOnce(&shard);
-      shard.drain_scheduled.store(false, std::memory_order_release);
-      // Re-arm if writers sealed more buffers while we merged. The
-      // exchange closes the race with a concurrent TryScheduleDrain.
-      if (!NeedsDrain(shard)) break;
-      if (shard.drain_scheduled.exchange(true, std::memory_order_acq_rel)) {
+      DrainOnce(shard);
+      shard->drain_scheduled.store(false, std::memory_order_release);
+      // A rebalance is waiting to collect; leave the rest to it.
+      if (drains_paused_.load()) break;
+      // Re-arm if writers sealed more buffers (or a rebuild was forced)
+      // while we merged. The exchange closes the race with a concurrent
+      // TryScheduleDrain.
+      if (!WantsDrain(*shard)) break;
+      if (shard->drain_scheduled.exchange(true, std::memory_order_acq_rel)) {
         break;  // Someone else claimed the next round.
       }
     }
     epoch_->ReclaimSome();
-    pending_drains_.fetch_sub(1, std::memory_order_acq_rel);
+    pending_drains_.fetch_sub(1);
   }
 
   void DrainOnce(Shard* shard) {
+    const bool force =
+        shard->force_rebuild.exchange(false, std::memory_order_acq_rel);
     // Capture immutable inputs under an epoch pin; the shared_ptr copies
     // keep them alive after unpinning, so the heavy merge below runs
     // without blocking writers or readers.
@@ -642,7 +990,10 @@ class ShardedIndex {
       sealed = state->sealed;
     }
     const size_t merged_count = sealed.size();
-    if (merged_count == 0) return;
+    if (merged_count == 0 && !force) return;
+    if (merged_count == 0 && delta == nullptr && snapshot == nullptr) {
+      return;  // Forced rebuild of an empty shard: nothing to do.
+    }
 
     // Newest-first runs for the shared LSM merge: each sealed buffer
     // becomes a sorted run (newest entry per key wins within a buffer),
@@ -662,7 +1013,7 @@ class ShardedIndex {
         options_.rebuild_min_delta,
         static_cast<size_t>(options_.rebuild_fraction *
                             static_cast<double>(snapshot_size)));
-    if (merged.size() >= rebuild_threshold) {
+    if (force || merged.size() >= rebuild_threshold) {
       RebuildSnapshot(snapshot.get(), merged, &new_snapshot,
                       &new_snapshot_size);
       rebuild_count_.fetch_add(1, std::memory_order_relaxed);
@@ -688,7 +1039,8 @@ class ShardedIndex {
       next->snapshot = std::move(new_snapshot);
       next->snapshot_size = new_snapshot_size;
       next->delta = std::move(new_delta);
-      next->sealed.assign(current->sealed.begin() + merged_count,
+      next->sealed.assign(current->sealed.begin() +
+                              static_cast<ptrdiff_t>(merged_count),
                           current->sealed.end());
       next->active = current->active;
       shard->state.store(next, std::memory_order_release);
@@ -777,10 +1129,11 @@ class ShardedIndex {
     *out_snapshot = std::move(index);
   }
 
-  void CollectShardRange(size_t s, const Key& lo, const Key& hi,
+  void CollectShardRange(const Table& table, size_t s, const Key& lo,
+                         const Key& hi,
                          std::vector<std::pair<Key, Value>>* out) const {
     EpochManager::Guard guard = epoch_->Pin();
-    const State* state = shards_[s].state.load(std::memory_order_acquire);
+    const State* state = table.shards[s].state.load(std::memory_order_acquire);
     epoch_->AssertProtected(state);
     // Newest-wins merge via try_emplace: levels are visited newest first,
     // and the first emplace of a key sticks. nullopt marks a tombstone.
@@ -824,14 +1177,20 @@ class ShardedIndex {
   }
 
   Options options_;
-  size_t num_shards_ = 1;
-  std::vector<Key> boundaries_;
-  std::unique_ptr<Shard[]> shards_;
   EpochManager* epoch_;
-  std::atomic<size_t> pending_drains_{0};
+  // The live partitioning. Swapped by BulkLoad (exclusive by contract)
+  // and Rebalance (epoch-retired swap, single-flight).
+  std::atomic<Table*> table_{nullptr};  // lidx: epoch-protected
+  std::atomic<uint64_t> next_table_version_{1};
+  // Drain/rebalance handshake; seq_cst (defaulted orders), see the class
+  // comment.
+  mutable std::atomic<size_t> pending_drains_{0};
+  std::atomic<bool> drains_paused_{false};
+  std::atomic<bool> rebalance_inflight_{false};
   std::atomic<uint64_t> seal_count_{0};
   std::atomic<uint64_t> drain_count_{0};
   std::atomic<uint64_t> rebuild_count_{0};
+  std::atomic<uint64_t> rebalance_count_{0};
 };
 
 }  // namespace lidx

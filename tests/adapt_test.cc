@@ -1,0 +1,902 @@
+// Adaptation subsystem tests: the sensing layer (ErrorMonitor), the decide
+// layer (AdaptController policy table, DriftDetectorBank), the acting layer
+// (ShadowCell publish/retire, AdaptationEngine scheduling), and the two
+// end-to-end clients (AdaptiveRmi shadow rebuilds, ShardedIndex rebalance
+// driven by ShardedAdaptor).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adapt/controller.h"
+#include "adapt/engine.h"
+#include "adapt/error_monitor.h"
+#include "adapt/serving_adapter.h"
+#include "adapt/shadow.h"
+#include "common/epoch.h"
+#include "common/random.h"
+#include "datasets/generators.h"
+#include "one_d/adaptive_rmi.h"
+#include "one_d/dynamic_pgm.h"
+#include "serving/sharded_index.h"
+
+namespace lidx {
+namespace {
+
+using Action = AdaptDecision::Action;
+
+// ---------------------------------------------------------------------
+// ErrorMonitor (sensing)
+// ---------------------------------------------------------------------
+
+TEST(ErrorMonitorTest, DisabledRecordIsANoOp) {
+  ErrorMonitor monitor(4, /*enabled=*/false);
+  EXPECT_FALSE(monitor.enabled());
+  monitor.Record(1, 99.0);
+  monitor.Record(3, 7.0);
+  EXPECT_EQ(monitor.TakeSnapshot().TotalOps(), 0u);
+}
+
+TEST(ErrorMonitorTest, SnapshotAggregatesPerSegment) {
+  ErrorMonitor monitor(4);
+  monitor.Record(0, 0.0);
+  monitor.Record(0, 2.0);
+  monitor.Record(0, 4.0);
+  monitor.Record(3, 10.0);
+  const auto snap = monitor.TakeSnapshot();
+  ASSERT_EQ(snap.segments.size(), 4u);
+  EXPECT_EQ(snap.segments[0].ops, 3u);
+  EXPECT_EQ(snap.segments[0].error_sum, 6u);
+  EXPECT_EQ(snap.segments[0].error_max, 4u);
+  EXPECT_DOUBLE_EQ(snap.segments[0].MeanError(), 2.0);
+  EXPECT_EQ(snap.segments[1].ops, 0u);
+  EXPECT_EQ(snap.segments[3].ops, 1u);
+  EXPECT_EQ(snap.TotalOps(), 4u);
+}
+
+TEST(ErrorMonitorTest, QuantileReadsTheHistogram) {
+  ErrorMonitor monitor(1);
+  for (int i = 0; i < 100; ++i) monitor.Record(0, 1.0);
+  monitor.Record(0, 1000.0);
+  const auto seg = monitor.TakeSnapshot().segments[0];
+  // Median lands in the bucket holding error 1 (upper bound 2); the top
+  // quantile is clamped to the observed max rather than the bucket edge.
+  EXPECT_DOUBLE_EQ(seg.QuantileError(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(seg.QuantileError(1.0), 1000.0);
+}
+
+TEST(ErrorMonitorTest, SegmentOfCoversTheRange) {
+  ErrorMonitor monitor(4);
+  EXPECT_EQ(monitor.SegmentOf(0, 100), 0u);
+  EXPECT_EQ(monitor.SegmentOf(50, 100), 2u);
+  EXPECT_EQ(monitor.SegmentOf(99, 100), 3u);
+  EXPECT_EQ(monitor.SegmentOf(5, 0), 0u);  // Empty structure: segment 0.
+  EXPECT_EQ(ErrorMonitor(0).segments(), 1u);
+}
+
+TEST(ErrorMonitorTest, DeltaSinceWindowsAndAbsorbsReset) {
+  ErrorMonitor monitor(2);
+  for (int i = 0; i < 3; ++i) monitor.Record(0, 2.0);
+  const auto snap1 = monitor.TakeSnapshot();
+  for (int i = 0; i < 2; ++i) monitor.Record(0, 5.0);
+  const auto snap2 = monitor.TakeSnapshot();
+  const auto window = snap2.DeltaSince(snap1);
+  EXPECT_EQ(window.segments[0].ops, 2u);
+  EXPECT_EQ(window.segments[0].error_sum, 10u);
+  EXPECT_DOUBLE_EQ(window.segments[0].MeanError(), 5.0);
+
+  monitor.Reset();
+  monitor.Record(0, 1.0);
+  const auto snap3 = monitor.TakeSnapshot();
+  // Counters went backwards: the delta keeps the post-reset values as-is
+  // instead of underflowing.
+  const auto after_reset = snap3.DeltaSince(snap2);
+  EXPECT_EQ(after_reset.segments[0].ops, 1u);
+  EXPECT_EQ(after_reset.segments[0].error_sum, 1u);
+}
+
+TEST(ErrorMonitorTest, ConcurrentRecordsAllCounted) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  ErrorMonitor monitor(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&monitor, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        monitor.Record(static_cast<size_t>(t), 3.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto snap = monitor.TakeSnapshot();
+  EXPECT_EQ(snap.TotalOps(), static_cast<uint64_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.segments[t].ops, static_cast<uint64_t>(kPerThread));
+    EXPECT_EQ(snap.segments[t].error_sum,
+              static_cast<uint64_t>(kPerThread) * 3);
+  }
+}
+
+// ---------------------------------------------------------------------
+// DriftDetectorBank (decide)
+// ---------------------------------------------------------------------
+
+ModelDriftDetector::Options FastDrift() {
+  ModelDriftDetector::Options opt;
+  opt.delta = 0.1;
+  opt.threshold = 10.0;
+  opt.min_observations = 4;
+  return opt;
+}
+
+TEST(DriftDetectorBankTest, DriftStaysLocalizedToItsSegment) {
+  DriftDetectorBank bank(4, FastDrift());
+  for (int i = 0; i < 8; ++i) {
+    for (size_t s = 0; s < 4; ++s) bank.Observe(s, 1.0);
+  }
+  EXPECT_FALSE(bank.AnyDrifted());
+  for (int i = 0; i < 6; ++i) bank.Observe(2, 100.0);
+  EXPECT_TRUE(bank.drifted(2));
+  EXPECT_FALSE(bank.drifted(0));
+  EXPECT_FALSE(bank.drifted(1));
+  EXPECT_FALSE(bank.drifted(3));
+  EXPECT_TRUE(bank.AnyDrifted());
+  bank.Reset(2);
+  EXPECT_FALSE(bank.AnyDrifted());
+}
+
+TEST(DriftDetectorBankTest, ZeroSegmentsClampsToOne) {
+  DriftDetectorBank bank(0, FastDrift());
+  EXPECT_EQ(bank.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// AdaptController (decide): the policy table, one row per test.
+// ---------------------------------------------------------------------
+
+AdaptController::Options TestPolicy() {
+  AdaptController::Options opt;
+  opt.target_error = 10.0;
+  opt.inflation_factor = 2.0;  // kGrow beyond tail error 20.
+  opt.shrink_headroom = 0.5;   // Calm below weighted mean 5.
+  opt.shrink_patience = 2;
+  opt.skew_ratio = 2.0;
+  opt.min_window_ops = 10;
+  return opt;
+}
+
+SegmentSignal Sig(uint64_t ops, double mean, double tail,
+                  bool drifted = false) {
+  SegmentSignal s;
+  s.ops = ops;
+  s.mean_error = mean;
+  s.tail_error = tail;
+  s.drifted = drifted;
+  return s;
+}
+
+TEST(AdaptControllerTest, ThinWindowCarriesNoEvidence) {
+  AdaptController controller(TestPolicy());
+  const auto d = controller.Decide({Sig(4, 100.0, 100.0), Sig(4, 0.0, 0.0)});
+  EXPECT_EQ(d.action, Action::kNone);
+  EXPECT_STREQ(d.reason, "idle");
+}
+
+TEST(AdaptControllerTest, InflatedTailTriggersGrow) {
+  AdaptController controller(TestPolicy());
+  const auto d = controller.Decide({Sig(50, 1.0, 1.0), Sig(50, 15.0, 25.0)});
+  EXPECT_EQ(d.action, Action::kGrow);
+  EXPECT_EQ(d.segment, 1u);
+  EXPECT_DOUBLE_EQ(d.evidence, 25.0);
+}
+
+TEST(AdaptControllerTest, GrowOutranksRetrain) {
+  // Capacity problems first: retraining at the same capacity cannot fix a
+  // tail the model fundamentally cannot represent.
+  AdaptController controller(TestPolicy());
+  const auto d = controller.Decide(
+      {Sig(50, 1.0, 1.0, /*drifted=*/true), Sig(50, 15.0, 25.0)});
+  EXPECT_EQ(d.action, Action::kGrow);
+  EXPECT_EQ(d.segment, 1u);
+}
+
+TEST(AdaptControllerTest, DriftTriggersRetrainOnTheDriftedSegment) {
+  AdaptController controller(TestPolicy());
+  const auto d = controller.Decide(
+      {Sig(50, 6.0, 8.0), Sig(50, 7.0, 9.0, /*drifted=*/true)});
+  EXPECT_EQ(d.action, Action::kRetrain);
+  EXPECT_EQ(d.segment, 1u);
+  EXPECT_STREQ(d.reason, "drift detector latched");
+}
+
+TEST(AdaptControllerTest, TrafficSkewTriggersRebalance) {
+  AdaptController controller(TestPolicy());
+  const auto d = controller.Decide({Sig(40, 6.0, 6.0), Sig(2, 6.0, 6.0),
+                                    Sig(2, 6.0, 6.0), Sig(2, 6.0, 6.0)});
+  EXPECT_EQ(d.action, Action::kRebalance);
+  EXPECT_EQ(d.segment, 0u);
+  EXPECT_GT(d.evidence, 2.0);
+}
+
+TEST(AdaptControllerTest, RebalanceRequiresOptIn) {
+  AdaptController::Options opt = TestPolicy();
+  opt.allow_rebalance = false;
+  AdaptController controller(opt);
+  const auto d = controller.Decide({Sig(40, 6.0, 6.0), Sig(2, 6.0, 6.0),
+                                    Sig(2, 6.0, 6.0), Sig(2, 6.0, 6.0)});
+  EXPECT_EQ(d.action, Action::kNone);
+  EXPECT_STREQ(d.reason, "healthy");
+}
+
+TEST(AdaptControllerTest, ShrinkNeedsConsecutiveCalmWindows) {
+  AdaptController controller(TestPolicy());
+  const std::vector<SegmentSignal> calm = {Sig(20, 1.0, 1.0),
+                                           Sig(20, 1.0, 1.0)};
+  const std::vector<SegmentSignal> busy = {Sig(20, 6.0, 6.0),
+                                           Sig(20, 6.0, 6.0)};
+  EXPECT_EQ(controller.Decide(calm).action, Action::kNone);
+  EXPECT_EQ(controller.calm_windows(), 1u);
+  // A busy window resets the patience counter.
+  EXPECT_EQ(controller.Decide(busy).action, Action::kNone);
+  EXPECT_EQ(controller.calm_windows(), 0u);
+  EXPECT_EQ(controller.Decide(calm).action, Action::kNone);
+  const auto d = controller.Decide(calm);
+  EXPECT_EQ(d.action, Action::kShrink);
+  EXPECT_STREQ(d.reason, "sustained calm");
+}
+
+TEST(AdaptControllerTest, ShrinkCanBeDisabled) {
+  AdaptController::Options opt = TestPolicy();
+  opt.allow_shrink = false;
+  AdaptController controller(opt);
+  const std::vector<SegmentSignal> calm = {Sig(20, 1.0, 1.0),
+                                           Sig(20, 1.0, 1.0)};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(controller.Decide(calm).action, Action::kNone);
+  }
+}
+
+// ---------------------------------------------------------------------
+// ShadowCell (acting): publish-then-retire discipline.
+// ---------------------------------------------------------------------
+
+struct Tracked {
+  explicit Tracked(std::atomic<int>* live) : live_(live) {
+    live_->fetch_add(1);
+  }
+  ~Tracked() { live_->fetch_sub(1); }
+  std::atomic<int>* live_;
+};
+
+TEST(ShadowCellTest, PublishRetiresThePreviousValue) {
+  EpochManager mgr;
+  std::atomic<int> live{0};
+  {
+    ShadowCell<Tracked> cell(&mgr);
+    cell.Publish(new Tracked(&live));
+    {
+      EpochManager::Guard guard = mgr.Pin();
+      const Tracked* old = cell.Acquire();
+      cell.Publish(new Tracked(&live));
+      EXPECT_NE(cell.Acquire(), old);
+      // The pinned reader keeps the retired value alive.
+      for (int i = 0; i < 10; ++i) mgr.ReclaimSome();
+      EXPECT_EQ(live.load(), 2);
+    }
+    mgr.DrainRetired();
+    EXPECT_EQ(live.load(), 1);
+  }
+  // The destructor frees the final published value directly.
+  EXPECT_EQ(live.load(), 0);
+}
+
+TEST(ShadowCellTest, BuildLatchIsSingleFlight) {
+  EpochManager mgr;
+  ShadowCell<int> cell(&mgr);
+  EXPECT_FALSE(cell.BuildInFlight());
+  EXPECT_TRUE(cell.TryBeginBuild());
+  EXPECT_TRUE(cell.BuildInFlight());
+  EXPECT_FALSE(cell.TryBeginBuild());  // Loser skips; winner is building.
+  cell.EndBuild();
+  EXPECT_TRUE(cell.TryBeginBuild());
+  cell.EndBuild();
+}
+
+// ---------------------------------------------------------------------
+// AdaptationEngine (acting): tick scheduling.
+// ---------------------------------------------------------------------
+
+TEST(AdaptationEngineTest, TickNowRunsEveryRegisteredClient) {
+  AdaptationEngine engine;
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  engine.Register("a", [&a] { a.fetch_add(1); });
+  engine.Register("b", [&b] { b.fetch_add(1); });
+  EXPECT_EQ(engine.NumClients(), 2u);
+  engine.TickNow();
+  engine.TickNow();
+  EXPECT_EQ(a.load(), 2);
+  EXPECT_EQ(b.load(), 2);
+  const auto stats = engine.GetStats();
+  EXPECT_EQ(stats.ticks, 2u);
+  EXPECT_EQ(stats.callback_runs, 4u);
+}
+
+TEST(AdaptationEngineTest, UnregisterStopsTheCallback) {
+  AdaptationEngine engine;
+  std::atomic<int> a{0};
+  const size_t id = engine.Register("a", [&a] { a.fetch_add(1); });
+  engine.TickNow();
+  engine.Unregister(id);
+  EXPECT_EQ(engine.NumClients(), 0u);
+  engine.TickNow();
+  EXPECT_EQ(a.load(), 1);
+}
+
+TEST(AdaptationEngineTest, TimerDrivesTicksUntilStopped) {
+  AdaptationEngine::Options opt;
+  opt.tick_period = std::chrono::milliseconds(1);
+  AdaptationEngine engine(opt);
+  std::atomic<int> runs{0};
+  engine.Register("counter", [&runs] { runs.fetch_add(1); });
+  engine.Start();
+  EXPECT_TRUE(engine.running());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (runs.load() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  engine.Stop();
+  EXPECT_FALSE(engine.running());
+  EXPECT_GE(runs.load(), 3);
+  // Stop is a full barrier: no tick runs afterwards.
+  const int frozen = runs.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(runs.load(), frozen);
+}
+
+TEST(AdaptationEngineTest, BusyTicksAreCoalescedNotQueued) {
+  AdaptationEngine::Options opt;
+  opt.tick_period = std::chrono::milliseconds(1);
+  AdaptationEngine engine(opt);
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  engine.Register("slow", [&] {
+    entered.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  engine.Start();
+  while (!entered.load()) std::this_thread::yield();
+  // The tick is stuck inside the callback; let the timer fire into it a
+  // few dozen times.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.store(true);
+  engine.Stop();
+  EXPECT_GE(engine.GetStats().skipped_ticks, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Workload streams for adaptation experiments.
+// ---------------------------------------------------------------------
+
+TEST(StreamTest, AdversarialStreamIsStrictlyIncreasing) {
+  AdversarialStream stream;
+  const auto keys = stream.Take(5000);
+  ASSERT_EQ(keys.size(), 5000u);
+  for (size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_LT(keys[i - 1], keys[i]);
+  }
+}
+
+TEST(StreamTest, ShiftingStreamStepsThroughPhases) {
+  std::vector<uint64_t> keys(1000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i * 10;
+  ShiftingStream::Options opt;
+  opt.phases = {{0.0, 0.5, 0.0}, {0.5, 1.0, 0.0}};
+  opt.ops_per_phase = 50;
+  ShiftingStream stream(keys, opt);
+  EXPECT_EQ(stream.num_phases(), 2u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(stream.phase(), 0u);
+    EXPECT_LT(stream.Next(), 5000u);  // First half of the population.
+  }
+  for (int i = 0; i < 50; ++i) {
+    // The phase advances lazily inside the draw that crosses the border.
+    EXPECT_GE(stream.Next(), 5000u);  // Second half after the step.
+    EXPECT_EQ(stream.phase(), 1u);
+  }
+  EXPECT_EQ(stream.ops_drawn(), 100u);
+  EXPECT_LT(stream.Next(), 5000u);  // Wraps around to phase 0.
+  EXPECT_EQ(stream.phase(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// AdaptiveRmi: end-to-end client #1.
+// ---------------------------------------------------------------------
+
+TEST(AdaptiveRmiAdaptTest, ShadowRebuildRunsOffTheWriterThread) {
+  // The satellite regression for "no lookup-path rebuild stalls": with
+  // background maintenance on, the shadow rebuild must execute on a pool
+  // worker, never on the thread serving operations. This thread never
+  // lends itself to the pool before the assertion, so a rebuild stamped
+  // with our hash would mean the op path built inline.
+  AdaptiveRmi<uint64_t, uint64_t>::Options opt;
+  opt.rmi.num_models = 8;
+  opt.min_buffer_before_rebuild = 64;
+  opt.max_buffer_fraction = 0.0;  // Any buffer over the floor is pressure.
+  AdaptiveRmi<uint64_t, uint64_t> index(opt);
+
+  std::vector<uint64_t> keys(20000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i * 7 + 3;
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+  index.BulkLoad(keys, values);
+
+  const size_t self_hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const uint64_t base = keys.back() + 1;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  uint64_t next = 0;
+  while (index.rebuilds() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    index.Insert(base + next, next);
+    ++next;
+  }
+  ASSERT_GE(index.rebuilds(), 1u) << "background rebuild never happened";
+  EXPECT_NE(index.last_rebuild_thread(), 0u);
+  EXPECT_NE(index.last_rebuild_thread(), self_hash);
+  index.WaitForMaintenance();
+}
+
+TEST(AdaptiveRmiAdaptTest, InlineMaintenanceFuzzMatchesReferenceMap) {
+  AdaptiveRmi<uint64_t, uint64_t>::Options opt;
+  opt.rmi.num_models = 16;
+  opt.background = false;  // Deterministic: maintenance inline on op paths.
+  opt.maintenance_period = 512;
+  opt.min_buffer_before_rebuild = 128;
+  AdaptiveRmi<uint64_t, uint64_t> index(opt);
+  std::map<uint64_t, uint64_t> reference;
+
+  std::vector<uint64_t> keys(4096);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = i * 97 + 13;
+    values[i] = i;
+    reference[keys[i]] = values[i];
+  }
+  index.BulkLoad(keys, values);
+
+  Rng rng(20260808);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBounded(1u << 20);
+    if (rng.NextBounded(10) < 7) {
+      const uint64_t value = rng.Next();
+      index.Insert(key, value);
+      reference[key] = value;
+    } else {
+      const auto it = reference.find(key);
+      const auto got = index.Find(key);
+      if (it == reference.end()) {
+        EXPECT_FALSE(got.has_value()) << "phantom key " << key;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "lost key " << key;
+        EXPECT_EQ(*got, it->second);
+      }
+    }
+    if ((i + 1) % 4096 == 0) {
+      index.RunMaintenanceNow();
+      EXPECT_TRUE(index.CheckInvariants());
+    }
+  }
+  index.RunMaintenanceNow();
+  for (const auto& [key, value] : reference) {
+    const auto got = index.Find(key);
+    ASSERT_TRUE(got.has_value()) << "lost key " << key;
+    ASSERT_EQ(*got, value);
+  }
+  EXPECT_TRUE(index.CheckInvariants());
+}
+
+// ---------------------------------------------------------------------
+// ShardedIndex rebalance + forced rebuild (the serving-layer actions).
+// ---------------------------------------------------------------------
+
+using Engine = ShardedIndex<DynamicPgm<uint64_t, uint64_t>>;
+
+std::vector<uint64_t> SequentialKeys(size_t n, uint64_t stride = 37,
+                                     uint64_t offset = 11) {
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = i * stride + offset;
+  return keys;
+}
+
+TEST(ShardedRebalanceTest, PreservesDataAcrossShardCounts) {
+  Engine::Options opt;
+  opt.num_shards = 16;
+  opt.background_drain = false;
+  Engine index(opt);
+  const auto keys = SequentialKeys(20000);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+  index.BulkLoad(keys, values);
+
+  // Buffered writes, overwrites, and tombstones must all survive the
+  // table swaps.
+  const uint64_t fresh_base = keys.back() + 1;
+  for (uint64_t i = 0; i < 500; ++i) index.Insert(fresh_base + i * 13, i);
+  for (size_t i = 0; i < 100; ++i) index.Insert(keys[i], 777);
+  for (size_t i = 200; i < 300; ++i) EXPECT_TRUE(index.Erase(keys[i]));
+
+  const uint64_t v0 = index.table_version();
+  EXPECT_TRUE(index.Rebalance(16));
+  EXPECT_NE(index.table_version(), v0);
+  EXPECT_EQ(index.num_shards(), 16u);
+  EXPECT_TRUE(index.Rebalance(32));
+  EXPECT_EQ(index.num_shards(), 32u);
+  EXPECT_TRUE(index.Rebalance(8));
+  EXPECT_EQ(index.num_shards(), 8u);
+  EXPECT_EQ(index.GetStats().rebalances, 3u);
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const auto got = index.Find(keys[i]);
+    if (i >= 200 && i < 300) {
+      EXPECT_FALSE(got.has_value()) << "erased key resurrected: " << keys[i];
+    } else {
+      ASSERT_TRUE(got.has_value()) << "lost key " << keys[i];
+      EXPECT_EQ(*got, i < 100 ? 777u : values[i]);
+    }
+  }
+  for (uint64_t i = 0; i < 500; ++i) {
+    const auto got = index.Find(fresh_base + i * 13);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, i);
+  }
+  EXPECT_FALSE(index.Find(keys.back() + 5).has_value());
+  index.CheckInvariants();
+}
+
+// Counts the shards that received any traffic in the current table.
+size_t ShardsTouched(const Engine& index) {
+  size_t touched = 0;
+  for (const auto& stat : index.TakeShardStats().shards) {
+    if (stat.lookups > 0) ++touched;
+  }
+  return touched;
+}
+
+TEST(ShardedRebalanceTest, TrafficWeightedBoundariesSpreadTheHotRange) {
+  Engine::Options opt;
+  opt.num_shards = 16;
+  opt.background_drain = false;
+  opt.collect_shard_stats = true;
+  Engine index(opt);
+  const auto keys = SequentialKeys(100000, /*stride=*/1009);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+  index.BulkLoad(keys, values);
+
+  // Hammer the coldest sixteenth of the key space: quantile boundaries
+  // put all of it in one shard.
+  const size_t hot_n = keys.size() / 16;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (size_t i = 0; i < hot_n; ++i) index.Find(keys[i]);
+  }
+  const size_t before = ShardsTouched(index);
+  EXPECT_LE(before, 2u);
+
+  // A traffic-weighted re-cut concentrates boundaries inside the hot
+  // range, so the same workload now spreads across many shards.
+  ASSERT_TRUE(index.Rebalance());
+  for (int rep = 0; rep < 4; ++rep) {
+    for (size_t i = 0; i < hot_n; ++i) index.Find(keys[i]);
+  }
+  const size_t after = ShardsTouched(index);
+  EXPECT_GT(after, before);
+  EXPECT_GE(after, 4u);
+
+  // Rebalancing moved data, not values.
+  for (size_t i = 0; i < keys.size(); i += 997) {
+    const auto got = index.Find(keys[i]);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, values[i]);
+  }
+  index.CheckInvariants();
+}
+
+TEST(ShardedRebalanceTest, ForcedShardRebuildFoldsTheDelta) {
+  Engine::Options opt;
+  opt.num_shards = 4;
+  opt.background_drain = false;
+  opt.buffer_capacity = 8;
+  opt.rebuild_min_delta = size_t{1} << 20;  // Never rebuild organically.
+  Engine index(opt);
+  const auto keys = SequentialKeys(10000);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+  index.BulkLoad(keys, values);
+
+  const uint64_t base = keys.back() + 1;
+  for (uint64_t i = 0; i < 64; ++i) index.Insert(base + i * 5, i);
+  EXPECT_EQ(index.GetStats().rebuilds, 0u);
+
+  const auto stats = index.TakeShardStats();
+  size_t target = stats.shards.size();
+  for (size_t s = 0; s < stats.shards.size(); ++s) {
+    if (stats.shards[s].delta > 0) {
+      target = s;
+      break;
+    }
+  }
+  ASSERT_LT(target, stats.shards.size()) << "inline drains built no delta";
+
+  index.RequestShardRebuild(target);
+  EXPECT_GE(index.GetStats().rebuilds, 1u);
+  const auto after = index.TakeShardStats();
+  EXPECT_EQ(after.shards[target].delta, 0u);
+  EXPECT_GT(after.shards[target].snapshot, 0u);
+
+  // Out-of-range requests are ignored, not fatal.
+  index.RequestShardRebuild(9999);
+
+  for (uint64_t i = 0; i < 64; ++i) {
+    const auto got = index.Find(base + i * 5);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, i);
+  }
+  index.CheckInvariants();
+}
+
+TEST(ShardedRebalanceTest, ReadersAndWritersRideThroughRebalances) {
+  Engine::Options opt;
+  opt.num_shards = 8;
+  Engine index(opt);
+  const auto keys = SequentialKeys(50000);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = keys[i] * 3;
+  index.BulkLoad(keys, values);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t i = rng.NextBounded(keys.size());
+        const auto got = index.Find(keys[i]);
+        ASSERT_TRUE(got.has_value());
+        ASSERT_EQ(*got, keys[i] * 3);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  const uint64_t fresh_base = keys.back() + 1;
+  std::thread writer([&] {
+    for (uint64_t i = 0; !stop.load(std::memory_order_relaxed) && i < 20000;
+         ++i) {
+      index.Insert(fresh_base + i, i);
+    }
+  });
+
+  for (const size_t shards : {16u, 4u, 8u}) {
+    EXPECT_TRUE(index.Rebalance(shards));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  writer.join();
+
+  EXPECT_EQ(index.num_shards(), 8u);
+  EXPECT_EQ(index.GetStats().rebalances, 3u);
+  EXPECT_GT(reads.load(), 0u);
+  index.FlushAll();
+  index.CheckInvariants();
+  for (size_t i = 0; i < keys.size(); i += 503) {
+    ASSERT_EQ(index.Find(keys[i]), std::optional<uint64_t>(keys[i] * 3));
+  }
+}
+
+// ---------------------------------------------------------------------
+// ShardedAdaptor: decisions mapped onto serving actions. A scripted fake
+// exercises every Act() arm deterministically; a real index closes the
+// loop on the skew path.
+// ---------------------------------------------------------------------
+
+class FakeShardedIndex {
+ public:
+  struct ShardStat {
+    uint64_t lookups = 0;
+    uint64_t probe_depth = 0;
+    size_t buffered = 0;
+    size_t delta = 0;
+    size_t snapshot = 0;
+  };
+  struct ShardStatsSnapshot {
+    uint64_t table_version = 0;
+    std::vector<ShardStat> shards;
+  };
+
+  explicit FakeShardedIndex(size_t num_shards) {
+    stats_.table_version = 1;
+    stats_.shards.resize(num_shards);
+  }
+
+  size_t num_shards() const { return stats_.shards.size(); }
+  ShardStatsSnapshot TakeShardStats() const { return stats_; }
+
+  bool Rebalance(size_t new_num_shards) {
+    rebalance_calls.push_back(new_num_shards);
+    ++stats_.table_version;  // Swap restarts the counters.
+    stats_.shards.assign(
+        new_num_shards == 0 ? stats_.shards.size() : new_num_shards,
+        ShardStat{});
+    return true;
+  }
+
+  void RequestShardRebuild(size_t s) { rebuild_requests.push_back(s); }
+
+  // Advances the cumulative counters by one window of (ops, mean probe
+  // depth) per shard.
+  void AddWindow(const std::vector<std::pair<uint64_t, double>>& window) {
+    for (size_t s = 0; s < window.size() && s < stats_.shards.size(); ++s) {
+      stats_.shards[s].lookups += window[s].first;
+      stats_.shards[s].probe_depth += static_cast<uint64_t>(
+          window[s].second * static_cast<double>(window[s].first));
+    }
+  }
+
+  std::vector<size_t> rebalance_calls;
+  std::vector<size_t> rebuild_requests;
+
+ private:
+  ShardStatsSnapshot stats_;
+};
+
+TEST(ShardedAdaptorTest, DeepProbesGrowTheShardCount) {
+  FakeShardedIndex fake(4);
+  ShardedAdaptor<FakeShardedIndex> adaptor(&fake);
+
+  fake.AddWindow({{100, 3.0}, {100, 3.0}, {100, 3.0}, {100, 3.0}});
+  EXPECT_EQ(adaptor.Tick().action, Action::kNone);  // Healthy baseline.
+
+  // Shard 2's probe depth blows past inflation_factor * target: capacity.
+  fake.AddWindow({{100, 3.0}, {100, 3.0}, {100, 20.0}, {100, 3.0}});
+  const auto d = adaptor.Tick();
+  EXPECT_EQ(d.action, Action::kGrow);
+  ASSERT_EQ(fake.rebalance_calls.size(), 1u);
+  EXPECT_EQ(fake.rebalance_calls[0], 8u);  // Doubled.
+  EXPECT_EQ(adaptor.actions_taken(), 1u);
+}
+
+TEST(ShardedAdaptorTest, ProbeDepthDriftRequestsAShardRebuild) {
+  FakeShardedIndex fake(4);
+  ShardedAdaptor<FakeShardedIndex> adaptor(&fake);
+
+  // Shard 1 degrades from depth 2 to depth 8 — under the kGrow bar
+  // (2 * target_error = 8), so the Page-Hinkley detector is what fires.
+  for (int i = 0; i < 4; ++i) {
+    fake.AddWindow({{100, 2.0}, {100, 2.0}, {100, 2.0}, {100, 2.0}});
+    EXPECT_EQ(adaptor.Tick().action, Action::kNone);
+  }
+  bool retrained = false;
+  for (int i = 0; i < 60 && !retrained; ++i) {
+    fake.AddWindow({{100, 2.0}, {100, 8.0}, {100, 2.0}, {100, 2.0}});
+    retrained = adaptor.Tick().action == Action::kRetrain;
+  }
+  ASSERT_TRUE(retrained) << "drift never latched";
+  ASSERT_EQ(fake.rebuild_requests.size(), 1u);
+  EXPECT_EQ(fake.rebuild_requests[0], 1u);
+  EXPECT_TRUE(fake.rebalance_calls.empty());
+}
+
+TEST(ShardedAdaptorTest, TrafficSkewRebalancesInPlace) {
+  FakeShardedIndex fake(8);
+  ShardedAdaptor<FakeShardedIndex> adaptor(&fake);
+  fake.AddWindow({{0, 0.0},
+                  {0, 0.0},
+                  {0, 0.0},
+                  {1000, 3.0},
+                  {0, 0.0},
+                  {0, 0.0},
+                  {0, 0.0},
+                  {0, 0.0}});
+  const auto d = adaptor.Tick();
+  EXPECT_EQ(d.action, Action::kRebalance);
+  EXPECT_EQ(d.segment, 3u);
+  ASSERT_EQ(fake.rebalance_calls.size(), 1u);
+  EXPECT_EQ(fake.rebalance_calls[0], 8u);  // Same count, new boundaries.
+}
+
+TEST(ShardedAdaptorTest, SustainedCalmShrinksTheShardCount) {
+  FakeShardedIndex fake(4);
+  ShardedAdaptor<FakeShardedIndex> adaptor(&fake);
+  // Probe depth 0 is far under shrink_headroom * target; default patience
+  // is four calm windows.
+  for (int i = 0; i < 3; ++i) {
+    fake.AddWindow({{100, 0.0}, {100, 0.0}, {100, 0.0}, {100, 0.0}});
+    EXPECT_EQ(adaptor.Tick().action, Action::kNone);
+  }
+  fake.AddWindow({{100, 0.0}, {100, 0.0}, {100, 0.0}, {100, 0.0}});
+  EXPECT_EQ(adaptor.Tick().action, Action::kShrink);
+  ASSERT_EQ(fake.rebalance_calls.size(), 1u);
+  EXPECT_EQ(fake.rebalance_calls[0], 2u);  // Halved.
+}
+
+TEST(ShardedAdaptorTest, TableSwapStartsAFreshWindow) {
+  FakeShardedIndex fake(4);
+  ShardedAdaptor<FakeShardedIndex> adaptor(&fake);
+  fake.AddWindow({{1000, 3.0}, {1000, 3.0}, {1000, 3.0}, {1000, 3.0}});
+  EXPECT_EQ(adaptor.Tick().action, Action::kNone);
+
+  // An external rebalance restarts the counters below the previous
+  // snapshot. A naive delta would underflow into a huge phantom window;
+  // the adaptor must detect the swap and treat raw counts as the window.
+  fake.Rebalance(4);
+  fake.AddWindow({{10, 3.0}, {10, 3.0}, {10, 3.0}, {10, 3.0}});
+  const auto d = adaptor.Tick();
+  EXPECT_EQ(d.action, Action::kNone);
+  EXPECT_STREQ(d.reason, "idle");  // 40 ops: not evidence, not a tantrum.
+  EXPECT_EQ(adaptor.ticks(), 2u);
+}
+
+TEST(ShardedAdaptorTest, EngineDrivesTheAdaptor) {
+  FakeShardedIndex fake(4);
+  AdaptationEngine engine;
+  {
+    ShardedAdaptor<FakeShardedIndex> adaptor(&fake);
+    adaptor.RegisterWith(&engine);
+    EXPECT_EQ(engine.NumClients(), 1u);
+    engine.TickNow();
+    EXPECT_EQ(adaptor.ticks(), 1u);
+  }
+  // Destruction unregisters; later ticks touch nothing freed.
+  EXPECT_EQ(engine.NumClients(), 0u);
+  engine.TickNow();
+}
+
+TEST(ShardedAdaptorTest, SkewedTrafficOnARealIndexTriggersRebalance) {
+  Engine::Options opt;
+  opt.num_shards = 16;
+  opt.collect_shard_stats = true;
+  Engine index(opt);
+  const auto keys = SequentialKeys(50000, /*stride=*/101);
+  std::vector<uint64_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = i;
+  index.BulkLoad(keys, values);
+  ShardedAdaptor<Engine> adaptor(&index);
+
+  // All traffic on one sixteenth of the key space: one shard takes ~16x
+  // its fair share.
+  const size_t hot_n = keys.size() / 16;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (size_t i = 0; i < hot_n; ++i) index.Find(keys[i]);
+  }
+  const uint64_t v0 = index.table_version();
+  const auto d = adaptor.Tick();
+  EXPECT_EQ(d.action, Action::kRebalance);
+  EXPECT_EQ(adaptor.actions_taken(), 1u);
+  EXPECT_EQ(index.GetStats().rebalances, 1u);
+  EXPECT_NE(index.table_version(), v0);
+
+  // After the traffic-weighted re-cut the same workload is no longer
+  // skewed enough to fire again.
+  for (int rep = 0; rep < 2; ++rep) {
+    for (size_t i = 0; i < hot_n; ++i) index.Find(keys[i]);
+  }
+  const auto d2 = adaptor.Tick();
+  EXPECT_NE(d2.action, Action::kRebalance);
+  EXPECT_NE(d2.action, Action::kGrow);
+  index.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace lidx

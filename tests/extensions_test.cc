@@ -774,6 +774,68 @@ TEST(DriftDetectorTest, ResetClearsState) {
   EXPECT_FALSE(detector.drifted());
 }
 
+TEST(DriftDetectorTest, WarmupGatesFiringExactly) {
+  // Overwhelming evidence before min_observations must not fire; the same
+  // evidence fires on the very observation that completes the warm-up.
+  ModelDriftDetector::Options opts;
+  opts.delta = 0.5;
+  opts.threshold = 1.0;
+  opts.min_observations = 10;
+  ModelDriftDetector detector(opts);
+  for (int i = 0; i < 5; ++i) ASSERT_FALSE(detector.Observe(0.0));
+  for (size_t i = 6; i <= 9; ++i) {
+    ASSERT_FALSE(detector.Observe(1000.0)) << "fired during warm-up";
+    ASSERT_EQ(detector.observations(), i);
+  }
+  EXPECT_TRUE(detector.Observe(1000.0));  // Observation #10: warm-up done.
+}
+
+TEST(DriftDetectorTest, StepDetectedFasterThanEqualRamp) {
+  // Page-Hinkley accumulates deviation above the running mean, so an
+  // abrupt step to level L is detected in far fewer post-change
+  // observations than a gradual ramp to the same level (the mean tracks a
+  // slow ramp closely, soaking up most of the deviation).
+  const auto latency = [](bool step) {
+    ModelDriftDetector detector;  // default: delta 0.5, threshold 500
+    for (int i = 0; i < 2000; ++i) detector.Observe(1.0);
+    constexpr int kChangeLen = 4000;
+    constexpr double kLevel = 50.0;
+    for (int i = 0; i < kChangeLen; ++i) {
+      const double err =
+          step ? kLevel : 1.0 + (kLevel - 1.0) * (i + 1) / kChangeLen;
+      if (detector.Observe(err)) return i + 1;
+    }
+    return kChangeLen + 1;
+  };
+  const int step_latency = latency(true);
+  const int ramp_latency = latency(false);
+  EXPECT_LE(step_latency, 4000);
+  EXPECT_LT(step_latency, ramp_latency) << "step should fire sooner";
+  EXPECT_LE(ramp_latency, 4000) << "a sustained ramp is still drift";
+}
+
+TEST(DriftDetectorTest, LatchRequiresFreshWarmupAfterReset) {
+  ModelDriftDetector::Options opts;
+  opts.threshold = 50.0;
+  opts.min_observations = 32;
+  ModelDriftDetector detector(opts);
+  for (int i = 0; i < 200; ++i) detector.Observe(1.0);
+  for (int i = 0; i < 200; ++i) detector.Observe(500.0);
+  ASSERT_TRUE(detector.drifted());
+  // Latched: even calm observations keep reporting drift until Reset.
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(detector.Observe(1.0));
+  detector.Reset();
+  // Post-reset the warm-up applies afresh: drift cannot fire again within
+  // the first min_observations no matter the evidence. (A calm baseline
+  // first — a constant level from observation one is, by construction, not
+  // a change at all for Page-Hinkley.)
+  for (int i = 0; i < 16; ++i) EXPECT_FALSE(detector.Observe(1.0));
+  for (int i = 16; i < 31; ++i) {
+    EXPECT_FALSE(detector.Observe(10000.0)) << "obs " << i;
+  }
+  EXPECT_TRUE(detector.Observe(10000.0));
+}
+
 TEST(AdaptiveRmiTest, LookupsAndBufferedInserts) {
   const auto keys = GenerateKeys(KeyDistribution::kUniform, 50000, 1031);
   AdaptiveRmi<uint64_t, uint64_t> index;
@@ -795,6 +857,7 @@ TEST(AdaptiveRmiTest, BufferPressureTriggersRebuild) {
   index.BulkLoad(keys, Ranks(keys.size()));
   const auto fresh = GenerateKeys(KeyDistribution::kUniform, 2000, 1039);
   for (size_t i = 0; i < fresh.size(); ++i) index.Insert(fresh[i], i);
+  index.WaitForMaintenance();  // Rebuilds run on pool workers now.
   EXPECT_GT(index.rebuilds(), 0u);
   // All keys still answerable after rebuilds.
   for (size_t i = 0; i < keys.size(); i += 29) {
@@ -820,6 +883,7 @@ TEST(AdaptiveRmiTest, DriftGrowsModelBudgetUntilErrorsShrink) {
   for (int i = 0; i < 200000; ++i) {
     index.Find(keys[rng.NextBounded(keys.size())]);
   }
+  index.WaitForMaintenance();  // Rebuilds run on pool workers now.
   EXPECT_GT(index.rebuilds(), 0u);
   EXPECT_GT(index.current_model_budget(), 4u);
   EXPECT_LT(index.MeanErrorWindow(), initial_error);

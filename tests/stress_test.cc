@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <thread>
@@ -15,12 +16,15 @@
 
 #include <gtest/gtest.h>
 
+#include "adapt/engine.h"
+#include "adapt/serving_adapter.h"
 #include "bench/bench_util.h"
 #include "common/parallel.h"
 #include "common/random.h"
 #include "datasets/generators.h"
 #include "common/epoch.h"
 #include "lsm/lsm_tree.h"
+#include "one_d/adaptive_rmi.h"
 #include "one_d/concurrent_index.h"
 #include "one_d/dynamic_pgm.h"
 #include "one_d/pgm.h"
@@ -358,6 +362,159 @@ TEST(StressTest, ShardedIndexMixedOpsWithBackgroundDrains) {
   index.WaitForDrains();
   EXPECT_EQ(bad_reads.load(), 0u);
   index.CheckInvariants();
+  EpochManager::Shared().ReclaimSome();
+}
+
+// The full adaptation loop under fire: a ticking AdaptationEngine drives a
+// ShardedAdaptor (skew sensing -> rebalance / forced shard rebuilds) while
+// an explicit rebalancer cycles the shard count and writers, readers, and
+// a structural checker hammer the index. This is the TSan / epoch-validator
+// probe for the table-swap protocol: the seq_cst drain/rebalance handshake,
+// writer retry on a swapped table, and epoch-retired Tables.
+TEST(StressTest, AdaptShardedRebalanceUnderMixedLoad) {
+  using Sharded = ShardedIndex<DynamicPgm<uint64_t, uint64_t>>;
+  const auto keys = GenerateKeys(KeyDistribution::kLognormal, 20000, 941);
+  Sharded::Options opts;
+  opts.num_shards = 8;
+  opts.buffer_capacity = 32;
+  opts.rebuild_min_delta = 512;
+  opts.background_drain = true;
+  opts.collect_shard_stats = true;
+  Sharded index(opts);
+  index.BulkLoad(keys, Ranks(keys.size()));
+
+  ShardedAdaptor<Sharded> adaptor(&index);
+  AdaptationEngine::Options eopts;
+  eopts.tick_period = std::chrono::milliseconds(2);
+  AdaptationEngine engine(eopts);
+  adaptor.RegisterWith(&engine);
+  engine.Start();
+
+  constexpr int kOpsPerThread = 4000;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> bad_reads{0};
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {  // Writers over the bulk keys.
+      Rng rng(947 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t k = keys[rng.NextBounded(keys.size())];
+        index.Insert(k, k + 1);
+      }
+    });
+  }
+  threads.emplace_back([&] {  // Rebalancer cycling the shard count.
+    for (const size_t shards : {16u, 4u, 12u, 8u}) {
+      index.Rebalance(shards);  // May lose to the adaptor: fine.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  threads.emplace_back([&] {  // Forced shard-rebuild churn.
+    Rng rng(953);
+    for (int i = 0; i < 64; ++i) {
+      index.RequestShardRebuild(rng.NextBounded(16));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {  // Skewed point readers (feeds the adaptor).
+      Rng rng(967 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t j = rng.NextBounded(keys.size() / 8);  // Hot prefix.
+        const auto got = index.Find(keys[j]);
+        if (!got.has_value() || (*got != j && *got != keys[j] + 1)) {
+          bad_reads.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {  // Concurrent structural checker.
+    while (!stop.load(std::memory_order_relaxed)) {
+      index.CheckInvariants();
+    }
+  });
+
+  // Bounded writers/rebalancer/rebuilder first, then stop the rest.
+  for (int t = 0; t < 4; ++t) threads[t].join();
+  stop.store(true);
+  for (size_t t = 4; t < threads.size(); ++t) threads[t].join();
+  engine.Stop();
+
+  index.WaitForDrains();
+  EXPECT_EQ(bad_reads.load(), 0u);
+  index.CheckInvariants();
+  for (size_t j = 0; j < keys.size(); j += 331) {
+    const auto got = index.Find(keys[j]);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(*got == j || *got == keys[j] + 1);
+  }
+  EpochManager::Shared().ReclaimSome();
+}
+
+// AdaptiveRmi under concurrent lookups, inserts, and self-triggered
+// background maintenance: shadow rebuilds publish through the epoch-
+// protected cell while readers probe the frozen model and record into its
+// monitor. TSan probe for the ShadowCell publish/retire path and the
+// padded monitor counters.
+TEST(StressTest, AdaptiveRmiAdaptMaintenanceChurn) {
+  const auto keys = GenerateKeys(KeyDistribution::kClustered, 20000, 971);
+  AdaptiveRmi<uint64_t, uint64_t>::Options opts;
+  opts.rmi.num_models = 16;
+  opts.min_buffer_before_rebuild = 256;
+  opts.maintenance_period = 512;
+  AdaptiveRmi<uint64_t, uint64_t> index(opts);
+  index.BulkLoad(keys, Ranks(keys.size()));
+
+  constexpr int kOpsPerThread = 4000;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> bad_reads{0};
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {  // Inserters on disjoint fresh ranges.
+      const uint64_t base =
+          keys.back() + 1 + static_cast<uint64_t>(t) * (1u << 24);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        index.Insert(base + static_cast<uint64_t>(i), static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {  // Readers over the immutable bulk keys.
+      Rng rng(977 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t j = rng.NextBounded(keys.size());
+        const auto got = index.Find(keys[j]);
+        if (got != std::optional<uint64_t>(j)) bad_reads.fetch_add(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {  // Maintenance kicker.
+    for (int i = 0; i < 32; ++i) {
+      index.RunMaintenanceNow();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (int t = 0; t < 2; ++t) threads[t].join();
+  stop.store(true);
+  for (size_t t = 2; t < threads.size(); ++t) threads[t].join();
+  index.WaitForMaintenance();
+
+  EXPECT_EQ(bad_reads.load(), 0u);
+  EXPECT_TRUE(index.CheckInvariants());
+  for (size_t j = 0; j < keys.size(); j += 331) {
+    ASSERT_EQ(index.Find(keys[j]), std::optional<uint64_t>(j));
+  }
+  for (int t = 0; t < 2; ++t) {
+    const uint64_t base =
+        keys.back() + 1 + static_cast<uint64_t>(t) * (1u << 24);
+    for (int i = 0; i < kOpsPerThread; i += 97) {
+      ASSERT_EQ(index.Find(base + static_cast<uint64_t>(i)),
+                std::optional<uint64_t>(static_cast<uint64_t>(i)));
+    }
+  }
   EpochManager::Shared().ReclaimSome();
 }
 

@@ -23,7 +23,8 @@
 //                      caller that may itself occupy a pool thread —
 //                      classic same-pool-wait deadlock under saturation.
 //   epoch-guard        fields marked `// lidx: epoch-protected` may only
-//                      be .load()ed inside a region that establishes
+//                      be .load()ed or .Acquire()d (ShadowCell's reader
+//                      accessor) inside a region that establishes
 //                      protection (EpochManager::Pin()/Guard, a MutexLock,
 //                      or a LIDX_REQUIRES contract).
 //
@@ -545,9 +546,17 @@ void CheckEpochGuard(const Source& src, std::vector<Finding>* out) {
       size_t p = SkipSpace(text, pos + field.size());
       if (p >= text.size() || text[p] != '.') continue;
       p = SkipSpace(text, p + 1);
-      if (!WordAt(text, p, "load")) continue;  // .exchange/.store are writer
-                                               // ops, covered by REQUIRES.
-      const size_t after = SkipSpace(text, p + 4);
+      // Reader accessors: atomic .load() and ShadowCell .Acquire(). The
+      // writer ops (.exchange/.store/.Publish) are covered by REQUIRES.
+      size_t method_len = 0;
+      if (WordAt(text, p, "load")) {
+        method_len = 4;
+      } else if (WordAt(text, p, "Acquire")) {
+        method_len = 7;
+      } else {
+        continue;
+      }
+      const size_t after = SkipSpace(text, p + method_len);
       if (after >= text.size() || text[after] != '(') continue;
       // Safe iff any enclosing brace region (function body, loop body, ...)
       // establishes a guard before the load. Each region's scan starts at
@@ -564,7 +573,7 @@ void CheckEpochGuard(const Source& src, std::vector<Finding>* out) {
       }
       if (!guarded) {
         Report(src, pos, "epoch-guard",
-               "epoch-protected field `" + field + "` loaded outside any "
+               "epoch-protected field `" + field + "` read outside any "
                "Pin()/Guard/MutexLock/LIDX_REQUIRES region — the pointee "
                "may be reclaimed under the reader",
                out);

@@ -71,3 +71,27 @@ struct Owner {
     delete shard.state.load(std::memory_order_relaxed);
   }
 };
+
+// ---- ShadowCell::Acquire — the adapt-subsystem reader accessor ----------
+
+template <typename T>
+struct ShadowCell {
+  T* Acquire() const;
+};
+
+struct Engine {
+  EpochManager epoch;
+  ShadowCell<State> frozen_cell;  // lidx: epoch-protected
+};
+
+// Unprotected Acquire: the returned frozen state may be retired and
+// reclaimed by a concurrent Publish before the caller dereferences it.
+State* BadAcquire(Engine& e) {
+  return e.frozen_cell.Acquire();  // lidx-lint-expect: epoch-guard
+}
+
+// Negative: Acquire under an epoch pin — the canonical shadow-swap read.
+State* GoodPinnedAcquire(Engine& e) {
+  EpochManager::Guard guard = e.epoch.Pin();
+  return e.frozen_cell.Acquire();
+}
