@@ -196,8 +196,8 @@ void RunLsm(const bench::Dataset1D& data,
     opts.memtable_limit = 64 * 1024;
     opts.pool_frames = 4096;
     opts.background_compaction = background;
-    DiskLsmTree<uint64_t, uint64_t> lsm(
-        ScratchFile(background ? "lsm_bg" : "lsm_sync"), opts);
+    const std::string path = ScratchFile(background ? "lsm_bg" : "lsm_sync");
+    DiskLsmTree<uint64_t, uint64_t> lsm(path, opts);
     const double load_ms = bench::MeasureMs([&] {
       for (size_t i = 0; i < shuffled.size(); ++i) {
         lsm.Put(shuffled[i], shuffled[i] ^ 0x9E3779B9u);
@@ -231,6 +231,8 @@ void RunLsm(const bench::Dataset1D& data,
                   static_cast<double>(pstats.hits + pstats.misses);
     const double file_mib =
         static_cast<double>(lsm.file().NumPages() * kPageSize) / (1 << 20);
+    const double bytes_per_key =
+        bench::BytesPerKey(bench::FileSizeBytes(path), data.keys.size());
     const char* mode = background ? "background" : "sync";
     table.AddRow({mode, "scalar", TablePrinter::FormatDouble(load_ms, 0),
                   std::to_string(lsm.NumRuns()),
@@ -244,6 +246,7 @@ void RunLsm(const bench::Dataset1D& data,
          bench::JsonField::Str("mode", mode),
          bench::JsonField::Num("load_ms", load_ms),
          bench::JsonField::Num("file_mib", file_mib),
+         bench::JsonField::Num("bytes_per_key", bytes_per_key),
          bench::JsonField::Num("pages_per_get", pages_per_get),
          bench::JsonField::Num("syscalls_per_get", scalar_syscalls_per_get),
          bench::JsonField::Num("hit_rate", hit_rate),

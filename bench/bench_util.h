@@ -1,6 +1,8 @@
 #ifndef LIDX_BENCH_BENCH_UTIL_H_
 #define LIDX_BENCH_BENCH_UTIL_H_
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -127,6 +129,21 @@ double MeasureThroughputMops(size_t num_threads, size_t batch_size,
   }
   const double seconds = timer.ElapsedSeconds();
   return static_cast<double>(total_ops) / seconds / 1e6;
+}
+
+// On-disk footprint of a page file (st_size), for bytes-per-key rows in
+// the disk benches. Returns 0 if the file does not exist.
+inline size_t FileSizeBytes(const std::string& path) {
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<size_t>(st.st_size);
+}
+
+// The space metric the compression benches gate on: on-disk bytes per
+// indexed key.
+inline double BytesPerKey(size_t file_bytes, size_t num_keys) {
+  if (num_keys == 0) return 0.0;
+  return static_cast<double>(file_bytes) / static_cast<double>(num_keys);
 }
 
 // Standard header every bench binary prints, so outputs are self-describing

@@ -174,6 +174,36 @@ inline void BloomHashScalar(const uint64_t* keys, size_t count, uint64_t* h1,
   }
 }
 
+// Fixed-width bit-unpack: out[i] = the `bits`-wide field starting at
+// absolute bit `bit_offset + i * bits` of the byte stream `src`, fields
+// packed LSB-first (field bit 0 lands at the lowest bit offset, matching
+// the packer in storage/page_codec.h). Contract: the caller guarantees at
+// least 8 readable bytes past the byte holding the last field's final bit
+// (the page codec reserves that slack inside every page payload), so both
+// the scalar windowed load and the AVX2 gather may over-read without
+// leaving the buffer.
+inline void UnpackBitsScalar(const unsigned char* src, size_t bit_offset,
+                             unsigned bits, size_t count, uint64_t* out) {
+  if (bits == 0) {
+    for (size_t i = 0; i < count; ++i) out[i] = 0;
+    return;
+  }
+  const uint64_t mask =
+      bits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t bo = bit_offset + i * bits;
+    const size_t byte = bo >> 3;
+    const unsigned shift = static_cast<unsigned>(bo & 7);
+    uint64_t w;
+    std::memcpy(&w, src + byte, sizeof(w));
+    uint64_t v = w >> shift;
+    if (shift != 0 && shift + bits > 64) {
+      v |= uint64_t{src[byte + 8]} << (64u - shift);
+    }
+    out[i] = v & mask;
+  }
+}
+
 #if defined(LIDX_SIMD_X86)
 
 // ----- SSE2 kernels (x86-64 baseline, no target attribute needed) -----
@@ -440,6 +470,42 @@ __attribute__((target("avx2"))) inline void BloomHashAvx2(
   if (i < count) BloomHashScalar(keys + i, count - i, h1 + i, h2 + i);
 }
 
+// Four fields per iteration: gather the 8-byte window containing each
+// field's first bit (unaligned byte-granular gather, scale 1), variable
+// right shift by the in-byte bit position, mask. A lane's shift is at most
+// 7, so shift + bits <= 63 whenever bits <= 56 — the field never spills
+// past its gathered window and the result is bit-identical to the scalar
+// kernel. Wider fields (57..64 bits) fall back to the scalar spill path.
+__attribute__((target("avx2"))) inline void UnpackBitsAvx2(
+    const unsigned char* src, size_t bit_offset, unsigned bits, size_t count,
+    uint64_t* out) {
+  if (bits == 0 || bits > 56) {
+    UnpackBitsScalar(src, bit_offset, bits, count, out);
+    return;
+  }
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i lane_bits =
+      _mm256_setr_epi64x(0, bits, 2ll * bits, 3ll * bits);
+  const __m256i seven = _mm256_set1_epi64x(7);
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i vbit = _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<long long>(bit_offset + i * bits)),
+        lane_bits);
+    const __m256i vbyte = _mm256_srli_epi64(vbit, 3);
+    const __m256i vshift = _mm256_and_si256(vbit, seven);
+    const __m256i w = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(src), vbyte, 1);
+    const __m256i v =
+        _mm256_and_si256(_mm256_srlv_epi64(w, vshift), vmask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+  if (i < count) {
+    UnpackBitsScalar(src, bit_offset + i * bits, bits, count - i, out + i);
+  }
+}
+
 #endif  // LIDX_SIMD_X86
 
 #if defined(LIDX_SIMD_NEON)
@@ -527,6 +593,8 @@ struct KernelTable {
   void (*predict_clamped_f64)(double, double, const double*, size_t, size_t,
                               size_t*);
   void (*bloom_hash)(const uint64_t*, size_t, uint64_t*, uint64_t*);
+  void (*unpack_bits)(const unsigned char*, size_t, unsigned, size_t,
+                      uint64_t*);
 };
 
 // Highest level this binary + this CPU can execute.
@@ -578,7 +646,8 @@ inline KernelTable MakeTable(Level level) {
                 &LowerBoundF64Scalar,
                 &PredictClampedU64Scalar,
                 &PredictClampedF64Scalar,
-                &BloomHashScalar};
+                &BloomHashScalar,
+                &UnpackBitsScalar};
 #if defined(LIDX_SIMD_X86)
   if (level == Level::kSse2 || level == Level::kAvx2) {
     t.level = Level::kSse2;
@@ -596,6 +665,9 @@ inline KernelTable MakeTable(Level level) {
     t.predict_clamped_u64 = &PredictClampedU64Avx2;
     t.predict_clamped_f64 = &PredictClampedF64Avx2;
     t.bloom_hash = &BloomHashAvx2;
+    // Variable shift (srlv) and byte-granular gather arrive with AVX2;
+    // SSE2 and NEON keep the scalar unpack.
+    t.unpack_bits = &UnpackBitsAvx2;
   }
 #elif defined(LIDX_SIMD_NEON)
   if (level == Level::kNeon) {
@@ -660,6 +732,13 @@ inline void PredictClampedBatch(double slope, double intercept,
 inline void BloomHashBatch(const uint64_t* keys, size_t count, uint64_t* h1,
                            uint64_t* h2) {
   Active().bloom_hash(keys, count, h1, h2);
+}
+
+// See UnpackBitsScalar for the semantics and the 8-byte tail-slack
+// contract the caller must uphold.
+inline void UnpackBits(const unsigned char* src, size_t bit_offset,
+                       unsigned bits, size_t count, uint64_t* out) {
+  Active().unpack_bits(src, bit_offset, bits, count, out);
 }
 
 }  // namespace lidx::simd

@@ -27,6 +27,12 @@ struct BufferPoolStats {
   // Misses whose disk read went through an AsyncReadEngine (PagePinStream)
   // instead of a blocking in-lock pread. Subset of `misses`.
   uint64_t async_loads = 0;
+  // Compressed-page decode accounting, reported by readers of packed pages
+  // via RecordDecode: uncompressed bytes materialized from packed pages
+  // served by this pool, and how many of those decodes touched only a
+  // slice of their page (the ε-window partial-decode path).
+  uint64_t decompressed_bytes = 0;
+  uint64_t partial_decodes = 0;
 };
 
 // Fixed-size page cache in front of a FileManager. Frames are replaced
@@ -319,6 +325,15 @@ class BufferPool {
   BufferPoolStats stats() const {
     MutexLock lock(mu_);
     return stats_;
+  }
+
+  // Reports a packed-page decode of `bytes` uncompressed bytes against a
+  // page served by this pool; `partial` when only a slice of the page was
+  // materialized. Called by DataPageView consumers (DiskRun search/scan).
+  void RecordDecode(uint64_t bytes, bool partial) {
+    MutexLock lock(mu_);
+    stats_.decompressed_bytes += bytes;
+    if (partial) ++stats_.partial_decodes;
   }
   void ResetStats() {
     MutexLock lock(mu_);

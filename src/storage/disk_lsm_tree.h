@@ -72,6 +72,11 @@ class DiskLsmTree {
     // the backend at runtime (see storage/async_io.h).
     IoBackend io_backend = IoBackend::kAuto;
     size_t io_queue_depth = 32;
+    // Page codec for compacted levels (L1+). Freshly flushed L0 runs stay
+    // plain — they are short-lived and rewritten by the next compaction —
+    // while the long-lived levels take the compression win (see
+    // storage/page_codec.h; per-page plain fallback still applies).
+    PageCodec level_codec = PageCodec::kPlain;
   };
 
   // `path` names the page file; it is created if absent and extended as
@@ -257,7 +262,7 @@ class DiskLsmTree {
     if (memtable_.empty()) return;
     std::vector<KV> entries;
     memtable_.DrainSorted(&entries);
-    RunPtr run = MakeRun(std::move(entries));
+    RunPtr run = MakeRun(std::move(entries), PageCodec::kPlain);
     memtable_ = SkipList<Key, RunEntry<Value>>();
     if (!options_.background_compaction) {
       InstallFlushSingleThreaded(std::move(run));
@@ -372,12 +377,13 @@ class DiskLsmTree {
   using RunPtr = std::shared_ptr<DiskRun<Key, Value>>;
   using KV = std::pair<Key, RunEntry<Value>>;
 
-  RunPtr MakeRun(std::vector<KV> entries) {
+  RunPtr MakeRun(std::vector<KV> entries, PageCodec codec) {
     typename DiskRun<Key, Value>::Options opts;
     opts.learned_epsilon = options_.learned_epsilon;
     opts.bloom_bits_per_key = options_.bloom_bits_per_key;
     opts.build_threads = options_.compaction_threads;
     opts.simd = options_.simd;
+    opts.codec = codec;
     return std::make_shared<DiskRun<Key, Value>>(std::move(entries), &file_,
                                                  &pool_, opts);
   }
@@ -543,7 +549,7 @@ class DiskLsmTree {
                     entries.end());
     }
     if (!entries.empty()) {
-      (*levels)[level] = MakeRun(std::move(entries));
+      (*levels)[level] = MakeRun(std::move(entries), options_.level_codec);
     }
   }
 

@@ -95,6 +95,8 @@ class DiskPgmTable {
       PageHeader h = page.header();
       h.type = static_cast<uint16_t>(PageType::kData);
       h.payload_bytes = static_cast<uint32_t>(count * kRecordBytes);
+      h.codec = static_cast<uint16_t>(PageCodec::kPlain);
+      h.record_count = static_cast<uint16_t>(count);
       page.set_header(h);
       for (size_t i = 0; i < count; ++i) {
         LIDX_DCHECK(start + i == 0 || keys[start + i - 1] < keys[start + i]);

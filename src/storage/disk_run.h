@@ -23,6 +23,7 @@
 #include "storage/file_manager.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
+#include "storage/page_codec.h"
 
 namespace lidx::storage {
 
@@ -44,6 +45,15 @@ class DiskLsmTree;
 // packed field-by-field (key, value, tombstone byte) rather than memcpy'd
 // as structs, so no padding bytes reach the disk and page CRCs are
 // deterministic.
+//
+// Options::codec selects the page encoding (storage/page_codec.h). Under
+// a compressed codec, pages hold a variable number of records, so the
+// rank -> page map becomes a bit-packed directory of per-page first ranks
+// instead of a division, and the in-page search decompresses only the
+// ε-window slice the model bounds (reporting decode work to the pool's
+// decompressed-bytes counters). Every page still self-identifies its own
+// codec — the encoder falls back to plain per page when packing doesn't
+// win — and results are byte-identical across codecs.
 template <typename Key, typename Value>
 class DiskRun {
  public:
@@ -57,6 +67,10 @@ class DiskRun {
     // buffer and counted in one vectorized pass. Results are identical
     // either way. The process-wide LIDX_SIMD env cap still applies.
     bool simd = true;
+    // Page encoding. kDelta compresses sorted u64 key pages several-fold
+    // (residuals against a per-page linear fit); kFor offsets against the
+    // page minimum. Per-page plain fallback applies either way.
+    PageCodec codec = PageCodec::kPlain;
   };
 
   // On-disk record layout inside a kData page payload.
@@ -93,22 +107,25 @@ class DiskRun {
     }
     pages_.reserve((n_ + kRecordsPerPage - 1) / kRecordsPerPage);
     fence_keys_.reserve(pages_.capacity());
-    for (size_t start = 0; start < n_; start += kRecordsPerPage) {
-      const size_t count = std::min(kRecordsPerPage, n_ - start);
+    std::vector<uint64_t> first_ranks;
+    size_t start = 0;
+    while (start < n_) {
       Page page{};
-      PageHeader h = page.header();
-      h.type = static_cast<uint16_t>(PageType::kData);
-      h.payload_bytes = static_cast<uint32_t>(count * kRecordBytes);
-      page.set_header(h);
-      for (size_t i = 0; i < count; ++i) {
-        const auto& [key, entry] = entries[start + i];
-        StoreRecord(page.payload() + i * kRecordBytes, key, entry);
+      const size_t count = EncodeDataPage(entries.data() + start, n_ - start,
+                                          options_.codec, &page);
+      LIDX_CHECK(count > 0);
+      if (page.header().codec !=
+          static_cast<uint16_t>(PageCodec::kPlain)) {
+        ++packed_pages_;
       }
       const uint64_t id = file_->Allocate();
       file_->WritePage(id, &page);
       pages_.push_back(id);
       fence_keys_.push_back(entries[start].first);
+      first_ranks.push_back(start);
+      start += count;
     }
+    if (options_.codec != PageCodec::kPlain) dir_.Build(first_ranks, n_);
   }
 
   // Frees the run's pages. Runs are held by shared_ptr (readers snapshot
@@ -192,14 +209,19 @@ class DiskRun {
     if (it != fence_keys_.begin()) {
       p = static_cast<size_t>(it - fence_keys_.begin()) - 1;
     }
+    std::vector<std::pair<Key, RunEntry<Value>>> tmp;
     for (; p < pages_.size() && !(hi < fence_keys_[p]); ++p) {
       if (io != nullptr) ++io->pages_touched;
       const BufferPool::PageRef ref = pool_->Pin(pages_[p]);
-      const size_t count = ref->header().payload_bytes / kRecordBytes;
-      for (size_t i = 0; i < count; ++i) {
-        Key k;
-        RunEntry<Value> entry;
-        LoadRecord(ref->payload() + i * kRecordBytes, &k, &entry);
+      const DataPageView<Key, Value> view(*ref);
+      tmp.clear();
+      view.DecodeInto(0, view.count(), &tmp, options_.simd);
+      if (view.packed()) {
+        if (io != nullptr) io->records_decoded += view.count();
+        pool_->RecordDecode(view.DecodedBytes(view.count()),
+                            /*partial=*/false);
+      }
+      for (const auto& [k, entry] : tmp) {
         if (k < lo) continue;
         if (hi < k) return out;
         out.emplace_back(k, entry);
@@ -219,13 +241,8 @@ class DiskRun {
     for (const uint64_t id : pages_) {
       LIDX_INVARIANT(file_->ReadPage(id, &page),
                      "diskrun: drain read failed (corrupt or truncated page)");
-      const size_t count = page.header().payload_bytes / kRecordBytes;
-      for (size_t i = 0; i < count; ++i) {
-        Key k;
-        RunEntry<Value> entry;
-        LoadRecord(page.payload() + i * kRecordBytes, &k, &entry);
-        out.emplace_back(k, entry);
-      }
+      const DataPageView<Key, Value> view(page);
+      view.DecodeInto(0, view.count(), &out, options_.simd);
     }
     return out;
   }
@@ -233,11 +250,20 @@ class DiskRun {
   size_t size() const { return n_; }
   size_t NumPages() const { return pages_.size(); }
   size_t NumSegments() const { return segments_.size(); }
+  PageCodec codec() const { return options_.codec; }
+  // Pages whose payload actually packed (the rest fell back to plain).
+  size_t NumPackedPages() const { return packed_pages_; }
+  double KeysPerPage() const {
+    return pages_.empty() ? 0.0
+                          : static_cast<double>(n_) /
+                                static_cast<double>(pages_.size());
+  }
 
   // In-memory footprint only — the records themselves are on disk.
   size_t SizeBytes() const {
     return sizeof(*this) + pages_.capacity() * sizeof(uint64_t) +
-           FenceSizeBytes() + bloom_.SizeBytes() + ModelSizeBytes();
+           FenceSizeBytes() + bloom_.SizeBytes() + ModelSizeBytes() +
+           dir_.SizeBytes();
   }
   size_t ModelSizeBytes() const {
     return segments_.capacity() * sizeof(PlaSegment) +
@@ -256,9 +282,18 @@ class DiskRun {
   void CheckInvariants() const {
     LIDX_INVARIANT(pages_.size() == fence_keys_.size(),
                    "diskrun: fence per page");
-    LIDX_INVARIANT(pages_.size() ==
-                       (n_ + kRecordsPerPage - 1) / kRecordsPerPage,
-                   "diskrun: page count matches entry count");
+    if (options_.codec == PageCodec::kPlain) {
+      LIDX_INVARIANT(pages_.size() ==
+                         (n_ + kRecordsPerPage - 1) / kRecordsPerPage,
+                     "diskrun: page count matches entry count");
+    } else {
+      LIDX_INVARIANT(dir_.num_pages() == pages_.size(),
+                     "diskrun: directory entry per page");
+      LIDX_INVARIANT(n_ == 0 || dir_.FirstRank(0) == 0,
+                     "diskrun: directory starts at rank zero");
+      LIDX_INVARIANT(dir_.FirstRank(pages_.size()) == n_,
+                     "diskrun: directory covers all entries");
+    }
     if (n_ == 0) return;
     LIDX_INVARIANT(!segments_.empty(), "diskrun: has learned segments");
     LIDX_INVARIANT(segments_.size() == segment_first_keys_.size(),
@@ -281,15 +316,23 @@ class DiskRun {
       const PageHeader h = page.header();
       LIDX_INVARIANT(h.type == static_cast<uint16_t>(PageType::kData),
                      "diskrun: data page type");
-      LIDX_INVARIANT(h.payload_bytes % kRecordBytes == 0,
-                     "diskrun: payload holds whole records");
-      const size_t count = h.payload_bytes / kRecordBytes;
-      const size_t expect = std::min(kRecordsPerPage, n_ - p * kRecordsPerPage);
-      LIDX_INVARIANT(count == expect, "diskrun: pages packed densely");
+      const DataPageView<Key, Value> view(page);
+      const size_t count = view.count();
+      if (options_.codec == PageCodec::kPlain) {
+        LIDX_INVARIANT(!view.packed(), "diskrun: plain run has plain pages");
+        const size_t expect =
+            std::min(kRecordsPerPage, n_ - p * kRecordsPerPage);
+        LIDX_INVARIANT(count == expect, "diskrun: pages packed densely");
+      } else {
+        LIDX_INVARIANT(rank == dir_.FirstRank(p),
+                       "diskrun: directory first rank matches layout");
+        LIDX_INVARIANT(count == dir_.CountOf(p),
+                       "diskrun: directory count matches page");
+      }
       for (size_t i = 0; i < count; ++i, ++rank) {
-        Key k;
-        RunEntry<Value> entry;
-        LoadRecord(page.payload() + i * kRecordBytes, &k, &entry);
+        const Key k = view.KeyAt(i);
+        const RunEntry<Value> entry = view.EntryAt(i);
+        (void)entry;
         if (i == 0) {
           LIDX_INVARIANT(!(fence_keys_[p] < k) && !(k < fence_keys_[p]),
                          "diskrun: fence equals page's first key");
@@ -344,8 +387,16 @@ class DiskRun {
     // the last one with fence <= key. If even the window's first fence
     // exceeds the key, the key would have to sit at a rank below the
     // window — impossible if present — so conclude absence with zero I/O.
-    const size_t page_lo = w.lo / kRecordsPerPage;
-    const size_t page_hi = (w.hi - 1) / kRecordsPerPage;
+    // Plain layout divides; compressed layouts ask the packed directory.
+    size_t page_lo;
+    size_t page_hi;
+    if (options_.codec == PageCodec::kPlain) {
+      page_lo = w.lo / kRecordsPerPage;
+      page_hi = (w.hi - 1) / kRecordsPerPage;
+    } else {
+      page_lo = dir_.PageOfRank(w.lo);
+      page_hi = dir_.PageOfRank(w.hi - 1);
+    }
     const auto fence_begin = fence_keys_.begin();
     const auto it = std::upper_bound(fence_begin + page_lo,
                                      fence_begin + (page_hi + 1), key);
@@ -356,26 +407,36 @@ class DiskRun {
 
   // In-page search over the model window ∩ the page's ranks; shared by the
   // scalar (Get) and batched (GetBatch) paths so they agree by
-  // construction.
+  // construction. On a packed page only the window slice is decompressed
+  // (plus the single candidate record), and the decode work is reported to
+  // the per-query stats and the pool's decompressed-bytes counters.
   std::optional<RunEntry<Value>> SearchPage(const Page& page, const Target& t,
                                             const Key& key,
                                             DiskIoStats* io) const {
-    const size_t base = t.page * kRecordsPerPage;
-    const size_t count = page.header().payload_bytes / kRecordBytes;
+    const DataPageView<Key, Value> view(page);
+    const size_t count = view.count();
+    // The rank base comes from the run's layout, not the page's own codec:
+    // in a compressed run even a plain-fallback page holds a variable
+    // record count, so its first rank lives in the directory.
+    const size_t base = options_.codec == PageCodec::kPlain
+                            ? t.page * kRecordsPerPage
+                            : dir_.FirstRank(t.page);
     size_t rlo = std::max(t.lo, base) - base;
     size_t rhi = std::min(t.hi, base + count) - base;
+    if (rlo > count) rlo = count;
+    if (rhi < rlo) rhi = rlo;
+    size_t decoded = 0;
     // Records are packed (no padding), so the keys are not contiguous;
-    // gather the window's keys into a stack buffer and resolve it with one
-    // vectorized count-less-than pass (one search step in the I/O metric).
+    // gather (plain) or bit-unpack (compressed) the window's keys into a
+    // stack buffer and resolve it with one vectorized count-less-than pass
+    // (one search step in the I/O metric).
     if constexpr (std::is_same_v<Key, uint64_t> ||
                   std::is_same_v<Key, double>) {
       if (options_.simd && rlo < rhi && rhi - rlo <= simd::kLinearScanMax) {
         const size_t len = rhi - rlo;
         Key buf[simd::kLinearScanMax];
-        const unsigned char* src = page.payload() + rlo * kRecordBytes;
-        for (size_t i = 0; i < len; ++i) {
-          std::memcpy(&buf[i], src + i * kRecordBytes, sizeof(Key));
-        }
+        view.DecodeKeys(rlo, rhi, buf, options_.simd);
+        if (view.packed()) decoded += len;
         if (io != nullptr) ++io->search_steps;
         rlo += simd::CountLess(buf, len, key);
         rhi = rlo;
@@ -384,34 +445,27 @@ class DiskRun {
     while (rlo < rhi) {
       if (io != nullptr) ++io->search_steps;
       const size_t mid = rlo + (rhi - rlo) / 2;
-      Key rk;
-      std::memcpy(&rk, page.payload() + mid * kRecordBytes, sizeof(Key));
-      if (rk < key) {
+      if (view.packed()) ++decoded;
+      if (view.KeyAt(mid) < key) {
         rlo = mid + 1;
       } else {
         rhi = mid;
       }
     }
+    std::optional<RunEntry<Value>> result;
     if (rlo < count) {
-      Key rk;
-      RunEntry<Value> entry;
-      LoadRecord(page.payload() + rlo * kRecordBytes, &rk, &entry);
-      if (rk == key) return entry;
+      if (view.packed()) ++decoded;
+      if (view.KeyAt(rlo) == key) result = view.EntryAt(rlo);
     }
-    return std::nullopt;
-  }
-
-  static void StoreRecord(unsigned char* dst, const Key& key,
-                          const RunEntry<Value>& entry) {
-    std::memcpy(dst, &key, sizeof(Key));
-    std::memcpy(dst + sizeof(Key), &entry.value, sizeof(Value));
-    dst[sizeof(Key) + sizeof(Value)] = entry.deleted ? 1 : 0;
-  }
-  static void LoadRecord(const unsigned char* src, Key* key,
-                         RunEntry<Value>* entry) {
-    std::memcpy(key, src, sizeof(Key));
-    std::memcpy(&entry->value, src + sizeof(Key), sizeof(Value));
-    entry->deleted = src[sizeof(Key) + sizeof(Value)] != 0;
+    if (decoded > 0) {
+      const bool partial = decoded < count;
+      if (io != nullptr) {
+        io->records_decoded += decoded;
+        if (partial) ++io->partial_decodes;
+      }
+      pool_->RecordDecode(view.DecodedBytes(decoded), partial);
+    }
+    return result;
   }
 
   // Last segment with first_key <= k.
@@ -431,6 +485,11 @@ class DiskRun {
   BloomFilter bloom_;
   std::vector<PlaSegment> segments_;
   std::vector<double> segment_first_keys_;
+  // Compressed layout only: per-page first global ranks (variable records
+  // per page make rank -> page a directory lookup, not a division), and
+  // how many pages actually packed.
+  PackedRankDirectory dir_;
+  size_t packed_pages_ = 0;
 };
 
 }  // namespace lidx::storage

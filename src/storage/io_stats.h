@@ -23,6 +23,13 @@ struct DiskIoStats {
   // disk benches plot next to pages-per-lookup.
   uint64_t batched_lookups = 0;
   uint64_t async_page_reads = 0;
+  // Compressed-page accounting (storage/page_codec.h): records materialized
+  // from packed pages by queries, and how many of those page visits decoded
+  // only a slice of the page (the ε-window partial-decode fast path) rather
+  // than the whole thing. Plain pages never count here — they are read in
+  // place, not decompressed.
+  uint64_t records_decoded = 0;  // Records materialized from packed pages.
+  uint64_t partial_decodes = 0;  // Packed-page visits that decoded a slice.
 };
 
 // Counters an AsyncReadEngine keeps over its lifetime. One engine serves

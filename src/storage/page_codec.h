@@ -1,0 +1,638 @@
+#ifndef LIDX_STORAGE_PAGE_CODEC_H_
+#define LIDX_STORAGE_PAGE_CODEC_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/invariants.h"
+#include "common/macros.h"
+#include "common/simd.h"
+#include "lsm/run.h"
+#include "storage/page.h"
+
+namespace lidx::storage {
+
+// ----- Compressed data-page codec -----
+//
+// Per-page columnar compression for sorted key/value records, in the
+// LeCo / frame-of-reference family: each page stores its keys and values
+// as two bit-packed residual streams against a tiny per-page linear
+// predictor, so a 4 KiB page holds several times more records than the
+// plain fixed-width layout while still supporting O(1) random access by
+// in-page rank — which is what lets the disk run decode only the ε-window
+// slice a lookup actually needs.
+//
+// Packed payload layout (PageCodec::kFor / kDelta):
+//
+//   [PackedPayloadHeader 56 B]
+//   [key residual stream: record_count fields of key_bits, LSB-first]
+//   [value residual stream: record_count fields of val_bits, LSB-first]
+//   [tombstone bitmap: ceil(record_count / 8) bytes, iff flags bit 0]
+//   ... >= kCodecSlackBytes unused payload bytes (decode over-read room)
+//
+// The predictor for element i of an n-record column is
+//
+//   pred_i = base + floor(span * i / (n - 1))        (span = 0 for kFor)
+//
+// evaluated in 128-bit integer arithmetic, so encode and decode are exact
+// and deterministic on every platform. The stored field is
+// (x_i - pred_i) - res_min, an unsigned value of at most `bits` bits;
+// reconstruction is pred_i + res_min + field, with uint64_t wraparound
+// doing the right thing for the full key range.
+//
+// kDelta fits the slope through the first and last element — ideal for
+// the sorted key column, where residuals are bounded by the page's
+// deviation from linearity. kFor is the span-0 special case (offsets from
+// the first element), which is what unsorted value columns usually want;
+// requesting kDelta applies the slope to both columns and still degrades
+// to near-FOR behaviour when a column isn't linear (the residual width
+// simply grows).
+//
+// The encoder is fallback-by-construction: it packs the longest entry
+// prefix that fits the page, and if that doesn't beat the plain layout's
+// record count (wild residuals, unpackable types), it writes a plain page
+// instead. Every page self-identifies via the header's codec tag, so a
+// single run may mix packed and plain pages and a reader never guesses.
+//
+// Bit-twiddling policy (enforced by lidx-lint's raw-unpack rule): the
+// shift/mask bitstream idioms live only here and in the common/simd.h
+// unpack kernels; everything else decodes through DataPageView.
+
+// Unused payload bytes every packed page keeps after its last stream so
+// the SIMD unpack kernels may over-read whole 8-byte windows without
+// leaving the page (see simd::UnpackBitsScalar's contract).
+inline constexpr size_t kCodecSlackBytes = 8;
+
+// record_count is a uint16_t in the page header.
+inline constexpr size_t kMaxPageRecords = 65535;
+
+// Record types the packed codecs accept; everything else always takes the
+// plain layout. Unsigned integrals reconstruct exactly under the codec's
+// wraparound arithmetic.
+template <typename Key, typename Value>
+inline constexpr bool kPackableRecord =
+    std::is_unsigned_v<Key> && sizeof(Key) <= 8 && std::is_unsigned_v<Value> &&
+    sizeof(Value) <= 8;
+
+// Plain-layout record size: [key][value][tombstone byte]. Also the
+// "uncompressed bytes" unit the decode counters report.
+template <typename Key, typename Value>
+inline constexpr size_t kPlainRecordBytes = sizeof(Key) + sizeof(Value) + 1;
+
+// Payload-embedded header of a packed page. Field order groups the two
+// column descriptors; explicit reserved tail keeps sizeof padding-free so
+// page CRCs stay deterministic.
+struct PackedPayloadHeader {
+  uint64_t key_base = 0;
+  int64_t key_span = 0;
+  int64_t key_res_min = 0;
+  uint64_t val_base = 0;
+  int64_t val_span = 0;
+  int64_t val_res_min = 0;
+  uint8_t key_bits = 0;
+  uint8_t val_bits = 0;
+  uint8_t flags = 0;  // Bit 0: tombstone bitmap present.
+  uint8_t reserved[5] = {};
+};
+static_assert(std::is_trivially_copyable_v<PackedPayloadHeader>);
+static_assert(sizeof(PackedPayloadHeader) == 56,
+              "packed payload header layout is part of the on-disk format");
+
+inline constexpr uint8_t kPackedFlagTombstones = 1;
+
+// floor(base + span * i / (n - 1)) in 128-bit arithmetic; the shared
+// predictor of encoder and decoder.
+inline uint64_t PackedPredict(uint64_t base, int64_t span, size_t i,
+                              size_t n) {
+  if (span == 0 || n <= 1) return base;
+  using I128 = __int128;
+  return static_cast<uint64_t>(
+      static_cast<I128>(base) +
+      static_cast<I128>(span) * static_cast<I128>(i) /
+          static_cast<I128>(n - 1));
+}
+
+// Writes `value`'s low `bits` bits at absolute bit `bit_offset` of `dst`,
+// LSB-first. Requires the destination bytes to start zeroed (fresh page)
+// and, like the unpack kernels, 8 writable bytes past the field's last
+// byte. lidx-lint: allow(raw-unpack) — this file owns the bitstream idiom.
+inline void PackBits(unsigned char* dst, size_t bit_offset, unsigned bits,
+                     uint64_t value) {
+  if (bits == 0) return;
+  const size_t byte = bit_offset >> 3;
+  const unsigned shift = static_cast<unsigned>(bit_offset & 7);
+  const uint64_t mask =
+      bits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+  const uint64_t v = value & mask;
+  uint64_t w;
+  std::memcpy(&w, dst + byte, sizeof(w));
+  w |= v << shift;
+  std::memcpy(dst + byte, &w, sizeof(w));
+  if (shift != 0 && shift + bits > 64) {
+    dst[byte + 8] = static_cast<unsigned char>(
+        dst[byte + 8] | static_cast<unsigned char>(v >> (64u - shift)));
+  }
+}
+
+// Single-field read; the batched form is simd::UnpackBits.
+inline uint64_t ExtractBits(const unsigned char* src, size_t bit_offset,
+                            unsigned bits) {
+  uint64_t v = 0;
+  simd::UnpackBitsScalar(src, bit_offset, bits, 1, &v);
+  return v;
+}
+
+// ----- Encoder -----
+
+// One column's fitted predictor + residual width. `ok` is false when the
+// column cannot be packed (residual range needs > 64 bits, or the span /
+// minimum overflow their fields) and the page must go plain.
+struct ColumnPlan {
+  uint64_t base = 0;
+  int64_t span = 0;
+  int64_t res_min = 0;
+  unsigned bits = 0;
+  bool ok = false;
+};
+
+// Fits the predictor over column elements get(0..n) and measures the
+// residual range. All arithmetic 128-bit so the extremes of the uint64_t
+// domain stay exact.
+template <typename Get>
+inline ColumnPlan PlanColumn(Get&& get, size_t n, bool use_slope) {
+  using I128 = __int128;
+  ColumnPlan plan;
+  plan.base = get(0);
+  I128 span = 0;
+  if (use_slope && n > 1) {
+    span = static_cast<I128>(get(n - 1)) - static_cast<I128>(plan.base);
+    if (span > std::numeric_limits<int64_t>::max() ||
+        span < std::numeric_limits<int64_t>::min()) {
+      return plan;
+    }
+    plan.span = static_cast<int64_t>(span);
+  }
+  I128 rmin = 0;
+  I128 rmax = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const I128 pred =
+        static_cast<I128>(plan.base) +
+        (plan.span != 0 ? span * static_cast<I128>(i) /
+                              static_cast<I128>(n - 1)
+                        : 0);
+    const I128 r = static_cast<I128>(get(i)) - pred;
+    rmin = (i == 0) ? r : std::min(rmin, r);
+    rmax = (i == 0) ? r : std::max(rmax, r);
+  }
+  if (rmin < std::numeric_limits<int64_t>::min() ||
+      rmin > std::numeric_limits<int64_t>::max()) {
+    return plan;
+  }
+  const I128 range = rmax - rmin;
+  if (range > static_cast<I128>(std::numeric_limits<uint64_t>::max())) {
+    return plan;
+  }
+  plan.res_min = static_cast<int64_t>(rmin);
+  plan.bits = static_cast<unsigned>(
+      std::bit_width(static_cast<uint64_t>(range)));
+  plan.ok = true;
+  return plan;
+}
+
+// Payload bytes a packed page of m records needs, slack included.
+inline size_t PackedPayloadBytes(size_t m, unsigned key_bits,
+                                 unsigned val_bits, bool tombstones) {
+  return sizeof(PackedPayloadHeader) + (m * key_bits + 7) / 8 +
+         (m * val_bits + 7) / 8 + (tombstones ? (m + 7) / 8 : 0) +
+         kCodecSlackBytes;
+}
+
+namespace codec_detail {
+
+template <typename Key, typename Value>
+struct PackedFit {
+  size_t m = 0;
+  ColumnPlan keys;
+  ColumnPlan vals;
+  bool tombstones = false;
+  size_t bytes = 0;  // Payload bytes used, slack excluded.
+};
+
+// Plans a packed encoding of the first m entries; nullopt when it cannot
+// fit (or cannot be represented).
+template <typename Key, typename Value>
+std::optional<PackedFit<Key, Value>> TryFit(
+    const std::pair<Key, RunEntry<Value>>* entries, size_t m, bool slope) {
+  PackedFit<Key, Value> fit;
+  fit.m = m;
+  fit.keys = PlanColumn(
+      [&](size_t i) { return static_cast<uint64_t>(entries[i].first); }, m,
+      slope);
+  if (!fit.keys.ok) return std::nullopt;
+  fit.vals = PlanColumn(
+      [&](size_t i) {
+        return static_cast<uint64_t>(entries[i].second.value);
+      },
+      m, slope);
+  if (!fit.vals.ok) return std::nullopt;
+  fit.tombstones = false;
+  for (size_t i = 0; i < m; ++i) {
+    if (entries[i].second.deleted) {
+      fit.tombstones = true;
+      break;
+    }
+  }
+  const size_t with_slack = PackedPayloadBytes(m, fit.keys.bits,
+                                               fit.vals.bits, fit.tombstones);
+  if (with_slack > kPagePayloadSize) return std::nullopt;
+  fit.bytes = with_slack - kCodecSlackBytes;
+  return fit;
+}
+
+}  // namespace codec_detail
+
+// Encodes a maximal prefix of entries[0..n) into `page` (payload plus the
+// header's type/codec/record_count/payload_bytes fields; the FileManager
+// stamps identity and CRC at write time) and returns how many records were
+// consumed. `requested` is a preference: the encoder falls back to kPlain
+// per page whenever packing does not beat the plain layout's record count
+// or the record type is unpackable. `page` must be freshly zeroed.
+template <typename Key, typename Value>
+size_t EncodeDataPage(const std::pair<Key, RunEntry<Value>>* entries,
+                      size_t n, PageCodec requested, Page* page) {
+  constexpr size_t kRecordBytes = kPlainRecordBytes<Key, Value>;
+  constexpr size_t kPlainCap = kPagePayloadSize / kRecordBytes;
+  if (n == 0) return 0;
+  const size_t take_plain = std::min(n, kPlainCap);
+
+  auto write_plain = [&]() {
+    PageHeader h = page->header();
+    h.type = static_cast<uint16_t>(PageType::kData);
+    h.codec = static_cast<uint16_t>(PageCodec::kPlain);
+    h.record_count = static_cast<uint16_t>(take_plain);
+    h.payload_bytes = static_cast<uint32_t>(take_plain * kRecordBytes);
+    page->set_header(h);
+    for (size_t i = 0; i < take_plain; ++i) {
+      unsigned char* dst = page->payload() + i * kRecordBytes;
+      std::memcpy(dst, &entries[i].first, sizeof(Key));
+      std::memcpy(dst + sizeof(Key), &entries[i].second.value, sizeof(Value));
+      dst[sizeof(Key) + sizeof(Value)] = entries[i].second.deleted ? 1 : 0;
+    }
+    return take_plain;
+  };
+
+  if (requested == PageCodec::kPlain) return write_plain();
+  if constexpr (!kPackableRecord<Key, Value>) {
+    return write_plain();
+  } else {
+    using Fit = codec_detail::PackedFit<Key, Value>;
+    const bool slope = requested == PageCodec::kDelta;
+    const size_t cap = std::min(n, kMaxPageRecords);
+    // Find a (near-)maximal prefix that packs into one page: gallop up by
+    // doubling while feasible, then binary-search the boundary. Residual
+    // widths are not strictly monotone in m (the kDelta slope refits), so
+    // this is a greedy heuristic — every probe is re-planned from scratch
+    // and only verified fits are kept.
+    std::optional<Fit> best;
+    size_t probe = 1;
+    while (probe <= cap) {
+      std::optional<Fit> f =
+          codec_detail::TryFit<Key, Value>(entries, probe, slope);
+      if (!f.has_value()) break;
+      best = std::move(f);
+      if (probe == cap) break;
+      probe = std::min(cap, probe * 2);
+    }
+    if (best.has_value() && best->m < cap) {
+      size_t lo = best->m + 1;
+      size_t hi = std::min(cap, best->m * 2);
+      while (lo <= hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        std::optional<Fit> f =
+            codec_detail::TryFit<Key, Value>(entries, mid, slope);
+        if (f.has_value()) {
+          best = std::move(f);
+          lo = mid + 1;
+        } else {
+          hi = mid - 1;
+        }
+      }
+    }
+    if (!best.has_value() || best->m <= take_plain) return write_plain();
+
+    const Fit& fit = *best;
+    const size_t m = fit.m;
+    PackedPayloadHeader ph;
+    ph.key_base = fit.keys.base;
+    ph.key_span = fit.keys.span;
+    ph.key_res_min = fit.keys.res_min;
+    ph.val_base = fit.vals.base;
+    ph.val_span = fit.vals.span;
+    ph.val_res_min = fit.vals.res_min;
+    ph.key_bits = static_cast<uint8_t>(fit.keys.bits);
+    ph.val_bits = static_cast<uint8_t>(fit.vals.bits);
+    ph.flags = fit.tombstones ? kPackedFlagTombstones : 0;
+    unsigned char* payload = page->payload();
+    std::memcpy(payload, &ph, sizeof(ph));
+    const size_t keys_off = sizeof(PackedPayloadHeader);
+    const size_t vals_off = keys_off + (m * fit.keys.bits + 7) / 8;
+    const size_t tomb_off = vals_off + (m * fit.vals.bits + 7) / 8;
+    using I128 = __int128;
+    for (size_t i = 0; i < m; ++i) {
+      const I128 kpred = static_cast<I128>(
+          PackedPredict(fit.keys.base, fit.keys.span, i, m));
+      const uint64_t kres = static_cast<uint64_t>(
+          static_cast<I128>(static_cast<uint64_t>(entries[i].first)) - kpred -
+          static_cast<I128>(fit.keys.res_min));
+      PackBits(payload + keys_off, i * fit.keys.bits, fit.keys.bits, kres);
+      const I128 vpred = static_cast<I128>(
+          PackedPredict(fit.vals.base, fit.vals.span, i, m));
+      const uint64_t vres = static_cast<uint64_t>(
+          static_cast<I128>(static_cast<uint64_t>(entries[i].second.value)) -
+          vpred - static_cast<I128>(fit.vals.res_min));
+      PackBits(payload + vals_off, i * fit.vals.bits, fit.vals.bits, vres);
+      if (fit.tombstones && entries[i].second.deleted) {
+        unsigned char* b = payload + tomb_off + (i >> 3);
+        *b = static_cast<unsigned char>(*b | (1u << (i & 7)));
+      }
+    }
+    PageHeader h = page->header();
+    h.type = static_cast<uint16_t>(PageType::kData);
+    h.codec = static_cast<uint16_t>(requested);
+    h.record_count = static_cast<uint16_t>(m);
+    h.payload_bytes = static_cast<uint32_t>(fit.bytes);
+    page->set_header(h);
+    return m;
+  }
+}
+
+// ----- Decoder -----
+
+// Read-only typed view over one kData page, plain or packed. Construction
+// validates the codec-level framing (stream bounds, field widths, record
+// counts) on top of the page-level magic/CRC checks the FileManager
+// already did, and aborts on violation — a page that passed its checksum
+// but carries an inconsistent codec header is corruption, not input.
+template <typename Key, typename Value>
+class DataPageView {
+ public:
+  static constexpr size_t kRecordBytes = kPlainRecordBytes<Key, Value>;
+
+  explicit DataPageView(const Page& page) : page_(&page) {
+    const PageHeader h = page.header();
+    LIDX_INVARIANT(h.type == static_cast<uint16_t>(PageType::kData),
+                   "page codec: data page expected");
+    codec_ = static_cast<PageCodec>(h.codec);
+    if (codec_ == PageCodec::kPlain) {
+      LIDX_INVARIANT(h.payload_bytes <= kPagePayloadSize,
+                     "page codec: plain payload within page");
+      LIDX_INVARIANT(h.payload_bytes % kRecordBytes == 0,
+                     "page codec: plain payload holds whole records");
+      count_ = h.payload_bytes / kRecordBytes;
+      LIDX_INVARIANT(h.record_count == count_,
+                     "page codec: plain record_count matches payload");
+      return;
+    }
+    LIDX_INVARIANT(codec_ == PageCodec::kFor || codec_ == PageCodec::kDelta,
+                   "page codec: known codec tag");
+    if constexpr (kPackableRecord<Key, Value>) {
+      LIDX_INVARIANT(h.payload_bytes >= sizeof(PackedPayloadHeader),
+                     "page codec: packed header present");
+      LIDX_INVARIANT(h.payload_bytes + kCodecSlackBytes <= kPagePayloadSize,
+                     "page codec: packed payload leaves decode slack");
+      std::memcpy(&ph_, page.payload(), sizeof(ph_));
+      count_ = h.record_count;
+      LIDX_INVARIANT(count_ > 0, "page codec: packed page not empty");
+      LIDX_INVARIANT(ph_.key_bits <= 64 && ph_.val_bits <= 64,
+                     "page codec: field widths fit a word");
+      keys_off_ = sizeof(PackedPayloadHeader);
+      vals_off_ = keys_off_ + (count_ * ph_.key_bits + 7) / 8;
+      tomb_off_ = vals_off_ + (count_ * ph_.val_bits + 7) / 8;
+      const size_t end =
+          tomb_off_ +
+          ((ph_.flags & kPackedFlagTombstones) != 0 ? (count_ + 7) / 8 : 0);
+      LIDX_INVARIANT(end <= h.payload_bytes,
+                     "page codec: streams within payload bound");
+    } else {
+      LIDX_INVARIANT(false, "page codec: packed page for unpackable record");
+    }
+  }
+
+  size_t count() const { return count_; }
+  PageCodec codec() const { return codec_; }
+  bool packed() const { return codec_ != PageCodec::kPlain; }
+
+  // Uncompressed bytes `records` decoded records represent (the decode
+  // counters' unit — comparable across codecs).
+  static size_t DecodedBytes(size_t records) {
+    return records * kRecordBytes;
+  }
+
+  Key KeyAt(size_t i) const {
+    LIDX_DCHECK(i < count_);
+    if (codec_ == PageCodec::kPlain) {
+      Key k;
+      std::memcpy(&k, page_->payload() + i * kRecordBytes, sizeof(Key));
+      return k;
+    }
+    if constexpr (kPackableRecord<Key, Value>) {
+      const uint64_t res =
+          ExtractBits(page_->payload() + keys_off_,
+                      i * ph_.key_bits, ph_.key_bits);
+      return static_cast<Key>(Reconstruct(ph_.key_base, ph_.key_span,
+                                          ph_.key_res_min, i, res));
+    }
+    LIDX_CHECK(false);  // Ctor rejects packed pages of unpackable records.
+    return Key{};
+  }
+
+  RunEntry<Value> EntryAt(size_t i) const {
+    LIDX_DCHECK(i < count_);
+    RunEntry<Value> entry;
+    if (codec_ == PageCodec::kPlain) {
+      const unsigned char* src = page_->payload() + i * kRecordBytes;
+      std::memcpy(&entry.value, src + sizeof(Key), sizeof(Value));
+      entry.deleted = src[sizeof(Key) + sizeof(Value)] != 0;
+      return entry;
+    }
+    if constexpr (kPackableRecord<Key, Value>) {
+      const uint64_t res =
+          ExtractBits(page_->payload() + vals_off_,
+                      i * ph_.val_bits, ph_.val_bits);
+      entry.value = static_cast<Value>(Reconstruct(
+          ph_.val_base, ph_.val_span, ph_.val_res_min, i, res));
+      entry.deleted = TombstoneAt(i);
+      return entry;
+    }
+    LIDX_CHECK(false);  // Ctor rejects packed pages of unpackable records.
+    return entry;
+  }
+
+  // Keys [lo, hi) into out. Packed pages go through the dispatched SIMD
+  // unpack kernel (or its scalar twin when use_simd is false) in
+  // stack-chunked batches; plain pages are a strided copy.
+  void DecodeKeys(size_t lo, size_t hi, Key* out, bool use_simd) const {
+    LIDX_DCHECK(lo <= hi && hi <= count_);
+    if (codec_ == PageCodec::kPlain) {
+      for (size_t i = lo; i < hi; ++i) {
+        std::memcpy(out + (i - lo), page_->payload() + i * kRecordBytes,
+                    sizeof(Key));
+      }
+      return;
+    }
+    if constexpr (kPackableRecord<Key, Value>) {
+      uint64_t buf[kDecodeChunk];
+      const unsigned char* src = page_->payload() + keys_off_;
+      for (size_t i = lo; i < hi;) {
+        const size_t len = std::min(hi - i, kDecodeChunk);
+        if (use_simd) {
+          simd::UnpackBits(src, i * ph_.key_bits, ph_.key_bits, len, buf);
+        } else {
+          simd::UnpackBitsScalar(src, i * ph_.key_bits, ph_.key_bits, len,
+                                 buf);
+        }
+        for (size_t j = 0; j < len; ++j) {
+          out[i - lo + j] = static_cast<Key>(Reconstruct(
+              ph_.key_base, ph_.key_span, ph_.key_res_min, i + j, buf[j]));
+        }
+        i += len;
+      }
+    }
+  }
+
+  // Appends records [lo, hi) to out.
+  void DecodeInto(size_t lo, size_t hi,
+                  std::vector<std::pair<Key, RunEntry<Value>>>* out,
+                  bool use_simd) const {
+    LIDX_DCHECK(lo <= hi && hi <= count_);
+    if (codec_ == PageCodec::kPlain) {
+      for (size_t i = lo; i < hi; ++i) {
+        out->emplace_back(KeyAt(i), EntryAt(i));
+      }
+      return;
+    }
+    if constexpr (kPackableRecord<Key, Value>) {
+      uint64_t kbuf[kDecodeChunk];
+      uint64_t vbuf[kDecodeChunk];
+      const unsigned char* ksrc = page_->payload() + keys_off_;
+      const unsigned char* vsrc = page_->payload() + vals_off_;
+      for (size_t i = lo; i < hi;) {
+        const size_t len = std::min(hi - i, kDecodeChunk);
+        if (use_simd) {
+          simd::UnpackBits(ksrc, i * ph_.key_bits, ph_.key_bits, len, kbuf);
+          simd::UnpackBits(vsrc, i * ph_.val_bits, ph_.val_bits, len, vbuf);
+        } else {
+          simd::UnpackBitsScalar(ksrc, i * ph_.key_bits, ph_.key_bits, len,
+                                 kbuf);
+          simd::UnpackBitsScalar(vsrc, i * ph_.val_bits, ph_.val_bits, len,
+                                 vbuf);
+        }
+        for (size_t j = 0; j < len; ++j) {
+          RunEntry<Value> entry;
+          entry.value = static_cast<Value>(
+              Reconstruct(ph_.val_base, ph_.val_span, ph_.val_res_min, i + j,
+                          vbuf[j]));
+          entry.deleted = TombstoneAt(i + j);
+          out->emplace_back(
+              static_cast<Key>(Reconstruct(ph_.key_base, ph_.key_span,
+                                           ph_.key_res_min, i + j, kbuf[j])),
+              entry);
+        }
+        i += len;
+      }
+    }
+  }
+
+ private:
+  static constexpr size_t kDecodeChunk = 256;
+
+  uint64_t Reconstruct(uint64_t base, int64_t span, int64_t res_min,
+                       size_t i, uint64_t stored) const {
+    using I128 = __int128;
+    return static_cast<uint64_t>(
+        static_cast<I128>(PackedPredict(base, span, i, count_)) +
+        static_cast<I128>(res_min) + static_cast<I128>(stored));
+  }
+
+  bool TombstoneAt(size_t i) const {
+    if ((ph_.flags & kPackedFlagTombstones) == 0) return false;
+    return (page_->payload()[tomb_off_ + i / 8] >> (i % 8) & 1u) != 0;
+  }
+
+  const Page* page_;
+  PageCodec codec_ = PageCodec::kPlain;
+  size_t count_ = 0;
+  PackedPayloadHeader ph_;
+  size_t keys_off_ = 0;
+  size_t vals_off_ = 0;
+  size_t tomb_off_ = 0;
+};
+
+// ----- Packed page directory -----
+//
+// With variable records per page, rank -> page is no longer a division;
+// this directory stores each page's first global rank, itself bit-packed
+// to bit_width(total) per entry, so a billion-key run's directory stays a
+// few MiB. Lookups are O(1) by page and O(log pages) by rank.
+class PackedRankDirectory {
+ public:
+  void Build(const std::vector<uint64_t>& first_ranks, uint64_t total) {
+    num_pages_ = first_ranks.size();
+    total_ = total;
+    bits_ = std::max(1u, static_cast<unsigned>(std::bit_width(total)));
+    data_.assign((num_pages_ * bits_ + 7) / 8 + kCodecSlackBytes, 0);
+    for (size_t p = 0; p < num_pages_; ++p) {
+      LIDX_DCHECK(p == 0 || first_ranks[p] > first_ranks[p - 1]);
+      PackBits(data_.data(), p * bits_, bits_, first_ranks[p]);
+    }
+  }
+
+  bool empty() const { return num_pages_ == 0; }
+  size_t num_pages() const { return num_pages_; }
+
+  // First global rank of page p; p == num_pages() yields the total (the
+  // one-past-the-end sentinel, so CountOf needs no special cases).
+  uint64_t FirstRank(size_t p) const {
+    LIDX_DCHECK(p <= num_pages_);
+    if (p == num_pages_) return total_;
+    return ExtractBits(data_.data(), p * bits_, bits_);
+  }
+
+  size_t CountOf(size_t p) const { return FirstRank(p + 1) - FirstRank(p); }
+
+  // Last page with FirstRank <= rank. Requires rank < total.
+  size_t PageOfRank(uint64_t rank) const {
+    LIDX_DCHECK(rank < total_);
+    size_t lo = 0;
+    size_t hi = num_pages_;
+    while (hi - lo > 1) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (FirstRank(mid) <= rank) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t SizeBytes() const { return sizeof(*this) + data_.capacity(); }
+
+ private:
+  std::vector<unsigned char> data_;
+  size_t num_pages_ = 0;
+  uint64_t total_ = 0;
+  unsigned bits_ = 1;
+};
+
+}  // namespace lidx::storage
+
+#endif  // LIDX_STORAGE_PAGE_CODEC_H_

@@ -692,5 +692,56 @@ TEST(IndexSimdEquivalenceTest, LookupBatchMatchesScalarFindAtEveryLevel) {
   }
 }
 
+// ----- UnpackBits: the page-codec decode kernel ---------------------------
+
+// Reference packer: LSB-first fixed-width fields, independent of the
+// kernel under test (page_codec.h's PackBits is not reused on purpose).
+void ReferencePack(const std::vector<uint64_t>& values, unsigned bits,
+                   size_t bit_offset, std::vector<unsigned char>* buf) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (unsigned b = 0; b < bits; ++b) {
+      if ((values[i] >> b) & 1u) {
+        const size_t bo = bit_offset + i * bits + b;
+        // lidx-lint: allow(raw-unpack): independent reference packer.
+        (*buf)[bo >> 3] |= static_cast<unsigned char>(1u << (bo & 7));
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, UnpackBitsMatchesScalarAtEveryLevel) {
+  LevelGuard guard;
+  std::mt19937_64 rng(20240807);
+  for (unsigned bits = 0; bits <= 64; ++bits) {
+    const uint64_t mask =
+        bits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+    for (const size_t count : {1u, 3u, 4u, 5u, 64u, 257u}) {
+      const size_t bit_offset = rng() % 13;
+      std::vector<uint64_t> values(count);
+      for (uint64_t& v : values) v = rng() & mask;
+      // 8 bytes of slack past the packed stream, as the page layout
+      // guarantees (kCodecSlackBytes).
+      std::vector<unsigned char> buf(
+          (bit_offset + count * size_t{bits} + 7) / 8 + 8, 0);
+      ReferencePack(values, bits, bit_offset, &buf);
+      std::vector<uint64_t> scalar_out(count, ~uint64_t{0});
+      simd::UnpackBitsScalar(buf.data(), bit_offset, bits, count,
+                             scalar_out.data());
+      for (size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(scalar_out[i], values[i]) << "bits=" << bits << " i=" << i;
+      }
+      for (simd::Level level : RunnableLevels()) {
+        simd::SetLevel(level);
+        std::vector<uint64_t> out(count, ~uint64_t{0});
+        simd::UnpackBits(buf.data(), bit_offset, bits, count, out.data());
+        for (size_t i = 0; i < count; ++i) {
+          ASSERT_EQ(out[i], scalar_out[i])
+              << simd::LevelName(level) << " bits=" << bits << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lidx

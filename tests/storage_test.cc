@@ -368,6 +368,301 @@ TEST(DiskRunDeathTest, CheckInvariantsCatchesOnDiskCorruption) {
   EXPECT_DEATH(run.CheckInvariants(), "page readable and checksummed");
 }
 
+// ----- Page codec: packed pages, fallback, and equivalence -----
+
+// Clustered keys with near-linear values: the shape the packed codecs are
+// built for. Tombstones sprinkle through so the bitmap stream is exercised.
+std::vector<std::pair<uint64_t, Entry>> CompressibleEntries(size_t n,
+                                                            uint64_t seed) {
+  const auto keys = GenerateKeys(KeyDistribution::kLognormal, n, seed);
+  std::vector<std::pair<uint64_t, Entry>> entries;
+  entries.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    entries.emplace_back(keys[i], Entry{i * 2 + (i % 5), i % 11 == 0});
+  }
+  return entries;
+}
+
+TEST(PageCodecTest, EncodeDecodeRoundTripAllCodecs) {
+  const auto entries = CompressibleEntries(4000, 2027);
+  for (const PageCodec codec :
+       {PageCodec::kPlain, PageCodec::kFor, PageCodec::kDelta}) {
+    Page page{};
+    const size_t count =
+        EncodeDataPage(entries.data(), entries.size(), codec, &page);
+    ASSERT_GT(count, 0u);
+    const DataPageView<uint64_t, uint64_t> view(page);
+    ASSERT_EQ(view.count(), count);
+    if (codec == PageCodec::kPlain) {
+      EXPECT_FALSE(view.packed());
+      EXPECT_EQ(count, DRun::kRecordsPerPage);
+    } else {
+      // These entries compress; a packed page must beat the plain count.
+      EXPECT_TRUE(view.packed());
+      EXPECT_GT(count, DRun::kRecordsPerPage);
+    }
+    // Per-record access and bulk decode agree with the input, SIMD or not.
+    std::vector<std::pair<uint64_t, Entry>> decoded;
+    view.DecodeInto(0, count, &decoded, /*use_simd=*/true);
+    ASSERT_EQ(decoded.size(), count);
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(decoded[i].first, entries[i].first);
+      EXPECT_EQ(decoded[i].second.value, entries[i].second.value);
+      EXPECT_EQ(decoded[i].second.deleted, entries[i].second.deleted);
+      EXPECT_EQ(view.KeyAt(i), entries[i].first);
+      EXPECT_EQ(view.EntryAt(i).value, entries[i].second.value);
+      EXPECT_EQ(view.EntryAt(i).deleted, entries[i].second.deleted);
+    }
+    // Window decodes (the ε-slice path) match the full decode.
+    uint64_t buf[64];
+    for (const size_t lo : {size_t{0}, count / 3, count - 10}) {
+      const size_t hi = std::min(lo + 64, count);
+      view.DecodeKeys(lo, hi, buf, /*use_simd=*/false);
+      for (size_t i = lo; i < hi; ++i) EXPECT_EQ(buf[i - lo], view.KeyAt(i));
+      view.DecodeKeys(lo, hi, buf, /*use_simd=*/true);
+      for (size_t i = lo; i < hi; ++i) EXPECT_EQ(buf[i - lo], view.KeyAt(i));
+    }
+  }
+}
+
+TEST(PageCodecTest, TinyPageFallsBackToPlain) {
+  // One or two records can never amortize the 56-byte packed header, so
+  // the encoder's per-page fallback must emit plain regardless of request.
+  const auto entries = CompressibleEntries(2, 2029);
+  for (const PageCodec codec : {PageCodec::kFor, PageCodec::kDelta}) {
+    Page page{};
+    const size_t count =
+        EncodeDataPage(entries.data(), entries.size(), codec, &page);
+    EXPECT_EQ(count, 2u);
+    EXPECT_EQ(page.header().codec, static_cast<uint16_t>(PageCodec::kPlain));
+    const DataPageView<uint64_t, uint64_t> view(page);
+    EXPECT_FALSE(view.packed());
+    EXPECT_EQ(view.KeyAt(0), entries[0].first);
+    EXPECT_EQ(view.KeyAt(1), entries[1].first);
+  }
+}
+
+TEST(DiskRunCodecTest, MixedPackedAndFallbackPagesResolveEveryKey) {
+  // Regression: a compressed run may contain plain-fallback pages (here
+  // the short tail page under kFor); their rank base must come from the
+  // packed directory, not the plain division. This dataset is pinned
+  // because it produces exactly that mix.
+  const auto keys = GenerateKeys(KeyDistribution::kLognormal, 20000, 4242);
+  std::vector<std::pair<uint64_t, Entry>> entries;
+  entries.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    entries.emplace_back(keys[i], Entry{i, false});
+  }
+  FileManager file(FreshFile("codec_mixed"));
+  BufferPool pool(&file, 64);
+  DRun::Options opts;
+  opts.codec = PageCodec::kFor;
+  DRun run(entries, &file, &pool, opts);
+  ASSERT_GT(run.NumPackedPages(), 0u);
+  ASSERT_LT(run.NumPackedPages(), run.NumPages()) << "dataset drifted: no "
+      "fallback page; pick one that mixes packed and plain pages";
+  run.CheckInvariants();
+  for (const auto& [key, entry] : entries) {
+    const auto got = run.Get(key, nullptr);
+    ASSERT_TRUE(got.has_value()) << key;
+    EXPECT_EQ(got->value, entry.value);
+  }
+}
+
+TEST(DiskRunCodecTest, MatchesPlainAcrossCodecsEpsilonsAndBackends) {
+  const auto entries = MakeEntries(12000, 1901);
+  Rng rng(1907);
+  // Probe stream: every key plus a near-miss for each.
+  std::vector<uint64_t> probes;
+  probes.reserve(entries.size() * 2);
+  for (const auto& [key, entry] : entries) {
+    probes.push_back(key);
+    probes.push_back(key + 1 + rng.NextBounded(3));
+  }
+  for (const size_t eps : {8u, 256u}) {
+    FileManager plain_file(FreshFile("codec_plain"));
+    BufferPool plain_pool(&plain_file, 256);
+    DRun::Options plain_opts;
+    plain_opts.learned_epsilon = eps;
+    DRun plain(entries, &plain_file, &plain_pool, plain_opts);
+    std::vector<std::optional<Entry>> want(probes.size());
+    for (size_t i = 0; i < probes.size(); ++i) {
+      want[i] = plain.Get(probes[i], nullptr);
+    }
+    for (const PageCodec codec : {PageCodec::kFor, PageCodec::kDelta}) {
+      FileManager file(FreshFile("codec_fuzz"));
+      BufferPool pool(&file, 256);
+      DRun::Options opts;
+      opts.learned_epsilon = eps;
+      opts.codec = codec;
+      DRun run(entries, &file, &pool, opts);
+      run.CheckInvariants();
+      for (size_t i = 0; i < probes.size(); ++i) {
+        const auto got = run.Get(probes[i], nullptr);
+        ASSERT_EQ(want[i].has_value(), got.has_value())
+            << "codec=" << static_cast<int>(codec) << " eps=" << eps
+            << " probe=" << probes[i];
+        if (want[i].has_value()) {
+          EXPECT_EQ(want[i]->value, got->value);
+          EXPECT_EQ(want[i]->deleted, got->deleted);
+        }
+      }
+      // Scans and the compaction drain agree with the plain run.
+      for (int trial = 0; trial < 20; ++trial) {
+        const uint64_t lo = entries[rng.NextBounded(entries.size())].first;
+        const uint64_t hi = lo + rng.NextBounded(1u << 22);
+        const auto a = plain.Scan(lo, hi, nullptr);
+        const auto b = run.Scan(lo, hi, nullptr);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+          EXPECT_EQ(a[i].first, b[i].first);
+          EXPECT_EQ(a[i].second.value, b[i].second.value);
+          EXPECT_EQ(a[i].second.deleted, b[i].second.deleted);
+        }
+      }
+      const auto drained = run.Drain();
+      ASSERT_EQ(drained.size(), entries.size());
+      for (size_t i = 0; i < entries.size(); ++i) {
+        ASSERT_EQ(drained[i].first, entries[i].first);
+        ASSERT_EQ(drained[i].second.value, entries[i].second.value);
+        ASSERT_EQ(drained[i].second.deleted, entries[i].second.deleted);
+      }
+      // Async batched lookups match the scalar path on every backend and
+      // queue depth (io_uring degrades to the thread pool if unavailable).
+      for (const IoBackend backend :
+           {IoBackend::kThreadPool, IoBackend::kIoUring}) {
+        for (const size_t depth : {4u, 32u}) {
+          const auto engine = AsyncReadEngine::Create(backend, depth);
+          std::vector<std::optional<Entry>> out(probes.size());
+          run.GetBatch(probes.data(), probes.size(), engine.get(),
+                       out.data(), nullptr);
+          for (size_t i = 0; i < probes.size(); ++i) {
+            ASSERT_EQ(want[i].has_value(), out[i].has_value())
+                << engine->name() << " depth=" << depth << " i=" << i;
+            if (want[i].has_value()) {
+              ASSERT_EQ(want[i]->value, out[i]->value);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DiskRunCodecTest, DecodeCountersAreExact) {
+  const auto entries = CompressibleEntries(5000, 2039);
+  FileManager file(FreshFile("codec_counters"));
+  BufferPool pool(&file, 64);
+  DRun::Options opts;
+  opts.codec = PageCodec::kDelta;
+  DRun run(entries, &file, &pool, opts);
+  ASSERT_EQ(run.NumPackedPages(), run.NumPages());
+  // A full scan materializes every record exactly once: the io counter,
+  // the pool's decompressed-bytes, and n agree to the byte.
+  pool.ResetStats();
+  DiskIoStats scan_io;
+  const auto scanned = run.Scan(0, ~uint64_t{0}, &scan_io);
+  ASSERT_EQ(scanned.size(), entries.size());
+  EXPECT_EQ(scan_io.records_decoded, entries.size());
+  EXPECT_EQ(scan_io.partial_decodes, 0u);
+  EXPECT_EQ(pool.stats().decompressed_bytes,
+            entries.size() * DRun::kRecordBytes);
+  EXPECT_EQ(pool.stats().partial_decodes, 0u);
+  // A point lookup decodes only its ε-window slice: strictly fewer
+  // records than the page holds, counted as one partial decode, with the
+  // pool's byte counter tracking the io counter exactly.
+  pool.ResetStats();
+  DiskIoStats get_io;
+  const auto got = run.Get(entries[2500].first, &get_io);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(get_io.pages_touched, 1u);
+  EXPECT_EQ(get_io.partial_decodes, 1u);
+  EXPECT_GT(get_io.records_decoded, 0u);
+  EXPECT_LT(get_io.records_decoded, run.KeysPerPage());
+  EXPECT_EQ(pool.stats().decompressed_bytes,
+            get_io.records_decoded * DRun::kRecordBytes);
+  EXPECT_EQ(pool.stats().partial_decodes, 1u);
+  // Plain runs never touch the decode counters.
+  FileManager plain_file(FreshFile("codec_counters_plain"));
+  BufferPool plain_pool(&plain_file, 64);
+  DRun plain(entries, &plain_file, &plain_pool, DRun::Options{});
+  DiskIoStats plain_io;
+  (void)plain.Get(entries[100].first, &plain_io);
+  (void)plain.Scan(0, ~uint64_t{0}, &plain_io);
+  EXPECT_EQ(plain_io.records_decoded, 0u);
+  EXPECT_EQ(plain_io.partial_decodes, 0u);
+  EXPECT_EQ(plain_pool.stats().decompressed_bytes, 0u);
+  EXPECT_EQ(plain_pool.stats().partial_decodes, 0u);
+}
+
+// A packed page whose framing is inconsistent is corruption even when the
+// CRC passes (WritePage recomputes it); the view must refuse to decode.
+class PageCodecDeathTest : public ::testing::Test {
+ protected:
+  Page MakePackedPage() {
+    const auto entries = CompressibleEntries(3000, 2048);
+    Page page{};
+    const size_t count =
+        EncodeDataPage(entries.data(), entries.size(), PageCodec::kDelta,
+                       &page);
+    EXPECT_GT(count, 0u);
+    EXPECT_EQ(page.header().codec, static_cast<uint16_t>(PageCodec::kDelta));
+    return page;
+  }
+};
+
+TEST_F(PageCodecDeathTest, UnknownCodecTagAborts) {
+  Page page = MakePackedPage();
+  PageHeader h = page.header();
+  h.codec = 7;
+  page.set_header(h);
+  EXPECT_DEATH((DataPageView<uint64_t, uint64_t>(page)), "known codec tag");
+}
+
+TEST_F(PageCodecDeathTest, ZeroRecordCountAborts) {
+  Page page = MakePackedPage();
+  PageHeader h = page.header();
+  h.record_count = 0;
+  page.set_header(h);
+  EXPECT_DEATH((DataPageView<uint64_t, uint64_t>(page)),
+               "packed page not empty");
+}
+
+TEST_F(PageCodecDeathTest, TruncatedPayloadAborts) {
+  // Shrinking payload_bytes below what the streams need models a
+  // truncated compressed page.
+  Page page = MakePackedPage();
+  PageHeader h = page.header();
+  h.payload_bytes = sizeof(PackedPayloadHeader) + 4;
+  page.set_header(h);
+  EXPECT_DEATH((DataPageView<uint64_t, uint64_t>(page)),
+               "streams within payload bound");
+}
+
+TEST_F(PageCodecDeathTest, OversizedFieldWidthAborts) {
+  Page page = MakePackedPage();
+  PackedPayloadHeader ph;
+  std::memcpy(&ph, page.payload(), sizeof(ph));
+  ph.key_bits = 65;
+  std::memcpy(page.payload(), &ph, sizeof(ph));
+  EXPECT_DEATH((DataPageView<uint64_t, uint64_t>(page)),
+               "field widths fit a word");
+}
+
+TEST_F(PageCodecDeathTest, CorruptPackedPageOnDiskAborts) {
+  // End to end: a tampered compressed page is rejected at pin time by the
+  // CRC, same as plain pages.
+  const std::string path = FreshFile("codec_corrupt");
+  FileManager file(path);
+  BufferPool pool(&file, 16);
+  DRun::Options opts;
+  opts.codec = PageCodec::kDelta;
+  DRun run(CompressibleEntries(5000, 2053), &file, &pool, opts);
+  run.CheckInvariants();
+  FlipByteAt(path, kPageSize + sizeof(PageHeader) + 100);
+  EXPECT_DEATH(run.CheckInvariants(), "page readable and checksummed");
+}
+
 // ----- DiskLsmTree vs LsmTree -----
 
 using MemLsm = LsmTree<uint64_t, uint64_t>;
@@ -482,6 +777,44 @@ TEST(DiskLsmTest, StatsCountPagesAndBloomRejects) {
   }
   EXPECT_GT(disk.stats().bloom_rejects, 0u);
   EXPECT_LT(disk.stats().pages_touched, 4000u);
+}
+
+TEST(DiskLsmTest, CompressedLevelsMatchInMemoryLsmUnderFuzz) {
+  // level_codec compresses compacted levels (L0 flushes stay plain); the
+  // tree must stay content-identical to the in-memory reference.
+  MemLsm mem(SmallMemOptions(false));
+  DiskLsm::Options opts = SmallDiskOptions(false);
+  opts.level_codec = PageCodec::kDelta;
+  DiskLsm disk(FreshFile("disklsm_codec"), opts);
+  Rng rng(1871);
+  for (int op = 0; op < 20000; ++op) {
+    const uint64_t key = rng.NextBounded(3000);
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {
+        const uint64_t value = rng.Next();
+        mem.Put(key, value);
+        disk.Put(key, value);
+        break;
+      }
+      case 2:
+        mem.Delete(key);
+        disk.Delete(key);
+        break;
+      default:
+        ASSERT_EQ(mem.Get(key), disk.Get(key)) << "op " << op;
+    }
+  }
+  disk.Flush();
+  disk.CheckInvariants();
+  for (uint64_t key = 0; key < 3000; ++key) {
+    ASSERT_EQ(mem.Get(key), disk.Get(key)) << key;
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> want;
+  std::vector<std::pair<uint64_t, uint64_t>> got;
+  mem.RangeScan(0, 3000, &want);
+  disk.RangeScan(0, 3000, &got);
+  EXPECT_EQ(want, got);
 }
 
 // ----- DiskPgmTable vs PgmIndex -----

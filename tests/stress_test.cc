@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -26,6 +27,7 @@
 #include "lsm/lsm_tree.h"
 #include "one_d/adaptive_rmi.h"
 #include "one_d/concurrent_index.h"
+#include "one_d/tiered_index.h"
 #include "one_d/dynamic_pgm.h"
 #include "one_d/pgm.h"
 #include "one_d/radix_spline.h"
@@ -516,6 +518,90 @@ TEST(StressTest, AdaptiveRmiAdaptMaintenanceChurn) {
     }
   }
   EpochManager::Shared().ReclaimSome();
+}
+
+// TieredIndex under its concurrency contract: one writer driving constant
+// background migrations (seal -> compressed run build -> merge-all ->
+// shadow publish) while point readers and range scanners race the swaps.
+// The seal/publish protocol makes every key visible in some tier at all
+// times, so a reader miss on a never-erased key is a protocol bug; TSan
+// additionally vets the epoch-retired ColdStates and the hot-tier lock.
+TEST(StressTest, TieredIndexMigrationsRacingReaders) {
+  const auto keys = GenerateKeys(KeyDistribution::kUniform, 20000, 1013);
+  typename TieredIndex<uint64_t, uint64_t>::Options opts;
+  opts.hot_limit = 512;  // Constant migration churn.
+  opts.cold_run_limit = 2;
+  opts.pool_frames = 64;
+  opts.codec = storage::PageCodec::kDelta;
+  opts.background_migration = true;
+  const std::string path =
+      std::string(::testing::TempDir()) + "lidx_stress_tiered";
+  std::remove(path.c_str());  // Stale pages from a previous run poison the pool.
+  TieredIndex<uint64_t, uint64_t> tiered(path, opts);
+  tiered.BulkLoad(keys, Ranks(keys.size()));
+
+  // Keys with rank % 5 == 4 are the eraser's; the rest always map to
+  // their rank, so readers can detect torn or lost reads exactly.
+  constexpr int kWriterOps = 12000;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> bad_reads{0};
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {  // The single writer.
+    Rng rng(1019);
+    for (int i = 0; i < kWriterOps; ++i) {
+      const size_t j = rng.NextBounded(keys.size());
+      if (j % 5 == 4 && rng.NextBounded(2) == 0) {
+        tiered.Erase(keys[j]);
+      } else {
+        tiered.Insert(keys[j], j);
+      }
+    }
+  });
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {  // Point readers.
+      Rng rng(1021 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t j = rng.NextBounded(keys.size());
+        const auto got = tiered.Find(keys[j]);
+        if (j % 5 == 4) {
+          // May be erased; when present the value must be the rank.
+          if (got.has_value() && *got != j) bad_reads.fetch_add(1);
+        } else if (!got.has_value() || *got != j) {
+          bad_reads.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {  // Range scanner across tier boundaries.
+    Rng rng(1031);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t j = rng.NextBounded(keys.size() - 600);
+      std::vector<std::pair<uint64_t, uint64_t>> out;
+      tiered.RangeScan(keys[j], keys[j + 500], &out);
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (i > 0 && out[i - 1].first >= out[i].first) bad_reads.fetch_add(1);
+        // Stable keys carry their rank; erasable keys are unchecked.
+        const auto it =
+            std::lower_bound(keys.begin(), keys.end(), out[i].first);
+        const size_t rank = static_cast<size_t>(it - keys.begin());
+        if (rank % 5 != 4 && out[i].second != rank) bad_reads.fetch_add(1);
+      }
+    }
+  });
+
+  threads[0].join();  // The bounded writer.
+  stop.store(true);
+  for (size_t t = 1; t < threads.size(); ++t) threads[t].join();
+
+  tiered.WaitForMigration();
+  tiered.FlushHot();
+  tiered.CheckInvariants();
+  EXPECT_EQ(bad_reads.load(), 0u);
+  // Stable keys survived the churn with their rank values.
+  for (size_t j = 0; j < keys.size(); j += 97) {
+    if (j % 5 == 4) continue;
+    ASSERT_EQ(tiered.Find(keys[j]), std::optional<uint64_t>(j)) << j;
+  }
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 // lidx-lint — repo-specific lexical checks for the lidx codebase.
 //
-// Six rules encode invariants of this repo that generic tooling cannot
+// Seven rules encode invariants of this repo that generic tooling cannot
 // know (docs/STATIC_ANALYSIS.md has the full catalog with rationale):
 //
 //   raw-io             pread/pwrite must not appear outside
@@ -16,6 +16,12 @@
 //   cast-io            serialization must stage object bytes through the
 //                      serialize.h memcpy helpers; a reinterpret_cast fed
 //                      straight into a read/write call is type-punned I/O.
+//   raw-unpack         the byte/bit-offset decode idiom (`x >> 3` and
+//                      `x & 7` in one statement) is confined to
+//                      storage/page_codec.h and common/simd.h — everyone
+//                      else decodes packed pages through
+//                      DataPageView::DecodeInto/DecodeKeys or
+//                      simd::UnpackBits, never by hand.
 //   pageref-escape     BufferPool::PageRef is a pin guard; returning one,
 //                      storing one in a member, or collecting them in a
 //                      container outlives the pin discipline.
@@ -64,8 +70,8 @@ namespace {
 namespace fs = std::filesystem;
 
 const char* const kAllRules[] = {"raw-io", "raw-uring", "cast-io",
-                                 "pageref-escape", "pool-blocking-get",
-                                 "epoch-guard"};
+                                 "raw-unpack", "pageref-escape",
+                                 "pool-blocking-get", "epoch-guard"};
 
 struct Finding {
   std::string file;
@@ -440,6 +446,66 @@ void CheckCastIo(const Source& src, std::vector<Finding>* out) {
   }
 }
 
+// ---- raw-unpack -----------------------------------------------------------
+
+// Position of operator `op` followed (modulo whitespace) by the bare
+// integer literal `digit` within text[begin, end), or npos. Compound
+// operators (&&, &=, >>=) and longer literals (30, 0x7, 7f) do not match;
+// an integer suffix (7u, 7UL) does.
+size_t FindOpDigit(const std::string& text, size_t begin, size_t end,
+                   const std::string& op, char digit) {
+  for (size_t pos = text.find(op, begin);
+       pos != std::string::npos && pos < end; pos = text.find(op, pos + 1)) {
+    if (pos > 0 && text[pos - 1] == op[0]) continue;  // `&&` second char.
+    size_t after = pos + op.size();
+    if (after < text.size() &&
+        (text[after] == op[0] || text[after] == '=')) {
+      continue;  // Compound operator: &&, &=, >>=.
+    }
+    after = SkipSpace(text, after);
+    if (after >= end || text[after] != digit) continue;
+    if (after > 0 && IsIdentChar(text[after - 1])) continue;  // 0x7, id3.
+    size_t tail = after + 1;
+    while (tail < text.size() &&
+           (text[tail] == 'u' || text[tail] == 'U' || text[tail] == 'l' ||
+            text[tail] == 'L')) {
+      ++tail;
+    }
+    if (tail < text.size() &&
+        (IsIdentChar(text[tail]) || text[tail] == '.')) {
+      continue;  // Longer literal: 30, 7f, 3.5.
+    }
+    return pos;
+  }
+  return std::string::npos;
+}
+
+void CheckRawUnpack(const Source& src, std::vector<Finding>* out) {
+  // `offset >> 3` to find the byte plus `offset & 7` for the bit within it
+  // is the signature of hand-rolled bit-stream access. That idiom lives in
+  // exactly two places: the page codec's packers and the SIMD unpack
+  // kernels. Everywhere else decodes through their public entry points.
+  if (src.Basename() == "page_codec.h" || src.Basename() == "simd.h") return;
+  const std::string& text = src.clean();
+  for (size_t pos = 0; pos < text.size();) {
+    const size_t shift = FindOpDigit(text, pos, text.size(), ">>", '3');
+    if (shift == std::string::npos) break;
+    // Statement bounds: between the surrounding ; { } delimiters.
+    size_t begin = text.find_last_of(";{}", shift);
+    begin = (begin == std::string::npos) ? 0 : begin + 1;
+    size_t end = text.find_first_of(";{}", shift);
+    if (end == std::string::npos) end = text.size();
+    if (FindOpDigit(text, begin, end, "&", '7') != std::string::npos) {
+      Report(src, shift, "raw-unpack",
+             "bit-stream decode idiom (>> 3 with & 7) outside "
+             "storage/page_codec.h and common/simd.h — decode through "
+             "DataPageView::DecodeInto/DecodeKeys or simd::UnpackBits",
+             out);
+    }
+    pos = (end == text.size()) ? end : end + 1;
+  }
+}
+
 // ---- pageref-escape -------------------------------------------------------
 
 void CheckPageRefEscape(const Source& src, std::vector<Finding>* out) {
@@ -588,6 +654,7 @@ void LintFile(Source* src, std::vector<Finding>* out) {
   CheckRawIo(*src, out);
   CheckRawUring(*src, out);
   CheckCastIo(*src, out);
+  CheckRawUnpack(*src, out);
   CheckPageRefEscape(*src, out);
   CheckPoolBlockingGet(*src, out);
   CheckEpochGuard(*src, out);

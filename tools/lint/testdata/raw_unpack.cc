@@ -1,0 +1,43 @@
+// Fixture for the raw-unpack rule: the byte/bit-offset decode idiom
+// (`x >> 3` plus `x & 7` in one statement) anywhere but
+// storage/page_codec.h and common/simd.h must be flagged. Never
+// compiled — data for `lidx_lint --self-test` only.
+
+unsigned char ReadBitByHand(const unsigned char* buf, unsigned long bo) {
+  return (buf[bo >> 3] >> (bo & 7)) & 1u;  // lidx-lint-expect: raw-unpack
+}
+
+void SetBitByHand(unsigned char* buf, unsigned long bo) {
+  buf[bo >> 3] |=  // lidx-lint-expect: raw-unpack
+      static_cast<unsigned char>(1u << (bo & 7));
+}
+
+// Unsigned-suffixed literals are still the idiom.
+unsigned long ByteAndBit(unsigned long bo) {
+  return (bo >> 3u) + (bo & 7u);  // lidx-lint-expect: raw-unpack
+}
+
+// Negative: either half alone is fine — `>> 3` divides by eight in hash
+// mixing, `& 7` masks a lane index; only the pair spells bit-stream
+// access.
+unsigned long EighthOf(unsigned long v) { return v >> 3; }
+unsigned long LaneOf(unsigned long v) { return v & 7; }
+
+// Negative: longer literals are not the idiom (>> 30 mixes a hash,
+// & 0x7f masks a byte run).
+unsigned long Mix(unsigned long z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  return z & 0x7f;
+}
+
+// Negative: compound operators are not the shift/mask pair.
+void Compound(unsigned long& v, bool ok) {
+  v >>= 3;
+  if (ok && 7 < v) v = 7;
+}
+
+// Suppression: an explicit, reasoned opt-out silences the rule.
+unsigned char ReferenceDecoder(const unsigned char* buf, unsigned long bo) {
+  // lidx-lint: allow(raw-unpack): independent reference for fuzz tests.
+  return (buf[bo >> 3] >> (bo & 7)) & 1u;
+}
